@@ -1,0 +1,76 @@
+"""Shared benchmark fixtures.
+
+Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable
+(default 0.2, roughly 25k-ish triples per graph) so the same harness can be
+pointed at larger graphs.  All strategies run through the simulated
+SPARQL-protocol endpoint (JSON serialization + pagination), as the paper's
+setup does via SPARQLWrapper over HTTP.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.client import EngineClient, HttpClient
+from repro.data import DBLP_URI, DBPEDIA_URI, build_dataset
+from repro.rdf import ntriples
+from repro.sparql import Endpoint, Engine
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))
+MAX_ROWS = int(os.environ.get("REPRO_BENCH_MAX_ROWS", "10000"))
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    return build_dataset(scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def engine(dataset):
+    return Engine(dataset)
+
+
+@pytest.fixture(scope="session")
+def endpoint(engine):
+    return Endpoint(engine, max_rows=MAX_ROWS)
+
+
+@pytest.fixture
+def http_client(endpoint):
+    """A fresh paginating client; the endpoint result cache is cleared so
+    every benchmark round pays full query execution."""
+    endpoint.clear_cache()
+    client = HttpClient(endpoint)
+    original = client.execute
+
+    def execute(query):
+        endpoint.clear_cache()
+        return original(query)
+
+    client.execute = execute
+    return client
+
+
+@pytest.fixture(scope="session")
+def engine_client(engine):
+    return EngineClient(engine)
+
+
+@pytest.fixture(scope="session")
+def ntriples_files(dataset, tmp_path_factory):
+    """The graphs serialized to N-Triples (for the rdflib-like baseline)."""
+    directory = tmp_path_factory.mktemp("dumps")
+    paths = {}
+    for graph in dataset:
+        name = graph.uri.split("//")[1].replace("/", "_") + ".nt"
+        path = directory / name
+        with open(path, "w") as stream:
+            ntriples.write(graph.triples(), stream)
+        paths[graph.uri] = str(path)
+    return paths
+
+
+def graph_uri_for(case_key: str) -> str:
+    return DBPEDIA_URI if case_key == "movie_genre" else DBLP_URI

@@ -1,0 +1,46 @@
+"""Figure 3: evaluating the design decisions of RDFFrames.
+
+For each case study, compare:
+
+* **naive** query generation (one subquery per operator),
+* **navigation + pandas** (only seed/expand pushed to the engine),
+* **rdfframes** (optimized single-query generation, full push-down).
+
+Paper's finding: naive and navigation+pandas are substantially slower than
+RDFFrames (Fig 3a/3b); for the scan-shaped KG-embedding task all
+alternatives converge (Fig 3c).
+"""
+
+import pytest
+
+from repro.baselines import run_strategy
+
+ROUNDS = 3
+STRATEGIES = ("naive", "navigation_pandas", "rdfframes")
+
+
+def _run(strategy, case_key, http_client):
+    result = run_strategy(strategy, case_key, client=http_client)
+    assert len(result) > 0
+    return result
+
+
+@pytest.mark.benchmark(group="fig3a-movie-genre")
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_fig3a_movie_genre(benchmark, strategy, http_client):
+    benchmark.pedantic(_run, args=(strategy, "movie_genre", http_client),
+                       rounds=ROUNDS, iterations=1)
+
+
+@pytest.mark.benchmark(group="fig3b-topic-modeling")
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_fig3b_topic_modeling(benchmark, strategy, http_client):
+    benchmark.pedantic(_run, args=(strategy, "topic_modeling", http_client),
+                       rounds=ROUNDS, iterations=1)
+
+
+@pytest.mark.benchmark(group="fig3c-kg-embedding")
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_fig3c_kg_embedding(benchmark, strategy, http_client):
+    benchmark.pedantic(_run, args=(strategy, "kg_embedding", http_client),
+                       rounds=ROUNDS, iterations=1)

@@ -1,0 +1,91 @@
+"""Figure 5: the 15-query synthetic workload.
+
+Each query runs under naive generation, RDFFrames generation, and
+expert-written SPARQL.  The paper reports each generator's running time as
+a *ratio to expert SPARQL*: RDFFrames stays within 0.9-1.5x while naive
+generation degrades to 10x+ (with timeouts) on the later queries.
+
+``test_fig5_ratio_table`` prints the paper-style ratio table after the
+per-query benchmarks (it reuses one timed run per strategy).
+"""
+
+import time
+
+import pytest
+
+from repro.workload import SYNTHETIC_QUERIES, get_query
+
+ROUNDS = 3
+QIDS = [q.qid for q in SYNTHETIC_QUERIES]
+
+
+def _run_rdfframes(query, client):
+    return query.frame().execute(client)
+
+
+def _run_naive(query, client):
+    return query.frame().execute(client, strategy="naive")
+
+
+def _run_expert(query, client):
+    return client.execute(query.expert_sparql)
+
+
+@pytest.mark.benchmark(group="fig5-rdfframes")
+@pytest.mark.parametrize("qid", QIDS)
+def test_fig5_rdfframes(benchmark, qid, http_client):
+    query = get_query(qid)
+    benchmark.pedantic(_run_rdfframes, args=(query, http_client),
+                       rounds=ROUNDS, iterations=1)
+
+
+@pytest.mark.benchmark(group="fig5-naive")
+@pytest.mark.parametrize("qid", QIDS)
+def test_fig5_naive(benchmark, qid, http_client):
+    query = get_query(qid)
+    benchmark.pedantic(_run_naive, args=(query, http_client),
+                       rounds=ROUNDS, iterations=1)
+
+
+@pytest.mark.benchmark(group="fig5-expert")
+@pytest.mark.parametrize("qid", QIDS)
+def test_fig5_expert(benchmark, qid, http_client):
+    query = get_query(qid)
+    benchmark.pedantic(_run_expert, args=(query, http_client),
+                       rounds=ROUNDS, iterations=1)
+
+
+@pytest.mark.benchmark(group="fig5-ratio-table")
+def test_fig5_ratio_table(benchmark, http_client, capsys):
+    """Reproduce the paper's Figure 5 presentation: per query, the ratio
+    of naive and RDFFrames runtimes to expert SPARQL."""
+
+    def measure(fn, *args):
+        best = None
+        for _ in range(3):  # best-of-3 to suppress warm-up noise
+            start = time.perf_counter()
+            fn(*args)
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        return best
+
+    def build_table():
+        rows = []
+        for qid in QIDS:
+            query = get_query(qid)
+            expert = measure(_run_expert, query, http_client)
+            rdfframes = measure(_run_rdfframes, query, http_client)
+            naive = measure(_run_naive, query, http_client)
+            rows.append((qid, expert, rdfframes / expert, naive / expert))
+        return rows
+
+    rows = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n\nFigure 5 — ratio to expert-written SPARQL "
+              "(expert seconds in parentheses)")
+        print("%-5s %12s %12s %12s" % ("query", "expert(s)",
+                                       "RDFFrames/x", "Naive/x"))
+        for qid, expert, ratio_rdfframes, ratio_naive in sorted(
+                rows, key=lambda r: r[3]):
+            print("%-5s %12.3f %12.2f %12.2f"
+                  % (qid, expert, ratio_rdfframes, ratio_naive))

@@ -1,0 +1,54 @@
+"""Quickstart: from a knowledge graph to a dataframe in a few lines.
+
+Builds a small DBpedia-like synthetic graph, serves it from an in-process
+SPARQL engine, and runs the paper's motivating example (Listing 1):
+prolific American actors, the movies they starred in, and their Academy
+Awards (when available).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import EngineClient, Engine, INCOMING, KnowledgeGraph, OPTIONAL
+from repro.data import DBPEDIA_URI, generate_dbpedia
+
+# ----------------------------------------------------------------------
+# 1. Stand up the "RDF engine".  With network access you would instead
+#    point an HttpClient at a live SPARQL endpoint; here the engine is the
+#    in-process substitute for Virtuoso, loaded with synthetic DBpedia.
+# ----------------------------------------------------------------------
+graph_data = generate_dbpedia(scale=0.2)
+client = EngineClient(Engine(graph_data))
+print("Loaded %d triples into the engine.\n" % len(graph_data))
+
+# ----------------------------------------------------------------------
+# 2. Describe the dataframe with RDFFrames operators (paper Listing 1).
+#    Nothing is executed yet: calls are recorded lazily.
+# ----------------------------------------------------------------------
+graph = KnowledgeGraph(graph_uri=DBPEDIA_URI)
+
+movies = graph.feature_domain_range("dbpp:starring", "movie", "actor")
+american = movies.expand("actor", [("dbpp:birthPlace", "country")]) \
+    .filter({"country": ["=dbpr:United_States"]})
+prolific = american.group_by(["actor"]) \
+    .count("movie", "movie_count") \
+    .filter({"movie_count": [">=10"]})
+result = prolific.expand("actor", [("dbpp:starring", "movie", INCOMING),
+                                   ("dbpo:genre", "genre", OPTIONAL)])
+
+# ----------------------------------------------------------------------
+# 3. Inspect the single SPARQL query RDFFrames generates.
+# ----------------------------------------------------------------------
+print("Generated SPARQL:\n")
+print(result.to_sparql())
+
+# ----------------------------------------------------------------------
+# 4. Execute and receive a dataframe.
+# ----------------------------------------------------------------------
+df = result.execute(client)
+print("\nResult: %d rows" % len(df))
+print(df.head(10).to_string())
+
+# Bonus: exploration operators for unfamiliar graphs.
+print("\nClass distribution of the graph:")
+print(graph.classes_and_freq().execute(client)
+      .sort("frequency", ascending=False).to_string())

@@ -1,0 +1,31 @@
+"""repro: a full reproduction of RDFFrames (VLDB 2020).
+
+Subpackages
+-----------
+- ``repro.rdf``        RDF data model, indexed graphs, N-Triples I/O
+- ``repro.sparql``     a from-scratch SPARQL engine + simulated endpoint
+- ``repro.dataframe``  a small columnar dataframe (pandas stand-in)
+- ``repro.core``       the RDFFrames API, query model, generators, translator
+- ``repro.client``     engine/HTTP clients with transparent pagination
+- ``repro.ml``         minimal ML stack for the case studies
+- ``repro.data``       deterministic synthetic knowledge-graph generators
+- ``repro.workload``   the paper's case studies and 15-query workload
+- ``repro.baselines``  the alternative strategies of Section 6.3
+"""
+
+__version__ = "1.0.0"
+
+from .core import (KnowledgeGraph, RDFFrame, GroupedRDFFrame, OPTIONAL,
+                   INCOMING, OUTGOING, InnerJoin, OuterJoin, LeftOuterJoin,
+                   RightOuterJoin)
+from .client import EngineClient, HttpClient
+from .dataframe import DataFrame
+from .sparql import Engine, Endpoint
+
+__all__ = [
+    "KnowledgeGraph", "RDFFrame", "GroupedRDFFrame",
+    "OPTIONAL", "INCOMING", "OUTGOING",
+    "InnerJoin", "OuterJoin", "LeftOuterJoin", "RightOuterJoin",
+    "EngineClient", "HttpClient", "DataFrame", "Engine", "Endpoint",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Alternative execution strategies (Section 6.3 baselines)."""
+
+from ._ops import compatible_merge, predicate_table, terms_to_python_frame, triples_to_frame
+from .strategies import (STRATEGIES, kg_embedding_navigation_frame,
+                         kg_embedding_relational,
+                         movie_genre_navigation_frame, movie_genre_relational,
+                         run_expert, run_naive, run_navigation_pandas,
+                         run_rdfframes, run_rdflib_pandas, run_sparql_pandas,
+                         run_strategy, topic_modeling_navigation_frame,
+                         topic_modeling_relational)
+
+__all__ = [
+    "STRATEGIES", "run_strategy", "run_rdfframes", "run_naive", "run_expert",
+    "run_navigation_pandas", "run_sparql_pandas", "run_rdflib_pandas",
+    "movie_genre_navigation_frame", "topic_modeling_navigation_frame",
+    "kg_embedding_navigation_frame", "movie_genre_relational",
+    "topic_modeling_relational", "kg_embedding_relational",
+    "compatible_merge", "predicate_table", "terms_to_python_frame",
+    "triples_to_frame",
+]

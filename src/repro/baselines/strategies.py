@@ -1,0 +1,244 @@
+"""The alternative execution strategies of Section 6.3.
+
+For each case study the paper compares RDFFrames against:
+
+* **Naive Query Generation** — one subquery per API call
+  (``frame.to_sparql(strategy='naive')``),
+* **Navigation + pandas** — RDFFrames used only for seed/expand; all
+  relational processing client-side in the dataframe library,
+* **rdflib + pandas** — no RDF engine at all: parse the N-Triples dump,
+  scan triples in Python, process in dataframes,
+* **SPARQL + pandas** — one trivial ``SELECT ?s ?p ?o`` to the engine,
+  then client-side processing,
+* **Expert SPARQL** — the hand-written query, full push-down.
+
+The client-side relational stages replicate the SPARQL semantics exactly
+(compatible-mapping joins, bag semantics), so all strategies return
+identical result bags — which the equivalence tests assert.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Callable, Dict
+
+from ..client import EngineClient
+from ..core import KnowledgeGraph, OPTIONAL
+from ..data import DBLP_URI, DBPEDIA_URI
+from ..dataframe import DataFrame
+from ..rdf import ntriples
+from ..rdf.namespaces import DBPO, DBPP, DBPR, DBLPRC, DC, DCTERMS, RDF, RDFS, SWRC
+from ..workload.case_studies import (PROLIFIC_MOVIE_COUNT,
+                                     PROLIFIC_PAPER_COUNT, TOPIC_YEAR_INNER,
+                                     TOPIC_YEAR_OUTER, get_case_study)
+from ._ops import (compatible_merge, is_uri_mask, predicate_table,
+                   terms_to_python_frame, triples_to_frame)
+
+STRATEGIES = ("rdfframes", "naive", "navigation_pandas", "rdflib_pandas",
+              "sparql_pandas", "expert")
+
+
+# ----------------------------------------------------------------------
+# Navigation-only frames (the seed/expand prefix of each case study)
+# ----------------------------------------------------------------------
+def movie_genre_navigation_frame():
+    graph = KnowledgeGraph(graph_uri=DBPEDIA_URI)
+    movies = graph.feature_domain_range("dbpp:starring", "movie", "actor")
+    return movies.expand("actor", [
+        ("dbpp:birthPlace", "actor_country"),
+        ("rdfs:label", "actor_name"),
+    ]).expand("movie", [
+        ("rdfs:label", "movie_name"),
+        ("dcterms:subject", "subject"),
+        ("dbpp:country", "movie_country"),
+        ("dbpo:genre", "genre", OPTIONAL),
+    ])
+
+
+def topic_modeling_navigation_frame():
+    graph = KnowledgeGraph(graph_uri=DBLP_URI)
+    return graph.entities("swrc:InProceedings", "paper").expand("paper", [
+        ("dc:creator", "author"),
+        ("dcterm:issued", "date"),
+        ("swrc:series", "conference"),
+        ("dc:title", "title"),
+    ])
+
+
+def kg_embedding_navigation_frame():
+    graph = KnowledgeGraph(graph_uri=DBLP_URI)
+    return graph.feature_domain_range("p", "s", "o")
+
+
+# ----------------------------------------------------------------------
+# Client-side relational stages (shared by the "+ pandas" strategies)
+# ----------------------------------------------------------------------
+def movie_genre_relational(movies: DataFrame) -> DataFrame:
+    """The filter/group/outer-join/join stage of case study 1, on a value
+    dataframe with columns movie, actor, actor_country, actor_name,
+    movie_name, subject, movie_country, genre."""
+    usa = str(DBPR.United_States)
+    american = movies.filter_eq("actor_country", usa)
+    prolific = movies.groupby("actor") \
+        .agg("count", "movie", alias="movie_count", unique=True) \
+        .filter(lambda row: row["movie_count"] >= PROLIFIC_MOVIE_COUNT)
+    branch1 = american.merge(prolific, left_on="actor", right_on="actor",
+                             how="left")
+    branch2 = prolific.merge(american, left_on="actor", right_on="actor",
+                             how="left")
+    union = branch1.concat(branch2)
+    return compatible_merge(union, movies, how="inner", anchor="actor")
+
+
+def topic_modeling_relational(papers: DataFrame) -> DataFrame:
+    """The filter/group/join stage of case study 2, on a value dataframe
+    with columns paper, author, date, conference, title."""
+    vldb, sigmod = str(DBLPRC.vldb), str(DBLPRC.sigmod)
+
+    def year(value) -> int:
+        return int(str(value)[:4])
+
+    recent = papers.filter(
+        lambda row: year(row["date"]) >= TOPIC_YEAR_INNER
+        and row["conference"] in (vldb, sigmod))
+    authors = recent.groupby("author") \
+        .agg("count", "paper", alias="n_papers") \
+        .filter(lambda row: row["n_papers"] >= PROLIFIC_PAPER_COUNT)
+    joined = papers.merge(authors.select(["author"]),
+                          left_on="author", right_on="author", how="inner")
+    filtered = joined.filter(lambda row: year(row["date"]) >= TOPIC_YEAR_OUTER)
+    return filtered.select(["title"])
+
+
+def kg_embedding_relational(spo_terms: DataFrame) -> DataFrame:
+    """The isURI filter of case study 3, on a dataframe of raw RDF terms
+    with columns s, p, o."""
+    filtered = spo_terms.filter_mask(is_uri_mask(spo_terms.column("o")))
+    return terms_to_python_frame(filtered)
+
+
+_RELATIONAL: Dict[str, Callable[[DataFrame], DataFrame]] = {
+    "movie_genre": movie_genre_relational,
+    "topic_modeling": topic_modeling_relational,
+    "kg_embedding": kg_embedding_relational,
+}
+
+_NAVIGATION = {
+    "movie_genre": movie_genre_navigation_frame,
+    "topic_modeling": topic_modeling_navigation_frame,
+    "kg_embedding": kg_embedding_navigation_frame,
+}
+
+
+# ----------------------------------------------------------------------
+# Strategy runners
+# ----------------------------------------------------------------------
+def run_rdfframes(case_key: str, client) -> DataFrame:
+    """RDFFrames with optimized query generation (the paper's system)."""
+    return get_case_study(case_key).frame().execute(client)
+
+
+def run_naive(case_key: str, client) -> DataFrame:
+    """RDFFrames with naive query generation."""
+    return get_case_study(case_key).frame().execute(client, strategy="naive")
+
+
+def run_expert(case_key: str, client) -> DataFrame:
+    """The expert-written SPARQL query."""
+    return client.execute(get_case_study(case_key).expert_sparql)
+
+
+def run_navigation_pandas(case_key: str, client: EngineClient) -> DataFrame:
+    """Navigation pushed to the engine; relational ops client-side."""
+    frame = _NAVIGATION[case_key]()
+    if case_key == "kg_embedding":
+        table = client.execute_terms(frame.to_sparql())
+    else:
+        table = frame.execute(client)
+    return _RELATIONAL[case_key](table)
+
+
+def run_sparql_pandas(case_key: str, client: EngineClient) -> DataFrame:
+    """One trivial SELECT ?s ?p ?o to the engine; everything else
+    client-side (including navigation, done as dataframe merges)."""
+    case = get_case_study(case_key)
+    spo = client.execute_terms(
+        "SELECT ?s ?p ?o FROM <%s> WHERE { ?s ?p ?o . }" % case.graph_uri)
+    return _process_spo(case_key, spo)
+
+
+def run_rdflib_pandas(case_key: str, ntriples_source) -> DataFrame:
+    """No engine: parse an N-Triples dump (path, file object, or string)
+    and process everything client-side."""
+    if isinstance(ntriples_source, str) and "\n" not in ntriples_source:
+        with open(ntriples_source) as stream:
+            spo = triples_to_frame(ntriples.parse(stream))
+    elif isinstance(ntriples_source, str):
+        spo = triples_to_frame(ntriples.parse(io.StringIO(ntriples_source)))
+    else:
+        spo = triples_to_frame(ntriples.parse(ntriples_source))
+    return _process_spo(case_key, spo)
+
+
+def _process_spo(case_key: str, spo: DataFrame) -> DataFrame:
+    """Client-side navigation (dataframe merges over the SPO table) plus
+    the case study's relational stage."""
+    if case_key == "kg_embedding":
+        return kg_embedding_relational(spo)
+    if case_key == "movie_genre":
+        movies = predicate_table(spo, DBPP.starring, "movie", "actor")
+        movies = movies.merge(
+            predicate_table(spo, DBPP.birthPlace, "actor", "actor_country"),
+            left_on="actor", right_on="actor")
+        movies = movies.merge(
+            predicate_table(spo, RDFS.label, "actor", "actor_name"),
+            left_on="actor", right_on="actor")
+        movies = movies.merge(
+            predicate_table(spo, RDFS.label, "movie", "movie_name"),
+            left_on="movie", right_on="movie")
+        movies = movies.merge(
+            predicate_table(spo, DCTERMS.subject, "movie", "subject"),
+            left_on="movie", right_on="movie")
+        movies = movies.merge(
+            predicate_table(spo, DBPP.country, "movie", "movie_country"),
+            left_on="movie", right_on="movie")
+        movies = movies.merge(
+            predicate_table(spo, DBPO.genre, "movie", "genre"),
+            left_on="movie", right_on="movie", how="left")
+        return movie_genre_relational(terms_to_python_frame(movies))
+    if case_key == "topic_modeling":
+        types = predicate_table(spo, RDF.type, "paper", "cls")
+        papers = types.filter_eq("cls", SWRC.InProceedings).select(["paper"])
+        papers = papers.merge(
+            predicate_table(spo, DC.creator, "paper", "author"),
+            left_on="paper", right_on="paper")
+        papers = papers.merge(
+            predicate_table(spo, DCTERMS.issued, "paper", "date"),
+            left_on="paper", right_on="paper")
+        papers = papers.merge(
+            predicate_table(spo, SWRC.series, "paper", "conference"),
+            left_on="paper", right_on="paper")
+        papers = papers.merge(
+            predicate_table(spo, DC.title, "paper", "title"),
+            left_on="paper", right_on="paper")
+        return topic_modeling_relational(terms_to_python_frame(papers))
+    raise KeyError("unknown case study %r" % case_key)
+
+
+def run_strategy(strategy: str, case_key: str, client=None,
+                 ntriples_source=None) -> DataFrame:
+    """Dispatch a strategy by name (used by the benchmark harness)."""
+    if strategy == "rdfframes":
+        return run_rdfframes(case_key, client)
+    if strategy == "naive":
+        return run_naive(case_key, client)
+    if strategy == "expert":
+        return run_expert(case_key, client)
+    if strategy == "navigation_pandas":
+        return run_navigation_pandas(case_key, client)
+    if strategy == "sparql_pandas":
+        return run_sparql_pandas(case_key, client)
+    if strategy == "rdflib_pandas":
+        return run_rdflib_pandas(case_key, ntriples_source)
+    raise KeyError("unknown strategy %r (one of %s)"
+                   % (strategy, ", ".join(STRATEGIES)))

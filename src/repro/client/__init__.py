@@ -1,0 +1,7 @@
+"""Execution clients: in-process engine client and paginating HTTP client."""
+
+from .clients import (PANDAS_DF, RECORDS, ClientError, EngineClient,
+                      FlakyEndpoint, HttpClient)
+
+__all__ = ["EngineClient", "HttpClient", "FlakyEndpoint", "ClientError",
+           "PANDAS_DF", "RECORDS"]

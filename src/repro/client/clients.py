@@ -1,0 +1,151 @@
+"""Clients: how RDFFrames talks to an RDF engine or SPARQL endpoint.
+
+The paper's Executor "sends the generated SPARQL query to an RDF engine or
+SPARQL endpoint, handles all communication issues, and returns the results
+to the user in a dataframe".  Two clients are provided:
+
+* :class:`EngineClient` — in-process execution against an
+  :class:`~repro.sparql.Engine` (the 'local RDF engine' path).
+* :class:`HttpClient` — drives a simulated SPARQL-protocol
+  :class:`~repro.sparql.Endpoint`, with *transparent pagination*: results
+  are fetched chunk by chunk (each response capped by the endpoint's
+  ``max_rows``) and assembled into a single dataframe, exactly as
+  Section 4.3 describes; transient failures are retried.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from ..dataframe import DataFrame
+from ..sparql.endpoint import Endpoint, EndpointError
+from ..sparql.engine import Engine
+from ..sparql.results import ResultSet
+
+#: Return-format names mirroring the original library's HttpClientDataFormat.
+PANDAS_DF = "dataframe"
+RECORDS = "records"
+
+
+class ClientError(RuntimeError):
+    """Raised when a query cannot be executed by a client."""
+
+
+class EngineClient:
+    """Executes queries directly against an in-process engine."""
+
+    def __init__(self, engine: Engine, default_graph_uri: Optional[str] = None):
+        self.engine = engine
+        self.default_graph_uri = default_graph_uri
+
+    def execute(self, query: str) -> DataFrame:
+        """Run a SPARQL query and return the full result as a dataframe."""
+        result = self.engine.query(query,
+                                   default_graph_uri=self.default_graph_uri)
+        return result.to_dataframe()
+
+    def execute_terms(self, query: str) -> DataFrame:
+        """Like :meth:`execute` but cells hold raw RDF terms."""
+        result = self.engine.query(query,
+                                   default_graph_uri=self.default_graph_uri)
+        return result.to_term_dataframe()
+
+    def __repr__(self):
+        return "EngineClient(%r)" % self.engine
+
+
+class HttpClient:
+    """Executes queries against a (simulated) SPARQL endpoint over 'HTTP'.
+
+    Parameters
+    ----------
+    endpoint:
+        The endpoint to query.
+    page_size:
+        Requested rows per response; the endpoint may cap it lower.
+    max_retries:
+        Transient endpoint errors are retried this many times per page.
+    """
+
+    def __init__(self, endpoint: Endpoint, page_size: Optional[int] = None,
+                 max_retries: int = 3, retry_delay: float = 0.0):
+        self.endpoint = endpoint
+        self.page_size = page_size
+        self.max_retries = max_retries
+        self.retry_delay = retry_delay
+        self.pages_fetched = 0
+
+    def execute(self, query: str) -> DataFrame:
+        """Fetch all pages of a query's results into one dataframe."""
+        return self._fetch_all(query).to_dataframe()
+
+    def execute_terms(self, query: str) -> DataFrame:
+        """Like :meth:`execute` but cells hold raw RDF terms."""
+        return self._fetch_all(query).to_term_dataframe()
+
+    def _fetch_all(self, query: str) -> ResultSet:
+        from ..sparql.json_results import decode_results
+
+        offset = 0
+        variables = None
+        rows = []
+        while True:
+            response = self._request_with_retry(query, offset)
+            # Decode the wire payload (the real SPARQL-JSON parse cost that
+            # SPARQLWrapper pays); fall back to the in-memory page if the
+            # endpoint did not provide one.
+            if response.payload is not None:
+                try:
+                    page = decode_results(response.payload)
+                except (ValueError, KeyError, TypeError) as exc:
+                    raise ClientError(
+                        "endpoint returned a malformed SPARQL-JSON payload "
+                        "at offset %d: %s" % (offset, exc))
+            else:
+                page = response.result
+            if variables is None:
+                variables = page.variables
+            rows.extend(page.rows)
+            self.pages_fetched += 1
+            if not response.has_more:
+                break
+            if len(page) == 0:
+                raise ClientError("endpoint reported more results but "
+                                  "returned an empty page at offset %d" % offset)
+            offset += len(page)
+        return ResultSet(variables or [], rows)
+
+    def _request_with_retry(self, query: str, offset: int):
+        last_error = None
+        for _ in range(self.max_retries + 1):
+            try:
+                return self.endpoint.request(query, offset=offset,
+                                             limit=self.page_size)
+            except EndpointError as exc:
+                last_error = exc
+                if self.retry_delay:
+                    time.sleep(self.retry_delay)
+        raise ClientError("endpoint failed after %d retries: %s"
+                          % (self.max_retries, last_error))
+
+    def __repr__(self):
+        return "HttpClient(page_size=%r)" % self.page_size
+
+
+class FlakyEndpoint(Endpoint):
+    """Test double: an endpoint that fails the first N requests of each
+    query (used to exercise the client's retry path)."""
+
+    def __init__(self, engine: Engine, failures_per_query: int = 1, **kwargs):
+        super().__init__(engine, **kwargs)
+        self.failures_per_query = failures_per_query
+        self._failures: dict = {}
+
+    def request(self, query_text: str, offset: int = 0, limit=None):
+        key = (query_text, offset)
+        count = self._failures.get(key, 0)
+        if count < self.failures_per_query:
+            self._failures[key] = count + 1
+            raise EndpointError("simulated transient failure (%d)" % count)
+        return super().request(query_text, offset=offset, limit=limit)

@@ -1,0 +1,300 @@
+"""Optimized query generation: operator queue -> query model.
+
+This implements Section 4.2 of the paper.  The Generator consumes a frame's
+recorded operators in FIFO order and edits one or two components of the
+query model per operator.  Patterns accumulate in a *single* query model as
+long as semantics are preserved; a nested subquery is created only in the
+three necessary cases the paper identifies:
+
+* **Case 1** — an ``expand`` or ``filter`` must apply to a *grouped* frame:
+  the grouped model is wrapped as an inner query and the new pattern goes
+  in the fresh outer model (likewise for patterns after LIMIT/OFFSET).
+* **Case 2** — a grouped frame participates in a join: the grouped side(s)
+  become nested subqueries.
+* **Case 3** — a full outer join: SPARQL has no full outer join pattern, so
+  the generator emits ``(m1 OPTIONAL m2) UNION (m2 OPTIONAL m1)`` with each
+  side wrapped in a nested query.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..rdf.namespaces import PrefixMap
+from .conditions import condition_to_sparql
+from .operators import (AggregateAllOperator, AggregationOperator,
+                        CacheOperator, ExpandOperator, FilterOperator,
+                        FULL_OUTER_JOIN, GroupByOperator, HeadOperator,
+                        INCOMING, INNER_JOIN, JoinOperator, LEFT_OUTER_JOIN,
+                        Operator, RIGHT_OUTER_JOIN, SeedOperator,
+                        SelectColsOperator, SortOperator)
+from .query_model import Aggregation, OptionalBlock, QueryModel
+
+
+class GenerationError(ValueError):
+    """Raised when an operator sequence cannot be translated."""
+
+
+def render_term(text: str) -> str:
+    """Render a user-supplied seed/expand argument as a SPARQL term.
+
+    Strings containing ``:`` (prefixed names), ``<...>`` IRIs, explicit
+    variables (``?x``), quoted literals, and numbers are terms; anything
+    else is a column name and becomes a variable.
+    """
+    text = str(text).strip()
+    if not text:
+        raise GenerationError("empty term")
+    if text.startswith("?"):
+        return text
+    if text.startswith("<") and text.endswith(">"):
+        return text
+    if text.startswith('"'):
+        return text
+    if ":" in text:
+        return text
+    if text.replace(".", "", 1).replace("-", "", 1).isdigit():
+        return text
+    return "?" + text
+
+
+class Generator:
+    """Builds an optimized query model from a frame's operator queue."""
+
+    def __init__(self, prefixes: Optional[dict] = None):
+        self.prefix_map = PrefixMap(prefixes or {})
+
+    # ------------------------------------------------------------------
+    def generate(self, frame) -> QueryModel:
+        """Generate the query model for an RDFFrame (recursing into joins)."""
+        model = QueryModel()
+        model.add_prefixes(dict(self.prefix_map.items()))
+        # A joined frame may come from a KnowledgeGraph with its own prefix
+        # bindings; carry them so its prefixed names resolve in the query.
+        frame_prefixes = getattr(frame.knowledge_graph, "prefixes", None)
+        if frame_prefixes:
+            model.add_prefixes(dict(frame_prefixes))
+        if frame.graph_uri:
+            model.add_graph(frame.graph_uri)
+        for operator in frame.operators:
+            model = self._apply(model, operator)
+        return model
+
+    # ------------------------------------------------------------------
+    def _apply(self, model: QueryModel, operator: Operator) -> QueryModel:
+        handler = getattr(self, "_on_%s" % operator.name, None)
+        if handler is None:
+            raise GenerationError("no handler for operator %r" % operator)
+        return handler(model, operator)
+
+    # -- seed ----------------------------------------------------------
+    def _on_seed(self, model: QueryModel, op: SeedOperator) -> QueryModel:
+        model.add_triple(render_term(op.subject), render_term(op.predicate),
+                         render_term(op.object))
+        return model
+
+    # -- expand ----------------------------------------------------------
+    def _on_expand(self, model: QueryModel, op: ExpandOperator) -> QueryModel:
+        if model.is_grouped or model.has_modifiers or model.union_models:
+            model = model.wrap()  # nesting Case 1
+        src = "?" + op.src_column
+        new = "?" + op.new_column
+        predicate = render_term(op.predicate)
+        if op.direction == INCOMING:
+            triple = (new, predicate, src)
+        else:
+            triple = (src, predicate, new)
+        if op.is_optional:
+            block = OptionalBlock()
+            block.triples.append(triple)
+            model.add_optional(block)
+        else:
+            model.add_triple(*triple)
+        return model
+
+    # -- filter ----------------------------------------------------------
+    def _on_filter(self, model: QueryModel, op: FilterOperator) -> QueryModel:
+        for column, condition in op.conditions:
+            expression = condition_to_sparql(column, condition)
+            aliases = {a.alias for a in model.aggregations}
+            if column in aliases:
+                # Filter on an aggregated column -> HAVING (transparent to
+                # the user, as the paper emphasizes).
+                model.add_having(expression)
+            elif model.is_grouped or model.has_modifiers or model.union_models:
+                model = model.wrap()  # nesting Case 1
+                model.add_filter(expression)
+            else:
+                model.add_filter(expression)
+        return model
+
+    # -- grouping --------------------------------------------------------
+    def _on_group_by(self, model: QueryModel, op: GroupByOperator) -> QueryModel:
+        if model.is_grouped or model.has_modifiers:
+            model = model.wrap()
+        model.group_columns = list(op.columns)
+        return model
+
+    def _on_aggregation(self, model: QueryModel,
+                        op: AggregationOperator) -> QueryModel:
+        if not model.group_columns:
+            raise GenerationError("aggregation without group_by")
+        function = "count" if op.function == "distinct_count" else op.function
+        model.aggregations.append(Aggregation(
+            function, op.src_column, op.new_column, op.distinct))
+        return model
+
+    def _on_aggregate(self, model: QueryModel,
+                      op: AggregateAllOperator) -> QueryModel:
+        if model.is_grouped or model.has_modifiers:
+            model = model.wrap()
+        function = "count" if op.function == "distinct_count" else op.function
+        model.aggregations.append(Aggregation(
+            function, op.src_column, op.new_column, op.distinct))
+        return model
+
+    # -- projection / modifiers ------------------------------------------
+    def _on_select_cols(self, model: QueryModel,
+                        op: SelectColsOperator) -> QueryModel:
+        if model.is_grouped:
+            model = model.wrap()
+        model.select_columns = list(op.columns)
+        return model
+
+    def _on_sort(self, model: QueryModel, op: SortOperator) -> QueryModel:
+        if model.limit is not None or model.offset is not None:
+            model = model.wrap()
+        model.order_keys = list(op.keys)
+        return model
+
+    def _on_head(self, model: QueryModel, op: HeadOperator) -> QueryModel:
+        if model.limit is not None or model.offset is not None:
+            model = model.wrap()
+        model.limit = op.limit
+        model.offset = op.offset or None
+        return model
+
+    def _on_cache(self, model: QueryModel, op: CacheOperator) -> QueryModel:
+        return model  # logical marker only
+
+    def _on_distinct(self, model: QueryModel, op) -> QueryModel:
+        if model.has_modifiers:
+            # DISTINCT applies before ORDER/LIMIT in SPARQL; a later
+            # distinct() therefore requires a nesting boundary.
+            model = model.wrap()
+        model.distinct = True
+        return model
+
+    # -- join --------------------------------------------------------------
+    def _on_join(self, model: QueryModel, op: JoinOperator) -> QueryModel:
+        other_model = self.generate(op.other)
+        # Align the join columns to the requested output name.
+        model.rename_column(op.column, op.new_column)
+        other_model.rename_column(op.other_column, op.new_column)
+        if op.join_type == FULL_OUTER_JOIN:
+            return self._full_outer_join(model, other_model)
+        if op.join_type == RIGHT_OUTER_JOIN:
+            joined = self._left_outer_join(other_model, model)
+            return joined
+        if op.join_type == LEFT_OUTER_JOIN:
+            return self._left_outer_join(model, other_model)
+        return self._inner_join(model, other_model)
+
+    @staticmethod
+    def _needs_nesting(model: QueryModel) -> bool:
+        return model.is_grouped or model.has_modifiers or bool(model.union_models)
+
+    def _inner_join(self, left: QueryModel, right: QueryModel) -> QueryModel:
+        left_nested = self._needs_nesting(left)
+        right_nested = self._needs_nesting(right)
+        different_graphs = _different_graphs(left, right)
+        if not left_nested and not right_nested:
+            merged = left.copy()
+            merged.merge_pattern(right, scope_graphs=different_graphs)
+            merged.select_columns = _union_selects(left, right)
+            return merged
+        if left_nested and not right_nested:
+            # Grouped side becomes the inner query (paper's Case 2).
+            outer = right.copy()
+            for graph in left.from_graphs:
+                outer.add_graph(graph)
+            outer.add_subquery(_as_inner(left))
+            outer.select_columns = None
+            return outer
+        if right_nested and not left_nested:
+            outer = left.copy()
+            for graph in right.from_graphs:
+                outer.add_graph(graph)
+            outer.add_subquery(_as_inner(right))
+            outer.select_columns = None
+            return outer
+        outer = QueryModel()
+        outer.add_prefixes(left.prefixes)
+        outer.add_prefixes(right.prefixes)
+        for graph in left.from_graphs + right.from_graphs:
+            outer.add_graph(graph)
+        outer.add_subquery(_as_inner(left))
+        outer.add_subquery(_as_inner(right))
+        return outer
+
+    def _left_outer_join(self, left: QueryModel,
+                         right: QueryModel) -> QueryModel:
+        if self._needs_nesting(left):
+            outer = left.wrap()
+        else:
+            outer = left.copy()
+        for graph in right.from_graphs:
+            outer.add_graph(graph)
+        if self._needs_nesting(right):
+            outer.add_optional_subquery(_as_inner(right))
+        else:
+            block = right.as_optional_block()
+            if _different_graphs(left, right) and len(right.from_graphs) == 1:
+                block.graph_uri = right.from_graphs[0]
+            outer.add_optional(block)
+            outer.add_prefixes(right.prefixes)
+        return outer
+
+    def _full_outer_join(self, left: QueryModel,
+                         right: QueryModel) -> QueryModel:
+        # Case 3: (left OPTIONAL right) UNION (right OPTIONAL left), with
+        # both sides wrapped in nested queries.
+        first = QueryModel()
+        first.add_subquery(_as_inner(left))
+        first.add_optional_subquery(_as_inner(right))
+        second = QueryModel()
+        second.add_subquery(_as_inner(right))
+        second.add_optional_subquery(_as_inner(left))
+        outer = QueryModel()
+        outer.add_prefixes(left.prefixes)
+        outer.add_prefixes(right.prefixes)
+        for graph in left.from_graphs + right.from_graphs:
+            outer.add_graph(graph)
+        outer.union_models = [first, second]
+        return outer
+
+
+def _as_inner(model: QueryModel) -> QueryModel:
+    """Prepare a model for use as a nested subquery (FROM belongs to the
+    outermost query only)."""
+    inner = model.copy()
+    inner.from_graphs = []
+    return inner
+
+
+def _different_graphs(left: QueryModel, right: QueryModel) -> bool:
+    return bool(left.from_graphs and right.from_graphs
+                and set(left.from_graphs) != set(right.from_graphs))
+
+
+def _union_selects(left: QueryModel, right: QueryModel) -> Optional[List[str]]:
+    if left.select_columns is None and right.select_columns is None:
+        return None
+    columns: List[str] = []
+    for model in (left, right):
+        source = (model.select_columns if model.select_columns is not None
+                  else model.visible_columns())
+        for column in source:
+            if column not in columns:
+                columns.append(column)
+    return columns

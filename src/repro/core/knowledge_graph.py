@@ -1,0 +1,145 @@
+"""The KnowledgeGraph entry point: seed and exploration operators.
+
+A :class:`KnowledgeGraph` names an RDF graph (by URI) and carries the
+prefix bindings used to resolve the user's prefixed names.  Its methods are
+the paper's *initialization* operators — every RDFFrame pipeline starts
+with one of them — plus the *exploration* operators used to discover the
+classes, predicates, and data distributions of an unfamiliar graph
+(Section 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .operators import SeedOperator
+from .rdfframe import RDFFrame
+
+
+class KnowledgeGraph:
+    """A handle to one named RDF graph.
+
+    Parameters
+    ----------
+    graph_uri:
+        The graph's URI (used in the generated query's FROM clause);
+        ``None`` queries the endpoint's default graph.
+    prefixes:
+        Extra prefix bindings (merged over the common vocabularies).
+    """
+
+    def __init__(self, graph_uri: Optional[str] = None,
+                 prefixes: Optional[Dict[str, str]] = None):
+        self.graph_uri = graph_uri
+        self.prefixes = dict(prefixes or {})
+
+    def __repr__(self):
+        return "KnowledgeGraph(%r)" % self.graph_uri
+
+    # ------------------------------------------------------------------
+    # Seed operators
+    # ------------------------------------------------------------------
+    def seed(self, subject: str, predicate: str, obj: str) -> RDFFrame:
+        """The generic seed: an RDFFrame from one triple pattern.
+
+        Arguments containing ``:`` (or wrapped in ``<>``/quotes) are
+        concrete terms; bare names become columns.  For example
+        ``graph.seed('instance', 'rdf:type', 'dbpo:Film')`` yields a
+        one-column frame of all film instances.
+        """
+        columns = [name for name in (subject, predicate, obj)
+                   if _is_column(name)]
+        if not columns:
+            raise ValueError("seed needs at least one column position")
+        operator = SeedOperator(subject, predicate, obj, columns)
+        return RDFFrame(self, (operator,), tuple(columns))
+
+    def feature_domain_range(self, predicate: str, domain_col: str,
+                             range_col: str) -> RDFFrame:
+        """All (subject, object) pairs connected by ``predicate``.
+
+        The paper's running example:
+        ``graph.feature_domain_range('dbpp:starring', 'movie', 'actor')``.
+        When ``predicate`` itself is a bare name, it becomes a column too
+        (useful for whole-graph extraction, as in the KG-embedding case
+        study's ``feature_domain_range(s, p, o)``).
+        """
+        return self.seed(domain_col, predicate, range_col)
+
+    def entities(self, class_name: str, new_column: str) -> RDFFrame:
+        """All instances of an RDFS/OWL class, e.g.
+        ``graph.entities('swrc:InProceedings', 'paper')``."""
+        return self.seed(new_column, "rdf:type", class_name)
+
+    def features(self, class_name: str, instance_col: str = "instance",
+                 feature_col: str = "feature") -> RDFFrame:
+        """Instances of a class together with the predicates (features)
+        defined on them — an exploration aid for heterogeneous graphs.
+
+        Uses a variable-predicate expand: the generated pattern is
+        ``?instance ?feature ?value``."""
+        frame = self.entities(class_name, instance_col)
+        return frame.expand(instance_col,
+                            [("?" + feature_col, feature_col + "_value")])
+
+    # ------------------------------------------------------------------
+    # Exploration operators
+    # ------------------------------------------------------------------
+    def classes_and_freq(self, class_col: str = "class",
+                         count_col: str = "frequency") -> RDFFrame:
+        """Every ``rdf:type`` class with its instance count — the paper's
+        exploration operator for identifying entity types."""
+        instances = self.seed("instance", "rdf:type", class_col)
+        return instances.group_by([class_col]).count("instance", count_col)
+
+    def predicates_and_freq(self, predicate_col: str = "predicate",
+                            count_col: str = "frequency") -> RDFFrame:
+        """Every predicate with its triple count (data distribution view)."""
+        triples = self.seed("subject", predicate_col, "object")
+        return triples.group_by([predicate_col]).count("subject", count_col)
+
+    def num_entities(self, class_name: str,
+                     count_col: str = "count") -> RDFFrame:
+        """The number of instances of one class."""
+        return self.entities(class_name, "instance") \
+            .count("instance", count_col, unique=True)
+
+    def search(self, keyword: str, entity_col: str = "entity",
+               label_col: str = "label",
+               predicate: str = "rdfs:label",
+               case_insensitive: bool = True) -> RDFFrame:
+        """Keyword search over entity labels.
+
+        The paper lists "expanding the exploration operators ... to include
+        keyword searches" as future work; this implements it as a regex
+        filter over a label predicate::
+
+            graph.search('drama')   # entities whose rdfs:label matches
+
+        Returns a frame with ``entity_col`` and ``label_col`` columns.
+        """
+        escaped = _escape_regex(keyword)
+        flags = ', "i"' if case_insensitive else ""
+        condition = 'regex(str(?%s), "%s"%s)' % (label_col, escaped, flags)
+        return self.seed(entity_col, predicate, label_col) \
+            .filter({label_col: [condition]})
+
+
+def _escape_regex(keyword: str) -> str:
+    """Escape a keyword for embedding in a SPARQL regex string literal."""
+    special = "\\.^$*+?()[]{}|"
+    escaped = []
+    for char in keyword:
+        if char in special:
+            escaped.append("\\\\" + char)
+        elif char == '"':
+            escaped.append('\\"')
+        else:
+            escaped.append(char)
+    return "".join(escaped)
+
+
+def _is_column(name: str) -> bool:
+    name = str(name).strip()
+    return not (":" in name or name.startswith("<") or name.startswith('"')
+                or name.startswith("?"))

@@ -1,0 +1,101 @@
+"""Naive query generation — the baseline of Section 6.3 of the paper.
+
+"For each API call to RDFFrames, we generate a subquery that contains the
+pattern corresponding to that API call and we finally join all the
+subqueries in one level of nesting with one outer query."  (Appendices C
+and D show examples.)
+
+This implementation derives the naive query from the optimized query model
+by a structure-preserving transform: within every query scope, each triple
+pattern is wrapped in its own ``{ SELECT * WHERE { ... } }`` subquery, and
+every OPTIONAL block becomes an OPTIONAL nested subquery.  Filters stay at
+the scope level (applied after the join, i.e. never pushed down).  This
+guarantees the naive query returns a result bag *identical* to the
+optimized one — which the paper verifies for its workloads — while
+exhibiting the expensive shape naive generation produces: one materialized
+subquery per recorded pattern and no binding propagation between them.
+"""
+
+from __future__ import annotations
+
+from .generator import Generator
+from .query_model import OptionalBlock, QueryModel
+
+
+class NaiveGenerator:
+    """Generates the naive (one-subquery-per-operator) query model."""
+
+    def __init__(self, prefixes=None):
+        self._generator = Generator(prefixes)
+
+    def generate(self, frame) -> QueryModel:
+        optimized = self._generator.generate(frame)
+        return naive_transform(optimized, top_level=True)
+
+
+def naive_transform(model: QueryModel, top_level: bool = False) -> QueryModel:
+    """Rewrite a query model scope-by-scope into naive form."""
+    naive = QueryModel()
+    naive.prefixes = dict(model.prefixes)
+    naive.from_graphs = list(model.from_graphs) if top_level else []
+    naive.select_columns = (list(model.select_columns)
+                            if model.select_columns is not None else None)
+    naive.distinct = model.distinct
+    naive.group_columns = list(model.group_columns)
+    naive.aggregations = [a.copy() for a in model.aggregations]
+    naive.having = list(model.having)
+    naive.order_keys = list(model.order_keys)
+    naive.limit = model.limit
+    naive.offset = model.offset
+
+    # One subquery per triple pattern.
+    for triple in model.triples:
+        naive.add_subquery(_triple_subquery(model, triple))
+    for graph, s, p, o in model.scoped_triples:
+        subquery = QueryModel()
+        subquery.prefixes = dict(model.prefixes)
+        subquery.scoped_triples.append((graph, s, p, o))
+        naive.add_subquery(subquery)
+
+    # Filters stay at the scope level: applied after the subquery join,
+    # never pushed into a pattern.
+    naive.filters = list(model.filters)
+
+    # OPTIONAL blocks become OPTIONAL nested subqueries.
+    for block in model.optionals:
+        naive.add_optional_subquery(_optional_block_subquery(model, block))
+
+    # Nested queries are transformed recursively.
+    for subquery in model.subqueries:
+        naive.add_subquery(naive_transform(subquery))
+    for subquery in model.optional_subqueries:
+        naive.add_optional_subquery(naive_transform(subquery))
+    for member in model.union_models:
+        naive.union_models.append(naive_transform(member))
+    return naive
+
+
+def _triple_subquery(model: QueryModel, triple) -> QueryModel:
+    subquery = QueryModel()
+    subquery.prefixes = dict(model.prefixes)
+    subquery.triples.append(triple)
+    return subquery
+
+
+def _optional_block_subquery(model: QueryModel,
+                             block: OptionalBlock) -> QueryModel:
+    """An OPTIONAL block's contents, naively wrapped."""
+    inner = QueryModel()
+    inner.prefixes = dict(model.prefixes)
+    if block.graph_uri is not None:
+        for s, p, o in block.triples:
+            inner.scoped_triples.append((block.graph_uri, s, p, o))
+    else:
+        for triple in block.triples:
+            inner.add_subquery(_triple_subquery(model, triple))
+    inner.filters = list(block.filters)
+    for nested in block.optionals:
+        inner.add_optional_subquery(_optional_block_subquery(model, nested))
+    for subquery in block.subqueries:
+        inner.add_subquery(naive_transform(subquery))
+    return inner

@@ -1,0 +1,202 @@
+"""Operator records for the lazy RDFFrames API.
+
+RDFFrames uses lazy evaluation (Section 1, "RDFFrames in a Nutshell"): API
+calls do not touch the database; the Recorder appends one of these records
+to the frame's FIFO queue, and query generation consumes the queue when
+``execute`` is called.
+
+Each record is an immutable description of one user call, carrying exactly
+the call order and parameters — the paper observes this is all the
+information query generation needs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+# Navigation directions for expand (paper Section 3.2).
+OUTGOING = "out"
+INCOMING = "in"
+
+# Join types (paper Section 3.2, join operator).
+INNER_JOIN = "inner"
+LEFT_OUTER_JOIN = "left"
+RIGHT_OUTER_JOIN = "right"
+FULL_OUTER_JOIN = "outer"
+
+JOIN_TYPES = (INNER_JOIN, LEFT_OUTER_JOIN, RIGHT_OUTER_JOIN, FULL_OUTER_JOIN)
+
+AGGREGATE_FUNCTIONS = ("count", "sum", "min", "max", "average", "sample",
+                       "distinct_count")
+
+
+class Operator:
+    """Base class of all recorded operators."""
+
+    name = "operator"
+
+    def __repr__(self):
+        parts = ", ".join("%s=%r" % (k, v) for k, v in sorted(vars(self).items()))
+        return "%s(%s)" % (type(self).__name__, parts)
+
+
+class SeedOperator(Operator):
+    """``G.seed(col1, col2, col3)`` — the initial triple pattern.
+
+    Each of the three positions is either a column name (a variable) or a
+    concrete term written in prefixed/absolute form.  ``columns`` lists the
+    positions that are variables, in subject-predicate-object order.
+    """
+
+    name = "seed"
+
+    def __init__(self, subject: str, predicate: str, obj: str,
+                 columns: Sequence[str]):
+        self.subject = subject
+        self.predicate = predicate
+        self.object = obj
+        self.columns = list(columns)
+
+
+class ExpandOperator(Operator):
+    """``D.expand(src, pred, new_col, dir, is_optional)`` — one navigation step."""
+
+    name = "expand"
+
+    def __init__(self, src_column: str, predicate: str, new_column: str,
+                 direction: str = OUTGOING, is_optional: bool = False):
+        if direction not in (OUTGOING, INCOMING):
+            raise ValueError("direction must be %r or %r" % (OUTGOING, INCOMING))
+        self.src_column = src_column
+        self.predicate = predicate
+        self.new_column = new_column
+        self.direction = direction
+        self.is_optional = is_optional
+
+
+class FilterOperator(Operator):
+    """``D.filter({col: [cond, ...], ...})``.
+
+    ``conditions`` preserves the user's dict as an ordered list of
+    ``(column, condition_string)`` pairs.  Condition strings use the paper's
+    mini-language: ``'>=50'``, ``'=dbpr:United_States'``, ``'isURI'``,
+    ``'In(dblprc:vldb, dblprc:sigmod)'``, or a raw SPARQL expression.
+    """
+
+    name = "filter"
+
+    def __init__(self, conditions: Sequence[Tuple[str, str]]):
+        self.conditions = list(conditions)
+
+
+class SelectColsOperator(Operator):
+    """``D.select_cols(cols)`` — projection."""
+
+    name = "select_cols"
+
+    def __init__(self, columns: Sequence[str]):
+        self.columns = list(columns)
+
+
+class GroupByOperator(Operator):
+    """``D.group_by(cols)`` — must be followed by an aggregation."""
+
+    name = "group_by"
+
+    def __init__(self, columns: Sequence[str]):
+        if not columns:
+            raise ValueError("group_by requires at least one column")
+        self.columns = list(columns)
+
+
+class AggregationOperator(Operator):
+    """An aggregation applied to a grouped frame (count/sum/min/max/avg)."""
+
+    name = "aggregation"
+
+    def __init__(self, function: str, src_column: Optional[str],
+                 new_column: str, distinct: bool = False):
+        function = function.lower()
+        if function not in AGGREGATE_FUNCTIONS and function != "count_star":
+            raise ValueError("unknown aggregation %r" % function)
+        self.function = function
+        self.src_column = src_column
+        self.new_column = new_column
+        self.distinct = distinct or function == "distinct_count"
+
+
+class AggregateAllOperator(Operator):
+    """``D.aggregate(fn, col, new_col)`` — whole-frame aggregation to one row."""
+
+    name = "aggregate"
+
+    def __init__(self, function: str, src_column: str, new_column: str,
+                 distinct: bool = False):
+        function = function.lower()
+        if function not in AGGREGATE_FUNCTIONS:
+            raise ValueError("unknown aggregation %r" % function)
+        self.function = function
+        self.src_column = src_column
+        self.new_column = new_column
+        self.distinct = distinct or function == "distinct_count"
+
+
+class JoinOperator(Operator):
+    """``D.join(D2, col, col2, jtype, new_col)``."""
+
+    name = "join"
+
+    def __init__(self, other, column: str, other_column: Optional[str],
+                 join_type: str, new_column: Optional[str]):
+        if join_type not in JOIN_TYPES:
+            raise ValueError("unknown join type %r (one of %s)"
+                             % (join_type, ", ".join(JOIN_TYPES)))
+        self.other = other                      # the other RDFFrame
+        self.column = column
+        self.other_column = other_column or column
+        self.join_type = join_type
+        self.new_column = new_column or column
+
+
+class SortOperator(Operator):
+    """``D.sort([(col, 'asc'|'desc'), ...])``."""
+
+    name = "sort"
+
+    def __init__(self, keys: Sequence[Tuple[str, str]]):
+        cleaned = []
+        for column, order in keys:
+            order = order.lower()
+            if order not in ("asc", "desc"):
+                raise ValueError("sort order must be 'asc' or 'desc'")
+            cleaned.append((column, order))
+        self.keys = cleaned
+
+
+class HeadOperator(Operator):
+    """``D.head(k, i)`` — LIMIT k OFFSET i."""
+
+    name = "head"
+
+    def __init__(self, limit: int, offset: int = 0):
+        if limit < 0 or offset < 0:
+            raise ValueError("head requires non-negative limit/offset")
+        self.limit = limit
+        self.offset = offset
+
+
+class DistinctOperator(Operator):
+    """``D.distinct()`` — collapse duplicate rows (SELECT DISTINCT)."""
+
+    name = "distinct"
+
+
+class CacheOperator(Operator):
+    """``D.cache()`` — marks a shared subplan boundary.
+
+    Query generation is purely logical, so cache is a marker: branches
+    created after it repeat the prefix operators (as in the paper's
+    Listing 4, where the shared pattern appears in every subquery).
+    """
+
+    name = "cache"

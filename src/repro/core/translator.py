@@ -1,0 +1,185 @@
+"""Translation of a query model to SPARQL text.
+
+Section 4.3 of the paper: "The query model is designed to make translation
+to SPARQL as direct and simple as possible" — each component maps to the
+corresponding construct, inner query models are rendered recursively with
+subquery syntax, GRAPH blocks wrap patterns bound to specific graphs when
+a query reads more than one graph, and the result is validated (we parse
+the generated text with the engine's own SPARQL parser and check that the
+projected variables match the model's visible columns).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..rdf.namespaces import PrefixMap
+from .query_model import Aggregation, OptionalBlock, QueryModel
+
+INDENT = "    "
+
+
+def rename_expression_alias(expression: str, alias: str,
+                            replacement: str) -> str:
+    """Replace ``?alias`` in an expression with an aggregate call."""
+    import re
+    return re.sub(r"\?%s\b" % re.escape(alias), replacement, expression)
+
+
+class TranslationError(ValueError):
+    """Raised when a query model cannot be rendered to valid SPARQL."""
+
+
+def translate(model: QueryModel, validate: bool = True) -> str:
+    """Render a query model as a complete SPARQL query string."""
+    body = _render_query(model, depth=0, top_level=True)
+    prefixes = _render_prefixes(model, body)
+    query = prefixes + body
+    if validate:
+        _validate(query, model)
+    return query
+
+
+def _render_prefixes(model: QueryModel, body: str) -> str:
+    """Emit PREFIX declarations for every binding the query body uses."""
+    prefix_map = PrefixMap(model.prefixes)
+    lines = ["PREFIX %s: <%s>" % (prefix, base)
+             for prefix, base in prefix_map.items()
+             if ("%s:" % prefix) in body]
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _render_query(model: QueryModel, depth: int, top_level: bool = False) -> str:
+    pad = INDENT * depth
+    lines: List[str] = []
+    lines.append(pad + "SELECT " + _render_select(model))
+    if top_level:
+        for graph in model.from_graphs:
+            lines.append(pad + "FROM <%s>" % graph)
+    lines.append(pad + "WHERE {")
+    lines.extend(_render_pattern_body(model, depth + 1))
+    lines.append(pad + "}")
+    if model.group_columns:
+        lines.append(pad + "GROUP BY " + " ".join(
+            "?" + c for c in model.group_columns))
+    if model.having:
+        # Render HAVING against the aggregate calls themselves (the alias
+        # is not in scope inside HAVING in standard SPARQL), as the paper's
+        # generated queries do: HAVING ( COUNT(DISTINCT ?movie) >= 50 ).
+        rendered = []
+        for expression in model.having:
+            for aggregation in model.aggregations:
+                expression = rename_expression_alias(
+                    expression, aggregation.alias, aggregation.call_sparql())
+            rendered.append(expression)
+        lines.append(pad + "HAVING ( %s )" % " && ".join(rendered))
+    if model.order_keys:
+        keys = " ".join("%s(?%s)" % (direction.upper(), column)
+                        for column, direction in model.order_keys)
+        lines.append(pad + "ORDER BY " + keys)
+    if model.limit is not None:
+        lines.append(pad + "LIMIT %d" % model.limit)
+    if model.offset:
+        lines.append(pad + "OFFSET %d" % model.offset)
+    return "\n".join(lines)
+
+
+def _render_select(model: QueryModel) -> str:
+    parts: List[str] = []
+    if model.is_grouped:
+        parts.extend("?" + c for c in model.group_columns)
+        parts.extend(a.to_sparql() for a in model.aggregations)
+    elif model.select_columns is not None:
+        parts.extend("?" + c for c in model.select_columns)
+    prefix = "DISTINCT " if model.distinct else ""
+    if not parts:
+        return prefix + "*"
+    return prefix + " ".join(parts)
+
+
+def _render_pattern_body(model: QueryModel, depth: int) -> List[str]:
+    pad = INDENT * depth
+    lines: List[str] = []
+    for s, p, o in model.triples:
+        lines.append("%s%s %s %s ." % (pad, s, p, o))
+    # GRAPH-scoped triples, grouped per graph.
+    by_graph = {}
+    for graph, s, p, o in model.scoped_triples:
+        by_graph.setdefault(graph, []).append((s, p, o))
+    for graph, triples in by_graph.items():
+        lines.append("%sGRAPH <%s> {" % (pad, graph))
+        for s, p, o in triples:
+            lines.append("%s%s %s %s ." % (pad + INDENT, s, p, o))
+        lines.append(pad + "}")
+    for subquery in model.subqueries:
+        lines.append(pad + "{")
+        lines.append(_render_query(subquery, depth + 1))
+        lines.append(pad + "}")
+    for block in model.optionals:
+        lines.extend(_render_optional(block, depth))
+    for subquery in model.optional_subqueries:
+        lines.append(pad + "OPTIONAL {")
+        lines.append(_render_query(subquery, depth + 1))
+        lines.append(pad + "}")
+    if model.union_models:
+        rendered = []
+        for member in model.union_models:
+            member_lines = [pad + "{", _render_query(member, depth + 1),
+                            pad + "}"]
+            rendered.append("\n".join(member_lines))
+        lines.append(("\n%sUNION\n" % pad).join(rendered))
+    for expression in model.filters:
+        lines.append("%sFILTER ( %s )" % (pad, expression))
+    return lines
+
+
+def _render_optional(block: OptionalBlock, depth: int) -> List[str]:
+    pad = INDENT * depth
+    inner_pad = pad + INDENT
+    lines = [pad + "OPTIONAL {"]
+    body_depth = depth + 1
+    if block.graph_uri is not None:
+        lines.append("%sGRAPH <%s> {" % (inner_pad, block.graph_uri))
+        body_depth += 1
+        inner_pad += INDENT
+    for s, p, o in block.triples:
+        lines.append("%s%s %s %s ." % (inner_pad, s, p, o))
+    for subquery in block.subqueries:
+        lines.append(inner_pad + "{")
+        lines.append(_render_query(subquery, body_depth + 1))
+        lines.append(inner_pad + "}")
+    for nested in block.optionals:
+        lines.extend(_render_optional(nested, body_depth))
+    for expression in block.filters:
+        lines.append("%sFILTER ( %s )" % (inner_pad, expression))
+    if block.graph_uri is not None:
+        lines.append(pad + INDENT + "}")
+    lines.append(pad + "}")
+    return lines
+
+
+def _validate(query: str, model: QueryModel) -> None:
+    """Parse the generated text with the engine's parser (syntax check) and
+    verify the projection matches the model's visible columns."""
+    from ..sparql.parser import ParseError, parse
+
+    try:
+        parsed = parse(query)
+    except ParseError as exc:
+        raise TranslationError(
+            "generated SPARQL failed to parse: %s\n%s" % (exc, query))
+    expected = model.visible_columns()
+    if model.select_columns is not None or model.is_grouped:
+        from ..sparql import algebra as alg
+
+        node = parsed.pattern
+        while isinstance(node, (alg.Distinct, alg.Slice, alg.OrderBy)):
+            node = node.pattern
+        if isinstance(node, alg.Project):
+            node = node.pattern  # check the pattern below the projection
+        produced = node.in_scope()
+        missing = [c for c in expected if c not in produced]
+        if missing:
+            raise TranslationError(
+                "generated query does not bind expected columns %s\n%s"
+                % (missing, query))

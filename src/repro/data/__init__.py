@@ -1,0 +1,12 @@
+"""Deterministic synthetic knowledge-graph generators (the public-KG stand-ins)."""
+
+from .dbpedia import DBPEDIA_URI, generate_dbpedia
+from .dblp import DBLP_URI, TOPICS, generate_dblp
+from .yago import YAGO_URI, generate_yago
+from .loader import GRAPH_URIS, build_dataset, clear_cache
+
+__all__ = [
+    "generate_dbpedia", "generate_dblp", "generate_yago",
+    "build_dataset", "clear_cache",
+    "DBPEDIA_URI", "DBLP_URI", "YAGO_URI", "GRAPH_URIS", "TOPICS",
+]

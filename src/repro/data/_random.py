@@ -1,0 +1,76 @@
+"""Deterministic randomness helpers for the synthetic graph generators.
+
+All generators are seeded so every run (and therefore every benchmark and
+test) sees the identical graph.  Zipf sampling gives the skewed data
+distributions the paper notes are typical of real knowledge graphs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class Rng:
+    """A thin wrapper over :class:`random.Random` with Zipf helpers."""
+
+    def __init__(self, seed: int):
+        self._random = random.Random(seed)
+
+    def randint(self, low: int, high: int) -> int:
+        return self._random.randint(low, high)
+
+    def random(self) -> float:
+        return self._random.random()
+
+    def choice(self, items: Sequence[T]) -> T:
+        return self._random.choice(items)
+
+    def sample(self, items: Sequence[T], k: int) -> List[T]:
+        k = min(k, len(items))
+        return self._random.sample(items, k)
+
+    def shuffle(self, items: list) -> None:
+        self._random.shuffle(items)
+
+    def zipf_index(self, n: int, exponent: float = 1.1) -> int:
+        """A Zipf-distributed index in ``[0, n)`` (0 is the most popular)."""
+        # Inverse-CDF sampling over the truncated Zipf distribution.
+        weights = self._zipf_weights(n, exponent)
+        target = self._random.random() * weights[-1]
+        low, high = 0, n - 1
+        while low < high:
+            mid = (low + high) // 2
+            if weights[mid] < target:
+                low = mid + 1
+            else:
+                high = mid
+        return low
+
+    _weights_cache: dict = {}
+
+    def _zipf_weights(self, n: int, exponent: float) -> List[float]:
+        key = (n, exponent)
+        cached = Rng._weights_cache.get(key)
+        if cached is None:
+            total = 0.0
+            cumulative = []
+            for rank in range(1, n + 1):
+                total += 1.0 / rank ** exponent
+                cumulative.append(total)
+            cached = cumulative
+            Rng._weights_cache[key] = cached
+        return cached
+
+    def zipf_choice(self, items: Sequence[T], exponent: float = 1.1) -> T:
+        return items[self.zipf_index(len(items), exponent)]
+
+    def poissonish(self, mean: float) -> int:
+        """A cheap non-negative integer with the given mean (geometric-ish)."""
+        count = 0
+        threshold = mean / (mean + 1.0)
+        while self._random.random() < threshold and count < mean * 10 + 20:
+            count += 1
+        return count

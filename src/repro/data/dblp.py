@@ -1,0 +1,98 @@
+"""A DBLP-like synthetic bibliographic knowledge graph.
+
+The topic-modeling case study needs the DBLP predicates
+``rdf:type swrc:InProceedings``, ``dc:creator``, ``dcterm:issued``,
+``swrc:series``, and ``dc:title``.  This generator produces a paper/author
+graph in that schema with:
+
+* a core of "thought leader" authors who publish heavily in SIGMOD and
+  VLDB (so the paper's >= 20-papers filter selects a stable non-empty set),
+* a long tail of occasional authors,
+* titles composed from latent topic vocabularies, so the downstream
+  truncated-SVD topic model in the case study has real structure to find.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..rdf.graph import Graph
+from ..rdf.namespaces import DBLPRC, DC, DCTERMS, RDF, SWRC
+from ..rdf.terms import Literal, URIRef
+from ._random import Rng
+
+DBLP_URI = "http://dblp.l3s.de"
+
+CONFERENCES = ["sigmod", "vldb", "icde", "kdd", "www", "cikm", "edbt"]
+
+#: Latent research topics: the case study's SVD should recover these.
+TOPICS = {
+    "query": "query optimization sparql execution plans cost cardinality "
+             "estimation join ordering engine".split(),
+    "ml": "machine learning model training feature deep neural embedding "
+          "prediction inference".split(),
+    "graph": "graph knowledge traversal pattern matching rdf triple "
+             "subgraph reachability path".split(),
+    "stream": "stream window continuous event processing realtime "
+              "incremental latency throughput".split(),
+    "storage": "storage index compression column layout cache memory disk "
+               "log btree".split(),
+    "privacy": "privacy differential secure encryption anonymization "
+               "federated audit access".split(),
+}
+TOPIC_NAMES = sorted(TOPICS)
+
+
+def generate_dblp(scale: float = 1.0, seed: int = 7) -> Graph:
+    """Build the DBLP-like graph.  ``scale=1.0`` is ~60-80k triples."""
+    rng = Rng(seed)
+    graph = Graph(DBLP_URI)
+
+    n_core_authors = max(10, int(40 * scale))
+    n_tail_authors = max(100, int(2000 * scale))
+    n_papers = max(400, int(9000 * scale))
+
+    core = [URIRef("http://dblp.l3s.de/d2r/resource/authors/CoreAuthor_%d" % i)
+            for i in range(n_core_authors)]
+    tail = [URIRef("http://dblp.l3s.de/d2r/resource/authors/Author_%d" % i)
+            for i in range(n_tail_authors)]
+
+    for index in range(n_papers):
+        paper = URIRef("http://dblp.l3s.de/d2r/resource/papers/Paper_%d" % index)
+        graph.add(paper, RDF.type, SWRC.InProceedings)
+
+        # Core authors dominate SIGMOD/VLDB; the tail spreads everywhere.
+        if rng.random() < 0.35:
+            conference = rng.choice(["sigmod", "vldb"])
+            n_core = 1 + rng.randint(0, 2)
+            creators = set(rng.sample(core, n_core))
+            creators.update(rng.sample(tail, rng.randint(0, 2)))
+        else:
+            conference = rng.choice(CONFERENCES)
+            creators = set(rng.sample(tail, 1 + rng.randint(0, 3)))
+            if rng.random() < 0.10:
+                creators.add(rng.choice(core))
+        for creator in creators:
+            graph.add(paper, DC.creator, creator)
+
+        graph.add(paper, SWRC.series, DBLPRC[conference])
+        year = 1995 + rng.zipf_index(25, exponent=0.6)  # skew to recent-ish
+        year = 1995 + (2019 - year) % 25  # fold into [1995, 2019]
+        graph.add(paper, DCTERMS.issued,
+                  Literal("%04d-%02d-%02d" % (year, 1 + rng.randint(0, 11),
+                                              1 + rng.randint(0, 27))))
+        graph.add(paper, DC.title, Literal(_make_title(rng)))
+    return graph
+
+
+def _make_title(rng: Rng) -> str:
+    """A paper title drawn mostly from one latent topic's vocabulary."""
+    topic = rng.choice(TOPIC_NAMES)
+    words = list(TOPICS[topic])
+    n_words = 4 + rng.randint(0, 4)
+    chosen = [rng.choice(words) for _ in range(n_words)]
+    if rng.random() < 0.3:  # cross-topic noise
+        other = rng.choice(TOPIC_NAMES)
+        chosen.append(rng.choice(TOPICS[other]))
+    chosen[0] = chosen[0].capitalize()
+    return " ".join(chosen)

@@ -1,0 +1,203 @@
+"""A DBpedia-like synthetic knowledge graph.
+
+The real evaluation uses the English DBpedia (~1B triples).  This generator
+produces a schema-faithful, skewed, heterogeneous movie/person graph at
+simulator scale, covering every predicate the paper's case studies and the
+Q1-Q15 synthetic workload touch:
+
+* films with ``dbpp:starring`` (Zipf-skewed actor popularity, so "prolific
+  actor" thresholds behave like the paper's), ``rdfs:label``,
+  ``dcterms:subject``, ``dbpp:country``, ``dbpo:genre`` (optional),
+  ``dbpp:director``, ``dbpp:producer`` (optional), ``dbpo:language``,
+  ``dbpp:studio``, ``dbpo:runtime``, ``dbpo:story``,
+* actors with ``dbpp:birthPlace``, ``rdfs:label``, ``dbpo:birthDate``,
+* basketball players/teams (Q1-Q3, Q6-Q7), athletes (Q10, Q12),
+* books and authors (Q15).
+
+Multi-valued predicates are only those that are naturally multi-valued in
+DBpedia (``dbpp:starring``); per-entity attributes are single-valued so
+that bag-semantics comparisons across execution strategies are exact.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..rdf.graph import Graph
+from ..rdf.namespaces import DBPO, DBPP, DBPR, DCTERMS, RDF, RDFS
+from ..rdf.terms import Literal, URIRef
+from ._random import Rng
+
+DBPEDIA_URI = "http://dbpedia.org"
+
+COUNTRIES = ["United_States", "India", "France", "Italy", "Japan",
+             "Germany", "Brazil", "Canada", "Spain", "Egypt"]
+LANGUAGES = ["English", "Hindi", "French", "Italian", "Japanese",
+             "German", "Portuguese", "Spanish", "Arabic"]
+GENRES = ["Film_score", "Soundtrack", "Rock_music", "House_music",
+          "Dubstep", "Drama", "Comedy", "Action", "Documentary",
+          "Thriller", "Romance", "Horror"]
+STUDIOS = ["Eskay_Movies", "Warner_Bros", "Paramount", "Yash_Raj_Films",
+           "Universal", "Gaumont", "Toho", "UFA", "Studio_Babelsberg"]
+STUDIO_COUNTRY = {
+    "Eskay_Movies": "India", "Warner_Bros": "United_States",
+    "Paramount": "United_States", "Yash_Raj_Films": "India",
+    "Universal": "United_States", "Gaumont": "France", "Toho": "Japan",
+    "UFA": "Germany", "Studio_Babelsberg": "Germany",
+}
+SUBJECTS = ["American_films", "Indian_films", "French_films",
+            "1990s_films", "2000s_films", "2010s_films",
+            "Black-and-white_films", "Independent_films"]
+SPONSORS = ["AirFly", "MegaCola", "TechCorp", "AutoWorks", "BankOne"]
+EDUCATIONS = ["Harvard_University", "Yale_University", "Oxford_University",
+              "Cairo_University", "University_of_Tokyo"]
+PUBLISHERS = ["Penguin", "HarperCollins", "Random_House", "Macmillan"]
+
+_WORDS = ("dark silent golden lost broken rising hidden eternal savage "
+          "midnight crimson frozen burning whispering forgotten iron glass "
+          "velvet thunder shadow").split()
+
+
+def _label(rng: Rng, index: int) -> str:
+    return "%s %s %d" % (rng.choice(_WORDS).capitalize(),
+                         rng.choice(_WORDS), index)
+
+
+def generate_dbpedia(scale: float = 1.0, seed: int = 42) -> Graph:
+    """Build the DBpedia-like graph.  ``scale=1.0`` is ~100-130k triples."""
+    rng = Rng(seed)
+    graph = Graph(DBPEDIA_URI)
+
+    n_actors = max(60, int(1200 * scale))
+    n_films = max(150, int(3000 * scale))
+    n_players = max(40, int(800 * scale))
+    n_teams = max(8, int(40 * scale))
+    n_athletes = max(50, int(1000 * scale))
+    n_authors = max(20, int(250 * scale))
+    n_books = max(60, int(900 * scale))
+
+    actors = _generate_actors(graph, rng, n_actors)
+    _generate_films(graph, rng, n_films, actors)
+    teams = _generate_teams(graph, rng, n_teams)
+    _generate_players(graph, rng, n_players, teams)
+    _generate_athletes(graph, rng, n_athletes, teams)
+    authors = _generate_authors(graph, rng, n_authors)
+    _generate_books(graph, rng, n_books, authors)
+    return graph
+
+
+# ----------------------------------------------------------------------
+def _generate_actors(graph: Graph, rng: Rng, count: int) -> List[URIRef]:
+    actors = []
+    for index in range(count):
+        actor = DBPR["Actor_%d" % index]
+        actors.append(actor)
+        graph.add(actor, RDF.type, DBPO.Actor)
+        # Skew nationality: ~40% American so USA filters select a large,
+        # realistic slice (DBpedia is US-heavy).
+        country = ("United_States" if rng.random() < 0.4
+                   else rng.choice(COUNTRIES[1:]))
+        graph.add(actor, DBPP.birthPlace, DBPR[country])
+        graph.add(actor, RDFS.label, Literal("Actor %s" % _label(rng, index)))
+        year = 1930 + rng.randint(0, 70)
+        graph.add(actor, DBPO.birthDate,
+                  Literal("%04d-%02d-%02d" % (year, rng.randint(1, 12),
+                                              rng.randint(1, 28))))
+    return actors
+
+
+def _generate_films(graph: Graph, rng: Rng, count: int,
+                    actors: List[URIRef]) -> None:
+    for index in range(count):
+        film = DBPR["Film_%d" % index]
+        graph.add(film, RDF.type, DBPO.Film)
+        # Zipf-skewed casting: a few actors star in very many films, the
+        # long tail in few — this is what makes "prolific actor" thresholds
+        # meaningful.
+        cast_size = 1 + rng.poissonish(2.0)
+        cast = {rng.zipf_choice(actors) for _ in range(cast_size)}
+        for actor in cast:
+            graph.add(film, DBPP.starring, actor)
+        graph.add(film, RDFS.label, Literal("Film %s" % _label(rng, index)))
+        graph.add(film, DCTERMS.subject, DBPR[rng.choice(SUBJECTS)])
+        studio = rng.choice(STUDIOS)
+        graph.add(film, DBPP.studio, DBPR[studio])
+        graph.add(film, DBPP.country, DBPR[STUDIO_COUNTRY[studio]])
+        graph.add(film, DBPO.language, DBPR[rng.choice(LANGUAGES)])
+        graph.add(film, DBPP.director, DBPR["Director_%d" % rng.randint(
+            0, max(1, count // 10))])
+        if rng.random() < 0.7:  # producer is optional in DBpedia
+            graph.add(film, DBPP.producer, DBPR["Producer_%d" % rng.randint(
+                0, max(1, count // 15))])
+        if rng.random() < 0.6:  # genre is optional (the paper's example)
+            graph.add(film, DBPO.genre, DBPR[rng.choice(GENRES)])
+        graph.add(film, DBPO.story, DBPR["Story_%d" % index])
+        graph.add(film, DBPO.runtime, Literal(60 + rng.randint(0, 120)))
+
+
+def _generate_teams(graph: Graph, rng: Rng, count: int) -> List[URIRef]:
+    teams = []
+    for index in range(count):
+        team = DBPR["BasketballTeam_%d" % index]
+        teams.append(team)
+        graph.add(team, RDF.type, DBPO.BasketballTeam)
+        graph.add(team, DBPP.name, Literal("Team %s" % _label(rng, index)))
+        if rng.random() < 0.7:  # sponsor optional
+            graph.add(team, DBPO.sponsor, DBPR[rng.choice(SPONSORS)])
+        if rng.random() < 0.8:  # president optional
+            graph.add(team, DBPP.president, DBPR["President_%d" % index])
+    return teams
+
+
+def _generate_players(graph: Graph, rng: Rng, count: int,
+                      teams: List[URIRef]) -> None:
+    for index in range(count):
+        player = DBPR["BasketballPlayer_%d" % index]
+        graph.add(player, RDF.type, DBPO.BasketballPlayer)
+        graph.add(player, DBPP.nationality, DBPR[rng.choice(COUNTRIES)])
+        graph.add(player, DBPP.birthPlace, DBPR[rng.choice(COUNTRIES)])
+        year = 1970 + rng.randint(0, 35)
+        graph.add(player, DBPO.birthDate,
+                  Literal("%04d-%02d-%02d" % (year, rng.randint(1, 12),
+                                              rng.randint(1, 28))))
+        graph.add(player, DBPP.team, rng.zipf_choice(teams, exponent=0.8))
+
+
+def _generate_athletes(graph: Graph, rng: Rng, count: int,
+                       teams: List[URIRef]) -> None:
+    for index in range(count):
+        athlete = DBPR["Athlete_%d" % index]
+        graph.add(athlete, RDF.type, DBPO.Athlete)
+        # Zipf-skewed birth places so Q10's per-place counts are skewed.
+        graph.add(athlete, DBPP.birthPlace,
+                  DBPR[COUNTRIES[rng.zipf_index(len(COUNTRIES))]])
+        graph.add(athlete, DBPP.team, rng.zipf_choice(teams, exponent=0.8))
+
+
+def _generate_authors(graph: Graph, rng: Rng, count: int) -> List[URIRef]:
+    authors = []
+    for index in range(count):
+        author = DBPR["Author_%d" % index]
+        authors.append(author)
+        graph.add(author, RDF.type, DBPO.Writer)
+        country = ("United_States" if rng.random() < 0.45
+                   else rng.choice(COUNTRIES[1:]))
+        graph.add(author, DBPP.birthPlace, DBPR[country])
+        graph.add(author, DBPP.country, DBPR[country])
+        graph.add(author, DBPP.education, DBPR[rng.choice(EDUCATIONS)])
+        graph.add(author, RDFS.label, Literal("Author %s" % _label(rng, index)))
+    return authors
+
+
+def _generate_books(graph: Graph, rng: Rng, count: int,
+                    authors: List[URIRef]) -> None:
+    for index in range(count):
+        book = DBPR["Book_%d" % index]
+        graph.add(book, RDF.type, DBPO.Book)
+        graph.add(book, DBPO.author, rng.zipf_choice(authors))
+        graph.add(book, DBPP.title, Literal("Book %s" % _label(rng, index)))
+        graph.add(book, DCTERMS.subject, DBPR[rng.choice(SUBJECTS)])
+        if rng.random() < 0.7:
+            graph.add(book, DBPP.country, DBPR[rng.choice(COUNTRIES)])
+        if rng.random() < 0.6:
+            graph.add(book, DBPO.publisher, DBPR[rng.choice(PUBLISHERS)])

@@ -1,0 +1,45 @@
+"""Dataset assembly and caching for tests, examples, and benchmarks.
+
+``build_dataset(scale)`` returns a :class:`~repro.rdf.Dataset` holding the
+three synthetic graphs under their canonical URIs.  Results are cached per
+``(scale, seeds)`` so the many benchmark fixtures share one build.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..rdf.dataset import Dataset
+from .dbpedia import DBPEDIA_URI, generate_dbpedia
+from .dblp import DBLP_URI, generate_dblp
+from .yago import YAGO_URI, generate_yago
+
+_CACHE: Dict[Tuple, Dataset] = {}
+
+
+def build_dataset(scale: float = 1.0, seed: int = 42,
+                  include_yago: bool = True,
+                  use_cache: bool = True) -> Dataset:
+    """Build (or fetch from cache) the full synthetic dataset."""
+    key = (round(scale, 6), seed, include_yago)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+    dataset = Dataset()
+    dataset.add_graph(generate_dbpedia(scale=scale, seed=seed))
+    dataset.add_graph(generate_dblp(scale=scale, seed=seed + 1))
+    if include_yago:
+        dataset.add_graph(generate_yago(scale=scale, seed=seed + 2))
+    if use_cache:
+        _CACHE[key] = dataset
+    return dataset
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+GRAPH_URIS = {
+    "dbpedia": DBPEDIA_URI,
+    "dblp": DBLP_URI,
+    "yago": YAGO_URI,
+}

@@ -1,0 +1,56 @@
+"""A YAGO3-like synthetic knowledge graph.
+
+Q4 and Q11 of the synthetic workload join DBpedia with YAGO3: "RDF
+knowledge graphs ... links between graphs are created by using the URIs
+from one graph in the other."  This generator therefore *shares a subset of
+DBpedia's actor URIs*: some actors exist in both graphs (Q4's
+intersection), some only in YAGO (Q11's union picks them up).
+"""
+
+from __future__ import annotations
+
+from ..rdf.graph import Graph
+from ..rdf.namespaces import DBPR, RDF, RDFS, YAGO
+from ..rdf.terms import Literal
+from ._random import Rng
+
+YAGO_URI = "http://yago-knowledge.org"
+
+
+def generate_yago(scale: float = 1.0, seed: int = 13,
+                  shared_actor_count: int = None,
+                  dbpedia_actor_count: int = None) -> Graph:
+    """Build the YAGO-like graph.
+
+    ``dbpedia_actor_count`` should match the DBpedia generator's actor
+    count at the same scale so shared URIs actually overlap.
+    """
+    rng = Rng(seed)
+    graph = Graph(YAGO_URI)
+    if dbpedia_actor_count is None:
+        dbpedia_actor_count = max(60, int(1200 * scale))
+    if shared_actor_count is None:
+        shared_actor_count = max(20, dbpedia_actor_count // 2)
+
+    n_yago_only = max(30, int(500 * scale))
+    n_movies = max(80, int(1500 * scale))
+
+    # Actors shared with DBpedia (same URIs -> cross-graph joins work).
+    shared = [DBPR["Actor_%d" % i] for i in range(shared_actor_count)]
+    yago_only = [YAGO["YagoActor_%d" % i] for i in range(n_yago_only)]
+    actors = shared + yago_only
+
+    for actor in actors:
+        graph.add(actor, RDF.type, YAGO.Actor)
+        graph.add(actor, RDFS.label,
+                  Literal("Yago label %s" % str(actor).rsplit("/", 1)[-1]))
+        if rng.random() < 0.5:
+            graph.add(actor, YAGO.wasBornIn, YAGO[rng.choice(
+                ["United_States", "France", "India", "Japan", "Germany"])])
+
+    for index in range(n_movies):
+        movie = YAGO["YagoMovie_%d" % index]
+        graph.add(movie, RDF.type, YAGO.Movie)
+        for actor in {rng.zipf_choice(actors) for _ in range(1 + rng.randint(0, 2))}:
+            graph.add(actor, YAGO.actedIn, movie)
+    return graph

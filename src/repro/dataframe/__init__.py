@@ -1,0 +1,5 @@
+"""A small columnar dataframe library (the pandas stand-in)."""
+
+from .frame import DataFrame, DataFrameError, GroupBy
+
+__all__ = ["DataFrame", "DataFrameError", "GroupBy"]

@@ -1,0 +1,499 @@
+"""A small columnar DataFrame: the pandas stand-in used across the repo.
+
+RDFFrames returns query results "in a standard tabular format"; in the paper
+that format is a pandas dataframe.  pandas is not available offline, so this
+module implements the subset of dataframe behaviour the system and its
+baselines need:
+
+* column-oriented storage with ordered column names,
+* bag semantics (duplicate rows preserved — Definition 2 in the paper),
+* selection (boolean masks and per-column predicates),
+* projection and renaming,
+* inner / left / right / full outer merges on key columns,
+* group-by with the paper's aggregation functions
+  (count, distinct count, sum, min, max, average, sample),
+* sorting, head/slice, distinct,
+* CSV round-tripping.
+
+Missing values are represented by ``None`` (pandas uses NaN).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import (Any, Callable, Dict, Iterable, Iterator, List, Mapping,
+                    Optional, Sequence, Tuple, Union)
+
+
+class DataFrameError(ValueError):
+    """Raised on invalid dataframe operations (unknown column, bad shape)."""
+
+
+class DataFrame:
+    """A column-oriented table with bag semantics.
+
+    Construct from a mapping of column name to list of values::
+
+        DataFrame({"movie": ["m1", "m2"], "actor": ["a1", "a2"]})
+
+    or from records via :meth:`from_records`.
+    """
+
+    def __init__(self, data: Optional[Mapping[str, Sequence[Any]]] = None,
+                 columns: Optional[Sequence[str]] = None):
+        self._data: Dict[str, List[Any]] = {}
+        self._columns: List[str] = []
+        if data:
+            lengths = {len(values) for values in data.values()}
+            if len(lengths) > 1:
+                raise DataFrameError(
+                    "columns have unequal lengths: %s"
+                    % {k: len(v) for k, v in data.items()})
+            order = list(columns) if columns is not None else list(data)
+            for name in order:
+                if name not in data:
+                    raise DataFrameError("column %r missing from data" % name)
+                self._data[name] = list(data[name])
+                self._columns.append(name)
+        elif columns is not None:
+            for name in columns:
+                self._data[name] = []
+                self._columns.append(name)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_records(cls, records: Iterable[Sequence[Any]],
+                     columns: Sequence[str]) -> "DataFrame":
+        """Build a frame from row tuples."""
+        columns = list(columns)
+        data: Dict[str, List[Any]] = {name: [] for name in columns}
+        for record in records:
+            if len(record) != len(columns):
+                raise DataFrameError(
+                    "record of length %d does not match %d columns"
+                    % (len(record), len(columns)))
+            for name, value in zip(columns, record):
+                data[name].append(value)
+        return cls(data, columns=columns)
+
+    @classmethod
+    def from_dicts(cls, rows: Iterable[Mapping[str, Any]],
+                   columns: Optional[Sequence[str]] = None) -> "DataFrame":
+        """Build a frame from row dictionaries; missing keys become None."""
+        rows = list(rows)
+        if columns is None:
+            seen: List[str] = []
+            for row in rows:
+                for key in row:
+                    if key not in seen:
+                        seen.append(key)
+            columns = seen
+        data = {name: [row.get(name) for row in rows] for name in columns}
+        return cls(data, columns=columns)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def columns(self) -> List[str]:
+        return list(self._columns)
+
+    def __len__(self) -> int:
+        if not self._columns:
+            return 0
+        return len(self._data[self._columns[0]])
+
+    @property
+    def empty(self) -> bool:
+        return len(self) == 0
+
+    def column(self, name: str) -> List[Any]:
+        """The values of one column (a copy-free view; do not mutate)."""
+        try:
+            return self._data[name]
+        except KeyError:
+            raise DataFrameError("no column %r (have %s)" % (name, self._columns))
+
+    def __getitem__(self, name: str) -> List[Any]:
+        return self.column(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._data
+
+    def row(self, index: int) -> Tuple[Any, ...]:
+        return tuple(self._data[c][index] for c in self._columns)
+
+    def iter_rows(self) -> Iterator[Tuple[Any, ...]]:
+        cols = [self._data[c] for c in self._columns]
+        return zip(*cols) if cols else iter(())
+
+    def iter_dicts(self) -> Iterator[Dict[str, Any]]:
+        for row in self.iter_rows():
+            yield dict(zip(self._columns, row))
+
+    def to_records(self) -> List[Tuple[Any, ...]]:
+        return list(self.iter_rows())
+
+    # ------------------------------------------------------------------
+    # Relational operations
+    # ------------------------------------------------------------------
+    def select(self, columns: Sequence[str]) -> "DataFrame":
+        """Projection: keep only the given columns, in the given order."""
+        for name in columns:
+            if name not in self._data:
+                raise DataFrameError("no column %r" % name)
+        return DataFrame({name: list(self._data[name]) for name in columns},
+                         columns=list(columns))
+
+    def rename(self, mapping: Mapping[str, str]) -> "DataFrame":
+        """Rename columns according to ``{old: new}``."""
+        new_columns = [mapping.get(c, c) for c in self._columns]
+        if len(set(new_columns)) != len(new_columns):
+            raise DataFrameError("rename produces duplicate columns: %s"
+                                 % new_columns)
+        data = {new: list(self._data[old])
+                for old, new in zip(self._columns, new_columns)}
+        return DataFrame(data, columns=new_columns)
+
+    def filter_mask(self, mask: Sequence[bool]) -> "DataFrame":
+        """Keep rows where the boolean mask is True."""
+        if len(mask) != len(self):
+            raise DataFrameError("mask length %d != frame length %d"
+                                 % (len(mask), len(self)))
+        data = {}
+        for name in self._columns:
+            values = self._data[name]
+            data[name] = [v for v, keep in zip(values, mask) if keep]
+        return DataFrame(data, columns=self._columns)
+
+    def filter(self, predicate: Callable[[Dict[str, Any]], bool]) -> "DataFrame":
+        """Keep rows where ``predicate(row_dict)`` is True."""
+        mask = [bool(predicate(row)) for row in self.iter_dicts()]
+        return self.filter_mask(mask)
+
+    def filter_eq(self, column: str, value: Any) -> "DataFrame":
+        values = self.column(column)
+        return self.filter_mask([v == value for v in values])
+
+    def dropna(self, columns: Optional[Sequence[str]] = None) -> "DataFrame":
+        """Drop rows with None in any of the given columns (default: all)."""
+        check = list(columns) if columns is not None else self._columns
+        cols = [self.column(c) for c in check]
+        mask = [all(v is not None for v in row) for row in zip(*cols)] \
+            if cols else [True] * len(self)
+        return self.filter_mask(mask)
+
+    def assign(self, name: str, values: Sequence[Any]) -> "DataFrame":
+        """Return a copy with a new or replaced column."""
+        if len(values) != len(self) and self._columns:
+            raise DataFrameError("column length %d != frame length %d"
+                                 % (len(values), len(self)))
+        data = {c: list(self._data[c]) for c in self._columns}
+        data[name] = list(values)
+        columns = self._columns + [name] if name not in self._data else self._columns
+        return DataFrame(data, columns=columns)
+
+    def distinct(self) -> "DataFrame":
+        """Remove duplicate rows (keeps first occurrence order)."""
+        seen = set()
+        mask = []
+        for row in self.iter_rows():
+            key = row
+            if key in seen:
+                mask.append(False)
+            else:
+                seen.add(key)
+                mask.append(True)
+        return self.filter_mask(mask)
+
+    def sort(self, by: Union[str, Sequence[Tuple[str, str]]],
+             ascending: bool = True) -> "DataFrame":
+        """Sort by one column, or by ``[(column, 'asc'|'desc'), ...]``.
+
+        None values sort last regardless of direction, mirroring SPARQL's
+        treatment of unbound values in ORDER BY.
+        """
+        if isinstance(by, str):
+            specs = [(by, "asc" if ascending else "desc")]
+        else:
+            specs = [(c, o.lower()) for c, o in by]
+        indexes = list(range(len(self)))
+        # Stable multi-key sort: apply keys from last to first.
+        for column, order in reversed(specs):
+            values = self.column(column)
+            reverse = order == "desc"
+
+            def key(i, values=values):
+                v = values[i]
+                # (type_rank, value) makes heterogeneous columns sortable.
+                if v is None:
+                    return (0, 0)
+                if isinstance(v, (int, float)) and not isinstance(v, bool):
+                    return (0, v)
+                return (1, str(v))
+            indexes.sort(key=key, reverse=reverse)
+            # None values go last regardless of direction (stable partition).
+            indexes = ([i for i in indexes if values[i] is not None]
+                       + [i for i in indexes if values[i] is None])
+        data = {c: [self._data[c][i] for i in indexes] for c in self._columns}
+        return DataFrame(data, columns=self._columns)
+
+    def head(self, k: int, offset: int = 0) -> "DataFrame":
+        """The first ``k`` rows starting at ``offset`` — paper's ``head(k, i)``."""
+        data = {c: self._data[c][offset:offset + k] for c in self._columns}
+        return DataFrame(data, columns=self._columns)
+
+    def concat(self, other: "DataFrame") -> "DataFrame":
+        """Vertical union (bag union); columns are aligned by name and the
+        result has the union of columns with None for missing values."""
+        columns = list(self._columns)
+        for c in other._columns:
+            if c not in columns:
+                columns.append(c)
+        data: Dict[str, List[Any]] = {}
+        n_self, n_other = len(self), len(other)
+        for c in columns:
+            left = list(self._data.get(c, [None] * n_self))
+            right = list(other._data.get(c, [None] * n_other))
+            data[c] = left + right
+        return DataFrame(data, columns=columns)
+
+    # ------------------------------------------------------------------
+    # Joins
+    # ------------------------------------------------------------------
+    def merge(self, other: "DataFrame", left_on: str, right_on: str,
+              how: str = "inner") -> "DataFrame":
+        """Hash join on a single key column.
+
+        ``how`` is one of ``inner``, ``left``, ``right``, ``outer``.  The key
+        columns are merged into a single output column named ``left_on``.
+        Overlapping non-key columns take the left value when bound, else the
+        right (mirroring SPARQL's compatible-mapping join).
+        """
+        if how not in ("inner", "left", "right", "outer"):
+            raise DataFrameError("unknown join type %r" % how)
+        if how == "right":
+            flipped = other.merge(self, left_on=right_on, right_on=left_on,
+                                  how="left")
+            return flipped
+
+        left_key = self.column(left_on)
+        right_key = other.column(right_on)
+        out_columns = list(self._columns)
+        for c in other._columns:
+            if c != right_on and c not in out_columns:
+                out_columns.append(c)
+        right_other_cols = [c for c in other._columns if c != right_on]
+
+        index: Dict[Any, List[int]] = {}
+        for j, key in enumerate(right_key):
+            if key is not None:
+                index.setdefault(key, []).append(j)
+
+        rows: List[Dict[str, Any]] = []
+        matched_right = set()
+        for i in range(len(self)):
+            key = left_key[i]
+            matches = index.get(key, []) if key is not None else []
+            if matches:
+                for j in matches:
+                    matched_right.add(j)
+                    row = {c: self._data[c][i] for c in self._columns}
+                    for c in right_other_cols:
+                        value = other._data[c][j]
+                        if row.get(c) is None:
+                            row[c] = value
+                    rows.append(row)
+            elif how in ("left", "outer"):
+                row = {c: self._data[c][i] for c in self._columns}
+                rows.append(row)
+        if how == "outer":
+            for j in range(len(other)):
+                if j not in matched_right:
+                    row = {left_on: right_key[j]}
+                    for c in right_other_cols:
+                        row[c] = other._data[c][j]
+                    rows.append(row)
+        return DataFrame.from_dicts(rows, columns=out_columns)
+
+    # ------------------------------------------------------------------
+    # Grouping and aggregation
+    # ------------------------------------------------------------------
+    def groupby(self, by: Union[str, Sequence[str]]) -> "GroupBy":
+        if isinstance(by, str):
+            by = [by]
+        for name in by:
+            if name not in self._data:
+                raise DataFrameError("no column %r" % name)
+        return GroupBy(self, list(by))
+
+    def aggregate(self, fn: str, column: str) -> Any:
+        """Aggregate a whole column to a scalar — paper's ``aggregate`` op."""
+        return _apply_aggregate(fn, self.column(column))
+
+    # ------------------------------------------------------------------
+    # CSV
+    # ------------------------------------------------------------------
+    def to_csv(self, path_or_buffer=None) -> Optional[str]:
+        """Write CSV; returns the text when no path/stream is given."""
+        own_buffer = path_or_buffer is None
+        if own_buffer:
+            stream = io.StringIO()
+        elif isinstance(path_or_buffer, str):
+            stream = open(path_or_buffer, "w", newline="")
+        else:
+            stream = path_or_buffer
+        try:
+            writer = csv.writer(stream)
+            writer.writerow(self._columns)
+            for row in self.iter_rows():
+                writer.writerow(["" if v is None else v for v in row])
+        finally:
+            if isinstance(path_or_buffer, str):
+                stream.close()
+        if own_buffer:
+            return stream.getvalue()
+        return None
+
+    @classmethod
+    def read_csv(cls, path_or_buffer) -> "DataFrame":
+        """Read CSV written by :meth:`to_csv`; empty cells become None and
+        numeric-looking cells are parsed to int/float."""
+        if isinstance(path_or_buffer, str):
+            stream = open(path_or_buffer, newline="")
+            close = True
+        else:
+            stream = path_or_buffer
+            close = False
+        try:
+            reader = csv.reader(stream)
+            try:
+                header = next(reader)
+            except StopIteration:
+                return cls()
+            rows = [[_parse_csv_cell(cell) for cell in row] for row in reader]
+        finally:
+            if close:
+                stream.close()
+        return cls.from_records(rows, columns=header)
+
+    # ------------------------------------------------------------------
+    # Comparison / display
+    # ------------------------------------------------------------------
+    def equals_bag(self, other: "DataFrame") -> bool:
+        """Bag equality: same columns (as sets) and same multiset of rows."""
+        if set(self._columns) != set(other._columns):
+            return False
+        order = sorted(self._columns)
+        mine = sorted(_sortable(tuple(row[c] for c in order))
+                      for row in self.iter_dicts())
+        theirs = sorted(_sortable(tuple(row[c] for c in order))
+                        for row in other.iter_dicts())
+        return mine == theirs
+
+    def __eq__(self, other):
+        if not isinstance(other, DataFrame):
+            return NotImplemented
+        return (self._columns == other._columns
+                and self.to_records() == other.to_records())
+
+    def __repr__(self):
+        return "DataFrame(%d rows x %d cols: %s)" % (
+            len(self), len(self._columns), self._columns)
+
+    def to_string(self, max_rows: int = 20) -> str:
+        """A human-readable rendering of the first ``max_rows`` rows."""
+        header = " | ".join(self._columns)
+        lines = [header, "-" * len(header)]
+        for i, row in enumerate(self.iter_rows()):
+            if i >= max_rows:
+                lines.append("... (%d more rows)" % (len(self) - max_rows))
+                break
+            lines.append(" | ".join("" if v is None else str(v) for v in row))
+        return "\n".join(lines)
+
+
+class GroupBy:
+    """Deferred group-by over a :class:`DataFrame`."""
+
+    def __init__(self, frame: DataFrame, by: List[str]):
+        self._frame = frame
+        self._by = by
+        self._groups: Dict[Tuple[Any, ...], List[int]] = {}
+        key_columns = [frame.column(c) for c in by]
+        for i, key in enumerate(zip(*key_columns)):
+            self._groups.setdefault(key, []).append(i)
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def agg(self, fn: str, column: str, alias: Optional[str] = None,
+            unique: bool = False) -> DataFrame:
+        """Aggregate ``column`` per group with function ``fn``.
+
+        ``fn`` is one of count, sum, min, max, average/avg/mean, sample;
+        ``unique=True`` makes ``count`` a distinct count.
+        """
+        alias = alias or "%s_%s" % (column, fn)
+        values = self._frame.column(column)
+        records = []
+        for key, indexes in self._groups.items():
+            group_values = [values[i] for i in indexes]
+            if unique and fn == "count":
+                result = len({v for v in group_values if v is not None})
+            else:
+                result = _apply_aggregate(fn, group_values)
+            records.append(tuple(key) + (result,))
+        return DataFrame.from_records(records, columns=self._by + [alias])
+
+    def size(self, alias: str = "size") -> DataFrame:
+        records = [tuple(key) + (len(indexes),)
+                   for key, indexes in self._groups.items()]
+        return DataFrame.from_records(records, columns=self._by + [alias])
+
+
+def _apply_aggregate(fn: str, values: List[Any]) -> Any:
+    fn = fn.lower()
+    bound = [v for v in values if v is not None]
+    if fn == "count":
+        return len(bound)
+    if fn in ("distinct_count", "count_distinct"):
+        return len(set(bound))
+    if fn == "sum":
+        return sum(bound) if bound else 0
+    if fn == "min":
+        return min(bound, key=_sortable_scalar) if bound else None
+    if fn == "max":
+        return max(bound, key=_sortable_scalar) if bound else None
+    if fn in ("average", "avg", "mean"):
+        return sum(bound) / len(bound) if bound else None
+    if fn == "sample":
+        return bound[0] if bound else None
+    raise DataFrameError("unknown aggregate function %r" % fn)
+
+
+def _sortable_scalar(v):
+    if isinstance(v, (int, float)) and not isinstance(v, bool):
+        return (0, v)
+    return (1, str(v))
+
+
+def _sortable(row: Tuple[Any, ...]):
+    return tuple((2, "") if v is None else _sortable_scalar(v) for v in row)
+
+
+def _parse_csv_cell(cell: str) -> Any:
+    if cell == "":
+        return None
+    try:
+        return int(cell)
+    except ValueError:
+        pass
+    try:
+        return float(cell)
+    except ValueError:
+        pass
+    return cell

@@ -1,0 +1,150 @@
+"""A standalone benchmark harness: regenerate the paper's figures.
+
+Runs the evaluation of Section 6 end-to-end and prints one table per
+figure, in the same rows/series the paper reports.  Usage::
+
+    python -m repro.harness                 # everything, default scale
+    python -m repro.harness --figure fig5 --scale 0.3 --rounds 5
+    python -m repro.harness --figure fig3 fig4
+
+(For statistically careful numbers use the pytest-benchmark targets in
+``benchmarks/``; this harness favours readability and a single command.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import sys
+import time
+from typing import Callable, Dict, List, Sequence
+
+from .baselines import run_strategy
+from .client import HttpClient
+from .data import DBLP_URI, DBPEDIA_URI, build_dataset
+from .rdf import ntriples
+from .sparql import Endpoint, Engine
+from .workload import CASE_STUDIES, SYNTHETIC_QUERIES
+
+
+def _timeit(fn: Callable, rounds: int) -> float:
+    """Best-of-N wall-clock seconds."""
+    best = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+class Harness:
+    """Holds the dataset/engine/client shared by all figures."""
+
+    def __init__(self, scale: float, rounds: int, max_rows: int = 10000,
+                 out=sys.stdout):
+        self.rounds = rounds
+        self.out = out
+        self._print("Building synthetic dataset (scale=%.2f)..." % scale)
+        self.dataset = build_dataset(scale=scale)
+        for graph in self.dataset:
+            self._print("  %-28s %8d triples" % (graph.uri, len(graph)))
+        self.engine = Engine(self.dataset)
+        self.endpoint = Endpoint(self.engine, max_rows=max_rows)
+        self.client = HttpClient(self.endpoint)
+        self._dumps: Dict[str, str] = {}
+
+    def _print(self, text: str = ""):
+        self.out.write(text + "\n")
+        self.out.flush()
+
+    def _dump_for(self, graph_uri: str) -> str:
+        if graph_uri not in self._dumps:
+            graph = self.dataset.graph(graph_uri)
+            self._dumps[graph_uri] = ntriples.serialize(graph.triples())
+        return self._dumps[graph_uri]
+
+    def _run_case(self, strategy: str, case_key: str):
+        graph_uri = DBPEDIA_URI if case_key == "movie_genre" else DBLP_URI
+        self.endpoint.clear_cache()
+        return run_strategy(
+            strategy, case_key, client=self.client,
+            ntriples_source=io.StringIO(self._dump_for(graph_uri)))
+
+    def _case_table(self, title: str, strategies: Sequence[str]):
+        self._print()
+        self._print(title)
+        header = "%-16s" % "case study" + "".join(
+            "%18s" % s for s in strategies)
+        self._print(header)
+        self._print("-" * len(header))
+        for case in CASE_STUDIES:
+            cells = []
+            for strategy in strategies:
+                seconds = _timeit(
+                    lambda s=strategy, k=case.key: self._run_case(s, k),
+                    self.rounds)
+                cells.append("%16.3fs" % seconds)
+            self._print("%-16s" % case.key + "  ".join(cells))
+
+    # ------------------------------------------------------------------
+    def figure3(self):
+        self._case_table(
+            "Figure 3 — design decisions (seconds, best of %d)" % self.rounds,
+            ("naive", "navigation_pandas", "rdfframes"))
+
+    def figure4(self):
+        self._case_table(
+            "Figure 4 — baselines (seconds, best of %d)" % self.rounds,
+            ("rdflib_pandas", "sparql_pandas", "expert", "rdfframes"))
+
+    def figure5(self):
+        self._print()
+        self._print("Figure 5 — synthetic workload, ratio to expert SPARQL "
+                    "(best of %d)" % self.rounds)
+        self._print("%-6s %12s %14s %11s" % ("query", "expert(s)",
+                                             "RDFFrames/x", "Naive/x"))
+        rows = []
+        for query in SYNTHETIC_QUERIES:
+            frame = query.frame()
+            optimized_sparql = frame.to_sparql()
+            naive_sparql = frame.to_sparql(strategy="naive")
+
+            def run(text):
+                self.endpoint.clear_cache()
+                self.client.execute(text)
+
+            expert = _timeit(lambda: run(query.expert_sparql), self.rounds)
+            rdfframes = _timeit(lambda: run(optimized_sparql), self.rounds)
+            naive = _timeit(lambda: run(naive_sparql), self.rounds)
+            rows.append((query.qid, expert, rdfframes / expert,
+                         naive / expert))
+        for qid, expert, r1, r2 in sorted(rows, key=lambda r: r[3]):
+            self._print("%-6s %12.3f %14.2f %11.2f" % (qid, expert, r1, r2))
+
+    FIGURES = {"fig3": figure3, "fig4": figure4, "fig5": figure5}
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the RDFFrames paper's evaluation figures.")
+    parser.add_argument("--figure", nargs="*", choices=sorted(Harness.FIGURES),
+                        default=sorted(Harness.FIGURES),
+                        help="which figures to run (default: all)")
+    parser.add_argument("--scale", type=float, default=0.2,
+                        help="synthetic data scale factor (default 0.2)")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="timing rounds per cell, best-of (default 3)")
+    parser.add_argument("--max-rows", type=int, default=10000,
+                        help="endpoint page cap (default 10000)")
+    args = parser.parse_args(argv)
+
+    harness = Harness(scale=args.scale, rounds=args.rounds,
+                      max_rows=args.max_rows)
+    for name in args.figure:
+        Harness.FIGURES[name](harness)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

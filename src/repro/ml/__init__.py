@@ -1,0 +1,15 @@
+"""A minimal ML stack (scikit-learn / nltk / ampligraph stand-ins)."""
+
+from .text import STOPWORDS, TfidfVectorizer, clean_text, tokenize
+from .linear import LogisticRegression, cross_val_score
+from .decomposition import TruncatedSVD, top_terms_per_topic
+from .embeddings import (TransE, evaluate_ranks, hits_at_n_score, mr_score,
+                         mrr_score, train_test_split_no_unseen)
+
+__all__ = [
+    "clean_text", "tokenize", "STOPWORDS", "TfidfVectorizer",
+    "LogisticRegression", "cross_val_score",
+    "TruncatedSVD", "top_terms_per_topic",
+    "TransE", "train_test_split_no_unseen", "evaluate_ranks",
+    "mr_score", "mrr_score", "hits_at_n_score",
+]

@@ -1,0 +1,51 @@
+"""Truncated SVD for topic modeling (the scikit-learn TruncatedSVD stand-in).
+
+The topic-modeling case study factorizes the TF-IDF matrix of paper titles
+and reads the top terms of each component as a topic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import linalg
+
+
+class TruncatedSVD:
+    """Rank-``n_components`` SVD of a (documents x terms) matrix."""
+
+    def __init__(self, n_components: int = 10, random_state: int = 0):
+        self.n_components = n_components
+        self.random_state = random_state
+        self.components_: Optional[np.ndarray] = None
+        self.singular_values_: Optional[np.ndarray] = None
+
+    def fit(self, matrix: np.ndarray) -> "TruncatedSVD":
+        matrix = np.asarray(matrix, dtype=float)
+        k = min(self.n_components, min(matrix.shape) - 1) \
+            if min(matrix.shape) > 1 else 1
+        _, singular_values, vt = linalg.svd(matrix, full_matrices=False)
+        self.singular_values_ = singular_values[:k]
+        self.components_ = vt[:k]
+        return self
+
+    def transform(self, matrix: np.ndarray) -> np.ndarray:
+        if self.components_ is None:
+            raise RuntimeError("SVD is not fitted")
+        return np.asarray(matrix, dtype=float) @ self.components_.T
+
+    def fit_transform(self, matrix: np.ndarray) -> np.ndarray:
+        return self.fit(matrix).transform(matrix)
+
+
+def top_terms_per_topic(svd: TruncatedSVD, feature_names: Sequence[str],
+                        n_terms: int = 7) -> List[List[Tuple[str, float]]]:
+    """The strongest terms of each SVD component (the 'topics')."""
+    if svd.components_ is None:
+        raise RuntimeError("SVD is not fitted")
+    topics = []
+    for component in svd.components_:
+        order = np.argsort(-np.abs(component))[:n_terms]
+        topics.append([(feature_names[i], float(component[i])) for i in order])
+    return topics

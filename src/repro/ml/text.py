@@ -1,0 +1,104 @@
+"""Text preprocessing and TF-IDF vectorization (the scikit-learn/nltk
+stand-in used by the case studies).
+
+The paper's case studies clean extracted text with nltk stopword removal
+and vectorize with scikit-learn's ``TfidfVectorizer``; this module provides
+equivalent functionality on numpy arrays.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: A compact English stopword list (the nltk subset that matters for titles).
+STOPWORDS = frozenset("""
+    a an and are as at be but by for from has have in is it its of on or
+    that the this to was were will with we our you your they their i he she
+    his her not no so than then too very can could should would into over
+    under about after before between during each few more most other some
+    such only own same s t don now d ll m o re ve y
+""".split())
+
+_TOKEN_RE = re.compile(r"[a-z][a-z0-9]+")
+
+
+def clean_text(text: str) -> str:
+    """Lowercase and strip everything but letters/digits (paper's regex)."""
+    return re.sub(r"[^a-zA-Z0-9 ]", " ", str(text)).lower()
+
+
+def tokenize(text: str, min_length: int = 2,
+             stopwords=STOPWORDS) -> List[str]:
+    """Clean, split, and remove stopwords."""
+    return [token for token in _TOKEN_RE.findall(clean_text(text))
+            if len(token) >= min_length and token not in stopwords]
+
+
+class TfidfVectorizer:
+    """TF-IDF vectorization of token lists into a dense numpy matrix.
+
+    Parameters mirror the scikit-learn API used in the paper's appendix:
+    ``max_features`` keeps the most frequent terms, ``min_df``/``max_df``
+    prune rare/ubiquitous terms, ``sublinear_tf`` applies ``1 + log(tf)``.
+    """
+
+    def __init__(self, max_features: Optional[int] = 1000,
+                 min_df: int = 1, max_df: float = 1.0,
+                 sublinear_tf: bool = False):
+        self.max_features = max_features
+        self.min_df = min_df
+        self.max_df = max_df
+        self.sublinear_tf = sublinear_tf
+        self.vocabulary_: Dict[str, int] = {}
+        self.idf_: Optional[np.ndarray] = None
+
+    def fit(self, documents: Sequence[str]) -> "TfidfVectorizer":
+        tokenized = [tokenize(doc) for doc in documents]
+        n_docs = max(1, len(tokenized))
+        document_frequency: Dict[str, int] = {}
+        for tokens in tokenized:
+            for term in set(tokens):
+                document_frequency[term] = document_frequency.get(term, 0) + 1
+        max_count = self.max_df * n_docs if self.max_df <= 1.0 else self.max_df
+        eligible = [(term, df) for term, df in document_frequency.items()
+                    if df >= self.min_df and df <= max_count]
+        eligible.sort(key=lambda pair: (-pair[1], pair[0]))
+        if self.max_features is not None:
+            eligible = eligible[:self.max_features]
+        self.vocabulary_ = {term: index
+                            for index, (term, _) in enumerate(sorted(eligible))}
+        idf = np.zeros(len(self.vocabulary_))
+        for term, index in self.vocabulary_.items():
+            idf[index] = math.log((1 + n_docs)
+                                  / (1 + document_frequency[term])) + 1.0
+        self.idf_ = idf
+        return self
+
+    def transform(self, documents: Sequence[str]) -> np.ndarray:
+        if self.idf_ is None:
+            raise RuntimeError("vectorizer is not fitted")
+        matrix = np.zeros((len(documents), len(self.vocabulary_)))
+        for row, doc in enumerate(documents):
+            counts: Dict[int, int] = {}
+            for token in tokenize(doc):
+                index = self.vocabulary_.get(token)
+                if index is not None:
+                    counts[index] = counts.get(index, 0) + 1
+            for index, count in counts.items():
+                tf = 1.0 + math.log(count) if self.sublinear_tf else float(count)
+                matrix[row, index] = tf * self.idf_[index]
+        # L2 normalization, as in scikit-learn's default.
+        norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+        norms[norms == 0.0] = 1.0
+        return matrix / norms
+
+    def fit_transform(self, documents: Sequence[str]) -> np.ndarray:
+        return self.fit(documents).transform(documents)
+
+    def get_feature_names(self) -> List[str]:
+        return [term for term, _ in sorted(self.vocabulary_.items(),
+                                           key=lambda pair: pair[1])]

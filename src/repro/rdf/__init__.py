@@ -1,0 +1,45 @@
+"""RDF data model substrate: terms, graphs, datasets, and N-Triples I/O."""
+
+from .terms import (
+    BlankNode,
+    Literal,
+    Node,
+    Term,
+    Triple,
+    TriplePattern,
+    URIRef,
+    Variable,
+    is_concrete,
+    literal_year,
+)
+from .namespaces import (
+    DBLPRC,
+    DBPO,
+    DBPP,
+    DBPR,
+    DC,
+    DCTERMS,
+    FOAF,
+    OWL,
+    RDF,
+    RDFS,
+    SWRC,
+    XSD,
+    YAGO,
+    Namespace,
+    PrefixMap,
+    DEFAULT_PREFIXES,
+)
+from .graph import Graph
+from .dataset import Dataset, GraphUnion
+from . import ntriples
+from . import turtle
+
+__all__ = [
+    "BlankNode", "Literal", "Node", "Term", "Triple", "TriplePattern",
+    "URIRef", "Variable", "is_concrete", "literal_year",
+    "Namespace", "PrefixMap", "DEFAULT_PREFIXES",
+    "RDF", "RDFS", "XSD", "OWL", "FOAF", "DC", "DCTERMS",
+    "DBPP", "DBPO", "DBPR", "SWRC", "DBLPRC", "YAGO",
+    "Graph", "Dataset", "GraphUnion", "ntriples", "turtle",
+]

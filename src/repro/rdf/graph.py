@@ -1,0 +1,208 @@
+"""An indexed, in-memory RDF graph.
+
+This is the storage substrate beneath the SPARQL engine (the role Virtuoso
+plays in the paper).  Triples are indexed three ways (SPO, POS, OSP nested
+dictionaries) so that a triple pattern with any combination of bound
+positions can be answered by direct index lookups rather than scans.
+
+The graph also maintains simple statistics (triple counts per predicate,
+distinct subject/object counts) used by the join-order optimizer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
+
+from .terms import Literal, Node, Triple, URIRef
+
+
+class Graph:
+    """A set of RDF triples with SPO/POS/OSP indexes.
+
+    Parameters
+    ----------
+    uri:
+        The graph URI used in ``FROM`` clauses, e.g. ``http://dbpedia.org``.
+    """
+
+    def __init__(self, uri: str = "urn:default"):
+        self.uri = uri
+        # index[s][p] -> set of o ; index maps use nested dicts of sets.
+        self._spo: Dict[Node, Dict[Node, Set[Node]]] = {}
+        self._pos: Dict[Node, Dict[Node, Set[Node]]] = {}
+        self._osp: Dict[Node, Dict[Node, Set[Node]]] = {}
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, subject: Node, predicate: Node, obj: Node) -> bool:
+        """Add a triple; returns True if it was new."""
+        objs = self._spo.setdefault(subject, {}).setdefault(predicate, set())
+        if obj in objs:
+            return False
+        objs.add(obj)
+        self._pos.setdefault(predicate, {}).setdefault(obj, set()).add(subject)
+        self._osp.setdefault(obj, {}).setdefault(subject, set()).add(predicate)
+        self._size += 1
+        return True
+
+    def add_triple(self, triple: Triple) -> bool:
+        return self.add(*triple)
+
+    def update(self, triples: Iterable[Triple]) -> int:
+        """Add many triples; returns the number actually inserted."""
+        added = 0
+        for s, p, o in triples:
+            if self.add(s, p, o):
+                added += 1
+        return added
+
+    def remove(self, subject: Node, predicate: Node, obj: Node) -> bool:
+        """Remove a triple; returns True if it was present."""
+        try:
+            self._spo[subject][predicate].remove(obj)
+        except KeyError:
+            return False
+        if not self._spo[subject][predicate]:
+            del self._spo[subject][predicate]
+            if not self._spo[subject]:
+                del self._spo[subject]
+        self._pos[predicate][obj].discard(subject)
+        if not self._pos[predicate][obj]:
+            del self._pos[predicate][obj]
+            if not self._pos[predicate]:
+                del self._pos[predicate]
+        self._osp[obj][subject].discard(predicate)
+        if not self._osp[obj][subject]:
+            del self._osp[obj][subject]
+            if not self._osp[obj]:
+                del self._osp[obj]
+        self._size -= 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, triple: Triple) -> bool:
+        s, p, o = triple
+        return o in self._spo.get(s, {}).get(p, ())
+
+    def triples(self, subject: Optional[Node] = None,
+                predicate: Optional[Node] = None,
+                obj: Optional[Node] = None) -> Iterator[Triple]:
+        """Iterate triples matching a pattern; ``None`` matches anything.
+
+        Uses the index whose bound prefix is longest, so every combination
+        of bound positions avoids a full scan when possible.
+        """
+        if subject is not None:
+            by_pred = self._spo.get(subject)
+            if by_pred is None:
+                return
+            if predicate is not None:
+                objs = by_pred.get(predicate)
+                if objs is None:
+                    return
+                if obj is not None:
+                    if obj in objs:
+                        yield (subject, predicate, obj)
+                    return
+                for o in objs:
+                    yield (subject, predicate, o)
+                return
+            if obj is not None:
+                preds = self._osp.get(obj, {}).get(subject)
+                if preds is None:
+                    return
+                for p in preds:
+                    yield (subject, p, obj)
+                return
+            for p, objs in by_pred.items():
+                for o in objs:
+                    yield (subject, p, o)
+            return
+        if predicate is not None:
+            by_obj = self._pos.get(predicate)
+            if by_obj is None:
+                return
+            if obj is not None:
+                for s in by_obj.get(obj, ()):
+                    yield (s, predicate, obj)
+                return
+            for o, subjects in by_obj.items():
+                for s in subjects:
+                    yield (s, predicate, o)
+            return
+        if obj is not None:
+            for s, preds in self._osp.get(obj, {}).items():
+                for p in preds:
+                    yield (s, p, obj)
+            return
+        for s, by_pred in self._spo.items():
+            for p, objs in by_pred.items():
+                for o in objs:
+                    yield (s, p, o)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return self.triples()
+
+    # ------------------------------------------------------------------
+    # Statistics (used by the SPARQL optimizer)
+    # ------------------------------------------------------------------
+    def count(self, subject: Optional[Node] = None,
+              predicate: Optional[Node] = None,
+              obj: Optional[Node] = None) -> int:
+        """Number of triples matching the pattern (index-backed fast paths)."""
+        if subject is None and predicate is None and obj is None:
+            return self._size
+        if subject is not None and predicate is not None and obj is None:
+            return len(self._spo.get(subject, {}).get(predicate, ()))
+        if subject is None and predicate is not None and obj is not None:
+            return len(self._pos.get(predicate, {}).get(obj, ()))
+        if subject is None and predicate is not None and obj is None:
+            by_obj = self._pos.get(predicate)
+            if by_obj is None:
+                return 0
+            return sum(len(subjects) for subjects in by_obj.values())
+        return sum(1 for _ in self.triples(subject, predicate, obj))
+
+    def predicates(self) -> Iterator[Node]:
+        return iter(self._pos)
+
+    def subjects(self, predicate: Optional[Node] = None) -> Iterator[Node]:
+        if predicate is None:
+            return iter(self._spo)
+        seen = set()
+        by_obj = self._pos.get(predicate, {})
+        for subjects in by_obj.values():
+            seen.update(subjects)
+        return iter(seen)
+
+    def objects(self, predicate: Optional[Node] = None) -> Iterator[Node]:
+        if predicate is None:
+            return iter(self._osp)
+        return iter(self._pos.get(predicate, {}))
+
+    def predicate_stats(self) -> Dict[Node, int]:
+        """Triple count per predicate."""
+        return {p: sum(len(ss) for ss in by_obj.values())
+                for p, by_obj in self._pos.items()}
+
+    def classes(self) -> Dict[Node, int]:
+        """Instance counts per ``rdf:type`` class — the paper's exploration
+        operator for identifying entity types and their distributions."""
+        from .namespaces import RDF
+        result: Dict[Node, int] = {}
+        for cls, subjects in self._pos.get(RDF.type, {}).items():
+            result[cls] = len(subjects)
+        return result
+
+    def literal_count(self) -> int:
+        return sum(1 for o in self._osp if isinstance(o, Literal))
+
+    def __repr__(self):
+        return "Graph(%r, %d triples)" % (self.uri, self._size)

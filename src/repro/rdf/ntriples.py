@@ -1,0 +1,115 @@
+"""N-Triples parsing and serialization.
+
+The ``rdflib + pandas`` baseline in the paper loads N-Triples dumps and scans
+them in Python.  This module provides the equivalent substrate: a strict
+line-oriented N-Triples parser and serializer.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from typing import Iterable, Iterator, TextIO, Union
+
+from .graph import Graph
+from .terms import BlankNode, Literal, Node, Triple, URIRef
+
+_IRI = r"<([^<>\"{}|^`\\\x00-\x20]*)>"
+_BNODE = r"_:([A-Za-z0-9][A-Za-z0-9_.-]*)"
+_LITERAL = r'"((?:[^"\\]|\\.)*)"(?:\^\^<([^<>]*)>|@([A-Za-z][A-Za-z0-9-]*))?'
+
+_SUBJECT = re.compile(r"\s*(?:%s|%s)" % (_IRI, _BNODE))
+_PREDICATE = re.compile(r"\s*%s" % _IRI)
+_OBJECT = re.compile(r"\s*(?:%s|%s|%s)" % (_IRI, _BNODE, _LITERAL))
+_END = re.compile(r"\s*\.\s*(#.*)?$")
+
+_ESCAPES = {
+    "\\t": "\t", "\\n": "\n", "\\r": "\r",
+    '\\"': '"', "\\\\": "\\",
+}
+_ESCAPE_RE = re.compile(r'\\[tnr"\\]|\\u[0-9A-Fa-f]{4}|\\U[0-9A-Fa-f]{8}')
+
+
+class NTriplesError(ValueError):
+    """Raised on malformed N-Triples input."""
+
+    def __init__(self, message: str, line_number: int, line: str):
+        super().__init__("line %d: %s: %r" % (line_number, message, line[:120]))
+        self.line_number = line_number
+        self.line = line
+
+
+def _unescape(text: str) -> str:
+    def repl(match):
+        token = match.group(0)
+        if token in _ESCAPES:
+            return _ESCAPES[token]
+        return chr(int(token[2:], 16))
+    return _ESCAPE_RE.sub(repl, text)
+
+
+def parse_line(line: str, line_number: int = 0) -> Triple:
+    """Parse one N-Triples statement into a triple."""
+    match = _SUBJECT.match(line)
+    if not match:
+        raise NTriplesError("expected subject", line_number, line)
+    subject: Node = (URIRef(match.group(1)) if match.group(1) is not None
+                     else BlankNode(match.group(2)))
+    pos = match.end()
+
+    match = _PREDICATE.match(line, pos)
+    if not match:
+        raise NTriplesError("expected predicate IRI", line_number, line)
+    predicate = URIRef(match.group(1))
+    pos = match.end()
+
+    match = _OBJECT.match(line, pos)
+    if not match:
+        raise NTriplesError("expected object", line_number, line)
+    iri, bnode, lit, datatype, language = match.groups()
+    if iri is not None:
+        obj: Node = URIRef(iri)
+    elif bnode is not None:
+        obj = BlankNode(bnode)
+    else:
+        obj = Literal(_unescape(lit), datatype=datatype, language=language)
+    pos = match.end()
+
+    if not _END.match(line, pos):
+        raise NTriplesError("expected terminating '.'", line_number, line)
+    return (subject, predicate, obj)
+
+
+def parse(source: Union[str, TextIO]) -> Iterator[Triple]:
+    """Yield triples from an N-Triples document (string or file object)."""
+    stream = io.StringIO(source) if isinstance(source, str) else source
+    for line_number, line in enumerate(stream, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        yield parse_line(stripped, line_number)
+
+
+def parse_into_graph(source: Union[str, TextIO], graph: Graph) -> int:
+    """Parse a document into a graph; returns the number of new triples."""
+    return graph.update(parse(source))
+
+
+def serialize_triple(triple: Triple) -> str:
+    s, p, o = triple
+    return "%s %s %s ." % (s.n3(), p.n3(), o.n3())
+
+
+def serialize(triples: Iterable[Triple]) -> str:
+    """Serialize triples to an N-Triples document string."""
+    return "\n".join(serialize_triple(t) for t in triples) + "\n"
+
+
+def write(triples: Iterable[Triple], stream: TextIO) -> int:
+    """Write triples to a text stream; returns the count written."""
+    count = 0
+    for t in triples:
+        stream.write(serialize_triple(t))
+        stream.write("\n")
+        count += 1
+    return count

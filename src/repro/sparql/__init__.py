@@ -1,0 +1,25 @@
+"""A from-scratch SPARQL engine (the Virtuoso stand-in).
+
+Public surface:
+
+* :func:`parse` — SPARQL text to algebra,
+* :class:`Engine` — parse + optimize + evaluate to a :class:`ResultSet`,
+* :class:`Endpoint` — simulated SPARQL-protocol endpoint with pagination.
+"""
+
+from .algebra import Query, count_nested_selects
+from .endpoint import Endpoint, EndpointError, EndpointResponse
+from .engine import Engine, QueryTimeout
+from .evaluator import EvaluationError, Evaluator
+from .expressions import ExpressionError
+from .parser import ParseError, parse
+from .results import ResultSet, term_to_python
+from .tokenizer import TokenizeError, tokenize
+
+__all__ = [
+    "parse", "ParseError", "tokenize", "TokenizeError",
+    "Engine", "QueryTimeout", "Evaluator", "EvaluationError",
+    "ExpressionError", "ResultSet", "term_to_python",
+    "Endpoint", "EndpointError", "EndpointResponse",
+    "Query", "count_nested_selects",
+]

@@ -1,0 +1,96 @@
+"""A simulated SPARQL-protocol endpoint.
+
+Section 4.3 of the paper explains why RDFFrames paginates results when it
+talks to an endpoint over HTTP: the endpoint only returns the first chunk
+of a result (its size capped by server configuration), and the client must
+request the remainder chunk by chunk; endpoints also impose time budgets.
+
+This module reproduces that contract in-process so the client-side
+pagination machinery is exercised for real: an :class:`Endpoint` caps every
+response at ``max_rows`` rows and reports whether more are available; the
+client re-requests with increasing offsets.  A per-query ``timeout``
+simulates endpoint time budgets.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from typing import Dict, Optional, Tuple
+
+from .engine import Engine, QueryTimeout
+from .results import ResultSet
+
+
+class EndpointError(RuntimeError):
+    """A protocol-level endpoint failure."""
+
+
+class EndpointResponse:
+    """One page of results, mirroring an HTTP response.
+
+    ``payload`` is the page serialized in the W3C SPARQL 1.1 JSON results
+    format (what a real endpoint sends on the wire); ``result`` keeps the
+    in-memory page for in-process convenience.  Clients simulating HTTP
+    should read ``payload`` and decode it, paying the real parse cost.
+    """
+
+    def __init__(self, result: ResultSet, offset: int, total_available: bool,
+                 has_more: bool, payload: str = None):
+        self.result = result
+        self.offset = offset
+        self.has_more = has_more
+        self.total_available = total_available
+        self.payload = payload
+
+    def __repr__(self):
+        return "EndpointResponse(%d rows at %d, has_more=%s)" % (
+            len(self.result), self.offset, self.has_more)
+
+
+class Endpoint:
+    """A SPARQL endpoint façade over an :class:`Engine`.
+
+    Parameters
+    ----------
+    engine:
+        The backing engine.
+    max_rows:
+        The server-configured response cap (Virtuoso's ``ResultSetMaxRows``).
+    timeout:
+        Per-query execution budget in seconds; exceeded -> :class:`QueryTimeout`.
+    """
+
+    def __init__(self, engine: Engine, max_rows: int = 10000,
+                 timeout: Optional[float] = None):
+        if max_rows <= 0:
+            raise ValueError("max_rows must be positive")
+        self.engine = engine
+        self.max_rows = max_rows
+        self.timeout = timeout
+        self.requests_served = 0
+        # Results are cached per query text so pagination does not re-execute
+        # (mirrors endpoint-side cursors/result caches).
+        self._cache: Dict[str, ResultSet] = {}
+
+    def request(self, query_text: str, offset: int = 0,
+                limit: Optional[int] = None) -> EndpointResponse:
+        """Serve one page of a query's results.
+
+        ``limit`` can lower (never raise) the per-response row cap.
+        """
+        self.requests_served += 1
+        key = hashlib.sha256(query_text.encode()).hexdigest()
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self.engine.query(query_text, timeout=self.timeout)
+            self._cache[key] = cached
+        page_size = self.max_rows if limit is None else min(limit, self.max_rows)
+        page = cached.slice(offset, page_size)
+        has_more = offset + len(page) < len(cached)
+        from .json_results import encode_results
+        payload = encode_results(page)
+        return EndpointResponse(page, offset, True, has_more, payload=payload)
+
+    def clear_cache(self):
+        self._cache.clear()

@@ -1,0 +1,75 @@
+"""The W3C SPARQL 1.1 Query Results JSON Format.
+
+https://www.w3.org/TR/sparql11-results-json/
+
+The simulated endpoint serializes every response page to this format and
+the HTTP client parses it back — the same encode/decode work a real
+endpoint and SPARQLWrapper perform, so strategies that move large
+intermediate results to the client pay a realistic per-row cost.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+from ..rdf.terms import BlankNode, Literal, Node, URIRef, XSD_STRING
+from .results import ResultSet
+
+
+def encode_term(term: Node) -> Dict[str, str]:
+    """One RDF term as a SPARQL-JSON binding object."""
+    if isinstance(term, URIRef):
+        return {"type": "uri", "value": str(term)}
+    if isinstance(term, BlankNode):
+        return {"type": "bnode", "value": term.label}
+    if isinstance(term, Literal):
+        binding: Dict[str, str] = {"type": "literal", "value": term.lexical}
+        if term.language:
+            binding["xml:lang"] = term.language
+        elif term.datatype and term.datatype != XSD_STRING:
+            binding["datatype"] = term.datatype
+        return binding
+    raise TypeError("not an RDF term: %r" % (term,))
+
+
+def decode_term(binding: Dict[str, str]) -> Node:
+    """Parse one SPARQL-JSON binding object back into an RDF term."""
+    kind = binding["type"]
+    if kind == "uri":
+        return URIRef(binding["value"])
+    if kind == "bnode":
+        return BlankNode(binding["value"])
+    if kind in ("literal", "typed-literal"):
+        return Literal(binding["value"],
+                       datatype=binding.get("datatype"),
+                       language=binding.get("xml:lang"))
+    raise ValueError("unknown binding type %r" % kind)
+
+
+def encode_results(result: ResultSet) -> str:
+    """Serialize a result set (or page) to a SPARQL-JSON document."""
+    bindings: List[Dict[str, Dict[str, str]]] = []
+    for row in result.rows:
+        binding_row = {}
+        for var, term in zip(result.variables, row):
+            if term is not None:
+                binding_row[var] = encode_term(term)
+        bindings.append(binding_row)
+    document = {
+        "head": {"vars": list(result.variables)},
+        "results": {"bindings": bindings},
+    }
+    return json.dumps(document)
+
+
+def decode_results(payload: str) -> ResultSet:
+    """Parse a SPARQL-JSON document into a result set."""
+    document = json.loads(payload)
+    variables = document["head"]["vars"]
+    rows: List[Tuple[Optional[Node], ...]] = []
+    for binding_row in document["results"]["bindings"]:
+        rows.append(tuple(
+            decode_term(binding_row[var]) if var in binding_row else None
+            for var in variables))
+    return ResultSet(variables, rows)

@@ -1,0 +1,85 @@
+"""Query result sets and conversion to dataframes.
+
+A :class:`ResultSet` is the engine's output: an ordered list of variable
+names and a list of rows of RDF terms (``None`` for unbound).  Conversion to
+the repo's :class:`~repro.dataframe.DataFrame` maps RDF terms to natural
+Python values (URIs to strings, typed literals to int/float/bool/str).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from ..dataframe import DataFrame
+from ..rdf.terms import BlankNode, Literal, Node, URIRef
+
+
+def term_to_python(term: Optional[Node]) -> Any:
+    """Convert an RDF term to a natural Python value."""
+    if term is None:
+        return None
+    if isinstance(term, URIRef):
+        return str(term)
+    if isinstance(term, Literal):
+        return term.value
+    if isinstance(term, BlankNode):
+        return "_:" + term.label
+    raise TypeError("not an RDF term: %r" % (term,))
+
+
+class ResultSet:
+    """An ordered bag of solution rows."""
+
+    def __init__(self, variables: Sequence[str],
+                 rows: List[Tuple[Optional[Node], ...]]):
+        self.variables = list(variables)
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Tuple[Optional[Node], ...]]:
+        return iter(self.rows)
+
+    def __repr__(self):
+        return "ResultSet(%d rows, vars=%s)" % (len(self.rows), self.variables)
+
+    @classmethod
+    def from_mappings(cls, solutions, variables: Optional[Sequence[str]] = None
+                      ) -> "ResultSet":
+        """Build from the evaluator's list-of-dicts multiset."""
+        if variables is None:
+            seen: List[str] = []
+            seen_set = set()
+            for mu in solutions:
+                for var in mu:
+                    if var not in seen_set:
+                        seen_set.add(var)
+                        seen.append(var)
+            variables = seen
+        rows = [tuple(mu.get(v) for v in variables) for mu in solutions]
+        return cls(variables, rows)
+
+    def to_dataframe(self) -> DataFrame:
+        """Convert to a DataFrame of Python values (the paper's final step)."""
+        columns = {var: [] for var in self.variables}
+        for row in self.rows:
+            for var, term in zip(self.variables, row):
+                columns[var].append(term_to_python(term))
+        return DataFrame(columns, columns=self.variables)
+
+    def to_term_dataframe(self) -> DataFrame:
+        """Convert to a DataFrame of raw RDF terms (``None`` for unbound).
+
+        Used by baselines that must distinguish URIs from literals after
+        extraction (e.g. the KG-embedding ``isURI`` filter done client-side).
+        """
+        columns = {var: [] for var in self.variables}
+        for row in self.rows:
+            for var, term in zip(self.variables, row):
+                columns[var].append(term)
+        return DataFrame(columns, columns=self.variables)
+
+    def slice(self, offset: int, limit: int) -> "ResultSet":
+        """A page of the result (used by the simulated endpoint)."""
+        return ResultSet(self.variables, self.rows[offset:offset + limit])

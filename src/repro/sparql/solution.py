@@ -1,0 +1,249 @@
+"""Solution mappings and multisets — the semantic core of SPARQL evaluation.
+
+Section 5.2 of the paper defines evaluation over *multisets of mappings*: a
+mapping is a partial function from variables to RDF terms; two mappings are
+compatible when they agree on every shared variable; joins merge compatible
+mappings.  This module implements those definitions.
+
+A mapping is represented as a plain ``dict`` from variable *name* (string,
+without the ``?``) to an RDF term.  Unbound variables are simply absent from
+the dict.  A multiset is a Python list of such dicts (duplicates preserved —
+bag semantics).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..rdf.terms import Node
+
+Mapping = Dict[str, Node]
+Multiset = List[Mapping]
+
+
+def compatible(mu1: Mapping, mu2: Mapping) -> bool:
+    """True when the two mappings agree on all shared variables."""
+    if len(mu2) < len(mu1):
+        mu1, mu2 = mu2, mu1
+    for var, value in mu1.items():
+        other = mu2.get(var)
+        if other is not None and other != value:
+            return False
+    return True
+
+
+def merge(mu1: Mapping, mu2: Mapping) -> Mapping:
+    """The union of two compatible mappings (mu2 extends mu1)."""
+    merged = dict(mu1)
+    merged.update(mu2)
+    return merged
+
+
+def _always_bound(solutions: Multiset, candidates: Sequence[str]) -> List[str]:
+    """The subset of ``candidates`` bound in every mapping of the multiset."""
+    bound = list(candidates)
+    for mu in solutions:
+        bound = [v for v in bound if v in mu]
+        if not bound:
+            break
+    return bound
+
+
+def _agree(mu1: Mapping, mu2: Mapping, variables: Sequence[str]) -> bool:
+    for var in variables:
+        v1 = mu1.get(var)
+        if v1 is None:
+            continue
+        v2 = mu2.get(var)
+        if v2 is not None and v1 != v2:
+            return False
+    return True
+
+
+def hash_join(left: Multiset, right: Multiset,
+              common: Sequence[str]) -> Multiset:
+    """Join two multisets of mappings on their shared variables.
+
+    ``common`` is the set of variables that occur in *both* operands'
+    in-scope variables.  Variables in ``common`` that are unbound in a
+    particular mapping still join (SPARQL compatibility).  The join hashes
+    on the shared variables that are bound in *every* row of both sides
+    (typically the entity keys) and verifies the remaining shared variables
+    within each bucket — avoiding the quadratic blow-up a naive
+    compatibility join suffers on union/optional results whose shared
+    variables are sparsely bound.
+    """
+    if not left or not right:
+        return []
+    common = list(common)
+    if not common:
+        return [merge(l, r) for l in left for r in right]
+    if len(right) < len(left):
+        # Build the hash table on the smaller side.
+        left, right = right, left
+
+    keys = _always_bound(right, _always_bound(left, common))
+    residual = [v for v in common if v not in keys]
+    if not keys:
+        return _loose_join(left, right, common)
+
+    index: Dict[Tuple, List[Mapping]] = {}
+    for mu in left:
+        index.setdefault(tuple(mu[v] for v in keys), []).append(mu)
+
+    out: Multiset = []
+    for mu in right:
+        bucket = index.get(tuple(mu[v] for v in keys))
+        if not bucket:
+            continue
+        if residual:
+            for other in bucket:
+                if _agree(mu, other, residual):
+                    out.append(merge(other, mu))
+        else:
+            for other in bucket:
+                out.append(merge(other, mu))
+    return out
+
+
+def _loose_join(left: Multiset, right: Multiset,
+                common: Sequence[str]) -> Multiset:
+    """Fallback when no shared variable is universally bound: partition on
+    fully-bound keys and nested-loop the rest."""
+    index: Dict[Tuple, List[Mapping]] = {}
+    loose: List[Mapping] = []
+    for mu in left:
+        key = tuple(mu.get(v) for v in common)
+        if None in key:
+            loose.append(mu)
+        else:
+            index.setdefault(key, []).append(mu)
+    out: Multiset = []
+    for mu in right:
+        key = tuple(mu.get(v) for v in common)
+        if None in key:
+            for other in left:
+                if compatible(mu, other):
+                    out.append(merge(other, mu))
+            continue
+        for other in index.get(key, ()):
+            out.append(merge(other, mu))
+        for other in loose:
+            if compatible(mu, other):
+                out.append(merge(other, mu))
+    return out
+
+
+def left_join(left: Multiset, right: Multiset,
+              common: Sequence[str]) -> Multiset:
+    """SPARQL LeftJoin: every left mapping survives; compatible right
+    mappings extend it, otherwise the left mapping passes through alone.
+
+    Uses the same always-bound hashing strategy as :func:`hash_join`.
+    """
+    if not right:
+        return list(left)
+    common = list(common)
+    if not common:
+        return [merge(l, r) for l in left for r in right]
+
+    keys = _always_bound(right, _always_bound(left, common))
+    residual = [v for v in common if v not in keys]
+    if not keys:
+        return _loose_left_join(left, right, common)
+
+    index: Dict[Tuple, List[Mapping]] = {}
+    for mu in right:
+        index.setdefault(tuple(mu[v] for v in keys), []).append(mu)
+
+    out: Multiset = []
+    for mu in left:
+        matched = False
+        bucket = index.get(tuple(mu[v] for v in keys))
+        if bucket:
+            for other in bucket:
+                if not residual or _agree(mu, other, residual):
+                    out.append(merge(mu, other))
+                    matched = True
+        if not matched:
+            out.append(mu)
+    return out
+
+
+def _loose_left_join(left: Multiset, right: Multiset,
+                     common: Sequence[str]) -> Multiset:
+    index: Dict[Tuple, List[Mapping]] = {}
+    loose: List[Mapping] = []
+    for mu in right:
+        key = tuple(mu.get(v) for v in common)
+        if None in key:
+            loose.append(mu)
+        else:
+            index.setdefault(key, []).append(mu)
+    out: Multiset = []
+    for mu in left:
+        key = tuple(mu.get(v) for v in common)
+        matched = False
+        if None in key:
+            for other in right:
+                if compatible(mu, other):
+                    out.append(merge(mu, other))
+                    matched = True
+        else:
+            for other in index.get(key, ()):
+                out.append(merge(mu, other))
+                matched = True
+            for other in loose:
+                if compatible(mu, other):
+                    out.append(merge(mu, other))
+                    matched = True
+        if not matched:
+            out.append(mu)
+    return out
+
+
+def minus(left: Multiset, right: Multiset,
+          common: Sequence[str]) -> Multiset:
+    """Mappings in ``left`` with no compatible mapping in ``right``
+    sharing at least one bound variable — SPARQL MINUS semantics."""
+    return [mu for mu in left
+            if not any(compatible(mu, other)
+                       and any(v in mu and v in other for v in common)
+                       for other in right)]
+
+
+def project(solutions: Multiset, variables: Sequence[str]) -> Multiset:
+    """Restrict each mapping to the given variables (bag semantics kept)."""
+    wanted = list(variables)
+    out = []
+    for mu in solutions:
+        out.append({v: mu[v] for v in wanted if v in mu})
+    return out
+
+
+def distinct(solutions: Multiset,
+             variables: Optional[Sequence[str]] = None) -> Multiset:
+    """Collapse duplicate mappings to multiplicity one."""
+    seen = set()
+    out = []
+    for mu in solutions:
+        if variables is None:
+            key = tuple(sorted(mu.items(), key=lambda kv: kv[0]))
+        else:
+            key = tuple(mu.get(v) for v in variables)
+        if key not in seen:
+            seen.add(key)
+            out.append(mu)
+    return out
+
+
+def in_scope_variables(solutions: Multiset) -> List[str]:
+    """All variables bound in at least one mapping, in first-seen order."""
+    seen: List[str] = []
+    seen_set = set()
+    for mu in solutions:
+        for var in mu:
+            if var not in seen_set:
+                seen_set.add(var)
+                seen.append(var)
+    return seen

@@ -1,0 +1,100 @@
+"""Tokenizer for the SPARQL fragment supported by the engine.
+
+Produces a stream of typed tokens for the recursive-descent parser.  The
+fragment covers everything RDFFrames emits plus the hand-written expert and
+naive baseline queries from the paper: prefixed names, IRIs, variables,
+string/numeric/boolean literals, punctuation, comparison and logical
+operators, and keywords.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, NamedTuple
+
+
+class Token(NamedTuple):
+    kind: str      # IRI, PNAME, VAR, STRING, NUMBER, KEYWORD, OP, PUNCT, EOF
+    value: str
+    position: int
+    line: int
+
+
+class TokenizeError(ValueError):
+    def __init__(self, message: str, line: int, snippet: str):
+        super().__init__("line %d: %s near %r" % (line, message, snippet))
+        self.line = line
+
+
+KEYWORDS = frozenset("""
+    PREFIX BASE SELECT DISTINCT REDUCED WHERE FROM NAMED AS GROUP BY HAVING
+    ORDER ASC DESC LIMIT OFFSET OPTIONAL UNION FILTER GRAPH BIND VALUES
+    IN NOT EXISTS MINUS COUNT SUM MIN MAX AVG SAMPLE GROUP_CONCAT UNDEF
+    TRUE FALSE A
+""".split())
+
+_TOKEN_RES = [
+    ("COMMENT", re.compile(r"#[^\n]*")),
+    ("IRI", re.compile(r"<[^<>\"{}|^`\\\x00-\x20]*>")),
+    ("VAR", re.compile(r"[?$][A-Za-z_][A-Za-z0-9_]*")),
+    ("STRING", re.compile(r'"""(?:[^"\\]|\\.|"(?!""))*"""|"(?:[^"\\\n]|\\.)*"'
+                          r"|'(?:[^'\\\n]|\\.)*'")),
+    ("NUMBER", re.compile(r"[0-9]+\.[0-9]*(?:[eE][+-]?[0-9]+)?"
+                          r"|\.[0-9]+(?:[eE][+-]?[0-9]+)?"
+                          r"|[0-9]+(?:[eE][+-]?[0-9]+)?")),
+    # Prefixed name: prefix may be empty; local part allows digits, _, -, .
+    # (trailing dot excluded below).
+    ("PNAME", re.compile(r"[A-Za-z_][A-Za-z0-9_-]*:[A-Za-z0-9_]"
+                         r"[A-Za-z0-9_.-]*|[A-Za-z_][A-Za-z0-9_-]*:")),
+    ("DTYPE", re.compile(r"\^\^")),
+    ("LANGTAG", re.compile(r"@[A-Za-z][A-Za-z0-9-]*")),
+    ("OP", re.compile(r"&&|\|\||!=|<=|>=|[=<>!+\-*/]")),
+    ("PUNCT", re.compile(r"[{}().,;]")),
+    ("NAME", re.compile(r"[A-Za-z_][A-Za-z0-9_]*")),
+]
+
+_WS = re.compile(r"\s+")
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize a SPARQL query string; raises :class:`TokenizeError`."""
+    tokens: List[Token] = []
+    pos = 0
+    line = 1
+    length = len(text)
+    while pos < length:
+        ws = _WS.match(text, pos)
+        if ws:
+            line += text.count("\n", pos, ws.end())
+            pos = ws.end()
+            if pos >= length:
+                break
+        matched = False
+        for kind, regex in _TOKEN_RES:
+            m = regex.match(text, pos)
+            if not m:
+                continue
+            value = m.group(0)
+            matched = True
+            if kind == "COMMENT":
+                pos = m.end()
+                break
+            if kind == "PNAME" and value.endswith("."):
+                # A trailing dot is the triple terminator, not the name.
+                value = value.rstrip(".")
+                m_end = pos + len(value)
+            else:
+                m_end = m.end()
+            if kind == "NAME":
+                if value.upper() in KEYWORDS:
+                    tokens.append(Token("KEYWORD", value.upper(), pos, line))
+                else:
+                    tokens.append(Token("NAME", value, pos, line))
+            else:
+                tokens.append(Token(kind, value, pos, line))
+            pos = m_end
+            break
+        if not matched:
+            raise TokenizeError("unexpected character", line, text[pos:pos + 20])
+    tokens.append(Token("EOF", "", pos, line))
+    return tokens

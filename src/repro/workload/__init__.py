@@ -1,0 +1,12 @@
+"""The paper's workloads: 3 case studies + 15 synthetic queries."""
+
+from .case_studies import (CASE_STUDIES, CaseStudy, get_case_study,
+                           kg_embedding_frame, movie_genre_frame,
+                           topic_modeling_frame)
+from .synthetic import SYNTHETIC_QUERIES, SyntheticQuery, get_query
+
+__all__ = [
+    "CASE_STUDIES", "CaseStudy", "get_case_study",
+    "movie_genre_frame", "topic_modeling_frame", "kg_embedding_frame",
+    "SYNTHETIC_QUERIES", "SyntheticQuery", "get_query",
+]

@@ -1,0 +1,259 @@
+"""The paper's three case studies (Section 6.1).
+
+Each case study packages the RDFFrames pipeline (the paper's Listings 3, 5,
+and 7), the equivalent expert-written SPARQL (Listings 4, 6, and 8 adapted
+to the synthetic graphs), and metadata.  The benchmark harness runs each
+pipeline under every execution strategy of Section 6.3.
+
+Thresholds are scaled to the synthetic graphs (e.g. "prolific" is >= 20
+movies on a 3k-film graph just as in the paper's Listing 3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..core import (InnerJoin, KnowledgeGraph, OPTIONAL, OuterJoin, RDFFrame)
+from ..data import DBLP_URI, DBPEDIA_URI
+
+PROLIFIC_MOVIE_COUNT = 20
+PROLIFIC_PAPER_COUNT = 20
+TOPIC_YEAR_INNER = 2000
+TOPIC_YEAR_OUTER = 2010
+
+
+class CaseStudy:
+    """One case study: an RDFFrames pipeline plus its expert SPARQL."""
+
+    def __init__(self, key: str, title: str, graph_uri: str,
+                 build: Callable[[], RDFFrame], expert_sparql: str,
+                 description: str):
+        self.key = key
+        self.title = title
+        self.graph_uri = graph_uri
+        self.build = build
+        self.expert_sparql = expert_sparql
+        self.description = description
+
+    def frame(self) -> RDFFrame:
+        return self.build()
+
+    def __repr__(self):
+        return "CaseStudy(%r)" % self.key
+
+
+# ----------------------------------------------------------------------
+# Case study 1: movie genre classification (paper Listing 3)
+# ----------------------------------------------------------------------
+def movie_genre_frame() -> RDFFrame:
+    """The data-preparation pipeline of the movie-genre case study."""
+    graph = KnowledgeGraph(graph_uri=DBPEDIA_URI)
+    movies = graph.feature_domain_range("dbpp:starring", "movie", "actor")
+    movies = movies.expand("actor", [
+        ("dbpp:birthPlace", "actor_country"),
+        ("rdfs:label", "actor_name"),
+    ]).expand("movie", [
+        ("rdfs:label", "movie_name"),
+        ("dcterms:subject", "subject"),
+        ("dbpp:country", "movie_country"),
+        ("dbpo:genre", "genre", OPTIONAL),
+    ]).cache()
+    american = movies.filter({"actor_country": ["=dbpr:United_States"]})
+    prolific = movies.group_by(["actor"]) \
+        .count("movie", "movie_count", unique=True) \
+        .filter({"movie_count": [">=%d" % PROLIFIC_MOVIE_COUNT]})
+    return american.join(prolific, "actor", OuterJoin) \
+        .join(movies, "actor", InnerJoin)
+
+
+MOVIE_GENRE_EXPERT_SPARQL = """
+PREFIX dbpp: <http://dbpedia.org/property/>
+PREFIX dbpo: <http://dbpedia.org/ontology/>
+PREFIX dbpr: <http://dbpedia.org/resource/>
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+PREFIX dcterms: <http://purl.org/dc/terms/>
+SELECT *
+FROM <http://dbpedia.org>
+WHERE {
+    ?movie dbpp:starring ?actor .
+    ?actor dbpp:birthPlace ?actor_country ;
+           rdfs:label ?actor_name .
+    ?movie rdfs:label ?movie_name ;
+           dcterms:subject ?subject ;
+           dbpp:country ?movie_country .
+    OPTIONAL { ?movie dbpo:genre ?genre }
+    {
+        { SELECT *
+          WHERE {
+            { SELECT *
+              WHERE {
+                ?movie dbpp:starring ?actor .
+                ?actor dbpp:birthPlace ?actor_country ;
+                       rdfs:label ?actor_name .
+                ?movie rdfs:label ?movie_name ;
+                       dcterms:subject ?subject ;
+                       dbpp:country ?movie_country .
+                FILTER ( ?actor_country = dbpr:United_States )
+                OPTIONAL { ?movie dbpo:genre ?genre }
+              }
+            }
+            OPTIONAL {
+              SELECT DISTINCT ?actor (COUNT(DISTINCT ?movie) AS ?movie_count)
+              WHERE {
+                ?movie dbpp:starring ?actor .
+                ?actor dbpp:birthPlace ?actor_country ;
+                       rdfs:label ?actor_name .
+                ?movie rdfs:label ?movie_name ;
+                       dcterms:subject ?subject ;
+                       dbpp:country ?movie_country .
+                OPTIONAL { ?movie dbpo:genre ?genre }
+              }
+              GROUP BY ?actor
+              HAVING ( COUNT(DISTINCT ?movie) >= %(prolific)d )
+            }
+          }
+        }
+        UNION
+        { SELECT *
+          WHERE {
+            { SELECT DISTINCT ?actor (COUNT(DISTINCT ?movie) AS ?movie_count)
+              WHERE {
+                ?movie dbpp:starring ?actor .
+                ?actor dbpp:birthPlace ?actor_country ;
+                       rdfs:label ?actor_name .
+                ?movie rdfs:label ?movie_name ;
+                       dcterms:subject ?subject ;
+                       dbpp:country ?movie_country .
+                OPTIONAL { ?movie dbpo:genre ?genre }
+              }
+              GROUP BY ?actor
+              HAVING ( COUNT(DISTINCT ?movie) >= %(prolific)d )
+            }
+            OPTIONAL {
+              SELECT *
+              WHERE {
+                ?movie dbpp:starring ?actor .
+                ?actor dbpp:birthPlace ?actor_country ;
+                       rdfs:label ?actor_name .
+                ?movie rdfs:label ?movie_name ;
+                       dcterms:subject ?subject ;
+                       dbpp:country ?movie_country .
+                FILTER ( ?actor_country = dbpr:United_States )
+                OPTIONAL { ?movie dbpo:genre ?genre }
+              }
+            }
+          }
+        }
+    }
+}
+""" % {"prolific": PROLIFIC_MOVIE_COUNT}
+
+
+# ----------------------------------------------------------------------
+# Case study 2: topic modeling (paper Listing 5)
+# ----------------------------------------------------------------------
+def topic_modeling_frame() -> RDFFrame:
+    """Titles of recent papers by prolific SIGMOD/VLDB authors."""
+    graph = KnowledgeGraph(graph_uri=DBLP_URI)
+    papers = graph.entities("swrc:InProceedings", "paper")
+    papers = papers.expand("paper", [
+        ("dc:creator", "author"),
+        ("dcterm:issued", "date"),
+        ("swrc:series", "conference"),
+        ("dc:title", "title"),
+    ]).cache()
+    authors = papers.filter({
+        "date": ["year(xsd:dateTime(?date)) >= %d" % TOPIC_YEAR_INNER],
+        "conference": ["In(dblprc:vldb, dblprc:sigmod)"],
+    }).group_by(["author"]).count("paper", "n_papers") \
+        .filter({"n_papers": [">=%d" % PROLIFIC_PAPER_COUNT]})
+    return papers.join(authors, "author", InnerJoin) \
+        .filter({"date": ["year(xsd:dateTime(?date)) >= %d" % TOPIC_YEAR_OUTER]}) \
+        .select_cols(["title"])
+
+
+TOPIC_MODELING_EXPERT_SPARQL = """
+PREFIX swrc: <http://swrc.ontoware.org/ontology#>
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX dc: <http://purl.org/dc/elements/1.1/>
+PREFIX dcterm: <http://purl.org/dc/terms/>
+PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+PREFIX dblprc: <http://dblp.l3s.de/d2r/resource/conferences/>
+SELECT ?title
+FROM <http://dblp.l3s.de>
+WHERE {
+    ?paper dc:title ?title ;
+           rdf:type swrc:InProceedings ;
+           dcterm:issued ?date ;
+           dc:creator ?author .
+    FILTER ( year(xsd:dateTime(?date)) >= %(outer_year)d )
+    {
+        SELECT ?author
+        WHERE {
+            ?paper rdf:type swrc:InProceedings ;
+                   swrc:series ?conference ;
+                   dc:creator ?author ;
+                   dcterm:issued ?date .
+            FILTER ( ( year(xsd:dateTime(?date)) >= %(inner_year)d )
+                     && ( ?conference IN (dblprc:vldb, dblprc:sigmod) ) )
+        }
+        GROUP BY ?author
+        HAVING ( COUNT(?paper) >= %(prolific)d )
+    }
+}
+""" % {"outer_year": TOPIC_YEAR_OUTER, "inner_year": TOPIC_YEAR_INNER,
+       "prolific": PROLIFIC_PAPER_COUNT}
+
+
+# ----------------------------------------------------------------------
+# Case study 3: knowledge graph embedding (paper Listing 7)
+# ----------------------------------------------------------------------
+def kg_embedding_frame() -> RDFFrame:
+    """All entity-to-entity triples of DBLP (one line, as in the paper)."""
+    graph = KnowledgeGraph(graph_uri=DBLP_URI)
+    return graph.feature_domain_range("p", "s", "o").filter({"o": ["isURI"]})
+
+
+KG_EMBEDDING_EXPERT_SPARQL = """
+SELECT *
+FROM <http://dblp.l3s.de>
+WHERE {
+    ?s ?p ?o .
+    FILTER ( isIRI(?o) )
+}
+"""
+
+
+CASE_STUDIES: List[CaseStudy] = [
+    CaseStudy(
+        key="movie_genre",
+        title="Movie genre classification (DBpedia)",
+        graph_uri=DBPEDIA_URI,
+        build=movie_genre_frame,
+        expert_sparql=MOVIE_GENRE_EXPERT_SPARQL,
+        description="Movies starring American or prolific actors, with "
+                    "attributes for genre classification (Fig 3a / 4a)."),
+    CaseStudy(
+        key="topic_modeling",
+        title="Topic modeling (DBLP)",
+        graph_uri=DBLP_URI,
+        build=topic_modeling_frame,
+        expert_sparql=TOPIC_MODELING_EXPERT_SPARQL,
+        description="Titles of recent papers by prolific SIGMOD/VLDB "
+                    "authors (Fig 3b / 4b)."),
+    CaseStudy(
+        key="kg_embedding",
+        title="Knowledge graph embedding (DBLP)",
+        graph_uri=DBLP_URI,
+        build=kg_embedding_frame,
+        expert_sparql=KG_EMBEDDING_EXPERT_SPARQL,
+        description="Entity-to-entity triples for embedding training "
+                    "(Fig 3c / 4c)."),
+]
+
+
+def get_case_study(key: str) -> CaseStudy:
+    for case_study in CASE_STUDIES:
+        if case_study.key == key:
+            return case_study
+    raise KeyError("unknown case study %r" % key)

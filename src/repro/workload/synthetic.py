@@ -1,0 +1,573 @@
+"""The synthetic workload: 15 queries exercising RDFFrames' features.
+
+Section 6.2 / Table 2 of the paper.  All queries run on the DBpedia-like
+graph; Q4 and Q11 additionally join the YAGO-like graph.  Four queries use
+only expand and filter (incl. optional predicates), four use grouping with
+expand (one expands *after* grouping), and seven use joins (outer joins,
+multiple joins, cross-graph joins, joins on grouped frames).
+
+Each :class:`SyntheticQuery` carries the RDFFrames pipeline and an
+expert-written SPARQL query; the benchmark harness derives the naive
+variant via ``frame.to_sparql(strategy='naive')``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from ..core import (InnerJoin, KnowledgeGraph, LeftOuterJoin, OPTIONAL,
+                    OuterJoin, RDFFrame, INCOMING)
+from ..data import DBPEDIA_URI, YAGO_URI
+
+_DBPEDIA = KnowledgeGraph(graph_uri=DBPEDIA_URI)
+_YAGO = KnowledgeGraph(graph_uri=YAGO_URI)
+
+_PREFIX_BLOCK = """
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+PREFIX dbpp: <http://dbpedia.org/property/>
+PREFIX dbpo: <http://dbpedia.org/ontology/>
+PREFIX dbpr: <http://dbpedia.org/resource/>
+PREFIX dcterms: <http://purl.org/dc/terms/>
+PREFIX yago: <http://yago-knowledge.org/resource/>
+"""
+
+
+class SyntheticQuery:
+    """One workload query: id, Table-2 description, pipeline, expert SPARQL."""
+
+    def __init__(self, qid: str, description: str,
+                 build: Callable[[], RDFFrame], expert_sparql: str):
+        self.qid = qid
+        self.description = description
+        self.build = build
+        self.expert_sparql = _PREFIX_BLOCK + expert_sparql
+
+    def frame(self) -> RDFFrame:
+        return self.build()
+
+    def __repr__(self):
+        return "SyntheticQuery(%s)" % self.qid
+
+
+# ----------------------------------------------------------------------
+# Expand/filter-only queries (Q1, Q5, Q6, Q8, Q13, Q14)
+# ----------------------------------------------------------------------
+def q1_frame() -> RDFFrame:
+    return _DBPEDIA.entities("dbpo:BasketballPlayer", "player") \
+        .expand("player", [("dbpp:nationality", "nationality"),
+                           ("dbpp:birthPlace", "place"),
+                           ("dbpo:birthDate", "birth_date"),
+                           ("dbpp:team", "team")]) \
+        .expand("team", [("dbpo:sponsor", "sponsor", OPTIONAL),
+                         ("dbpp:name", "team_name", OPTIONAL),
+                         ("dbpp:president", "president", OPTIONAL)])
+
+
+Q1_EXPERT = """
+SELECT *
+FROM <http://dbpedia.org>
+WHERE {
+    ?player rdf:type dbpo:BasketballPlayer ;
+            dbpp:nationality ?nationality ;
+            dbpp:birthPlace ?place ;
+            dbpo:birthDate ?birth_date ;
+            dbpp:team ?team .
+    OPTIONAL { ?team dbpo:sponsor ?sponsor }
+    OPTIONAL { ?team dbpp:name ?team_name }
+    OPTIONAL { ?team dbpp:president ?president }
+}
+"""
+
+
+def q5_frame() -> RDFFrame:
+    return _DBPEDIA.entities("dbpo:Film", "film") \
+        .expand("film", [("dbpp:starring", "actor"),
+                         ("dbpp:director", "director"),
+                         ("dbpp:producer", "producer"),
+                         ("dbpo:language", "language"),
+                         ("dbpp:studio", "studio"),
+                         ("dbpo:genre", "genre"),
+                         ("dbpp:country", "country")]) \
+        .filter({"country": ["In(dbpr:India, dbpr:United_States)"],
+                 "studio": ["!=dbpr:Eskay_Movies"],
+                 "genre": ["In(dbpr:Film_score, dbpr:Soundtrack, "
+                           "dbpr:Rock_music, dbpr:House_music, dbpr:Dubstep)"]})
+
+
+Q5_EXPERT = """
+SELECT *
+FROM <http://dbpedia.org>
+WHERE {
+    ?film rdf:type dbpo:Film ;
+          dbpp:starring ?actor ;
+          dbpp:director ?director ;
+          dbpp:producer ?producer ;
+          dbpo:language ?language ;
+          dbpp:studio ?studio ;
+          dbpo:genre ?genre ;
+          dbpp:country ?country .
+    FILTER ( ?country IN (dbpr:India, dbpr:United_States) )
+    FILTER ( ?studio != dbpr:Eskay_Movies )
+    FILTER ( ?genre IN (dbpr:Film_score, dbpr:Soundtrack, dbpr:Rock_music,
+                        dbpr:House_music, dbpr:Dubstep) )
+}
+"""
+
+
+def q6_frame() -> RDFFrame:
+    return _DBPEDIA.entities("dbpo:BasketballPlayer", "player") \
+        .expand("player", [("dbpp:nationality", "nationality"),
+                           ("dbpp:birthPlace", "place"),
+                           ("dbpo:birthDate", "birth_date"),
+                           ("dbpp:team", "team")]) \
+        .expand("team", [("dbpo:sponsor", "sponsor"),
+                         ("dbpp:name", "team_name"),
+                         ("dbpp:president", "president")])
+
+
+Q6_EXPERT = """
+SELECT *
+FROM <http://dbpedia.org>
+WHERE {
+    ?player rdf:type dbpo:BasketballPlayer ;
+            dbpp:nationality ?nationality ;
+            dbpp:birthPlace ?place ;
+            dbpo:birthDate ?birth_date ;
+            dbpp:team ?team .
+    ?team dbpo:sponsor ?sponsor ;
+          dbpp:name ?team_name ;
+          dbpp:president ?president .
+}
+"""
+
+
+def q8_frame() -> RDFFrame:
+    return _DBPEDIA.entities("dbpo:Film", "film") \
+        .expand("film", [("dbpp:starring", "actor"),
+                         ("dbpp:director", "director"),
+                         ("dbpp:country", "country"),
+                         ("dbpp:producer", "producer"),
+                         ("dbpo:language", "language"),
+                         ("rdfs:label", "title"),
+                         ("dbpo:genre", "genre"),
+                         ("dbpo:story", "story"),
+                         ("dbpo:runtime", "runtime"),
+                         ("dbpp:studio", "studio")]) \
+        .filter({"country": ["In(dbpr:India, dbpr:United_States, dbpr:France)"],
+                 "studio": ["!=dbpr:Eskay_Movies"],
+                 "genre": ["In(dbpr:Drama, dbpr:Comedy, dbpr:Action, "
+                           "dbpr:Film_score)"],
+                 "runtime": [">=100"]})
+
+
+Q8_EXPERT = """
+SELECT *
+FROM <http://dbpedia.org>
+WHERE {
+    ?film rdf:type dbpo:Film ;
+          dbpp:starring ?actor ;
+          dbpp:director ?director ;
+          dbpp:country ?country ;
+          dbpp:producer ?producer ;
+          dbpo:language ?language ;
+          rdfs:label ?title ;
+          dbpo:genre ?genre ;
+          dbpo:story ?story ;
+          dbpo:runtime ?runtime ;
+          dbpp:studio ?studio .
+    FILTER ( ?country IN (dbpr:India, dbpr:United_States, dbpr:France) )
+    FILTER ( ?studio != dbpr:Eskay_Movies )
+    FILTER ( ?genre IN (dbpr:Drama, dbpr:Comedy, dbpr:Action, dbpr:Film_score) )
+    FILTER ( ?runtime >= 100 )
+}
+"""
+
+
+def q13_frame() -> RDFFrame:
+    return _DBPEDIA.entities("dbpo:Film", "film") \
+        .expand("film", [("dbpp:starring", "actor"),
+                         ("dbpo:language", "language"),
+                         ("dbpp:country", "country"),
+                         ("dbpo:genre", "genre"),
+                         ("dbpo:story", "story"),
+                         ("dbpp:studio", "studio"),
+                         ("dbpp:director", "director", OPTIONAL),
+                         ("dbpp:producer", "producer", OPTIONAL),
+                         ("rdfs:label", "title", OPTIONAL)])
+
+
+Q13_EXPERT = """
+SELECT *
+FROM <http://dbpedia.org>
+WHERE {
+    ?film rdf:type dbpo:Film ;
+          dbpp:starring ?actor ;
+          dbpo:language ?language ;
+          dbpp:country ?country ;
+          dbpo:genre ?genre ;
+          dbpo:story ?story ;
+          dbpp:studio ?studio .
+    OPTIONAL { ?film dbpp:director ?director }
+    OPTIONAL { ?film dbpp:producer ?producer }
+    OPTIONAL { ?film rdfs:label ?title }
+}
+"""
+
+
+def q14_frame() -> RDFFrame:
+    return _DBPEDIA.entities("dbpo:Film", "film") \
+        .expand("film", [("dbpp:starring", "actor"),
+                         ("dbpo:language", "language"),
+                         ("dbpp:studio", "studio"),
+                         ("dbpo:genre", "genre"),
+                         ("dbpp:country", "country"),
+                         ("dbpp:producer", "producer", OPTIONAL),
+                         ("dbpp:director", "director", OPTIONAL),
+                         ("rdfs:label", "title", OPTIONAL)]) \
+        .filter({"country": ["In(dbpr:India, dbpr:United_States)"],
+                 "studio": ["!=dbpr:Eskay_Movies"],
+                 "genre": ["In(dbpr:Film_score, dbpr:Soundtrack, "
+                           "dbpr:Rock_music, dbpr:House_music, dbpr:Dubstep)"]})
+
+
+Q14_EXPERT = """
+SELECT *
+FROM <http://dbpedia.org>
+WHERE {
+    ?film rdf:type dbpo:Film ;
+          dbpp:starring ?actor ;
+          dbpo:language ?language ;
+          dbpp:studio ?studio ;
+          dbpo:genre ?genre ;
+          dbpp:country ?country .
+    OPTIONAL { ?film dbpp:producer ?producer }
+    OPTIONAL { ?film dbpp:director ?director }
+    OPTIONAL { ?film rdfs:label ?title }
+    FILTER ( ?country IN (dbpr:India, dbpr:United_States) )
+    FILTER ( ?studio != dbpr:Eskay_Movies )
+    FILTER ( ?genre IN (dbpr:Film_score, dbpr:Soundtrack, dbpr:Rock_music,
+                        dbpr:House_music, dbpr:Dubstep) )
+}
+"""
+
+
+# ----------------------------------------------------------------------
+# Grouping queries (Q2, Q3, Q7, Q10, Q12)
+# ----------------------------------------------------------------------
+def _player_team_counts():
+    players = _DBPEDIA.entities("dbpo:BasketballPlayer", "player") \
+        .expand("player", [("dbpp:team", "team")])
+    return players, players.group_by(["team"]).count("player", "player_count")
+
+
+def q2_frame() -> RDFFrame:
+    _, counts = _player_team_counts()
+    return counts.expand("team", [("dbpo:sponsor", "sponsor"),
+                                  ("dbpp:name", "team_name"),
+                                  ("dbpp:president", "president")])
+
+
+Q2_EXPERT = """
+SELECT *
+FROM <http://dbpedia.org>
+WHERE {
+    ?team dbpo:sponsor ?sponsor ;
+          dbpp:name ?team_name ;
+          dbpp:president ?president .
+    {
+        SELECT ?team (COUNT(?player) AS ?player_count)
+        WHERE {
+            ?player rdf:type dbpo:BasketballPlayer ;
+                    dbpp:team ?team .
+        }
+        GROUP BY ?team
+    }
+}
+"""
+
+
+def q3_frame() -> RDFFrame:
+    _, counts = _player_team_counts()
+    teams = _DBPEDIA.entities("dbpo:BasketballTeam", "team") \
+        .expand("team", [("dbpo:sponsor", "sponsor"),
+                         ("dbpp:name", "team_name"),
+                         ("dbpp:president", "president")])
+    return teams.join(counts, "team", LeftOuterJoin)
+
+
+Q3_EXPERT = """
+SELECT *
+FROM <http://dbpedia.org>
+WHERE {
+    ?team rdf:type dbpo:BasketballTeam ;
+          dbpo:sponsor ?sponsor ;
+          dbpp:name ?team_name ;
+          dbpp:president ?president .
+    OPTIONAL {
+        SELECT ?team (COUNT(?player) AS ?player_count)
+        WHERE {
+            ?player rdf:type dbpo:BasketballPlayer ;
+                    dbpp:team ?team .
+        }
+        GROUP BY ?team
+    }
+}
+"""
+
+
+def q7_frame() -> RDFFrame:
+    players, counts = _player_team_counts()
+    return players.join(counts, "team", InnerJoin)
+
+
+Q7_EXPERT = """
+SELECT *
+FROM <http://dbpedia.org>
+WHERE {
+    ?player rdf:type dbpo:BasketballPlayer ;
+            dbpp:team ?team .
+    {
+        SELECT ?team (COUNT(?player) AS ?player_count)
+        WHERE {
+            ?player rdf:type dbpo:BasketballPlayer ;
+                    dbpp:team ?team .
+        }
+        GROUP BY ?team
+    }
+}
+"""
+
+
+def q10_frame() -> RDFFrame:
+    athletes = _DBPEDIA.entities("dbpo:Athlete", "athlete") \
+        .expand("athlete", [("dbpp:birthPlace", "place")])
+    counts = athletes.group_by(["place"]).count("athlete", "n_athletes")
+    return athletes.join(counts, "place", InnerJoin)
+
+
+Q10_EXPERT = """
+SELECT *
+FROM <http://dbpedia.org>
+WHERE {
+    ?athlete rdf:type dbpo:Athlete ;
+             dbpp:birthPlace ?place .
+    {
+        SELECT ?place (COUNT(?athlete) AS ?n_athletes)
+        WHERE {
+            ?athlete rdf:type dbpo:Athlete ;
+                     dbpp:birthPlace ?place .
+        }
+        GROUP BY ?place
+    }
+}
+"""
+
+
+def q12_frame() -> RDFFrame:
+    athletes = _DBPEDIA.entities("dbpo:Athlete", "athlete") \
+        .expand("athlete", [("dbpp:team", "team")])
+    counts = athletes.group_by(["team"]).count("athlete", "n_athletes")
+    return counts.expand("team", [("dbpp:name", "team_name")])
+
+
+Q12_EXPERT = """
+SELECT *
+FROM <http://dbpedia.org>
+WHERE {
+    ?team dbpp:name ?team_name .
+    {
+        SELECT ?team (COUNT(?athlete) AS ?n_athletes)
+        WHERE {
+            ?athlete rdf:type dbpo:Athlete ;
+                     dbpp:team ?team .
+        }
+        GROUP BY ?team
+    }
+}
+"""
+
+
+# ----------------------------------------------------------------------
+# Join queries (Q4, Q9, Q11, Q15)
+# ----------------------------------------------------------------------
+def q4_frame() -> RDFFrame:
+    dbp_actors = _DBPEDIA.entities("dbpo:Actor", "actor") \
+        .expand("actor", [("dbpp:birthPlace", "country")]) \
+        .filter({"country": ["=dbpr:United_States"]})
+    yago_actors = _YAGO.entities("yago:Actor", "actor")
+    return dbp_actors.join(yago_actors, "actor", InnerJoin)
+
+
+Q4_EXPERT = """
+SELECT *
+FROM <http://dbpedia.org>
+FROM <http://yago-knowledge.org>
+WHERE {
+    GRAPH <http://dbpedia.org> {
+        ?actor rdf:type dbpo:Actor ;
+               dbpp:birthPlace ?country .
+        FILTER ( ?country = dbpr:United_States )
+    }
+    GRAPH <http://yago-knowledge.org> {
+        ?actor rdf:type yago:Actor .
+    }
+}
+"""
+
+
+def q9_frame() -> RDFFrame:
+    films = _DBPEDIA.entities("dbpo:Film", "film") \
+        .expand("film", [("dbpo:genre", "genre"),
+                         ("dbpp:country", "country"),
+                         ("dbpo:story", "story"),
+                         ("dbpo:language", "language"),
+                         ("dbpp:studio", "studio"),
+                         ("rdfs:label", "title", OPTIONAL)])
+    others = _DBPEDIA.entities("dbpo:Film", "film2") \
+        .expand("film2", [("dbpo:genre", "genre"),
+                          ("dbpp:country", "country")])
+    return films.join(others, "genre", InnerJoin)
+
+
+Q9_EXPERT = """
+SELECT *
+FROM <http://dbpedia.org>
+WHERE {
+    ?film rdf:type dbpo:Film ;
+          dbpo:genre ?genre ;
+          dbpp:country ?country ;
+          dbpo:story ?story ;
+          dbpo:language ?language ;
+          dbpp:studio ?studio .
+    OPTIONAL { ?film rdfs:label ?title }
+    ?film2 rdf:type dbpo:Film ;
+           dbpo:genre ?genre ;
+           dbpp:country ?country .
+}
+"""
+
+
+def q11_frame() -> RDFFrame:
+    dbp_actors = _DBPEDIA.entities("dbpo:Actor", "actor")
+    yago_actors = _YAGO.entities("yago:Actor", "actor")
+    return dbp_actors.join(yago_actors, "actor", OuterJoin)
+
+
+Q11_EXPERT = """
+SELECT *
+FROM <http://dbpedia.org>
+FROM <http://yago-knowledge.org>
+WHERE {
+    {
+        SELECT *
+        WHERE {
+            { SELECT * WHERE {
+                GRAPH <http://dbpedia.org> { ?actor rdf:type dbpo:Actor } } }
+            OPTIONAL { SELECT * WHERE {
+                GRAPH <http://yago-knowledge.org> { ?actor rdf:type yago:Actor } } }
+        }
+    }
+    UNION
+    {
+        SELECT *
+        WHERE {
+            { SELECT * WHERE {
+                GRAPH <http://yago-knowledge.org> { ?actor rdf:type yago:Actor } } }
+            OPTIONAL { SELECT * WHERE {
+                GRAPH <http://dbpedia.org> { ?actor rdf:type dbpo:Actor } } }
+        }
+    }
+}
+"""
+
+
+def q15_frame() -> RDFFrame:
+    prolific_authors = _DBPEDIA.entities("dbpo:Book", "book") \
+        .expand("book", [("dbpo:author", "author")]) \
+        .group_by(["author"]).count("book", "n_books") \
+        .filter({"n_books": [">=3"]})
+    american_books = _DBPEDIA \
+        .seed("author", "dbpp:birthPlace", "birth_place") \
+        .filter({"birth_place": ["=dbpr:United_States"]}) \
+        .expand("author", [("dbpp:country", "country"),
+                           ("dbpp:education", "education"),
+                           ("dbpo:author", "book2", INCOMING)]) \
+        .expand("book2", [("dbpp:title", "title"),
+                          ("dcterms:subject", "subject"),
+                          ("dbpp:country", "book_country", OPTIONAL),
+                          ("dbpo:publisher", "publisher", OPTIONAL)])
+    return american_books.join(prolific_authors, "author", InnerJoin)
+
+
+Q15_EXPERT = """
+SELECT *
+FROM <http://dbpedia.org>
+WHERE {
+    ?author dbpp:birthPlace ?birth_place ;
+            dbpp:country ?country ;
+            dbpp:education ?education .
+    FILTER ( ?birth_place = dbpr:United_States )
+    ?book2 dbpo:author ?author ;
+           dbpp:title ?title ;
+           dcterms:subject ?subject .
+    OPTIONAL { ?book2 dbpp:country ?book_country }
+    OPTIONAL { ?book2 dbpo:publisher ?publisher }
+    {
+        SELECT ?author (COUNT(?book) AS ?n_books)
+        WHERE {
+            ?book rdf:type dbpo:Book ;
+                  dbpo:author ?author .
+        }
+        GROUP BY ?author
+        HAVING ( COUNT(?book) >= 3 )
+    }
+}
+"""
+
+
+SYNTHETIC_QUERIES: List[SyntheticQuery] = [
+    SyntheticQuery("Q1", "Basketball players with nationality, birth place, "
+                   "birth date; team sponsor/name/president if available.",
+                   q1_frame, Q1_EXPERT),
+    SyntheticQuery("Q2", "Basketball teams with sponsor, name, president, "
+                   "and number of players.", q2_frame, Q2_EXPERT),
+    SyntheticQuery("Q3", "Basketball teams with sponsor, name, president, "
+                   "and number of players (if available).", q3_frame, Q3_EXPERT),
+    SyntheticQuery("Q4", "American actors present in both DBpedia and YAGO.",
+                   q4_frame, Q4_EXPERT),
+    SyntheticQuery("Q5", "Films from Indian/US studios (excluding Eskay "
+                   "Movies) in selected genres: actor, director, producer, "
+                   "language.", q5_frame, Q5_EXPERT),
+    SyntheticQuery("Q6", "Basketball players with nationality, birth place, "
+                   "birth date, and team sponsor/name/president.",
+                   q6_frame, Q6_EXPERT),
+    SyntheticQuery("Q7", "Basketball players, their teams, and the number "
+                   "of players per team.", q7_frame, Q7_EXPERT),
+    SyntheticQuery("Q8", "Films with actor/director/country/producer/"
+                   "language/title/genre/story/studio, filtered on country, "
+                   "studio, genre, runtime.", q8_frame, Q8_EXPERT),
+    SyntheticQuery("Q9", "Pairs of films sharing genre and production "
+                   "country, with film attributes.", q9_frame, Q9_EXPERT),
+    SyntheticQuery("Q10", "Athletes with birth place and the number of "
+                   "athletes born in that place.", q10_frame, Q10_EXPERT),
+    SyntheticQuery("Q11", "Actors present in DBpedia or YAGO (full outer "
+                   "join).", q11_frame, Q11_EXPERT),
+    SyntheticQuery("Q12", "Athletes per team: group by team, count, expand "
+                   "team name.", q12_frame, Q12_EXPERT),
+    SyntheticQuery("Q13", "Films with six mandatory attributes and optional "
+                   "director/producer/title.", q13_frame, Q13_EXPERT),
+    SyntheticQuery("Q14", "Filtered films (country/studio/genre) with actor "
+                   "and language plus optional producer/director/title.",
+                   q14_frame, Q14_EXPERT),
+    SyntheticQuery("Q15", "Books by prolific American authors: author "
+                   "attributes plus book title/subject and optional "
+                   "country/publisher.", q15_frame, Q15_EXPERT),
+]
+
+
+def get_query(qid: str) -> SyntheticQuery:
+    for query in SYNTHETIC_QUERIES:
+        if query.qid == qid:
+            return query
+    raise KeyError("unknown query %r" % qid)

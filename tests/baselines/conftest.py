@@ -1,0 +1,17 @@
+"""Fixtures for baseline tests (shared small dataset)."""
+
+import pytest
+
+from repro.client import EngineClient
+from repro.data import build_dataset
+from repro.sparql import Engine
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    return build_dataset(scale=0.1)
+
+
+@pytest.fixture(scope="session")
+def client(dataset):
+    return EngineClient(Engine(dataset))

@@ -1,0 +1,111 @@
+"""Tests for the Section-6.3 baseline strategies.
+
+The headline property: every strategy returns the identical result bag for
+every case study (the paper verifies this before timing anything).
+"""
+
+import io
+
+import pytest
+
+from repro.baselines import (STRATEGIES, compatible_merge, run_strategy,
+                             terms_to_python_frame, triples_to_frame)
+from repro.dataframe import DataFrame
+from repro.data import DBLP_URI, DBPEDIA_URI
+from repro.rdf import Literal, URIRef, ntriples
+
+CASES = ("movie_genre", "topic_modeling", "kg_embedding")
+
+
+@pytest.fixture(scope="module")
+def ntriples_by_graph(dataset):
+    return {g.uri: ntriples.serialize(g.triples()) for g in dataset}
+
+
+def graph_uri_for(case_key):
+    return DBPEDIA_URI if case_key == "movie_genre" else DBLP_URI
+
+
+class TestStrategyEquivalence:
+    @pytest.mark.parametrize("case_key", CASES)
+    def test_all_strategies_identical(self, case_key, client,
+                                      ntriples_by_graph):
+        source = ntriples_by_graph[graph_uri_for(case_key)]
+        reference = run_strategy("rdfframes", case_key, client=client)
+        assert len(reference) > 0
+        for strategy in STRATEGIES:
+            if strategy == "rdfframes":
+                continue
+            result = run_strategy(strategy, case_key, client=client,
+                                  ntriples_source=io.StringIO(source))
+            assert result.equals_bag(reference), (case_key, strategy)
+
+    def test_unknown_strategy_raises(self, client):
+        with pytest.raises(KeyError):
+            run_strategy("quantum", "movie_genre", client=client)
+
+    def test_unknown_case_raises(self, client):
+        with pytest.raises(KeyError):
+            run_strategy("sparql_pandas", "nope", client=client)
+
+    def test_rdflib_from_path(self, tmp_path, client, ntriples_by_graph):
+        path = tmp_path / "dblp.nt"
+        path.write_text(ntriples_by_graph[DBLP_URI])
+        result = run_strategy("rdflib_pandas", "kg_embedding",
+                              ntriples_source=str(path))
+        reference = run_strategy("rdfframes", "kg_embedding", client=client)
+        assert result.equals_bag(reference)
+
+
+class TestOps:
+    def test_triples_to_frame(self):
+        frame = triples_to_frame([(URIRef("http://a"), URIRef("http://p"),
+                                   Literal(1))])
+        assert frame.columns == ["s", "p", "o"]
+        assert len(frame) == 1
+
+    def test_terms_to_python(self):
+        frame = DataFrame({"x": [URIRef("http://a"), Literal(3), None]})
+        converted = terms_to_python_frame(frame)
+        assert converted.column("x") == ["http://a", 3, None]
+
+    def test_compatible_merge_unbound_matches_anything(self):
+        left = DataFrame({"k": [1, 2], "a": ["x", None]})
+        right = DataFrame({"k": [1, 2, 2], "a": ["x", "y", "z"]})
+        out = compatible_merge(left, right, anchor="k")
+        # row (1, 'x') matches one; row (2, None) matches both right rows
+        assert len(out) == 3
+        assert sorted(v for v in out.column("a")) == ["x", "y", "z"]
+
+    def test_compatible_merge_bound_values_must_agree(self):
+        left = DataFrame({"k": [1], "a": ["x"]})
+        right = DataFrame({"k": [1], "a": ["y"]})
+        assert len(compatible_merge(left, right, anchor="k")) == 0
+
+    def test_compatible_merge_left_keeps_unmatched(self):
+        left = DataFrame({"k": [1, 9], "a": ["x", "q"]})
+        right = DataFrame({"k": [1], "a": ["x"]})
+        out = compatible_merge(left, right, how="left", anchor="k")
+        assert len(out) == 2
+
+    def test_compatible_merge_requires_shared_columns(self):
+        with pytest.raises(ValueError):
+            compatible_merge(DataFrame({"a": [1]}), DataFrame({"b": [1]}))
+
+    def test_compatible_merge_auto_anchor(self):
+        left = DataFrame({"k": [1, 2], "v": [None, "b"]})
+        right = DataFrame({"k": [1, 2], "v": ["a", "b"]})
+        out = compatible_merge(left, right)
+        assert len(out) == 2
+
+
+class TestNavigationFrames:
+    def test_navigation_frames_have_no_relational_ops(self):
+        from repro.baselines import (kg_embedding_navigation_frame,
+                                     movie_genre_navigation_frame,
+                                     topic_modeling_navigation_frame)
+        for factory in (movie_genre_navigation_frame,
+                        topic_modeling_navigation_frame,
+                        kg_embedding_navigation_frame):
+            names = {op.name for op in factory().operators}
+            assert names <= {"seed", "expand"}, factory.__name__

@@ -1,0 +1,173 @@
+"""Unit tests for the execution clients (pagination, retries, formats)."""
+
+import pytest
+
+from repro.client import ClientError, EngineClient, FlakyEndpoint, HttpClient
+from repro.rdf import Graph, Literal, URIRef
+from repro.sparql import Endpoint, Engine
+
+
+def uri(name):
+    return URIRef("http://x/" + name)
+
+
+@pytest.fixture
+def engine():
+    g = Graph("http://g")
+    for i in range(37):
+        g.add(uri("s%d" % i), uri("p"), Literal(i))
+    g.add(uri("s0"), uri("q"), uri("s1"))
+    return Engine(g)
+
+
+QUERY = "PREFIX x: <http://x/>\nSELECT ?s ?v WHERE { ?s x:p ?v }"
+
+
+class TestEngineClient:
+    def test_execute_returns_dataframe(self, engine):
+        df = EngineClient(engine).execute(QUERY)
+        assert len(df) == 37
+        assert df.columns == ["s", "v"]
+
+    def test_values_converted(self, engine):
+        df = EngineClient(engine).execute(QUERY)
+        assert isinstance(df.column("v")[0], int)
+        assert isinstance(df.column("s")[0], str)
+
+    def test_execute_terms_keeps_terms(self, engine):
+        df = EngineClient(engine).execute_terms(QUERY)
+        assert isinstance(df.column("v")[0], Literal)
+
+    def test_default_graph_uri(self, engine):
+        client = EngineClient(engine, default_graph_uri="http://g")
+        assert len(client.execute(QUERY)) == 37
+
+
+class TestHttpClientPagination:
+    def test_assembles_all_pages(self, engine):
+        endpoint = Endpoint(engine, max_rows=10)
+        client = HttpClient(endpoint)
+        df = client.execute(QUERY)
+        assert len(df) == 37
+        assert client.pages_fetched == 4
+
+    def test_single_page_when_small(self, engine):
+        endpoint = Endpoint(engine, max_rows=1000)
+        client = HttpClient(endpoint)
+        assert len(client.execute(QUERY)) == 37
+        assert client.pages_fetched == 1
+
+    def test_page_size_parameter(self, engine):
+        endpoint = Endpoint(engine, max_rows=1000)
+        client = HttpClient(endpoint, page_size=5)
+        client.execute(QUERY)
+        assert client.pages_fetched == 8
+
+    def test_exact_multiple_of_page_size(self, engine):
+        endpoint = Endpoint(engine, max_rows=37)
+        client = HttpClient(endpoint)
+        assert len(client.execute(QUERY)) == 37
+        assert client.pages_fetched == 1
+
+    def test_empty_result(self, engine):
+        endpoint = Endpoint(engine, max_rows=10)
+        client = HttpClient(endpoint)
+        df = client.execute("PREFIX x: <http://x/>\n"
+                            "SELECT ?a WHERE { ?a x:nope ?b }")
+        assert len(df) == 0
+
+    def test_pagination_matches_engine_result(self, engine):
+        direct = EngineClient(engine).execute(QUERY)
+        paged = HttpClient(Endpoint(engine, max_rows=7)).execute(QUERY)
+        assert direct.equals_bag(paged)
+
+    def test_execute_terms_via_http(self, engine):
+        endpoint = Endpoint(engine, max_rows=10)
+        df = HttpClient(endpoint).execute_terms(QUERY)
+        assert isinstance(df.column("v")[0], Literal)
+
+    def test_unbound_values_survive_the_wire(self, engine):
+        endpoint = Endpoint(engine, max_rows=10)
+        df = HttpClient(endpoint).execute("""
+            PREFIX x: <http://x/>
+            SELECT ?s ?o WHERE { ?s x:p ?v OPTIONAL { ?s x:q ?o } }""")
+        assert df.column("o").count(None) == 36
+
+
+class TestRetries:
+    def test_retry_succeeds_after_transient_failures(self, engine):
+        endpoint = FlakyEndpoint(engine, failures_per_query=2, max_rows=10)
+        client = HttpClient(endpoint, max_retries=3)
+        assert len(client.execute(QUERY)) == 37
+
+    def test_retries_exhausted_raises(self, engine):
+        endpoint = FlakyEndpoint(engine, failures_per_query=5, max_rows=10)
+        client = HttpClient(endpoint, max_retries=1)
+        with pytest.raises(ClientError):
+            client.execute(QUERY)
+
+
+class TestFrameExecution:
+    def test_frame_execute_via_http(self, engine):
+        from repro.core import KnowledgeGraph
+        kg = KnowledgeGraph(graph_uri="http://g",
+                            prefixes={"x": "http://x/"})
+        frame = kg.seed("s", "x:p", "v")
+        endpoint = Endpoint(engine, max_rows=10)
+        df = frame.execute(HttpClient(endpoint))
+        assert len(df) == 37
+
+    def test_return_format_records(self, engine):
+        from repro.core import KnowledgeGraph
+        kg = KnowledgeGraph(graph_uri="http://g",
+                            prefixes={"x": "http://x/"})
+        frame = kg.seed("s", "x:p", "v")
+        records = frame.execute(EngineClient(engine),
+                                return_format="records")
+        assert isinstance(records, list)
+        assert len(records) == 37
+
+    def test_unknown_return_format(self, engine):
+        from repro.core import KnowledgeGraph, RDFFrameError
+        kg = KnowledgeGraph(graph_uri="http://g",
+                            prefixes={"x": "http://x/"})
+        frame = kg.seed("s", "x:p", "v")
+        with pytest.raises(RDFFrameError):
+            frame.execute(EngineClient(engine), return_format="parquet")
+
+
+class TestMalformedPayload:
+    def test_malformed_json_payload_raises_client_error(self, engine):
+        endpoint = Endpoint(engine, max_rows=10)
+        original_request = endpoint.request
+
+        def corrupting_request(query, offset=0, limit=None):
+            response = original_request(query, offset=offset, limit=limit)
+            response.payload = "{not json"
+            return response
+
+        endpoint.request = corrupting_request
+        client = HttpClient(endpoint)
+        with pytest.raises(ClientError):
+            client.execute(QUERY)
+
+
+class TestEngineSafetyValve:
+    def test_runaway_query_aborted(self):
+        from repro.sparql import EvaluationError
+        g = Graph("http://g")
+        for i in range(60):
+            g.add(uri("s%d" % i), uri("p"), uri("o"))
+        bounded = Engine(g, max_intermediate_rows=500)
+        # A Cartesian-ish self-join: 60 x 60 rows > 500.
+        with pytest.raises(EvaluationError):
+            bounded.query("PREFIX x: <http://x/>\n"
+                          "SELECT * WHERE { ?a x:p ?o . ?b x:p ?o }")
+
+    def test_normal_query_unaffected(self):
+        g = Graph("http://g")
+        for i in range(60):
+            g.add(uri("s%d" % i), uri("p"), uri("o%d" % i))
+        bounded = Engine(g, max_intermediate_rows=500)
+        assert len(bounded.query("PREFIX x: <http://x/>\n"
+                                 "SELECT * WHERE { ?a x:p ?o }")) == 60

@@ -1,0 +1,52 @@
+"""Shared fixtures for core tests: a small movie knowledge graph."""
+
+import pytest
+
+from repro.client import EngineClient
+from repro.core import KnowledgeGraph
+from repro.rdf import DBPO, DBPP, DBPR, Graph, Literal, RDF, RDFS
+from repro.sparql import Engine
+
+
+@pytest.fixture(scope="session")
+def movie_graph():
+    g = Graph("http://dbpedia.org")
+    # Six movies; ActorA stars in five, ActorB in two, ActorC in one.
+    casts = {
+        "Movie1": ["ActorA", "ActorB"],
+        "Movie2": ["ActorA"],
+        "Movie3": ["ActorA"],
+        "Movie4": ["ActorA", "ActorC"],
+        "Movie5": ["ActorA", "ActorB"],
+        "Movie6": ["ActorC"],
+    }
+    for movie, actors in casts.items():
+        for actor in actors:
+            g.add(DBPR[movie], DBPP.starring, DBPR[actor])
+        g.add(DBPR[movie], RDFS.label, Literal(movie + " label"))
+        g.add(DBPR[movie], RDF.type, DBPO.Film)
+    g.add(DBPR.Movie1, DBPO.genre, DBPR.Drama)
+    g.add(DBPR.Movie2, DBPO.genre, DBPR.Comedy)
+    g.add(DBPR.ActorA, DBPP.birthPlace, DBPR.United_States)
+    g.add(DBPR.ActorB, DBPP.birthPlace, DBPR.France)
+    g.add(DBPR.ActorC, DBPP.birthPlace, DBPR.United_States)
+    g.add(DBPR.ActorA, DBPP.academyAward, DBPR.BestActor)
+    for actor in ("ActorA", "ActorB", "ActorC"):
+        g.add(DBPR[actor], RDFS.label, Literal(actor + " label"))
+        g.add(DBPR[actor], RDF.type, DBPO.Actor)
+    return g
+
+
+@pytest.fixture(scope="session")
+def engine(movie_graph):
+    return Engine(movie_graph)
+
+
+@pytest.fixture
+def client(engine):
+    return EngineClient(engine)
+
+
+@pytest.fixture
+def kg():
+    return KnowledgeGraph(graph_uri="http://dbpedia.org")

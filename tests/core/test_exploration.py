@@ -1,0 +1,71 @@
+"""Tests for the exploration operators, including the keyword-search
+extension (listed as future work in the paper)."""
+
+import pytest
+
+from repro.core import KnowledgeGraph
+
+
+class TestKeywordSearch:
+    def test_search_generates_regex_filter(self, kg):
+        frame = kg.search("drama")
+        text = frame.to_sparql()
+        assert 'regex(str(?label), "drama", "i")' in text
+        assert "rdfs:label" in text
+
+    def test_search_case_sensitive(self, kg):
+        frame = kg.search("Drama", case_insensitive=False)
+        assert '"Drama")' in frame.to_sparql()
+
+    def test_search_escapes_regex_metacharacters(self, kg):
+        frame = kg.search("a.b(c)")
+        text = frame.to_sparql()
+        # The dot and parens must be escaped in the SPARQL regex literal.
+        assert "a\\\\.b\\\\(c\\\\)" in text
+
+    def test_search_finds_entities(self, kg, client):
+        df = kg.search("Movie1").execute(client)
+        assert "http://dbpedia.org/resource/Movie1" in df.column("entity")
+
+    def test_search_case_insensitive_matches(self, kg, client):
+        lower = kg.search("movie1").execute(client)
+        assert len(lower) >= 1
+
+    def test_search_custom_predicate(self, kg, client):
+        frame = kg.search("Movie", entity_col="m", label_col="name",
+                          predicate="rdfs:label")
+        df = frame.execute(client)
+        assert df.columns == ["m", "name"]
+        assert len(df) == 6
+
+    def test_search_no_matches(self, kg, client):
+        assert len(kg.search("zzz-nothing").execute(client)) == 0
+
+    def test_search_composes_with_operators(self, kg, client):
+        frame = kg.search("Movie").filter({"entity": ["isURI"]}) \
+            .sort({"label": "asc"}).head(3)
+        df = frame.execute(client)
+        assert len(df) == 3
+
+
+class TestExplorationOnFixture:
+    def test_classes_and_freq_counts(self, kg, client):
+        df = kg.classes_and_freq().execute(client)
+        counts = dict(df.to_records())
+        assert counts["http://dbpedia.org/ontology/Film"] == 6
+        assert counts["http://dbpedia.org/ontology/Actor"] == 3
+
+    def test_predicates_and_freq_counts(self, kg, client):
+        df = kg.predicates_and_freq().execute(client)
+        counts = dict(df.to_records())
+        assert counts["http://dbpedia.org/property/starring"] == 9
+
+    def test_num_entities(self, kg, client):
+        df = kg.num_entities("dbpo:Film").execute(client)
+        assert df.to_records() == [(6,)]
+
+    def test_features_lists_predicates_of_class(self, kg, client):
+        df = kg.features("dbpo:Actor").execute(client)
+        predicates = set(df.column("feature"))
+        assert "http://dbpedia.org/property/birthPlace" in predicates
+        assert "http://www.w3.org/2000/01/rdf-schema#label" in predicates

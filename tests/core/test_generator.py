@@ -1,0 +1,310 @@
+"""Unit tests for optimized query generation: Section 4.2 and its three
+necessary nesting cases."""
+
+import pytest
+
+from repro.core import (INCOMING, InnerJoin, LeftOuterJoin, OPTIONAL,
+                        OuterJoin, RightOuterJoin)
+from repro.core.generator import GenerationError, Generator, render_term
+from repro.core.query_model import QueryModel
+
+
+def model_of(frame) -> QueryModel:
+    return frame.query_model()
+
+
+class TestRenderTerm:
+    @pytest.mark.parametrize("text,expected", [
+        ("movie", "?movie"),
+        ("?movie", "?movie"),
+        ("dbpp:starring", "dbpp:starring"),
+        ("<http://x/a>", "<http://x/a>"),
+        ('"literal"', '"literal"'),
+        ("42", "42"),
+    ])
+    def test_rendering(self, text, expected):
+        assert render_term(text) == expected
+
+    def test_empty_rejected(self):
+        with pytest.raises(GenerationError):
+            render_term("")
+
+
+class TestSeedExpandFilter:
+    def test_seed_triple(self, kg):
+        model = model_of(kg.feature_domain_range("dbpp:starring",
+                                                 "movie", "actor"))
+        assert model.triples == [("?movie", "dbpp:starring", "?actor")]
+        assert model.from_graphs == ["http://dbpedia.org"]
+
+    def test_expand_out(self, kg):
+        frame = kg.feature_domain_range("dbpp:starring", "movie", "actor") \
+            .expand("actor", [("dbpp:birthPlace", "country")])
+        model = model_of(frame)
+        assert ("?actor", "dbpp:birthPlace", "?country") in model.triples
+
+    def test_expand_in(self, kg):
+        frame = kg.entities("dbpo:Actor", "actor") \
+            .expand("actor", [("dbpp:starring", "movie", INCOMING)])
+        model = model_of(frame)
+        assert ("?movie", "dbpp:starring", "?actor") in model.triples
+
+    def test_expand_optional_creates_block(self, kg):
+        frame = kg.feature_domain_range("dbpp:starring", "movie", "actor") \
+            .expand("movie", [("dbpo:genre", "genre", OPTIONAL)])
+        model = model_of(frame)
+        assert len(model.optionals) == 1
+        assert model.optionals[0].triples == [("?movie", "dbpo:genre",
+                                               "?genre")]
+
+    def test_filters_accumulate_in_same_model(self, kg):
+        frame = kg.feature_domain_range("dbpp:starring", "movie", "actor") \
+            .expand("actor", [("dbpp:birthPlace", "c")]) \
+            .filter({"c": ["=dbpr:United_States"]}) \
+            .filter({"actor": ["isURI"]})
+        model = model_of(frame)
+        assert model.subqueries == []  # no nesting needed
+        assert len(model.filters) == 2
+
+    def test_no_gratuitous_nesting_for_long_chain(self, kg):
+        frame = kg.entities("dbpo:Film", "film")
+        for index in range(8):
+            frame = frame.expand("film", [("dbpp:p%d" % index,
+                                           "c%d" % index)])
+        model = model_of(frame)
+        assert model.subqueries == []
+        assert len(model.triples) == 9
+
+
+class TestGroupingAndCase1:
+    def test_group_by_sets_aggregation(self, kg):
+        frame = kg.feature_domain_range("dbpp:starring", "movie", "actor") \
+            .group_by(["actor"]).count("movie", "n", unique=True)
+        model = model_of(frame)
+        assert model.group_columns == ["actor"]
+        agg = model.aggregations[0]
+        assert agg.function == "count" and agg.distinct
+        assert agg.alias == "n"
+
+    def test_filter_on_aggregate_becomes_having(self, kg):
+        frame = kg.feature_domain_range("dbpp:starring", "movie", "actor") \
+            .group_by(["actor"]).count("movie", "n") \
+            .filter({"n": [">=5"]})
+        model = model_of(frame)
+        assert model.having == ["?n >= 5"]
+        assert model.subqueries == []
+
+    def test_expand_on_grouped_wraps(self, kg):
+        """Nesting Case 1: expand after grouping requires a subquery."""
+        frame = kg.feature_domain_range("dbpp:starring", "movie", "actor") \
+            .group_by(["actor"]).count("movie", "n") \
+            .expand("actor", [("dbpp:birthPlace", "country")])
+        model = model_of(frame)
+        assert len(model.subqueries) == 1
+        assert model.subqueries[0].is_grouped
+        assert ("?actor", "dbpp:birthPlace", "?country") in model.triples
+
+    def test_filter_on_group_column_wraps(self, kg):
+        """Case 1 variant: filtering a grouping column after aggregation."""
+        frame = kg.feature_domain_range("dbpp:starring", "movie", "actor") \
+            .group_by(["actor"]).count("movie", "n") \
+            .filter({"actor": ["=dbpr:ActorA"]})
+        model = model_of(frame)
+        assert len(model.subqueries) == 1
+        assert model.filters == ["?actor = dbpr:ActorA"]
+
+    def test_only_one_wrap_for_multiple_postgroup_expands(self, kg):
+        frame = kg.feature_domain_range("dbpp:starring", "movie", "actor") \
+            .group_by(["actor"]).count("movie", "n") \
+            .expand("actor", [("dbpp:birthPlace", "c"), ("rdfs:label", "l")])
+        model = model_of(frame)
+        assert len(model.subqueries) == 1
+        assert len(model.triples) == 2
+
+    def test_whole_frame_aggregate(self, kg):
+        frame = kg.entities("dbpo:Film", "film").count("film", "total",
+                                                       unique=True)
+        model = model_of(frame)
+        assert model.group_columns == []
+        assert model.aggregations[0].alias == "total"
+        assert model.is_grouped
+
+    def test_aggregation_without_group_by_rejected(self, kg):
+        from repro.core.operators import AggregationOperator
+        frame = kg.entities("dbpo:Film", "film")
+        bad = frame._extend(AggregationOperator("count", "film", "n"))
+        with pytest.raises(GenerationError):
+            bad.query_model()
+
+
+class TestModifiers:
+    def test_sort_and_head(self, kg):
+        frame = kg.entities("dbpo:Film", "film") \
+            .sort({"film": "desc"}).head(10, 2)
+        model = model_of(frame)
+        assert model.order_keys == [("film", "desc")]
+        assert model.limit == 10 and model.offset == 2
+
+    def test_pattern_after_head_wraps(self, kg):
+        frame = kg.entities("dbpo:Film", "film").head(10) \
+            .expand("film", [("rdfs:label", "l")])
+        model = model_of(frame)
+        assert len(model.subqueries) == 1
+        assert model.subqueries[0].limit == 10
+
+    def test_second_head_wraps(self, kg):
+        frame = kg.entities("dbpo:Film", "film").head(10).head(5)
+        model = model_of(frame)
+        assert model.limit == 5
+        assert model.subqueries[0].limit == 10
+
+    def test_select_cols(self, kg):
+        frame = kg.feature_domain_range("dbpp:starring", "movie", "actor") \
+            .select_cols(["movie"])
+        assert model_of(frame).select_columns == ["movie"]
+
+    def test_select_on_grouped_wraps(self, kg):
+        frame = kg.feature_domain_range("dbpp:starring", "movie", "actor") \
+            .group_by(["actor"]).count("movie", "n").select_cols(["actor"])
+        model = model_of(frame)
+        assert len(model.subqueries) == 1
+        assert model.select_columns == ["actor"]
+
+
+class TestJoins:
+    def test_inner_join_flat_frames_merges_patterns(self, kg):
+        left = kg.feature_domain_range("dbpp:starring", "movie", "actor")
+        right = kg.seed("actor", "dbpp:birthPlace", "country")
+        model = model_of(left.join(right, "actor", InnerJoin))
+        assert model.subqueries == []
+        assert len(model.triples) == 2
+
+    def test_inner_join_deduplicates_shared_triples(self, kg):
+        base = kg.feature_domain_range("dbpp:starring", "movie", "actor")
+        left = base.filter({"actor": ["isURI"]})
+        model = model_of(left.join(base, "actor", InnerJoin))
+        assert model.triples.count(("?movie", "dbpp:starring", "?actor")) == 1
+
+    def test_join_with_grouped_nests_grouped_side(self, kg):
+        """Nesting Case 2."""
+        movies = kg.feature_domain_range("dbpp:starring", "movie", "actor")
+        counts = movies.group_by(["actor"]).count("movie", "n")
+        model = model_of(movies.join(counts, "actor", InnerJoin))
+        assert len(model.subqueries) == 1
+        assert model.subqueries[0].is_grouped
+        assert model.triples  # outer keeps the flat pattern
+
+    def test_join_two_grouped_nests_both(self, kg):
+        movies = kg.feature_domain_range("dbpp:starring", "movie", "actor")
+        a = movies.group_by(["actor"]).count("movie", "n1")
+        b = movies.group_by(["actor"]).count("movie", "n2")
+        model = model_of(a.join(b, "actor", InnerJoin))
+        assert len(model.subqueries) == 2
+
+    def test_left_outer_join_flat_uses_optional_block(self, kg):
+        left = kg.feature_domain_range("dbpp:starring", "movie", "actor")
+        right = kg.seed("actor", "dbpp:academyAward", "award")
+        model = model_of(left.join(right, "actor", LeftOuterJoin))
+        assert len(model.optionals) == 1
+        assert model.optionals[0].triples == [("?actor", "dbpp:academyAward",
+                                               "?award")]
+
+    def test_left_outer_join_grouped_right_nests(self, kg):
+        movies = kg.feature_domain_range("dbpp:starring", "movie", "actor")
+        counts = movies.group_by(["actor"]).count("movie", "n")
+        model = model_of(movies.join(counts, "actor", LeftOuterJoin))
+        assert len(model.optional_subqueries) == 1
+
+    def test_right_outer_join_swaps(self, kg):
+        left = kg.seed("actor", "dbpp:academyAward", "award")
+        movies = kg.feature_domain_range("dbpp:starring", "movie", "actor")
+        model = model_of(left.join(movies, "actor", RightOuterJoin))
+        # movies become the mandatory pattern; awards the optional block
+        assert ("?movie", "dbpp:starring", "?actor") in model.triples
+        assert model.optionals[0].triples == [("?actor", "dbpp:academyAward",
+                                               "?award")]
+
+    def test_full_outer_join_builds_union(self, kg):
+        """Nesting Case 3: UNION of the two OPTIONAL arrangements."""
+        left = kg.feature_domain_range("dbpp:starring", "movie", "actor")
+        right = kg.seed("actor", "dbpp:birthPlace", "country")
+        model = model_of(left.join(right, "actor", OuterJoin))
+        assert len(model.union_models) == 2
+        first, second = model.union_models
+        assert len(first.subqueries) == 1
+        assert len(first.optional_subqueries) == 1
+        assert len(second.subqueries) == 1
+
+    def test_join_renames_columns(self, kg):
+        left = kg.feature_domain_range("dbpp:starring", "movie", "actor")
+        right = kg.seed("person", "dbpp:birthPlace", "country")
+        model = model_of(left.join(right, "actor", other_column="person",
+                                   new_column="star", join_type=InnerJoin))
+        assert ("?movie", "dbpp:starring", "?star") in model.triples
+        assert ("?star", "dbpp:birthPlace", "?country") in model.triples
+
+    def test_cross_graph_join_scopes_graphs(self, kg):
+        from repro.core import KnowledgeGraph
+        yago = KnowledgeGraph(graph_uri="http://yago-knowledge.org")
+        left = kg.entities("dbpo:Actor", "actor")
+        right = yago.entities("yago:Actor", "actor")
+        model = model_of(left.join(right, "actor", InnerJoin))
+        assert set(model.from_graphs) == {"http://dbpedia.org",
+                                          "http://yago-knowledge.org"}
+        scoped_graphs = {g for g, *_ in model.scoped_triples}
+        assert scoped_graphs == {"http://dbpedia.org",
+                                 "http://yago-knowledge.org"}
+
+
+class TestDistinct:
+    def test_distinct_sets_flag(self, kg):
+        frame = kg.feature_domain_range("dbpp:starring", "movie", "actor") \
+            .distinct()
+        assert model_of(frame).distinct
+
+    def test_distinct_after_head_wraps(self, kg):
+        frame = kg.entities("dbpo:Film", "film").head(5).distinct()
+        model = model_of(frame)
+        assert model.distinct
+        assert len(model.subqueries) == 1
+
+    def test_distinct_renders_select_distinct(self, kg):
+        text = kg.entities("dbpo:Film", "film").distinct().to_sparql()
+        assert "SELECT DISTINCT" in text
+
+    def test_distinct_dedupes_results(self, kg, client):
+        plain = kg.feature_domain_range("dbpp:starring", "movie", "actor") \
+            .select_cols(["actor"])
+        deduped = plain.distinct()
+        assert len(deduped.execute(client)) < len(plain.execute(client))
+        assert len(deduped.execute(client)) == 3
+
+    def test_distinct_naive_equivalence(self, kg, client):
+        frame = kg.feature_domain_range("dbpp:starring", "movie", "actor") \
+            .select_cols(["actor"]).distinct()
+        assert frame.execute(client).equals_bag(
+            frame.execute(client, strategy="naive"))
+
+
+class TestCustomPrefixes:
+    def test_joined_frame_brings_its_own_prefixes(self, kg, client, engine):
+        """A join partner built on a KnowledgeGraph with custom prefix
+        bindings must still produce a resolvable query."""
+        from repro.core import InnerJoin, KnowledgeGraph
+        custom = KnowledgeGraph(
+            graph_uri="http://dbpedia.org",
+            prefixes={"mine": "http://dbpedia.org/property/"})
+        left = kg.feature_domain_range("dbpp:starring", "movie", "actor")
+        right = custom.seed("actor", "mine:birthPlace", "country")
+        frame = left.join(right, "actor", InnerJoin)
+        text = frame.to_sparql()
+        assert "PREFIX mine:" in text
+        df = frame.execute(client)
+        assert len(df) > 0
+
+    def test_kg_prefix_overrides_default(self, client):
+        from repro.core import KnowledgeGraph
+        kg2 = KnowledgeGraph(graph_uri="http://dbpedia.org",
+                             prefixes={"dbpp": "http://dbpedia.org/property/"})
+        frame = kg2.feature_domain_range("dbpp:starring", "movie", "actor")
+        assert len(frame.execute(client)) == 9

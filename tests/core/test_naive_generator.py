@@ -1,0 +1,132 @@
+"""Unit tests for naive query generation (the Section 6.3 baseline)."""
+
+import pytest
+
+from repro.core import InnerJoin, OPTIONAL, OuterJoin
+from repro.core.naive_generator import NaiveGenerator, naive_transform
+from repro.sparql import count_nested_selects, parse
+
+
+def naive_text(frame):
+    return frame.to_sparql(strategy="naive")
+
+
+class TestStructure:
+    def test_every_triple_becomes_subquery(self, kg):
+        frame = kg.feature_domain_range("dbpp:starring", "movie", "actor") \
+            .expand("actor", [("dbpp:birthPlace", "c"), ("rdfs:label", "l")])
+        model = NaiveGenerator().generate(frame)
+        assert model.triples == []
+        assert len(model.subqueries) == 3
+        for subquery in model.subqueries:
+            assert len(subquery.triples) == 1
+
+    def test_filters_stay_at_scope_level(self, kg):
+        frame = kg.feature_domain_range("dbpp:starring", "movie", "actor") \
+            .filter({"actor": ["=dbpr:ActorA"]})
+        model = NaiveGenerator().generate(frame)
+        assert model.filters == ["?actor = dbpr:ActorA"]
+        assert all(not s.filters for s in model.subqueries)
+
+    def test_optional_becomes_optional_subquery(self, kg):
+        frame = kg.feature_domain_range("dbpp:starring", "movie", "actor") \
+            .expand("movie", [("dbpo:genre", "g", OPTIONAL)])
+        model = NaiveGenerator().generate(frame)
+        assert len(model.optional_subqueries) == 1
+
+    def test_grouping_preserved(self, kg):
+        frame = kg.feature_domain_range("dbpp:starring", "movie", "actor") \
+            .group_by(["actor"]).count("movie", "n").filter({"n": [">=2"]})
+        model = NaiveGenerator().generate(frame)
+        assert model.group_columns == ["actor"]
+        assert model.having == ["?n >= 2"]
+
+    def test_nested_scopes_transformed_recursively(self, kg):
+        movies = kg.feature_domain_range("dbpp:starring", "movie", "actor")
+        counts = movies.group_by(["actor"]).count("movie", "n")
+        model = NaiveGenerator().generate(movies.join(counts, "actor",
+                                                      InnerJoin))
+        # outer: one triple-subquery + the grouped subquery
+        assert len(model.subqueries) == 2
+        grouped = [s for s in model.subqueries if s.is_grouped][0]
+        assert len(grouped.subqueries) == 1  # its triple is wrapped too
+
+    def test_nesting_count_grows_with_operators(self, kg):
+        frame = kg.entities("dbpo:Film", "film")
+        for index in range(5):
+            frame = frame.expand("film", [("dbpp:p%d" % index, "c%d" % index)])
+        naive = parse(naive_text(frame))
+        optimized = parse(frame.to_sparql())
+        assert count_nested_selects(naive.pattern) == 6
+        assert count_nested_selects(optimized.pattern) == 0
+
+    def test_modifiers_preserved(self, kg):
+        frame = kg.entities("dbpo:Film", "film").sort({"film": "asc"}).head(3)
+        model = NaiveGenerator().generate(frame)
+        assert model.limit == 3
+        assert model.order_keys == [("film", "asc")]
+
+    def test_union_members_transformed(self, kg):
+        left = kg.entities("dbpo:Film", "film")
+        right = kg.seed("film", "dbpo:genre", "genre")
+        model = NaiveGenerator().generate(left.join(right, "film", OuterJoin))
+        assert len(model.union_models) == 2
+        for member in model.union_models:
+            assert member.triples == []
+
+
+class TestEquivalence:
+    """The paper verifies all strategies return identical results."""
+
+    @pytest.mark.parametrize("build", [
+        lambda kg: kg.feature_domain_range("dbpp:starring", "movie", "actor"),
+        lambda kg: kg.feature_domain_range("dbpp:starring", "movie", "actor")
+            .expand("actor", [("dbpp:birthPlace", "c")])
+            .filter({"c": ["=dbpr:United_States"]}),
+        lambda kg: kg.feature_domain_range("dbpp:starring", "movie", "actor")
+            .expand("movie", [("dbpo:genre", "g", OPTIONAL)]),
+        lambda kg: kg.feature_domain_range("dbpp:starring", "movie", "actor")
+            .group_by(["actor"]).count("movie", "n", unique=True)
+            .filter({"n": [">=2"]}),
+        lambda kg: kg.feature_domain_range("dbpp:starring", "movie", "actor")
+            .group_by(["actor"]).count("movie", "n")
+            .expand("actor", [("dbpp:birthPlace", "c")]),
+        lambda kg: kg.entities("dbpo:Film", "film")
+            .sort({"film": "asc"}).head(4, 1),
+    ], ids=["seed", "expand+filter", "optional", "group+having",
+            "expand-after-group", "sort+head"])
+    def test_naive_equals_optimized(self, kg, client, build):
+        frame = build(kg)
+        optimized = frame.execute(client)
+        naive = frame.execute(client, strategy="naive")
+        assert optimized.equals_bag(naive)
+
+    def test_join_equivalence(self, kg, client):
+        movies = kg.feature_domain_range("dbpp:starring", "movie", "actor")
+        counts = movies.group_by(["actor"]).count("movie", "n")
+        frame = movies.join(counts, "actor", InnerJoin)
+        assert frame.execute(client).equals_bag(
+            frame.execute(client, strategy="naive"))
+
+    def test_full_outer_join_equivalence(self, kg, client):
+        awards = kg.seed("actor", "dbpp:academyAward", "award")
+        births = kg.seed("actor", "dbpp:birthPlace", "country")
+        frame = awards.join(births, "actor", OuterJoin)
+        assert frame.execute(client).equals_bag(
+            frame.execute(client, strategy="naive"))
+
+
+class TestCost:
+    def test_naive_materializes_more_subqueries(self, kg, client, engine):
+        frame = kg.feature_domain_range("dbpp:starring", "movie", "actor") \
+            .expand("actor", [("dbpp:birthPlace", "c"), ("rdfs:label", "l")])
+        frame.execute(client)
+        optimized_subqueries = engine.last_stats.materialized_subqueries
+        frame.execute(client, strategy="naive")
+        naive_subqueries = engine.last_stats.materialized_subqueries
+        assert naive_subqueries > optimized_subqueries
+
+    def test_unknown_strategy_rejected(self, kg):
+        frame = kg.entities("dbpo:Film", "film")
+        with pytest.raises(Exception):
+            frame.to_sparql(strategy="turbo")

@@ -1,0 +1,232 @@
+"""Unit tests for the RDFFrame API: lazy recording, immutability, columns."""
+
+import pytest
+
+from repro.core import (GroupedRDFFrame, INCOMING, InnerJoin, KnowledgeGraph,
+                        OPTIONAL, OuterJoin, RDFFrame, RDFFrameError)
+from repro.core import operators as ops
+
+
+@pytest.fixture
+def movies(kg):
+    return kg.feature_domain_range("dbpp:starring", "movie", "actor")
+
+
+class TestSeeds:
+    def test_seed_records_one_operator(self, kg):
+        frame = kg.seed("s", "dbpp:starring", "o")
+        assert len(frame.operators) == 1
+        assert isinstance(frame.operators[0], ops.SeedOperator)
+
+    def test_seed_columns(self, kg):
+        frame = kg.seed("movie", "dbpp:starring", "actor")
+        assert frame.columns == ["movie", "actor"]
+
+    def test_seed_with_concrete_object(self, kg):
+        frame = kg.seed("movie", "rdf:type", "dbpo:Film")
+        assert frame.columns == ["movie"]
+
+    def test_seed_all_concrete_rejected(self, kg):
+        with pytest.raises(ValueError):
+            kg.seed("dbpr:M", "rdf:type", "dbpo:Film")
+
+    def test_entities(self, kg):
+        frame = kg.entities("dbpo:Film", "film")
+        assert frame.columns == ["film"]
+
+    def test_feature_domain_range_variable_predicate(self, kg):
+        frame = kg.feature_domain_range("p", "s", "o")
+        assert frame.columns == ["s", "p", "o"]
+
+    def test_classes_and_freq_is_grouped(self, kg):
+        frame = kg.classes_and_freq()
+        assert isinstance(frame, GroupedRDFFrame)
+        assert "frequency" in frame.columns
+
+
+class TestLazyRecording:
+    def test_builders_are_immutable(self, movies):
+        before = len(movies.operators)
+        movies.filter({"actor": ["isURI"]})
+        assert len(movies.operators) == before
+
+    def test_branching_pipelines_share_prefix(self, movies):
+        cached = movies.cache()
+        branch_a = cached.filter({"actor": ["isURI"]})
+        branch_b = cached.group_by(["actor"]).count("movie", "n")
+        assert branch_a.operators[:len(cached.operators)] == cached.operators
+        assert branch_b.operators[:len(cached.operators)] == cached.operators
+
+    def test_operator_queue_is_fifo(self, movies):
+        frame = movies.expand("actor", [("dbpp:birthPlace", "country")]) \
+            .filter({"country": ["isURI"]})
+        names = [op.name for op in frame.operators]
+        assert names == ["seed", "expand", "filter"]
+
+    def test_no_execution_without_execute(self, kg, engine):
+        executed_before = engine.queries_executed
+        kg.feature_domain_range("dbpp:starring", "movie", "actor") \
+            .expand("actor", [("dbpp:birthPlace", "c")]) \
+            .filter({"c": ["isURI"]})
+        assert engine.queries_executed == executed_before
+
+
+class TestExpand:
+    def test_adds_column(self, movies):
+        frame = movies.expand("actor", [("dbpp:birthPlace", "country")])
+        assert frame.columns == ["movie", "actor", "country"]
+
+    def test_multiple_predicates_in_one_call(self, movies):
+        frame = movies.expand("actor", [("dbpp:birthPlace", "c"),
+                                        ("rdfs:label", "n")])
+        assert [op.name for op in frame.operators] == \
+            ["seed", "expand", "expand"]
+
+    def test_direction_flag(self, movies):
+        frame = movies.expand("actor", [("dbpp:starring", "m2", INCOMING)])
+        operator = frame.operators[-1]
+        assert operator.direction == "in"
+
+    def test_optional_flag(self, movies):
+        frame = movies.expand("movie", [("dbpo:genre", "g", OPTIONAL)])
+        assert frame.operators[-1].is_optional
+
+    def test_direction_and_optional_combined(self, movies):
+        frame = movies.expand("actor",
+                              [("dbpp:starring", "m2", INCOMING, OPTIONAL)])
+        operator = frame.operators[-1]
+        assert operator.direction == "in" and operator.is_optional
+
+    def test_unknown_source_column_rejected(self, movies):
+        with pytest.raises(RDFFrameError):
+            movies.expand("nope", [("dbpp:birthPlace", "c")])
+
+    def test_bad_spec_rejected(self, movies):
+        with pytest.raises(RDFFrameError):
+            movies.expand("actor", [("dbpp:birthPlace",)])
+
+    def test_unknown_flag_rejected(self, movies):
+        with pytest.raises(RDFFrameError):
+            movies.expand("actor", [("dbpp:birthPlace", "c", "sideways")])
+
+
+class TestFilter:
+    def test_dict_conditions(self, movies):
+        frame = movies.filter({"actor": ["isURI", "=dbpr:ActorA"]})
+        assert len(frame.operators[-1].conditions) == 2
+
+    def test_scalar_condition_allowed(self, movies):
+        frame = movies.filter({"actor": "=dbpr:ActorA"})
+        assert frame.operators[-1].conditions == [("actor", "=dbpr:ActorA")]
+
+    def test_pair_list_conditions(self, movies):
+        frame = movies.filter([("actor", "isURI")])
+        assert frame.operators[-1].conditions == [("actor", "isURI")]
+
+    def test_empty_filter_rejected(self, movies):
+        with pytest.raises(RDFFrameError):
+            movies.filter({})
+
+    def test_unknown_column_rejected(self, movies):
+        with pytest.raises(RDFFrameError):
+            movies.filter({"nope": [">=5"]})
+
+
+class TestGrouping:
+    def test_group_by_returns_grouped_frame(self, movies):
+        grouped = movies.group_by(["actor"])
+        assert isinstance(grouped, GroupedRDFFrame)
+
+    def test_group_by_accepts_string(self, movies):
+        assert movies.group_by("actor").columns == ["actor"]
+
+    def test_count_adds_column(self, movies):
+        grouped = movies.group_by(["actor"]).count("movie", "n")
+        assert grouped.columns == ["actor", "n"]
+
+    def test_count_unique_flag(self, movies):
+        grouped = movies.group_by(["actor"]).count("movie", "n", unique=True)
+        assert grouped.operators[-1].distinct
+
+    def test_aggregation_functions(self, movies):
+        grouped = movies.group_by(["actor"])
+        for method in ("sum", "average", "min", "max", "sample"):
+            out = getattr(grouped, method)("movie")
+            assert out.operators[-1].function in (
+                method, "average")
+
+    def test_default_alias(self, movies):
+        grouped = movies.group_by(["actor"]).sum("movie")
+        assert "movie_sum" in grouped.columns
+
+    def test_whole_frame_count(self, movies):
+        frame = movies.count("movie", "total", unique=True)
+        assert frame.columns == ["total"]
+        assert isinstance(frame.operators[-1], ops.AggregateAllOperator)
+
+    def test_whole_frame_aggregate(self, movies):
+        frame = movies.aggregate("max", "movie")
+        assert frame.columns == ["movie_max"]
+
+
+class TestJoinSortHead:
+    def test_join_merges_columns(self, kg, movies):
+        other = kg.seed("actor", "dbpp:birthPlace", "country")
+        joined = movies.join(other, "actor")
+        assert joined.columns == ["movie", "actor", "country"]
+
+    def test_join_type_shorthand(self, kg, movies):
+        other = kg.seed("actor", "dbpp:birthPlace", "country")
+        joined = movies.join(other, "actor", OuterJoin)
+        assert joined.operators[-1].join_type == "outer"
+
+    def test_join_new_column_rename(self, kg, movies):
+        other = kg.seed("person", "dbpp:birthPlace", "country")
+        joined = movies.join(other, "actor", other_column="person",
+                             new_column="who")
+        assert "who" in joined.columns
+        assert "actor" not in joined.columns
+        assert "person" not in joined.columns
+
+    def test_join_unknown_column_rejected(self, kg, movies):
+        other = kg.seed("actor", "dbpp:birthPlace", "country")
+        with pytest.raises(RDFFrameError):
+            movies.join(other, "nope")
+
+    def test_join_bad_type_rejected(self, kg, movies):
+        other = kg.seed("actor", "dbpp:birthPlace", "country")
+        with pytest.raises(ValueError):
+            movies.join(other, "actor", join_type="cross")
+
+    def test_sort_dict_and_pairs(self, movies):
+        assert movies.sort({"movie": "asc"}).operators[-1].keys == \
+            [("movie", "asc")]
+        assert movies.sort([("movie", "DESC")]).operators[-1].keys == \
+            [("movie", "desc")]
+
+    def test_sort_bad_order_rejected(self, movies):
+        with pytest.raises(ValueError):
+            movies.sort({"movie": "upwards"})
+
+    def test_head(self, movies):
+        frame = movies.head(10, 5)
+        assert frame.operators[-1].limit == 10
+        assert frame.operators[-1].offset == 5
+
+    def test_head_negative_rejected(self, movies):
+        with pytest.raises(ValueError):
+            movies.head(-1)
+
+    def test_select_cols(self, movies):
+        frame = movies.select_cols(["movie"])
+        assert frame.columns == ["movie"]
+
+    def test_select_unknown_rejected(self, movies):
+        with pytest.raises(RDFFrameError):
+            movies.select_cols(["nope"])
+
+    def test_cache_is_noop_marker(self, movies):
+        assert movies.cache().columns == movies.columns
+
+    def test_repr(self, movies):
+        assert "RDFFrame" in repr(movies)

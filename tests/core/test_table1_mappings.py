@@ -1,0 +1,137 @@
+"""Table 1 of the paper: each RDFFrames operator maps to its SPARQL pattern.
+
+These tests verify, operator by operator, that query generation emits the
+pattern Table 1 specifies, by checking both the generated SPARQL text and
+the result's semantics against a reference evaluation.
+"""
+
+import pytest
+
+from repro.core import (INCOMING, InnerJoin, KnowledgeGraph, LeftOuterJoin,
+                        OPTIONAL, OuterJoin, RightOuterJoin)
+
+
+@pytest.fixture
+def movies(kg):
+    return kg.feature_domain_range("dbpp:starring", "movie", "actor")
+
+
+class TestTable1:
+    def test_seed_maps_to_triple_pattern(self, movies):
+        # seed(col1, col2, col3) -> Project(Var(t), t)
+        text = movies.to_sparql()
+        assert "?movie dbpp:starring ?actor ." in text
+
+    def test_expand_out_false_maps_to_join(self, movies):
+        # expand(x, pred, y, out, false) -> P Join (?x, pred, ?y)
+        text = movies.expand("actor", [("dbpp:birthPlace", "c")]).to_sparql()
+        assert "?actor dbpp:birthPlace ?c ." in text
+        assert "OPTIONAL" not in text
+
+    def test_expand_in_false_maps_to_reversed_join(self, movies):
+        # expand(x, pred, y, in, false) -> P Join (?y, pred, ?x)
+        frame = movies.group_by(["actor"]).count("movie", "n") \
+            .expand("actor", [("dbpp:starring", "m2", INCOMING)])
+        assert "?m2 dbpp:starring ?actor ." in frame.to_sparql()
+
+    def test_expand_out_true_maps_to_left_join(self, movies):
+        # expand(x, pred, y, out, true) -> P LeftJoin (?x, pred, ?y)
+        text = movies.expand("movie", [("dbpo:genre", "g", OPTIONAL)]) \
+            .to_sparql()
+        assert "OPTIONAL" in text
+        assert "?movie dbpo:genre ?g ." in text
+
+    def test_expand_in_true_maps_to_left_join_reversed(self, movies):
+        frame = movies.expand("actor",
+                              [("dbpp:starring", "m2", INCOMING, OPTIONAL)])
+        text = frame.to_sparql()
+        assert "OPTIONAL" in text
+        assert "?m2 dbpp:starring ?actor ." in text
+
+    def test_filter_maps_to_filter(self, movies):
+        text = movies.filter({"actor": ["=dbpr:ActorA"]}).to_sparql()
+        assert "FILTER ( ?actor = dbpr:ActorA )" in text
+
+    def test_select_cols_maps_to_project(self, movies):
+        text = movies.select_cols(["movie"]).to_sparql()
+        assert "SELECT ?movie" in text
+
+    def test_groupby_aggregation_maps_to_group_project(self, movies):
+        text = movies.group_by(["actor"]).count("movie", "n").to_sparql()
+        assert "SELECT ?actor (COUNT(?movie) AS ?n)" in text
+        assert "GROUP BY ?actor" in text
+
+    def test_aggregate_maps_to_implicit_group(self, movies):
+        text = movies.count("movie", "total", unique=True).to_sparql()
+        assert "SELECT (COUNT(DISTINCT ?movie) AS ?total)" in text
+        assert "GROUP BY" not in text
+
+    def test_inner_join_maps_to_join(self, kg, movies):
+        other = kg.seed("actor", "dbpp:birthPlace", "c")
+        text = movies.join(other, "actor", InnerJoin).to_sparql()
+        assert "?movie dbpp:starring ?actor ." in text
+        assert "?actor dbpp:birthPlace ?c ." in text
+
+    def test_left_outer_join_maps_to_optional(self, kg, movies):
+        other = kg.seed("actor", "dbpp:academyAward", "award")
+        text = movies.join(other, "actor", LeftOuterJoin).to_sparql()
+        assert "OPTIONAL" in text
+
+    def test_right_outer_join_maps_to_flipped_optional(self, kg, movies):
+        other = kg.seed("actor", "dbpp:academyAward", "award")
+        text = movies.join(other, "actor", RightOuterJoin).to_sparql()
+        # the movies pattern is optional, the awards pattern mandatory
+        optional_part = text[text.index("OPTIONAL"):]
+        assert "dbpp:starring" in optional_part
+
+    def test_full_outer_join_maps_to_union_of_optionals(self, kg, movies):
+        other = kg.seed("actor", "dbpp:birthPlace", "c")
+        text = movies.join(other, "actor", OuterJoin).to_sparql()
+        assert "UNION" in text
+        assert text.count("OPTIONAL") == 2
+
+
+class TestSemanticEquivalence:
+    """Definition 6: the dataframe equals the evaluation of F(O_D)."""
+
+    def test_seed_semantics(self, movies, client):
+        df = movies.execute(client)
+        reference = client.execute(
+            "SELECT ?movie ?actor FROM <http://dbpedia.org> "
+            "WHERE { ?movie <http://dbpedia.org/property/starring> ?actor }")
+        assert df.equals_bag(reference)
+
+    def test_expand_join_semantics(self, movies, client):
+        df = movies.expand("actor", [("dbpp:birthPlace", "c")]) \
+            .execute(client)
+        # every row must satisfy both triples
+        for row in df.iter_dicts():
+            assert row["c"] is not None
+
+    def test_expand_optional_semantics(self, movies, client):
+        df = movies.expand("movie", [("dbpo:genre", "g", OPTIONAL)]) \
+            .execute(client)
+        plain = movies.execute(client)
+        assert len(df) == len(plain)  # LeftJoin preserves cardinality here
+        assert any(v is None for v in df.column("g"))
+
+    def test_filter_semantics(self, movies, client):
+        df = movies.filter({"actor": ["=dbpr:ActorA"]}).execute(client)
+        assert set(df.column("actor")) == \
+            {"http://dbpedia.org/resource/ActorA"}
+
+    def test_group_semantics(self, movies, client):
+        df = movies.group_by(["actor"]).count("movie", "n").execute(client)
+        counts = dict(df.to_records())
+        assert counts["http://dbpedia.org/resource/ActorA"] == 5
+        assert counts["http://dbpedia.org/resource/ActorB"] == 2
+
+    def test_full_outer_join_semantics(self, kg, client):
+        # actors with awards FULL OUTER JOIN actors with genre movies
+        awards = kg.seed("actor", "dbpp:academyAward", "award")
+        births = kg.seed("actor", "dbpp:birthPlace", "country")
+        df = awards.join(births, "actor", OuterJoin).execute(client)
+        actors = set(df.column("actor"))
+        # all actors with either an award or a birthplace appear
+        assert "http://dbpedia.org/resource/ActorB" in actors  # birth only
+        assert "http://dbpedia.org/resource/ActorA" in actors  # both

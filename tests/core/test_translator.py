@@ -1,0 +1,171 @@
+"""Unit tests for query-model -> SPARQL translation and validation."""
+
+import pytest
+
+from repro.core import OPTIONAL, InnerJoin
+from repro.core.query_model import Aggregation, OptionalBlock, QueryModel
+from repro.core.translator import TranslationError, translate
+from repro.sparql.parser import parse
+
+
+class TestBasicRendering:
+    def test_minimal_query(self, kg):
+        frame = kg.feature_domain_range("dbpp:starring", "movie", "actor")
+        text = frame.to_sparql()
+        assert "SELECT *" in text
+        assert "FROM <http://dbpedia.org>" in text
+        assert "?movie dbpp:starring ?actor ." in text
+
+    def test_prefixes_only_when_used(self, kg):
+        text = kg.feature_domain_range("dbpp:starring", "m", "a").to_sparql()
+        assert "PREFIX dbpp:" in text
+        assert "PREFIX swrc:" not in text
+
+    def test_filter_rendering(self, kg):
+        frame = kg.feature_domain_range("dbpp:starring", "m", "a") \
+            .filter({"a": ["=dbpr:ActorA"]})
+        assert "FILTER ( ?a = dbpr:ActorA )" in frame.to_sparql()
+
+    def test_optional_rendering(self, kg):
+        frame = kg.feature_domain_range("dbpp:starring", "m", "a") \
+            .expand("m", [("dbpo:genre", "g", OPTIONAL)])
+        text = frame.to_sparql()
+        assert "OPTIONAL {" in text
+        assert "?m dbpo:genre ?g ." in text
+
+    def test_group_rendering_matches_paper_listing2(self, kg):
+        frame = kg.feature_domain_range("dbpp:starring", "movie", "actor") \
+            .group_by(["actor"]).count("movie", "movie_count", unique=True) \
+            .filter({"movie_count": [">=50"]})
+        text = frame.to_sparql()
+        assert "SELECT ?actor (COUNT(DISTINCT ?movie) AS ?movie_count)" in text
+        assert "GROUP BY ?actor" in text
+        assert "HAVING ( COUNT(DISTINCT ?movie) >= 50 )" in text
+
+    def test_modifier_rendering(self, kg):
+        frame = kg.entities("dbpo:Film", "film") \
+            .sort({"film": "desc"}).head(7, 3)
+        text = frame.to_sparql()
+        assert "ORDER BY DESC(?film)" in text
+        assert "LIMIT 7" in text
+        assert "OFFSET 3" in text
+
+    def test_subquery_rendering(self, kg):
+        movies = kg.feature_domain_range("dbpp:starring", "movie", "actor")
+        counts = movies.group_by(["actor"]).count("movie", "n")
+        text = movies.join(counts, "actor", InnerJoin).to_sparql()
+        # nested SELECT inside braces
+        assert text.count("SELECT") == 2
+        inner = text[text.index("{"):]
+        assert "GROUP BY ?actor" in inner
+
+    def test_union_rendering(self, kg):
+        from repro.core import OuterJoin
+        left = kg.entities("dbpo:Film", "film")
+        right = kg.seed("film", "dbpo:genre", "genre")
+        text = left.join(right, "film", OuterJoin).to_sparql()
+        assert "UNION" in text
+        assert text.count("OPTIONAL") == 2
+
+    def test_graph_scoped_rendering(self, kg):
+        from repro.core import KnowledgeGraph
+        yago = KnowledgeGraph(graph_uri="http://yago-knowledge.org")
+        frame = kg.entities("dbpo:Actor", "actor") \
+            .join(yago.entities("yago:Actor", "actor"), "actor", InnerJoin)
+        text = frame.to_sparql()
+        assert "GRAPH <http://dbpedia.org>" in text
+        assert "GRAPH <http://yago-knowledge.org>" in text
+
+
+class TestValidation:
+    def test_generated_queries_parse(self, kg):
+        frame = kg.feature_domain_range("dbpp:starring", "movie", "actor") \
+            .expand("movie", [("dbpo:genre", "g", OPTIONAL)]) \
+            .group_by(["actor"]).count("movie", "n") \
+            .filter({"n": [">=2"]})
+        parse(frame.to_sparql())  # should not raise
+
+    def test_validation_catches_missing_columns(self):
+        model = QueryModel()
+        model.add_triple("?s", "<http://x/p>", "?o")
+        model.select_columns = ["s", "ghost"]
+        with pytest.raises(TranslationError):
+            translate(model)
+
+    def test_validation_can_be_disabled(self):
+        model = QueryModel()
+        model.add_triple("?s", "<http://x/p>", "?o")
+        model.select_columns = ["s", "ghost"]
+        text = translate(model, validate=False)
+        assert "?ghost" in text
+
+    def test_invalid_syntax_reported(self):
+        model = QueryModel()
+        model.add_triple("?s", "<http://x/p>", "?o")
+        model.add_filter("?o >=")  # malformed expression
+        with pytest.raises(TranslationError):
+            translate(model)
+
+
+class TestQueryModelUnits:
+    def test_visible_columns_flat(self):
+        model = QueryModel()
+        model.add_triple("?a", "<http://x/p>", "?b")
+        assert model.visible_columns() == ["a", "b"]
+
+    def test_visible_columns_grouped(self):
+        model = QueryModel()
+        model.add_triple("?a", "<http://x/p>", "?b")
+        model.set_aggregation(["a"], Aggregation("count", "b", "n"))
+        assert model.visible_columns() == ["a", "n"]
+
+    def test_rename_column_recurses(self):
+        model = QueryModel()
+        model.add_triple("?a", "<http://x/p>", "?b")
+        model.add_filter("?a >= 5")
+        block = OptionalBlock()
+        block.triples.append(("?a", "<http://x/q>", "?c"))
+        model.add_optional(block)
+        inner = QueryModel()
+        inner.add_triple("?a", "<http://x/r>", "?d")
+        model.add_subquery(inner)
+        model.rename_column("a", "z")
+        assert model.triples == [("?z", "<http://x/p>", "?b")]
+        assert model.filters == ["?z >= 5"]
+        assert model.optionals[0].triples[0][0] == "?z"
+        assert model.subqueries[0].triples[0][0] == "?z"
+
+    def test_rename_does_not_touch_prefixed_names(self):
+        model = QueryModel()
+        model.add_triple("?a", "<http://x/p>", "?ab")
+        model.rename_column("a", "z")
+        assert model.triples == [("?z", "<http://x/p>", "?ab")]
+
+    def test_wrap_moves_from_graphs_to_outer(self):
+        model = QueryModel()
+        model.add_graph("http://g")
+        model.add_triple("?a", "<http://x/p>", "?b")
+        outer = model.wrap()
+        assert outer.from_graphs == ["http://g"]
+        assert outer.subqueries[0].from_graphs == []
+
+    def test_copy_is_deep(self):
+        model = QueryModel()
+        model.add_triple("?a", "<http://x/p>", "?b")
+        clone = model.copy()
+        clone.add_triple("?c", "<http://x/q>", "?d")
+        assert len(model.triples) == 1
+
+    def test_as_optional_block_rejects_grouped(self):
+        model = QueryModel()
+        model.set_aggregation(["a"], Aggregation("count", "b", "n"))
+        with pytest.raises(ValueError):
+            model.as_optional_block()
+
+    def test_aggregation_sparql_forms(self):
+        assert Aggregation("count", "m", "n", True).to_sparql() == \
+            "(COUNT(DISTINCT ?m) AS ?n)"
+        assert Aggregation("average", "m", "n").to_sparql() == \
+            "(AVG(?m) AS ?n)"
+        assert Aggregation("count", None, "n").to_sparql() == \
+            "(COUNT(*) AS ?n)"

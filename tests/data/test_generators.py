@@ -1,0 +1,162 @@
+"""Tests for the synthetic knowledge-graph generators."""
+
+import pytest
+
+from repro.data import (DBLP_URI, DBPEDIA_URI, YAGO_URI, build_dataset,
+                        clear_cache, generate_dblp, generate_dbpedia,
+                        generate_yago)
+from repro.rdf import DBPO, DBPP, DBPR, DC, DCTERMS, RDF, SWRC, YAGO
+from repro.rdf.terms import Literal, URIRef
+
+
+SCALE = 0.1
+
+
+@pytest.fixture(scope="module")
+def dbpedia():
+    return generate_dbpedia(scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def dblp():
+    return generate_dblp(scale=SCALE)
+
+
+class TestDeterminism:
+    def test_dbpedia_deterministic(self):
+        a = generate_dbpedia(scale=0.05, seed=1)
+        b = generate_dbpedia(scale=0.05, seed=1)
+        assert set(a.triples()) == set(b.triples())
+
+    def test_different_seeds_differ(self):
+        a = generate_dbpedia(scale=0.05, seed=1)
+        b = generate_dbpedia(scale=0.05, seed=2)
+        assert set(a.triples()) != set(b.triples())
+
+    def test_dblp_deterministic(self):
+        a = generate_dblp(scale=0.05, seed=1)
+        b = generate_dblp(scale=0.05, seed=1)
+        assert set(a.triples()) == set(b.triples())
+
+
+class TestDbpediaSchema:
+    def test_graph_uri(self, dbpedia):
+        assert dbpedia.uri == DBPEDIA_URI
+
+    def test_expected_classes_present(self, dbpedia):
+        classes = dbpedia.classes()
+        for cls in (DBPO.Film, DBPO.Actor, DBPO.BasketballPlayer,
+                    DBPO.BasketballTeam, DBPO.Athlete, DBPO.Book,
+                    DBPO.Writer):
+            assert classes.get(cls, 0) > 0, cls
+
+    def test_starring_is_multivalued_and_skewed(self, dbpedia):
+        counts = {}
+        for _, _, actor in dbpedia.triples(None, DBPP.starring, None):
+            counts[actor] = counts.get(actor, 0) + 1
+        values = sorted(counts.values(), reverse=True)
+        assert values[0] >= 5 * values[len(values) // 2]  # heavy skew
+
+    def test_every_film_has_mandatory_attributes(self, dbpedia):
+        films = list(dbpedia.subjects(DBPP.studio))
+        for film in films[:50]:
+            assert dbpedia.count(film, DBPP.country) == 1
+            assert dbpedia.count(film, DBPO.language) == 1
+            assert dbpedia.count(film, DBPO.runtime) == 1
+
+    def test_genre_is_optional(self, dbpedia):
+        films = [s for s, _, o in dbpedia.triples(None, RDF.type, None)
+                 if o == DBPO.Film]
+        with_genre = sum(1 for f in films if dbpedia.count(f, DBPO.genre))
+        assert 0 < with_genre < len(films)
+
+    def test_actor_birthplace_single_valued(self, dbpedia):
+        actors = [s for s, _, o in dbpedia.triples(None, RDF.type, None)
+                  if o == DBPO.Actor]
+        for actor in actors[:50]:
+            assert dbpedia.count(actor, DBPP.birthPlace) == 1
+
+    def test_united_states_is_common_birthplace(self, dbpedia):
+        total = dbpedia.count(None, DBPP.birthPlace, None)
+        usa = dbpedia.count(None, DBPP.birthPlace, DBPR.United_States)
+        assert usa / total > 0.2
+
+    def test_scale_parameter(self):
+        small = generate_dbpedia(scale=0.05)
+        large = generate_dbpedia(scale=0.2)
+        assert len(large) > len(small)
+
+
+class TestDblpSchema:
+    def test_graph_uri(self, dblp):
+        assert dblp.uri == DBLP_URI
+
+    def test_papers_have_full_schema(self, dblp):
+        papers = [s for s, _, o in dblp.triples(None, RDF.type, None)
+                  if o == SWRC.InProceedings]
+        assert papers
+        for paper in papers[:50]:
+            assert dblp.count(paper, DC.creator) >= 1
+            assert dblp.count(paper, DCTERMS.issued) == 1
+            assert dblp.count(paper, SWRC.series) == 1
+            assert dblp.count(paper, DC.title) == 1
+
+    def test_dates_are_iso(self, dblp):
+        for _, _, date in list(dblp.triples(None, DCTERMS.issued, None))[:20]:
+            assert isinstance(date, Literal)
+            year = int(date.lexical[:4])
+            assert 1990 <= year <= 2020
+
+    def test_core_authors_are_prolific_in_sigmod_vldb(self, dblp):
+        from repro.rdf import DBLPRC
+        target = {DBLPRC.vldb, DBLPRC.sigmod}
+        by_author = {}
+        for paper, _, conf in dblp.triples(None, SWRC.series, None):
+            if conf in target:
+                for _, _, author in dblp.triples(paper, DC.creator, None):
+                    by_author[author] = by_author.get(author, 0) + 1
+        assert max(by_author.values()) >= 20
+
+    def test_titles_use_topic_vocabulary(self, dblp):
+        from repro.data import TOPICS
+        vocabulary = {w for words in TOPICS.values() for w in words}
+        titles = [str(o) for _, _, o in list(
+            dblp.triples(None, DC.title, None))[:30]]
+        for title in titles:
+            words = set(title.lower().split())
+            assert words & vocabulary
+
+
+class TestYago:
+    def test_shares_actor_uris_with_dbpedia(self):
+        yago = generate_yago(scale=SCALE)
+        shared = [s for s, _, o in yago.triples(None, RDF.type, YAGO.Actor)
+                  if str(s).startswith(str(DBPR.base))]
+        assert shared
+
+    def test_has_yago_only_actors(self):
+        yago = generate_yago(scale=SCALE)
+        own = [s for s, _, o in yago.triples(None, RDF.type, YAGO.Actor)
+               if str(s).startswith(str(YAGO.base))]
+        assert own
+
+
+class TestLoader:
+    def test_build_dataset_contains_three_graphs(self):
+        ds = build_dataset(scale=SCALE)
+        assert set(ds.uris()) == {DBPEDIA_URI, DBLP_URI, YAGO_URI}
+
+    def test_cache_returns_same_object(self):
+        a = build_dataset(scale=SCALE)
+        b = build_dataset(scale=SCALE)
+        assert a is b
+
+    def test_cache_cleared(self):
+        a = build_dataset(scale=SCALE)
+        clear_cache()
+        b = build_dataset(scale=SCALE)
+        assert a is not b
+
+    def test_no_yago_option(self):
+        ds = build_dataset(scale=SCALE, include_yago=False, use_cache=False)
+        assert YAGO_URI not in ds

@@ -1,0 +1,295 @@
+"""Unit tests for the columnar DataFrame."""
+
+import io
+
+import pytest
+
+from repro.dataframe import DataFrame, DataFrameError
+
+
+@pytest.fixture
+def people():
+    return DataFrame({
+        "name": ["ann", "bob", "cid", "dee"],
+        "age": [30, 25, 30, None],
+        "city": ["doha", "berlin", "doha", "paris"],
+    })
+
+
+class TestConstruction:
+    def test_from_columns(self, people):
+        assert len(people) == 4
+        assert people.columns == ["name", "age", "city"]
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(DataFrameError):
+            DataFrame({"a": [1, 2], "b": [1]})
+
+    def test_from_records(self):
+        df = DataFrame.from_records([(1, "x"), (2, "y")], columns=["n", "s"])
+        assert df.column("n") == [1, 2]
+
+    def test_from_records_length_mismatch(self):
+        with pytest.raises(DataFrameError):
+            DataFrame.from_records([(1,)], columns=["a", "b"])
+
+    def test_from_dicts_missing_keys(self):
+        df = DataFrame.from_dicts([{"a": 1}, {"a": 2, "b": 3}])
+        assert df.column("b") == [None, 3]
+
+    def test_empty_frame(self):
+        df = DataFrame()
+        assert len(df) == 0
+        assert df.empty
+
+    def test_columns_only(self):
+        df = DataFrame(columns=["a", "b"])
+        assert df.columns == ["a", "b"]
+        assert len(df) == 0
+
+    def test_explicit_column_order(self):
+        df = DataFrame({"b": [1], "a": [2]}, columns=["a", "b"])
+        assert df.columns == ["a", "b"]
+
+    def test_missing_declared_column(self):
+        with pytest.raises(DataFrameError):
+            DataFrame({"a": [1]}, columns=["a", "b"])
+
+
+class TestAccess:
+    def test_column_access(self, people):
+        assert people["name"][0] == "ann"
+
+    def test_unknown_column_raises(self, people):
+        with pytest.raises(DataFrameError):
+            people.column("nope")
+
+    def test_row(self, people):
+        assert people.row(1) == ("bob", 25, "berlin")
+
+    def test_iter_dicts(self, people):
+        first = next(people.iter_dicts())
+        assert first == {"name": "ann", "age": 30, "city": "doha"}
+
+    def test_contains(self, people):
+        assert "name" in people
+        assert "nope" not in people
+
+
+class TestRelationalOps:
+    def test_select(self, people):
+        df = people.select(["city", "name"])
+        assert df.columns == ["city", "name"]
+
+    def test_select_unknown_column(self, people):
+        with pytest.raises(DataFrameError):
+            people.select(["nope"])
+
+    def test_rename(self, people):
+        df = people.rename({"name": "person"})
+        assert "person" in df.columns and "name" not in df.columns
+
+    def test_rename_collision_rejected(self, people):
+        with pytest.raises(DataFrameError):
+            people.rename({"name": "age"})
+
+    def test_filter_mask(self, people):
+        df = people.filter_mask([True, False, True, False])
+        assert df.column("name") == ["ann", "cid"]
+
+    def test_filter_mask_wrong_length(self, people):
+        with pytest.raises(DataFrameError):
+            people.filter_mask([True])
+
+    def test_filter_predicate(self, people):
+        df = people.filter(lambda row: row["city"] == "doha")
+        assert len(df) == 2
+
+    def test_filter_eq(self, people):
+        assert len(people.filter_eq("age", 30)) == 2
+
+    def test_dropna(self, people):
+        assert len(people.dropna(["age"])) == 3
+
+    def test_dropna_all_columns(self, people):
+        assert len(people.dropna()) == 3
+
+    def test_assign_new_column(self, people):
+        df = people.assign("tag", list("wxyz"))
+        assert df.columns[-1] == "tag"
+        # original untouched
+        assert "tag" not in people.columns
+
+    def test_assign_replaces(self, people):
+        df = people.assign("age", [1, 2, 3, 4])
+        assert df.column("age") == [1, 2, 3, 4]
+        assert df.columns == people.columns
+
+    def test_distinct(self):
+        df = DataFrame({"a": [1, 1, 2, 1]})
+        assert df.distinct().column("a") == [1, 2]
+
+    def test_head(self, people):
+        assert people.head(2).column("name") == ["ann", "bob"]
+        assert people.head(2, offset=1).column("name") == ["bob", "cid"]
+
+    def test_concat_aligns_columns(self):
+        a = DataFrame({"x": [1]})
+        b = DataFrame({"x": [2], "y": ["v"]})
+        joined = a.concat(b)
+        assert joined.column("y") == [None, "v"]
+        assert len(joined) == 2
+
+
+class TestSort:
+    def test_sort_ascending(self, people):
+        df = people.sort("name")
+        assert df.column("name") == ["ann", "bob", "cid", "dee"]
+
+    def test_sort_descending(self, people):
+        df = people.sort("name", ascending=False)
+        assert df.column("name")[0] == "dee"
+
+    def test_none_sorts_last_both_directions(self, people):
+        assert people.sort("age").column("name")[-1] == "dee"
+        assert people.sort("age", ascending=False).column("name")[-1] == "dee"
+
+    def test_multi_key_sort(self):
+        df = DataFrame({"a": [1, 1, 2], "b": [2, 1, 0]})
+        out = df.sort([("a", "asc"), ("b", "desc")])
+        assert out.to_records() == [(1, 2), (1, 1), (2, 0)]
+
+    def test_sort_mixed_types(self):
+        df = DataFrame({"v": ["b", 2, None, 1, "a"]})
+        assert df.sort("v").column("v") == [1, 2, "a", "b", None]
+
+
+class TestMerge:
+    def test_inner(self):
+        left = DataFrame({"k": [1, 2, 3], "l": ["a", "b", "c"]})
+        right = DataFrame({"k": [2, 3, 4], "r": ["x", "y", "z"]})
+        out = left.merge(right, "k", "k")
+        assert out.to_records() == [(2, "b", "x"), (3, "c", "y")]
+
+    def test_left(self):
+        left = DataFrame({"k": [1, 2], "l": ["a", "b"]})
+        right = DataFrame({"k": [2], "r": ["x"]})
+        out = left.merge(right, "k", "k", how="left")
+        assert out.to_records() == [(1, "a", None), (2, "b", "x")]
+
+    def test_right(self):
+        left = DataFrame({"k": [2], "l": ["a"]})
+        right = DataFrame({"k": [1, 2], "r": ["x", "y"]})
+        out = left.merge(right, "k", "k", how="right")
+        assert sorted(out.column("k")) == [1, 2]
+
+    def test_outer(self):
+        left = DataFrame({"k": [1, 2], "l": ["a", "b"]})
+        right = DataFrame({"k": [2, 3], "r": ["x", "y"]})
+        out = left.merge(right, "k", "k", how="outer")
+        assert sorted(v for v in out.column("k")) == [1, 2, 3]
+
+    def test_different_key_names(self):
+        left = DataFrame({"a": [1], "l": ["v"]})
+        right = DataFrame({"b": [1], "r": ["w"]})
+        out = left.merge(right, "a", "b")
+        assert out.columns == ["a", "l", "r"]
+
+    def test_duplicate_keys_multiply(self):
+        left = DataFrame({"k": [1, 1]})
+        right = DataFrame({"k": [1, 1], "r": ["x", "y"]})
+        assert len(left.merge(right, "k", "k")) == 4
+
+    def test_none_keys_do_not_match(self):
+        left = DataFrame({"k": [None, 1]})
+        right = DataFrame({"k": [None, 1], "r": ["x", "y"]})
+        out = left.merge(right, "k", "k")
+        assert len(out) == 1
+
+    def test_unknown_join_type(self):
+        df = DataFrame({"k": [1]})
+        with pytest.raises(DataFrameError):
+            df.merge(df, "k", "k", how="sideways")
+
+
+class TestGroupBy:
+    def test_count(self, people):
+        out = people.groupby("city").agg("count", "name")
+        by_city = dict(out.to_records())
+        assert by_city == {"doha": 2, "berlin": 1, "paris": 1}
+
+    def test_count_skips_none(self, people):
+        out = people.groupby("city").agg("count", "age")
+        assert dict(out.to_records())["paris"] == 0
+
+    def test_count_unique(self):
+        df = DataFrame({"g": ["a", "a", "a"], "v": [1, 1, 2]})
+        out = df.groupby("g").agg("count", "v", unique=True)
+        assert out.to_records() == [("a", 2)]
+
+    def test_sum_min_max_mean(self):
+        df = DataFrame({"g": ["a", "a", "b"], "v": [1, 3, 5]})
+        assert dict(df.groupby("g").agg("sum", "v").to_records()) == \
+            {"a": 4, "b": 5}
+        assert dict(df.groupby("g").agg("min", "v").to_records())["a"] == 1
+        assert dict(df.groupby("g").agg("max", "v").to_records())["a"] == 3
+        assert dict(df.groupby("g").agg("average", "v").to_records())["a"] == 2
+
+    def test_multi_column_groupby(self):
+        df = DataFrame({"a": [1, 1, 2], "b": ["x", "x", "y"], "v": [1, 1, 1]})
+        out = df.groupby(["a", "b"]).agg("count", "v")
+        assert len(out) == 2
+
+    def test_size(self, people):
+        out = people.groupby("city").size()
+        assert dict(out.to_records())["doha"] == 2
+
+    def test_unknown_aggregate(self, people):
+        with pytest.raises(DataFrameError):
+            people.groupby("city").agg("median", "age")
+
+    def test_whole_frame_aggregate(self, people):
+        assert people.aggregate("count", "age") == 3
+        assert people.aggregate("max", "age") == 30
+
+
+class TestCsv:
+    def test_round_trip(self, people):
+        text = people.to_csv()
+        back = DataFrame.read_csv(io.StringIO(text))
+        assert back.equals_bag(people)
+
+    def test_none_becomes_empty_cell(self, people):
+        assert ",," in people.to_csv() or ",\n" in people.to_csv()
+
+    def test_read_parses_numbers(self):
+        back = DataFrame.read_csv(io.StringIO("a,b\n1,2.5\n"))
+        assert back.row(0) == (1, 2.5)
+
+    def test_file_round_trip(self, people, tmp_path):
+        path = str(tmp_path / "out.csv")
+        people.to_csv(path)
+        assert DataFrame.read_csv(path).equals_bag(people)
+
+    def test_empty_csv(self):
+        assert len(DataFrame.read_csv(io.StringIO(""))) == 0
+
+
+class TestEquality:
+    def test_bag_equality_ignores_order(self):
+        a = DataFrame({"x": [1, 2], "y": ["a", "b"]})
+        b = DataFrame({"y": ["b", "a"], "x": [2, 1]})
+        assert a.equals_bag(b)
+
+    def test_bag_equality_respects_multiplicity(self):
+        a = DataFrame({"x": [1, 1]})
+        b = DataFrame({"x": [1]})
+        assert not a.equals_bag(b)
+
+    def test_bag_equality_different_columns(self):
+        assert not DataFrame({"x": [1]}).equals_bag(DataFrame({"y": [1]}))
+
+    def test_strict_equality(self):
+        a = DataFrame({"x": [1]})
+        assert a == DataFrame({"x": [1]})
+        assert a != DataFrame({"x": [2]})

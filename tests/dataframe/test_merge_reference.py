@@ -1,0 +1,82 @@
+"""Property tests: DataFrame.merge against brute-force reference joins.
+
+The client-side baselines rely on these join semantics to replicate SPARQL
+results exactly, so they get their own reference-model check.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dataframe import DataFrame
+
+_keys = st.one_of(st.none(), st.integers(min_value=0, max_value=4))
+_payload = st.sampled_from(["x", "y", "z"])
+
+
+def frame_from(rows, value_col):
+    return DataFrame.from_records(rows, columns=["k", value_col])
+
+
+_left_frames = st.lists(st.tuples(_keys, _payload), max_size=15).map(
+    lambda rows: frame_from(rows, "l"))
+_right_frames = st.lists(st.tuples(_keys, _payload), max_size=15).map(
+    lambda rows: frame_from(rows, "r"))
+
+
+def reference_merge(left, right, how):
+    left_rows = list(left.iter_dicts())
+    right_rows = list(right.iter_dicts())
+    out = []
+    matched_right = set()
+    for lrow in left_rows:
+        hits = [j for j, rrow in enumerate(right_rows)
+                if lrow["k"] is not None and rrow["k"] == lrow["k"]]
+        if hits:
+            for j in hits:
+                matched_right.add(j)
+                merged = dict(lrow)
+                merged["r"] = right_rows[j]["r"]
+                out.append(merged)
+        elif how in ("left", "outer"):
+            out.append({"k": lrow["k"], "l": lrow["l"], "r": None})
+    if how == "outer":
+        for j, rrow in enumerate(right_rows):
+            if j not in matched_right:
+                out.append({"k": rrow["k"], "l": None, "r": rrow["r"]})
+    return out
+
+
+def as_bag(rows):
+    return sorted(repr((row.get("k"), row.get("l"), row.get("r")))
+                  for row in rows)
+
+
+@settings(max_examples=80, deadline=None)
+@given(_left_frames, _right_frames)
+def test_inner_merge_matches_reference(left, right):
+    out = left.merge(right, "k", "k", how="inner")
+    assert as_bag(list(out.iter_dicts())) == \
+        as_bag(reference_merge(left, right, "inner"))
+
+
+@settings(max_examples=80, deadline=None)
+@given(_left_frames, _right_frames)
+def test_left_merge_matches_reference(left, right):
+    out = left.merge(right, "k", "k", how="left")
+    assert as_bag(list(out.iter_dicts())) == \
+        as_bag(reference_merge(left, right, "left"))
+
+
+@settings(max_examples=80, deadline=None)
+@given(_left_frames, _right_frames)
+def test_outer_merge_matches_reference(left, right):
+    out = left.merge(right, "k", "k", how="outer")
+    assert as_bag(list(out.iter_dicts())) == \
+        as_bag(reference_merge(left, right, "outer"))
+
+
+@settings(max_examples=60, deadline=None)
+@given(_left_frames, _right_frames)
+def test_right_merge_is_flipped_left(left, right):
+    flipped = right.merge(left, "k", "k", how="left")
+    out = left.merge(right, "k", "k", how="right")
+    assert as_bag(list(out.iter_dicts())) == as_bag(list(flipped.iter_dicts()))

@@ -1,0 +1,137 @@
+"""End-to-end integration tests: full pipelines over the HTTP path.
+
+These exercise the complete stack the paper describes: RDFFrames API ->
+query generation -> SPARQL text -> simulated endpoint (JSON + pagination)
+-> paginating client -> dataframe -> downstream ML.
+"""
+
+import pytest
+
+from repro.client import EngineClient, FlakyEndpoint, HttpClient
+from repro.core import KnowledgeGraph, OPTIONAL
+from repro.data import DBLP_URI, DBPEDIA_URI, build_dataset
+from repro.sparql import Endpoint, Engine
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset(scale=0.1)
+
+
+@pytest.fixture(scope="module")
+def engine(dataset):
+    return Engine(dataset)
+
+
+class TestHttpPipeline:
+    def test_pagination_transparent_to_user(self, engine):
+        """A query whose result far exceeds the endpoint page cap returns
+        one complete dataframe (Section 4.3)."""
+        endpoint = Endpoint(engine, max_rows=100)
+        client = HttpClient(endpoint)
+        kg = KnowledgeGraph(graph_uri=DBPEDIA_URI)
+        df = kg.entities("dbpo:Film", "film") \
+            .expand("film", [("rdfs:label", "title")]).execute(client)
+        assert len(df) > 100
+        assert client.pages_fetched == -(-len(df) // 100)  # ceil division
+
+    def test_http_equals_direct_execution(self, engine):
+        kg = KnowledgeGraph(graph_uri=DBPEDIA_URI)
+        frame = kg.feature_domain_range("dbpp:starring", "movie", "actor") \
+            .expand("movie", [("dbpo:genre", "genre", OPTIONAL)]) \
+            .group_by(["genre"]).count("movie", "n")
+        direct = frame.execute(EngineClient(engine))
+        http = frame.execute(HttpClient(Endpoint(engine, max_rows=7)))
+        assert direct.equals_bag(http)
+
+    def test_flaky_endpoint_recovers(self, engine):
+        endpoint = FlakyEndpoint(engine, failures_per_query=1, max_rows=50)
+        client = HttpClient(endpoint, max_retries=2)
+        kg = KnowledgeGraph(graph_uri=DBPEDIA_URI)
+        df = kg.entities("dbpo:Actor", "actor").execute(client)
+        assert len(df) > 0
+
+    def test_multi_graph_query_over_http(self, engine):
+        from repro.core import InnerJoin
+        dbpedia = KnowledgeGraph(graph_uri=DBPEDIA_URI)
+        yago = KnowledgeGraph(graph_uri="http://yago-knowledge.org")
+        frame = dbpedia.entities("dbpo:Actor", "actor") \
+            .join(yago.entities("yago:Actor", "actor"), "actor", InnerJoin)
+        df = frame.execute(HttpClient(Endpoint(engine, max_rows=25)))
+        assert len(df) > 0
+
+
+class TestExplorationOperators:
+    """The paper's exploration operators, end to end."""
+
+    def test_classes_and_freq(self, engine):
+        kg = KnowledgeGraph(graph_uri=DBPEDIA_URI)
+        df = kg.classes_and_freq().execute(EngineClient(engine))
+        by_class = dict(df.to_records())
+        assert by_class["http://dbpedia.org/ontology/Film"] > 0
+        assert by_class["http://dbpedia.org/ontology/Actor"] > 0
+
+    def test_predicates_and_freq(self, engine):
+        kg = KnowledgeGraph(graph_uri=DBLP_URI)
+        df = kg.predicates_and_freq().execute(EngineClient(engine))
+        by_predicate = dict(df.to_records())
+        assert by_predicate["http://purl.org/dc/elements/1.1/creator"] > 0
+
+    def test_num_entities(self, engine):
+        kg = KnowledgeGraph(graph_uri=DBPEDIA_URI)
+        df = kg.num_entities("dbpo:BasketballTeam").execute(
+            EngineClient(engine))
+        assert len(df) == 1
+        assert df.column("count")[0] == 8
+
+    def test_features_exploration(self, engine):
+        kg = KnowledgeGraph(graph_uri=DBPEDIA_URI)
+        frame = kg.features("dbpo:BasketballTeam").head(200)
+        df = frame.execute(EngineClient(engine))
+        predicates = set(df.column("feature"))
+        assert "http://dbpedia.org/property/name" in predicates
+
+
+class TestDataframeHandoff:
+    """Extracted dataframes feed the ML stack directly (the PyData story)."""
+
+    def test_dataframe_to_numpy_features(self, engine):
+        import numpy as np
+        from repro.ml import TfidfVectorizer
+        kg = KnowledgeGraph(graph_uri=DBLP_URI)
+        df = kg.entities("swrc:InProceedings", "paper") \
+            .expand("paper", [("dc:title", "title")]).head(100) \
+            .execute(EngineClient(engine))
+        matrix = TfidfVectorizer(max_features=50).fit_transform(
+            [str(t) for t in df.column("title")])
+        assert isinstance(matrix, np.ndarray)
+        assert matrix.shape[0] == len(df)
+
+    def test_csv_round_trip_of_results(self, engine, tmp_path):
+        from repro.dataframe import DataFrame
+        kg = KnowledgeGraph(graph_uri=DBPEDIA_URI)
+        df = kg.feature_domain_range("dbpp:starring", "movie", "actor") \
+            .head(50).execute(EngineClient(engine))
+        path = str(tmp_path / "movies.csv")
+        df.to_csv(path)
+        assert DataFrame.read_csv(path).equals_bag(df)
+
+
+class TestSortHeadEndToEnd:
+    def test_sort_then_head(self, engine):
+        kg = KnowledgeGraph(graph_uri=DBPEDIA_URI)
+        df = kg.entities("dbpo:Athlete", "athlete") \
+            .expand("athlete", [("dbpp:birthPlace", "place")]) \
+            .group_by(["place"]).count("athlete", "n") \
+            .sort({"n": "desc"}).head(3) \
+            .execute(EngineClient(engine))
+        assert len(df) == 3
+        counts = df.column("n")
+        assert counts == sorted(counts, reverse=True)
+
+    def test_head_offset_windows_are_disjoint(self, engine):
+        kg = KnowledgeGraph(graph_uri=DBPEDIA_URI)
+        base = kg.entities("dbpo:Film", "film").sort({"film": "asc"})
+        first = base.head(5).execute(EngineClient(engine))
+        second = base.head(5, 5).execute(EngineClient(engine))
+        assert not set(first.column("film")) & set(second.column("film"))

@@ -1,0 +1,37 @@
+"""Smoke tests for the standalone figure harness."""
+
+import io
+
+import pytest
+
+from repro.harness import Harness, main
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return Harness(scale=0.05, rounds=1, out=io.StringIO())
+
+
+class TestHarness:
+    def test_figure3_prints_all_cases(self, harness):
+        harness.figure3()
+        text = harness.out.getvalue()
+        for case in ("movie_genre", "topic_modeling", "kg_embedding"):
+            assert case in text
+        assert "naive" in text and "rdfframes" in text
+
+    def test_figure4_prints_all_strategies(self, harness):
+        harness.figure4()
+        text = harness.out.getvalue()
+        assert "rdflib_pandas" in text and "expert" in text
+
+    def test_figure5_prints_all_queries(self, harness):
+        harness.figure5()
+        text = harness.out.getvalue()
+        for qid in ("Q1", "Q9", "Q15"):
+            assert qid in text
+        assert "RDFFrames/x" in text
+
+    def test_main_argument_validation(self):
+        with pytest.raises(SystemExit):
+            main(["--figure", "fig99"])

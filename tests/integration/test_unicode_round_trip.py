@@ -1,0 +1,70 @@
+"""Internationalized data must survive the whole stack: graph -> SPARQL
+engine -> JSON wire format -> client -> dataframe -> CSV."""
+
+import io
+
+import pytest
+
+from repro.client import HttpClient
+from repro.core import KnowledgeGraph
+from repro.dataframe import DataFrame
+from repro.rdf import Graph, Literal, URIRef, ntriples, turtle
+from repro.sparql import Endpoint, Engine
+
+LABELS = [
+    ("e1", "Café Müller", "de"),
+    ("e2", "東京物語", "ja"),
+    ("e3", "Фильм «Зеркало»", "ru"),
+    ("e4", 'quotes "and" commas, too', None),
+    ("e5", "emoji \U0001F3AC clap", None),
+]
+
+
+@pytest.fixture(scope="module")
+def engine():
+    g = Graph("http://g")
+    for name, label, lang in LABELS:
+        g.add(URIRef("http://x/" + name),
+              URIRef("http://x/label"),
+              Literal(label, language=lang))
+    return Engine(g)
+
+
+def test_unicode_through_http_stack(engine):
+    kg = KnowledgeGraph(graph_uri="http://g", prefixes={"x": "http://x/"})
+    client = HttpClient(Endpoint(engine, max_rows=2))  # force pagination
+    df = kg.seed("entity", "x:label", "label").execute(client)
+    assert sorted(df.column("label")) == sorted(l for _, l, _ in LABELS)
+
+
+def test_unicode_through_csv(engine):
+    kg = KnowledgeGraph(graph_uri="http://g", prefixes={"x": "http://x/"})
+    client = HttpClient(Endpoint(engine, max_rows=100))
+    df = kg.seed("entity", "x:label", "label").execute(client)
+    back = DataFrame.read_csv(io.StringIO(df.to_csv()))
+    assert back.equals_bag(df)
+
+
+def test_unicode_through_ntriples(engine):
+    graph = engine.dataset.graph("http://g")
+    text = ntriples.serialize(graph.triples())
+    g2 = Graph()
+    ntriples.parse_into_graph(text, g2)
+    assert set(g2.triples()) == set(graph.triples())
+
+
+def test_unicode_through_turtle(engine):
+    graph = engine.dataset.graph("http://g")
+    text = turtle.serialize(graph.triples())
+    g2 = Graph()
+    turtle.parse_into_graph(text, g2)
+    assert set(g2.triples()) == set(graph.triples())
+
+
+def test_language_tags_preserved_over_wire(engine):
+    from repro.sparql.json_results import decode_results, encode_results
+    result = engine.query(
+        "PREFIX x: <http://x/>\nSELECT ?l WHERE { ?e x:label ?l }")
+    decoded = decode_results(encode_results(result))
+    languages = {term.language for (term,) in decoded.rows}
+    assert {"de", "ja", "ru", None} <= languages

@@ -1,0 +1,172 @@
+"""Tests for the logistic regression, SVD, and TransE models."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (LogisticRegression, TransE, TruncatedSVD,
+                      cross_val_score, evaluate_ranks, hits_at_n_score,
+                      mr_score, mrr_score, top_terms_per_topic,
+                      train_test_split_no_unseen)
+
+
+def make_blobs(n=60, seed=0):
+    rng = np.random.RandomState(seed)
+    a = rng.normal(loc=(-2, 0), scale=0.5, size=(n // 2, 2))
+    b = rng.normal(loc=(2, 0), scale=0.5, size=(n // 2, 2))
+    features = np.vstack([a, b])
+    labels = np.array(["a"] * (n // 2) + ["b"] * (n // 2))
+    return features, labels
+
+
+class TestLogisticRegression:
+    def test_separable_data_high_accuracy(self):
+        features, labels = make_blobs()
+        model = LogisticRegression(n_iterations=300).fit(features, labels)
+        assert model.score(features, labels) >= 0.95
+
+    def test_predict_proba_sums_to_one(self):
+        features, labels = make_blobs()
+        model = LogisticRegression().fit(features, labels)
+        probabilities = model.predict_proba(features)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_three_classes(self):
+        rng = np.random.RandomState(1)
+        features = np.vstack([rng.normal(loc=c, scale=0.3, size=(20, 2))
+                              for c in ((-3, 0), (3, 0), (0, 3))])
+        labels = np.repeat(["x", "y", "z"], 20)
+        model = LogisticRegression(n_iterations=400).fit(features, labels)
+        assert model.score(features, labels) >= 0.9
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict(np.zeros((1, 2)))
+
+    def test_cross_val_score(self):
+        features, labels = make_blobs()
+        scores = cross_val_score(lambda: LogisticRegression(n_iterations=200),
+                                 features, labels, cv=5)
+        assert len(scores) == 5
+        assert np.mean(scores) >= 0.9
+
+    def test_cross_val_too_few_samples(self):
+        with pytest.raises(ValueError):
+            cross_val_score(LogisticRegression, np.zeros((3, 2)),
+                            ["a", "b", "a"], cv=5)
+
+
+class TestTruncatedSVD:
+    def test_recovers_block_structure(self):
+        # Two disjoint topic blocks.
+        matrix = np.zeros((8, 6))
+        matrix[:4, :3] = 1.0
+        matrix[4:, 3:] = 1.0
+        svd = TruncatedSVD(n_components=2).fit(matrix)
+        names = ["t%d" % i for i in range(6)]
+        topics = top_terms_per_topic(svd, names, n_terms=3)
+        groups = [frozenset(t for t, _ in topic) for topic in topics]
+        assert frozenset(["t0", "t1", "t2"]) in groups
+        assert frozenset(["t3", "t4", "t5"]) in groups
+
+    def test_transform_shape(self):
+        matrix = np.random.RandomState(0).rand(10, 7)
+        svd = TruncatedSVD(n_components=3)
+        reduced = svd.fit_transform(matrix)
+        assert reduced.shape == (10, 3)
+
+    def test_components_capped_by_rank(self):
+        matrix = np.random.RandomState(0).rand(3, 5)
+        svd = TruncatedSVD(n_components=10).fit(matrix)
+        assert svd.components_.shape[0] <= 2
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            TruncatedSVD().transform(np.zeros((2, 2)))
+
+    def test_singular_values_descending(self):
+        matrix = np.random.RandomState(0).rand(10, 8)
+        svd = TruncatedSVD(n_components=4).fit(matrix)
+        values = svd.singular_values_
+        assert all(values[i] >= values[i + 1] for i in range(len(values) - 1))
+
+
+def make_kg_triples(n_entities=40, n_triples=400, seed=0):
+    rng = np.random.RandomState(seed)
+    entities = ["e%d" % i for i in range(n_entities)]
+    relations = ["r%d" % i for i in range(4)]
+    triples = {(entities[rng.randint(n_entities)],
+                relations[rng.randint(4)],
+                entities[rng.randint(n_entities)])
+               for _ in range(n_triples)}
+    return sorted(triples)
+
+
+class TestSplit:
+    def test_no_unseen_entities(self):
+        triples = make_kg_triples()
+        train, test = train_test_split_no_unseen(triples, 30)
+        train_entities = {t[0] for t in train} | {t[2] for t in train}
+        train_relations = {t[1] for t in train}
+        for s, p, o in test:
+            assert s in train_entities and o in train_entities
+            assert p in train_relations
+
+    def test_partition(self):
+        triples = make_kg_triples()
+        train, test = train_test_split_no_unseen(triples, 30)
+        assert len(train) + len(test) == len(triples)
+        assert not set(train) & set(test)
+
+    def test_requested_size_met_when_possible(self):
+        triples = make_kg_triples()
+        _, test = train_test_split_no_unseen(triples, 20)
+        assert len(test) == 20
+
+
+class TestTransE:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        triples = make_kg_triples()
+        train, test = train_test_split_no_unseen(triples, 25)
+        model = TransE(k=16, epochs=25, seed=0).fit(train + test)
+        return model, train, test
+
+    def test_loss_decreases(self, trained):
+        model, _, _ = trained
+        history = model.loss_history
+        assert history[-1] < history[0]
+
+    def test_embeddings_shapes(self, trained):
+        model, _, _ = trained
+        assert model.entity_embeddings.shape[1] == 16
+        assert model.relation_embeddings.shape[1] == 16
+
+    def test_score_prefers_true_triples(self, trained):
+        model, train, _ = trained
+        true_scores = model.score(train[:50])
+        rng = np.random.RandomState(3)
+        entities = list(model._index.entities)
+        corrupted = [(s, p, entities[rng.randint(len(entities))])
+                     for s, p, _ in train[:50]]
+        fake_scores = model.score(corrupted)
+        assert true_scores.mean() > fake_scores.mean()
+
+    def test_rank_metrics(self, trained):
+        model, train, test = trained
+        ranks = evaluate_ranks(model, test[:15], train)
+        n_entities = len(model._index.entities)
+        assert all(1 <= r <= n_entities for r in ranks)
+        assert 0.0 <= mrr_score(ranks) <= 1.0
+        assert 0.0 <= hits_at_n_score(ranks, 10) <= 1.0
+        assert mr_score(ranks) >= 1.0
+        # trained model beats random expectation
+        assert mr_score(ranks) < n_entities * 0.75
+
+    def test_unseen_entity_raises(self, trained):
+        model, _, _ = trained
+        with pytest.raises(KeyError):
+            model.score([("ghost", "r0", "e0")])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            TransE().score([("a", "b", "c")])

@@ -1,0 +1,89 @@
+"""Tests for text preprocessing and TF-IDF."""
+
+import numpy as np
+import pytest
+
+from repro.ml import STOPWORDS, TfidfVectorizer, clean_text, tokenize
+
+
+class TestCleanTokenize:
+    def test_clean_strips_punctuation(self):
+        assert clean_text("Hello, World!") == "hello  world "
+
+    def test_tokenize_removes_stopwords(self):
+        tokens = tokenize("the quick brown fox and the dog")
+        assert "the" not in tokens and "and" not in tokens
+        assert "quick" in tokens
+
+    def test_tokenize_min_length(self):
+        assert "ab" in tokenize("ab x", min_length=2)
+        assert "x" not in tokenize("ab x", min_length=2)
+
+    def test_custom_stopwords(self):
+        tokens = tokenize("alpha beta", stopwords={"alpha"})
+        assert tokens == ["beta"]
+
+    def test_stopword_list_sane(self):
+        assert "the" in STOPWORDS and "query" not in STOPWORDS
+
+
+class TestTfidf:
+    DOCS = ["query optimization engine", "query engine plans",
+            "neural network training", "training deep network"]
+
+    def test_shape(self):
+        matrix = TfidfVectorizer().fit_transform(self.DOCS)
+        assert matrix.shape[0] == 4
+        assert matrix.shape[1] >= 6
+
+    def test_rows_l2_normalized(self):
+        matrix = TfidfVectorizer().fit_transform(self.DOCS)
+        norms = np.linalg.norm(matrix, axis=1)
+        assert np.allclose(norms[norms > 0], 1.0)
+
+    def test_rare_terms_weighted_higher(self):
+        vectorizer = TfidfVectorizer()
+        vectorizer.fit(self.DOCS)
+        names = vectorizer.get_feature_names()
+        idf = vectorizer.idf_
+        # 'optimization' (1 doc) must out-weigh 'query' (2 docs)
+        assert idf[names.index("optimization")] > idf[names.index("query")]
+
+    def test_max_features_cap(self):
+        vectorizer = TfidfVectorizer(max_features=3)
+        vectorizer.fit(self.DOCS)
+        assert len(vectorizer.vocabulary_) == 3
+
+    def test_min_df_prunes_rare(self):
+        vectorizer = TfidfVectorizer(min_df=2)
+        vectorizer.fit(self.DOCS)
+        assert "optimization" not in vectorizer.vocabulary_
+        assert "query" in vectorizer.vocabulary_
+
+    def test_max_df_prunes_common(self):
+        docs = ["common alpha", "common beta", "common gamma"]
+        vectorizer = TfidfVectorizer(max_df=0.5)
+        vectorizer.fit(docs)
+        assert "common" not in vectorizer.vocabulary_
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            TfidfVectorizer().transform(["x"])
+
+    def test_unknown_terms_ignored(self):
+        vectorizer = TfidfVectorizer()
+        vectorizer.fit(self.DOCS)
+        matrix = vectorizer.transform(["zebra zebra zebra"])
+        assert np.all(matrix == 0)
+
+    def test_sublinear_tf(self):
+        plain = TfidfVectorizer()
+        sub = TfidfVectorizer(sublinear_tf=True)
+        docs = ["word word word word plans"]
+        a = plain.fit_transform(docs)
+        b = sub.fit_transform(docs)
+        # sublinear damping reduces the dominant term's relative weight
+        names = plain.get_feature_names()
+        w = names.index("word")
+        o = names.index("plans")
+        assert b[0, w] / b[0, o] < a[0, w] / a[0, o]

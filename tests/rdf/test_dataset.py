@@ -1,0 +1,75 @@
+"""Unit tests for named-graph datasets and graph unions."""
+
+import pytest
+
+from repro.rdf import Dataset, Graph, URIRef
+
+
+def uri(name):
+    return URIRef("http://x/" + name)
+
+
+@pytest.fixture
+def two_graph_dataset():
+    ds = Dataset()
+    g1 = ds.create_graph("http://g1")
+    g1.add(uri("a"), uri("p"), uri("b"))
+    g1.add(uri("shared"), uri("p"), uri("b"))
+    g2 = ds.create_graph("http://g2")
+    g2.add(uri("c"), uri("p"), uri("d"))
+    g2.add(uri("shared"), uri("p"), uri("b"))  # duplicated across graphs
+    return ds
+
+
+class TestDataset:
+    def test_create_graph_idempotent(self):
+        ds = Dataset()
+        g1 = ds.create_graph("http://g")
+        g2 = ds.create_graph("http://g")
+        assert g1 is g2
+
+    def test_graph_lookup(self, two_graph_dataset):
+        assert two_graph_dataset.graph("http://g1").uri == "http://g1"
+
+    def test_unknown_graph_raises_with_candidates(self, two_graph_dataset):
+        with pytest.raises(KeyError) as exc_info:
+            two_graph_dataset.graph("http://nope")
+        assert "http://g1" in str(exc_info.value)
+
+    def test_contains_and_len(self, two_graph_dataset):
+        assert "http://g1" in two_graph_dataset
+        assert len(two_graph_dataset) == 2
+
+    def test_uris_sorted(self, two_graph_dataset):
+        assert two_graph_dataset.uris() == ["http://g1", "http://g2"]
+
+    def test_add_graph_replaces(self):
+        ds = Dataset()
+        ds.add_graph(Graph("http://g"))
+        replacement = Graph("http://g")
+        ds.add_graph(replacement)
+        assert ds.graph("http://g") is replacement
+
+
+class TestGraphUnion:
+    def test_union_deduplicates_across_graphs(self, two_graph_dataset):
+        union = two_graph_dataset.union_view()
+        triples = list(union.triples())
+        assert len(triples) == 3  # shared triple appears once
+
+    def test_union_len_is_sum(self, two_graph_dataset):
+        # len() is the raw sum; triples() deduplicates.
+        assert len(two_graph_dataset.union_view()) == 4
+
+    def test_union_pattern_match(self, two_graph_dataset):
+        union = two_graph_dataset.union_view()
+        assert union.count(uri("shared"), None, None) == 1
+        assert union.count(None, uri("p"), None) == 3
+
+    def test_union_subset(self, two_graph_dataset):
+        union = two_graph_dataset.union_view(["http://g1"])
+        assert union.count(None, None, None) == 2
+
+    def test_union_predicate_stats(self, two_graph_dataset):
+        stats = two_graph_dataset.union_view().predicate_stats()
+        assert stats[uri("p")] == 4  # stats are additive (pre-dedup)

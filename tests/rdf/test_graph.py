@@ -1,0 +1,155 @@
+"""Unit tests for the indexed graph, including property-based index checks."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rdf import Graph, Literal, RDF, URIRef
+from repro.rdf.namespaces import DBPO
+
+
+def uri(name):
+    return URIRef("http://x/" + name)
+
+
+@pytest.fixture
+def small_graph():
+    g = Graph("http://test")
+    g.add(uri("a"), uri("p"), uri("b"))
+    g.add(uri("a"), uri("p"), uri("c"))
+    g.add(uri("a"), uri("q"), uri("b"))
+    g.add(uri("d"), uri("p"), uri("b"))
+    g.add(uri("d"), uri("q"), Literal(5))
+    return g
+
+
+class TestAddRemove:
+    def test_add_returns_true_for_new(self):
+        g = Graph()
+        assert g.add(uri("a"), uri("p"), uri("b")) is True
+
+    def test_add_duplicate_returns_false(self):
+        g = Graph()
+        g.add(uri("a"), uri("p"), uri("b"))
+        assert g.add(uri("a"), uri("p"), uri("b")) is False
+        assert len(g) == 1
+
+    def test_len_counts_triples(self, small_graph):
+        assert len(small_graph) == 5
+
+    def test_contains(self, small_graph):
+        assert (uri("a"), uri("p"), uri("b")) in small_graph
+        assert (uri("a"), uri("p"), uri("z")) not in small_graph
+
+    def test_remove_present(self, small_graph):
+        assert small_graph.remove(uri("a"), uri("p"), uri("b")) is True
+        assert len(small_graph) == 4
+        assert (uri("a"), uri("p"), uri("b")) not in small_graph
+
+    def test_remove_absent(self, small_graph):
+        assert small_graph.remove(uri("z"), uri("p"), uri("b")) is False
+
+    def test_remove_then_match(self, small_graph):
+        small_graph.remove(uri("a"), uri("p"), uri("b"))
+        matches = list(small_graph.triples(None, uri("p"), uri("b")))
+        assert matches == [(uri("d"), uri("p"), uri("b"))]
+
+    def test_update_bulk(self):
+        g = Graph()
+        added = g.update([(uri("a"), uri("p"), uri("b")),
+                          (uri("a"), uri("p"), uri("b")),
+                          (uri("c"), uri("p"), uri("d"))])
+        assert added == 2
+        assert len(g) == 2
+
+
+class TestPatternMatching:
+    @pytest.mark.parametrize("pattern,expected_count", [
+        ((None, None, None), 5),
+        (("a", None, None), 3),
+        ((None, "p", None), 3),
+        ((None, None, "b"), 3),
+        (("a", "p", None), 2),
+        (("a", None, "b"), 2),
+        ((None, "p", "b"), 2),
+        (("a", "p", "b"), 1),
+        (("z", None, None), 0),
+        ((None, "z", None), 0),
+        ((None, None, "z"), 0),
+        (("a", "z", None), 0),
+        (("z", "p", "b"), 0),
+    ])
+    def test_all_bound_combinations(self, small_graph, pattern, expected_count):
+        s, p, o = [uri(t) if t else None for t in pattern]
+        assert len(list(small_graph.triples(s, p, o))) == expected_count
+
+    def test_count_matches_iteration(self, small_graph):
+        for s in (None, uri("a")):
+            for p in (None, uri("p")):
+                for o in (None, uri("b")):
+                    assert small_graph.count(s, p, o) == \
+                        len(list(small_graph.triples(s, p, o)))
+
+    def test_literal_object_lookup(self, small_graph):
+        assert small_graph.count(None, None, Literal(5)) == 1
+
+
+class TestStatistics:
+    def test_predicate_stats(self, small_graph):
+        stats = small_graph.predicate_stats()
+        assert stats[uri("p")] == 3
+        assert stats[uri("q")] == 2
+
+    def test_subjects_and_objects(self, small_graph):
+        assert set(small_graph.subjects(uri("p"))) == {uri("a"), uri("d")}
+        assert set(small_graph.objects(uri("p"))) == {uri("b"), uri("c")}
+
+    def test_classes(self):
+        g = Graph()
+        g.add(uri("i1"), RDF.type, DBPO.Film)
+        g.add(uri("i2"), RDF.type, DBPO.Film)
+        g.add(uri("i3"), RDF.type, DBPO.Actor)
+        assert g.classes() == {DBPO.Film: 2, DBPO.Actor: 1}
+
+    def test_literal_count(self, small_graph):
+        assert small_graph.literal_count() == 1
+
+
+# ----------------------------------------------------------------------
+# Property-based: the three indexes always agree.
+# ----------------------------------------------------------------------
+_terms = st.integers(min_value=0, max_value=8).map(lambda i: uri("n%d" % i))
+_triples = st.lists(st.tuples(_terms, _terms, _terms), max_size=60)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_triples)
+def test_indexes_consistent_under_insertion(triples):
+    g = Graph()
+    unique = set(triples)
+    for t in triples:
+        g.add(*t)
+    assert len(g) == len(unique)
+    assert set(g.triples()) == unique
+    # Every per-position lookup agrees with a full scan.
+    for s, p, o in unique:
+        assert set(g.triples(s, None, None)) == {t for t in unique if t[0] == s}
+        assert set(g.triples(None, p, None)) == {t for t in unique if t[1] == p}
+        assert set(g.triples(None, None, o)) == {t for t in unique if t[2] == o}
+
+
+@settings(max_examples=40, deadline=None)
+@given(_triples, st.data())
+def test_indexes_consistent_under_removal(triples, data):
+    g = Graph()
+    for t in triples:
+        g.add(*t)
+    unique = list(set(triples))
+    if unique:
+        to_remove = data.draw(st.lists(st.sampled_from(unique), max_size=10))
+        removed = set()
+        for t in to_remove:
+            g.remove(*t)
+            removed.add(t)
+        remaining = set(triples) - removed
+        assert set(g.triples()) == remaining
+        assert len(g) == len(remaining)

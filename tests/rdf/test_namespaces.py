@@ -1,0 +1,86 @@
+"""Unit tests for namespaces and prefix resolution."""
+
+import pytest
+
+from repro.rdf import DBPP, Namespace, PrefixMap, RDF, URIRef
+
+
+class TestNamespace:
+    def test_attribute_access(self):
+        ns = Namespace("http://x/")
+        assert ns.thing == URIRef("http://x/thing")
+
+    def test_item_access(self):
+        ns = Namespace("http://x/")
+        assert ns["a-b.c"] == URIRef("http://x/a-b.c")
+
+    def test_contains(self):
+        ns = Namespace("http://x/")
+        assert ns.thing in ns
+        assert URIRef("http://y/thing") not in ns
+
+    def test_underscore_attribute_raises(self):
+        ns = Namespace("http://x/")
+        with pytest.raises(AttributeError):
+            ns._private
+
+    def test_common_vocabulary(self):
+        assert str(RDF.type) == \
+            "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+        assert str(DBPP.starring) == "http://dbpedia.org/property/starring"
+
+
+class TestPrefixMap:
+    def test_resolve_default_prefix(self):
+        pm = PrefixMap()
+        assert pm.resolve("dbpp:starring") == DBPP.starring
+
+    def test_resolve_custom_prefix(self):
+        pm = PrefixMap({"ex": "http://example.org/"})
+        assert pm.resolve("ex:a") == URIRef("http://example.org/a")
+
+    def test_custom_overrides_default(self):
+        pm = PrefixMap({"dbpp": "http://other/"})
+        assert pm.resolve("dbpp:x") == URIRef("http://other/x")
+
+    def test_resolve_angle_brackets(self):
+        pm = PrefixMap()
+        assert pm.resolve("<http://x/a>") == URIRef("http://x/a")
+
+    def test_resolve_absolute(self):
+        pm = PrefixMap()
+        assert pm.resolve("http://x/a") == URIRef("http://x/a")
+
+    def test_unknown_prefix_raises(self):
+        pm = PrefixMap()
+        with pytest.raises(KeyError):
+            pm.resolve("nope:x")
+
+    def test_not_prefixed_raises(self):
+        pm = PrefixMap()
+        with pytest.raises(ValueError):
+            pm.resolve("plainname")
+
+    def test_shrink_picks_longest_base(self):
+        pm = PrefixMap({"a": "http://x/", "b": "http://x/deep/"})
+        assert pm.shrink(URIRef("http://x/deep/term")) == "b:term"
+
+    def test_shrink_falls_back_to_angle_brackets(self):
+        pm = PrefixMap(include_defaults=False)
+        assert pm.shrink(URIRef("http://unknown/x")) == "<http://unknown/x>"
+
+    def test_shrink_rejects_ugly_local_names(self):
+        pm = PrefixMap({"x": "http://x/"}, include_defaults=False)
+        assert pm.shrink(URIRef("http://x/has space")) == "<http://x/has space>"
+
+    def test_used_prefixes(self):
+        pm = PrefixMap()
+        used = pm.used_prefixes("SELECT * WHERE { ?m dbpp:starring ?a }")
+        assert "dbpp" in used
+        assert "swrc" not in used
+
+    def test_bind_and_iterate(self):
+        pm = PrefixMap(include_defaults=False)
+        pm.bind("ex", "http://example.org/")
+        assert ("ex", "http://example.org/") in list(pm)
+        assert "ex" in pm

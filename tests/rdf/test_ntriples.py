@@ -1,0 +1,129 @@
+"""Unit and property tests for the N-Triples parser/serializer."""
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rdf import Graph, Literal, URIRef, BlankNode, ntriples
+from repro.rdf.ntriples import NTriplesError, parse_line
+
+
+class TestParseLine:
+    def test_simple_triple(self):
+        s, p, o = parse_line("<http://x/a> <http://x/p> <http://x/b> .")
+        assert s == URIRef("http://x/a")
+        assert p == URIRef("http://x/p")
+        assert o == URIRef("http://x/b")
+
+    def test_plain_literal(self):
+        _, _, o = parse_line('<http://x/a> <http://x/p> "hello" .')
+        assert o == Literal("hello")
+
+    def test_typed_literal(self):
+        _, _, o = parse_line(
+            '<http://x/a> <http://x/p> '
+            '"5"^^<http://www.w3.org/2001/XMLSchema#integer> .')
+        assert o.value == 5
+
+    def test_language_literal(self):
+        _, _, o = parse_line('<http://x/a> <http://x/p> "chat"@fr .')
+        assert o.language == "fr"
+
+    def test_blank_nodes(self):
+        s, _, o = parse_line("_:b1 <http://x/p> _:b2 .")
+        assert s == BlankNode("b1")
+        assert o == BlankNode("b2")
+
+    def test_escapes_in_literal(self):
+        _, _, o = parse_line(r'<http://x/a> <http://x/p> "a\"b\nc\\d" .')
+        assert o.lexical == 'a"b\nc\\d'
+
+    def test_unicode_escape(self):
+        _, _, o = parse_line(r'<http://x/a> <http://x/p> "é" .')
+        assert o.lexical == "é"
+
+    def test_trailing_comment(self):
+        triple = parse_line("<http://x/a> <http://x/p> <http://x/b> . # note")
+        assert triple[0] == URIRef("http://x/a")
+
+    @pytest.mark.parametrize("bad", [
+        "<http://x/a> <http://x/p> <http://x/b>",      # no dot
+        "<http://x/a> <http://x/p> .",                  # no object
+        "<http://x/a> \"lit\" <http://x/b> .",          # literal predicate
+        "not a triple at all",
+    ])
+    def test_malformed_lines_raise(self, bad):
+        with pytest.raises(NTriplesError):
+            parse_line(bad)
+
+
+class TestDocumentParsing:
+    DOC = """
+# a comment
+<http://x/a> <http://x/p> <http://x/b> .
+
+<http://x/a> <http://x/q> "v" .
+"""
+
+    def test_parse_skips_comments_and_blanks(self):
+        triples = list(ntriples.parse(self.DOC))
+        assert len(triples) == 2
+
+    def test_parse_into_graph(self):
+        g = Graph()
+        added = ntriples.parse_into_graph(self.DOC, g)
+        assert added == 2
+        assert len(g) == 2
+
+    def test_parse_from_stream(self):
+        triples = list(ntriples.parse(io.StringIO(self.DOC)))
+        assert len(triples) == 2
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(NTriplesError) as exc_info:
+            list(ntriples.parse("<http://x/a> <http://x/p> <http://x/b> .\n"
+                                "garbage\n"))
+        assert exc_info.value.line_number == 2
+
+
+class TestSerialization:
+    def test_round_trip_simple(self):
+        g = Graph()
+        g.add(URIRef("http://x/a"), URIRef("http://x/p"), Literal("v\n"))
+        g.add(URIRef("http://x/a"), URIRef("http://x/p"), Literal(7))
+        text = ntriples.serialize(g.triples())
+        g2 = Graph()
+        ntriples.parse_into_graph(text, g2)
+        assert set(g2.triples()) == set(g.triples())
+
+    def test_write_to_stream(self):
+        buffer = io.StringIO()
+        count = ntriples.write(
+            [(URIRef("http://x/a"), URIRef("http://x/p"), URIRef("http://x/b"))],
+            buffer)
+        assert count == 1
+        assert buffer.getvalue().strip().endswith(".")
+
+
+# Property-based round-trip over generated literals.
+_safe_text = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=0x2FF),
+    max_size=30)
+
+
+@settings(max_examples=80, deadline=None)
+@given(_safe_text, st.sampled_from([None, "en", "fr-CA"]))
+def test_literal_round_trip(text, language):
+    lit = Literal(text, language=language)
+    triple = (URIRef("http://x/s"), URIRef("http://x/p"), lit)
+    parsed = parse_line(ntriples.serialize_triple(triple))
+    assert parsed == triple
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=-10**12, max_value=10**12))
+def test_integer_literal_round_trip(value):
+    triple = (URIRef("http://x/s"), URIRef("http://x/p"), Literal(value))
+    parsed = parse_line(ntriples.serialize_triple(triple))
+    assert parsed[2].value == value

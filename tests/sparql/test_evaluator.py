@@ -1,0 +1,330 @@
+"""Unit tests for SPARQL evaluation semantics (Section 5.2 of the paper)."""
+
+import pytest
+
+from repro.rdf import Dataset, Graph, Literal, URIRef
+from repro.sparql import Engine
+
+
+def uri(name):
+    return URIRef("http://x/" + name)
+
+
+@pytest.fixture
+def engine():
+    g = Graph("http://g")
+    g.add(uri("m1"), uri("starring"), uri("a1"))
+    g.add(uri("m1"), uri("starring"), uri("a2"))
+    g.add(uri("m2"), uri("starring"), uri("a1"))
+    g.add(uri("m3"), uri("starring"), uri("a3"))
+    g.add(uri("a1"), uri("born"), uri("usa"))
+    g.add(uri("a2"), uri("born"), uri("france"))
+    g.add(uri("a1"), uri("label"), Literal("Actor One"))
+    g.add(uri("m1"), uri("year"), Literal(1999))
+    g.add(uri("m2"), uri("year"), Literal(2005))
+    g.add(uri("m3"), uri("year"), Literal(2010))
+    return Engine(g)
+
+
+def rows(engine, query, **kwargs):
+    return set(engine.query(query, **kwargs).to_dataframe().to_records())
+
+
+PFX = "PREFIX x: <http://x/>\n"
+
+
+class TestBGP:
+    def test_single_pattern(self, engine):
+        result = rows(engine, PFX + "SELECT ?m WHERE { ?m x:starring ?a }")
+        assert result == {("http://x/m1",), ("http://x/m1",),
+                          ("http://x/m2",), ("http://x/m3",)}
+
+    def test_bag_semantics_duplicates(self, engine):
+        df = engine.query(
+            PFX + "SELECT ?m WHERE { ?m x:starring ?a }").to_dataframe()
+        assert len(df) == 4  # m1 twice
+
+    def test_join_within_bgp(self, engine):
+        result = rows(engine, PFX + """
+            SELECT ?m ?c WHERE { ?m x:starring ?a . ?a x:born ?c }""")
+        assert result == {("http://x/m1", "http://x/usa"),
+                          ("http://x/m1", "http://x/france"),
+                          ("http://x/m2", "http://x/usa")}
+
+    def test_concrete_subject(self, engine):
+        result = rows(engine, PFX + "SELECT ?a WHERE { x:m1 x:starring ?a }")
+        assert result == {("http://x/a1",), ("http://x/a2",)}
+
+    def test_repeated_variable_must_agree(self, engine):
+        g = Graph("http://g2")
+        g.add(uri("n"), uri("p"), uri("n"))
+        g.add(uri("n"), uri("p"), uri("other"))
+        e = Engine(g)
+        result = rows(e, PFX + "SELECT ?x WHERE { ?x x:p ?x }")
+        assert result == {("http://x/n",)}
+
+    def test_empty_result(self, engine):
+        assert rows(engine, PFX + "SELECT ?m WHERE { ?m x:nope ?a }") == set()
+
+    def test_variable_predicate(self, engine):
+        result = rows(engine, PFX + "SELECT ?p WHERE { x:a1 ?p ?o }")
+        assert result == {("http://x/born",), ("http://x/label",)}
+
+
+class TestOptional:
+    def test_optional_keeps_unmatched(self, engine):
+        df = engine.query(PFX + """
+            SELECT ?a ?c WHERE {
+                ?m x:starring ?a OPTIONAL { ?a x:born ?c }
+            }""").to_dataframe()
+        by_actor = {}
+        for actor, country in df.to_records():
+            by_actor.setdefault(actor, set()).add(country)
+        assert by_actor["http://x/a3"] == {None}
+        assert by_actor["http://x/a1"] == {"http://x/usa"}
+
+    def test_nested_optional(self, engine):
+        df = engine.query(PFX + """
+            SELECT * WHERE {
+                ?m x:starring ?a
+                OPTIONAL { ?a x:born ?c OPTIONAL { ?a x:label ?l } }
+            }""").to_dataframe()
+        assert len(df) == 4
+
+
+class TestUnionFilter:
+    def test_union_is_bag_concat(self, engine):
+        df = engine.query(PFX + """
+            SELECT ?m WHERE {
+                { ?m x:starring x:a1 } UNION { ?m x:year 2010 }
+            }""").to_dataframe()
+        assert sorted(df.column("m")) == [
+            "http://x/m1", "http://x/m2", "http://x/m3"]
+
+    def test_filter_numeric(self, engine):
+        result = rows(engine, PFX + """
+            SELECT ?m WHERE { ?m x:year ?y FILTER ( ?y >= 2005 ) }""")
+        assert result == {("http://x/m2",), ("http://x/m3",)}
+
+    def test_filter_error_eliminates_row(self, engine):
+        # ?c unbound for a3's movie: comparison errors, row dropped.
+        result = rows(engine, PFX + """
+            SELECT ?m WHERE {
+                ?m x:starring ?a OPTIONAL { ?a x:born ?c }
+                FILTER ( ?c = x:usa )
+            }""")
+        assert result == {("http://x/m1",), ("http://x/m2",)}
+
+    def test_filter_bound(self, engine):
+        result = rows(engine, PFX + """
+            SELECT ?a WHERE {
+                ?m x:starring ?a OPTIONAL { ?a x:born ?c }
+                FILTER ( ! bound(?c) )
+            }""")
+        assert result == {("http://x/a3",)}
+
+
+class TestAggregation:
+    def test_group_count(self, engine):
+        result = rows(engine, PFX + """
+            SELECT ?a (COUNT(?m) AS ?n) WHERE { ?m x:starring ?a }
+            GROUP BY ?a""")
+        assert result == {("http://x/a1", 2), ("http://x/a2", 1),
+                          ("http://x/a3", 1)}
+
+    def test_count_distinct(self, engine):
+        g = Graph("http://g")
+        g.add(uri("m"), uri("p"), uri("a"))
+        g.add(uri("m2"), uri("p"), uri("a"))
+        g.add(uri("m2"), uri("q"), uri("a"))
+        e = Engine(g)
+        result = rows(e, PFX + """
+            SELECT ?a (COUNT(DISTINCT ?m) AS ?n) WHERE { ?m ?p ?a }
+            GROUP BY ?a""")
+        assert result == {("http://x/a", 2)}
+
+    def test_having(self, engine):
+        result = rows(engine, PFX + """
+            SELECT ?a (COUNT(?m) AS ?n) WHERE { ?m x:starring ?a }
+            GROUP BY ?a HAVING ( COUNT(?m) >= 2 )""")
+        assert result == {("http://x/a1", 2)}
+
+    def test_having_on_alias_variable(self, engine):
+        result = rows(engine, PFX + """
+            SELECT ?a (COUNT(?m) AS ?n) WHERE { ?m x:starring ?a }
+            GROUP BY ?a HAVING ( ?n >= 2 )""")
+        assert result == {("http://x/a1", 2)}
+
+    def test_sum_min_max_avg(self, engine):
+        result = rows(engine, PFX + """
+            SELECT (SUM(?y) AS ?s) (MIN(?y) AS ?lo) (MAX(?y) AS ?hi)
+                   (AVG(?y) AS ?mean)
+            WHERE { ?m x:year ?y }""")
+        assert result == {(1999 + 2005 + 2010, 1999, 2010,
+                           (1999 + 2005 + 2010) / 3)}
+
+    def test_count_star(self, engine):
+        result = rows(engine, PFX +
+                      "SELECT (COUNT(*) AS ?n) WHERE { ?m x:starring ?a }")
+        assert result == {(4,)}
+
+    def test_count_over_empty_is_zero(self, engine):
+        result = rows(engine, PFX +
+                      "SELECT (COUNT(?m) AS ?n) WHERE { ?m x:nope ?a }")
+        assert result == {(0,)}
+
+    def test_group_over_empty_is_empty(self, engine):
+        result = rows(engine, PFX + """
+            SELECT ?a (COUNT(?m) AS ?n) WHERE { ?m x:nope ?a }
+            GROUP BY ?a""")
+        assert result == set()
+
+    def test_sample(self, engine):
+        result = rows(engine, PFX + """
+            SELECT ?a (SAMPLE(?m) AS ?one) WHERE { ?m x:starring ?a }
+            GROUP BY ?a""")
+        samples = dict(result)
+        assert samples["http://x/a1"] in ("http://x/m1", "http://x/m2")
+
+    def test_non_numeric_aggregate_unbound(self, engine):
+        df = engine.query(PFX + """
+            SELECT ?a (SUM(?l) AS ?s) WHERE { ?a x:label ?l }
+            GROUP BY ?a""").to_dataframe()
+        assert df.column("s") == [None]
+
+
+class TestSubqueries:
+    def test_nested_select_joins_with_outer(self, engine):
+        result = rows(engine, PFX + """
+            SELECT ?m ?n WHERE {
+                ?m x:starring ?a
+                { SELECT ?a (COUNT(?m) AS ?n) WHERE { ?m x:starring ?a }
+                  GROUP BY ?a HAVING ( COUNT(?m) >= 2 ) }
+            }""")
+        assert result == {("http://x/m1", 2), ("http://x/m2", 2)}
+
+    def test_subquery_projection_limits_scope(self, engine):
+        # Inner ?m is projected away; outer ?m is free.
+        result = rows(engine, PFX + """
+            SELECT ?m ?a WHERE {
+                ?m x:year 2010
+                { SELECT ?a WHERE { ?m x:starring ?a } }
+            }""")
+        assert ("http://x/m3", "http://x/a1") in result
+        assert len(result) == 3
+
+    def test_materialization_stat(self, engine):
+        engine.query(PFX + """
+            SELECT * WHERE {
+                ?m x:starring ?a
+                { SELECT ?a WHERE { ?a x:born ?c } }
+            }""")
+        assert engine.last_stats.materialized_subqueries == 1
+
+
+class TestModifiers:
+    def test_distinct(self, engine):
+        df = engine.query(PFX +
+                          "SELECT DISTINCT ?m WHERE { ?m x:starring ?a }"
+                          ).to_dataframe()
+        assert len(df) == 3
+
+    def test_order_by_asc_desc(self, engine):
+        df = engine.query(PFX + """
+            SELECT ?m ?y WHERE { ?m x:year ?y } ORDER BY DESC(?y)"""
+            ).to_dataframe()
+        assert df.column("y") == [2010, 2005, 1999]
+
+    def test_limit_offset(self, engine):
+        df = engine.query(PFX + """
+            SELECT ?m ?y WHERE { ?m x:year ?y }
+            ORDER BY ?y LIMIT 1 OFFSET 1""").to_dataframe()
+        assert df.column("y") == [2005]
+
+    def test_select_star_column_order(self, engine):
+        result = engine.query(PFX + "SELECT * WHERE { ?m x:year ?y }")
+        assert result.variables == ["m", "y"]
+
+
+class TestMultiGraph:
+    @pytest.fixture
+    def dataset_engine(self):
+        ds = Dataset()
+        g1 = ds.create_graph("http://g1")
+        g1.add(uri("e"), uri("p"), uri("v1"))
+        g1.add(uri("shared"), uri("p"), uri("v1"))
+        g2 = ds.create_graph("http://g2")
+        g2.add(uri("e"), uri("q"), uri("v2"))
+        g2.add(uri("shared"), uri("p"), uri("v2"))
+        return Engine(ds)
+
+    def test_from_single_graph(self, dataset_engine):
+        result = rows(dataset_engine, PFX +
+                      "SELECT ?s FROM <http://g1> WHERE { ?s x:p ?v }")
+        assert result == {("http://x/e",), ("http://x/shared",)}
+
+    def test_from_two_graphs_unions(self, dataset_engine):
+        result = rows(dataset_engine, PFX + """
+            SELECT ?s ?v FROM <http://g1> FROM <http://g2>
+            WHERE { ?s x:p ?v }""")
+        assert len(result) == 3
+
+    def test_graph_scoping(self, dataset_engine):
+        result = rows(dataset_engine, PFX + """
+            SELECT ?s FROM <http://g1> FROM <http://g2> WHERE {
+                GRAPH <http://g1> { ?s x:p ?v1 }
+                GRAPH <http://g2> { ?s x:p ?v2 }
+            }""")
+        assert result == {("http://x/shared",)}
+
+    def test_unknown_graph_raises(self, dataset_engine):
+        from repro.sparql import EvaluationError
+        with pytest.raises(EvaluationError):
+            dataset_engine.query("SELECT * FROM <http://nope> WHERE { ?s ?p ?o }")
+
+    def test_default_graph_uri_parameter(self, dataset_engine):
+        result = rows(dataset_engine, PFX + "SELECT ?s WHERE { ?s x:q ?v }",
+                      default_graph_uri="http://g2")
+        assert result == {("http://x/e",)}
+
+
+class TestEngineBehaviour:
+    def test_stats_populated(self, engine):
+        engine.query(PFX + "SELECT ?m WHERE { ?m x:starring ?a }")
+        assert engine.last_stats.bgp_count == 1
+        assert engine.last_stats.pattern_matches == 4
+
+    def test_bgp_cache_hit_on_repeated_pattern(self, engine):
+        engine.query(PFX + """
+            SELECT * WHERE {
+                { SELECT ?m ?a WHERE { ?m x:starring ?a } }
+                { SELECT ?m ?a WHERE { ?m x:starring ?a } }
+            }""")
+        assert engine.last_stats.bgp_cache_hits >= 1
+
+    def test_cache_disabled(self):
+        g = Graph("http://g")
+        g.add(uri("a"), uri("p"), uri("b"))
+        e = Engine(g, cache_bgps=False)
+        e.query(PFX + """
+            SELECT * WHERE {
+                { SELECT ?s WHERE { ?s x:p ?o } }
+                { SELECT ?s WHERE { ?s x:p ?o } }
+            }""")
+        assert e.last_stats.bgp_cache_hits == 0
+
+    def test_explain_renders_tree(self, engine):
+        text = engine.explain(PFX + "SELECT ?m WHERE { ?m x:starring ?a }")
+        assert "Project" in text and "BGP" in text
+
+    def test_queries_executed_counter(self, engine):
+        before = engine.queries_executed
+        engine.query(PFX + "SELECT ?m WHERE { ?m x:year ?y }")
+        assert engine.queries_executed == before + 1
+
+    def test_extend_bind(self, engine):
+        result = rows(engine, PFX + """
+            SELECT ?m ?next WHERE {
+                ?m x:year ?y BIND( ?y + 1 AS ?next )
+            }""")
+        assert ("http://x/m3", 2011) in result

@@ -1,0 +1,120 @@
+"""Unit tests for result sets and term conversion."""
+
+import pytest
+
+from repro.rdf import BlankNode, Literal, URIRef
+from repro.sparql.results import ResultSet, term_to_python
+
+
+class TestTermToPython:
+    def test_uri_to_string(self):
+        assert term_to_python(URIRef("http://x/a")) == "http://x/a"
+
+    def test_typed_literals(self):
+        assert term_to_python(Literal(5)) == 5
+        assert term_to_python(Literal(2.5)) == 2.5
+        assert term_to_python(Literal(True)) is True
+        assert term_to_python(Literal("text")) == "text"
+
+    def test_language_literal_keeps_text(self):
+        assert term_to_python(Literal("chat", language="fr")) == "chat"
+
+    def test_blank_node(self):
+        assert term_to_python(BlankNode("b1")) == "_:b1"
+
+    def test_none_passthrough(self):
+        assert term_to_python(None) is None
+
+    def test_non_term_rejected(self):
+        with pytest.raises(TypeError):
+            term_to_python(object())
+
+
+class TestResultSet:
+    def make(self):
+        return ResultSet(["a", "b"], [
+            (URIRef("http://x/1"), Literal(1)),
+            (URIRef("http://x/2"), None),
+        ])
+
+    def test_len_and_iter(self):
+        rs = self.make()
+        assert len(rs) == 2
+        assert len(list(rs)) == 2
+
+    def test_to_dataframe_converts(self):
+        df = self.make().to_dataframe()
+        assert df.columns == ["a", "b"]
+        assert df.column("b") == [1, None]
+
+    def test_to_term_dataframe_preserves(self):
+        df = self.make().to_term_dataframe()
+        assert isinstance(df.column("a")[0], URIRef)
+
+    def test_slice(self):
+        page = self.make().slice(1, 5)
+        assert len(page) == 1
+        assert page.variables == ["a", "b"]
+
+    def test_from_mappings_discovers_variables(self):
+        rs = ResultSet.from_mappings([
+            {"x": Literal(1)},
+            {"x": Literal(2), "y": Literal(3)},
+        ])
+        assert rs.variables == ["x", "y"]
+        assert rs.rows[0] == (Literal(1), None)
+
+    def test_from_mappings_with_explicit_order(self):
+        rs = ResultSet.from_mappings([{"x": Literal(1), "y": Literal(2)}],
+                                     variables=["y", "x"])
+        assert rs.rows == [(Literal(2), Literal(1))]
+
+
+class TestAggregatesEndToEnd:
+    """Numeric aggregates through the full frame pipeline."""
+
+    @pytest.fixture
+    def client(self):
+        from repro.client import EngineClient
+        from repro.rdf import Graph
+        from repro.sparql import Engine
+        g = Graph("http://g")
+        x = "http://x/"
+        for film, runtime in (("f1", 90), ("f2", 120), ("f3", 60)):
+            g.add(URIRef(x + film), URIRef(x + "studio"), URIRef(x + "s1"))
+            g.add(URIRef(x + film), URIRef(x + "runtime"), Literal(runtime))
+        g.add(URIRef(x + "f4"), URIRef(x + "studio"), URIRef(x + "s2"))
+        g.add(URIRef(x + "f4"), URIRef(x + "runtime"), Literal(100))
+        return EngineClient(Engine(g))
+
+    @pytest.fixture
+    def frame(self):
+        from repro.core import KnowledgeGraph
+        kg = KnowledgeGraph(graph_uri="http://g", prefixes={"x": "http://x/"})
+        return kg.seed("film", "x:studio", "studio") \
+            .expand("film", [("x:runtime", "runtime")])
+
+    def test_group_min_max(self, frame, client):
+        grouped = frame.group_by(["studio"]).min("runtime", "lo") \
+            .max("runtime", "hi")
+        result = {row["studio"]: (row["lo"], row["hi"])
+                  for row in grouped.execute(client).iter_dicts()}
+        assert result["http://x/s1"] == (60, 120)
+        assert result["http://x/s2"] == (100, 100)
+
+    def test_group_sum_average(self, frame, client):
+        grouped = frame.group_by(["studio"]).sum("runtime", "total") \
+            .average("runtime", "mean")
+        result = {row["studio"]: (row["total"], row["mean"])
+                  for row in grouped.execute(client).iter_dicts()}
+        assert result["http://x/s1"] == (270, 90)
+
+    def test_whole_frame_max(self, frame, client):
+        df = frame.aggregate("max", "runtime").execute(client)
+        assert df.to_records() == [(120,)]
+
+    def test_aggregate_having_combination(self, frame, client):
+        grouped = frame.group_by(["studio"]).sum("runtime", "total") \
+            .filter({"total": [">=200"]})
+        df = grouped.execute(client)
+        assert df.column("studio") == ["http://x/s1"]

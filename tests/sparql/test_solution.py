@@ -1,0 +1,100 @@
+"""Property tests: the optimized join algorithms match a brute-force
+reference implementation of the SPARQL semantics (Section 5.2)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rdf import Literal
+from repro.sparql.solution import (compatible, distinct, hash_join,
+                                   in_scope_variables, left_join, merge,
+                                   project)
+
+VARS = ["a", "b", "c"]
+_values = st.one_of(st.none(), st.integers(min_value=0, max_value=3))
+
+
+def make_mapping(values):
+    return {v: Literal(x) for v, x in zip(VARS, values) if x is not None}
+
+
+_mappings = st.tuples(_values, _values, _values).map(make_mapping)
+_multisets = st.lists(_mappings, max_size=12)
+
+
+def reference_join(left, right):
+    return [merge(l, r) for l in left for r in right if compatible(l, r)]
+
+
+def reference_left_join(left, right):
+    out = []
+    for l in left:
+        matches = [merge(l, r) for r in right if compatible(l, r)]
+        out.extend(matches if matches else [l])
+    return out
+
+
+def as_bag(multiset):
+    return sorted(tuple(sorted((k, repr(v)) for k, v in mu.items()))
+                  for mu in multiset)
+
+
+def common_vars(left, right):
+    lv = in_scope_variables(left)
+    return [v for v in in_scope_variables(right) if v in lv]
+
+
+class TestCompatibility:
+    def test_empty_mapping_compatible_with_all(self):
+        assert compatible({}, {"a": Literal(1)})
+
+    def test_disagreement_incompatible(self):
+        assert not compatible({"a": Literal(1)}, {"a": Literal(2)})
+
+    def test_disjoint_domains_compatible(self):
+        assert compatible({"a": Literal(1)}, {"b": Literal(2)})
+
+    def test_merge_prefers_second_on_shared(self):
+        merged = merge({"a": Literal(1)}, {"b": Literal(2)})
+        assert set(merged) == {"a", "b"}
+
+
+@settings(max_examples=120, deadline=None)
+@given(_multisets, _multisets)
+def test_hash_join_matches_reference(left, right):
+    common = common_vars(left, right)
+    assert as_bag(hash_join(left, right, common)) == \
+        as_bag(reference_join(left, right))
+
+
+@settings(max_examples=120, deadline=None)
+@given(_multisets, _multisets)
+def test_left_join_matches_reference(left, right):
+    common = common_vars(left, right)
+    assert as_bag(left_join(left, right, common)) == \
+        as_bag(reference_left_join(left, right))
+
+
+@settings(max_examples=60, deadline=None)
+@given(_multisets)
+def test_join_with_self_is_idempotent_on_distinct(ms):
+    unique = distinct(ms)
+    common = in_scope_variables(unique)
+    # For fully-bound uniform mappings, self-join reproduces the set.
+    fully_bound = [mu for mu in unique if len(mu) == len(VARS)]
+    joined = hash_join(fully_bound, fully_bound, common)
+    assert as_bag(joined) == as_bag(fully_bound)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_multisets)
+def test_project_keeps_multiplicity(ms):
+    out = project(ms, ["a"])
+    assert len(out) == len(ms)
+    for mu in out:
+        assert set(mu) <= {"a"}
+
+
+@settings(max_examples=60, deadline=None)
+@given(_multisets, _multisets)
+def test_left_join_never_loses_left_rows(left, right):
+    common = common_vars(left, right)
+    assert len(left_join(left, right, common)) >= len(left)

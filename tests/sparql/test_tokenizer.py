@@ -1,0 +1,96 @@
+"""Unit tests for the SPARQL tokenizer."""
+
+import pytest
+
+from repro.sparql.tokenizer import Token, TokenizeError, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text) if t.kind != "EOF"]
+
+
+def values(text):
+    return [t.value for t in tokenize(text) if t.kind != "EOF"]
+
+
+class TestBasicTokens:
+    def test_iri(self):
+        assert kinds("<http://x/a>") == ["IRI"]
+
+    def test_variable(self):
+        tokens = tokenize("?movie $actor")
+        assert [t.kind for t in tokens[:2]] == ["VAR", "VAR"]
+
+    def test_pname(self):
+        assert kinds("dbpp:starring") == ["PNAME"]
+
+    def test_pname_with_dots_and_dashes(self):
+        assert values("a:b.c-d") == ["a:b.c-d"]
+
+    def test_pname_trailing_dot_is_terminator(self):
+        tokens = values("dbpr:United_States.")
+        assert tokens == ["dbpr:United_States", "."]
+
+    def test_keywords_uppercased(self):
+        tokens = tokenize("select Where FILTER")
+        assert all(t.kind == "KEYWORD" for t in tokens[:3])
+        assert tokens[0].value == "SELECT"
+
+    def test_a_is_keyword(self):
+        assert tokenize("a")[0] == Token("KEYWORD", "A", 0, 1)
+
+    def test_function_name_is_name(self):
+        assert tokenize("regex")[0].kind == "NAME"
+
+    def test_numbers(self):
+        assert kinds("42 3.14 .5 1e6") == ["NUMBER"] * 4
+
+    def test_strings(self):
+        assert kinds('"hello" \'single\' """triple"""') == ["STRING"] * 3
+
+    def test_string_with_escape(self):
+        assert values(r'"a\"b"') == [r'"a\"b"']
+
+    def test_operators(self):
+        assert values("&& || != <= >= = < > ! + - * /") == \
+            ["&&", "||", "!=", "<=", ">=", "=", "<", ">", "!", "+", "-",
+             "*", "/"]
+
+    def test_punctuation(self):
+        assert kinds("{ } ( ) . , ;") == ["PUNCT"] * 7
+
+    def test_datatype_marker(self):
+        assert kinds('"5"^^<http://x>') == ["STRING", "DTYPE", "IRI"]
+
+    def test_language_tag(self):
+        assert kinds('"chat"@fr') == ["STRING", "LANGTAG"]
+
+    def test_comment_skipped(self):
+        assert kinds("?x # comment here\n?y") == ["VAR", "VAR"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("?x\n?y")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+
+    def test_unexpected_character(self):
+        with pytest.raises(TokenizeError):
+            tokenize("?x ~ ?y")
+
+
+class TestDisambiguation:
+    def test_less_than_vs_iri(self):
+        # '< ' followed by space cannot be an IRI.
+        assert values("?x < 5") == ["?x", "<", "5"]
+
+    def test_leq_operator(self):
+        assert values("?x <= ?y") == ["?x", "<=", "?y"]
+
+    def test_iri_wins_when_closed(self):
+        assert kinds("FROM <http://g>") == ["KEYWORD", "IRI"]
+
+    def test_star_in_select(self):
+        assert values("SELECT *") == ["SELECT", "*"]
+
+    def test_eof_token_present(self):
+        assert tokenize("")[-1].kind == "EOF"

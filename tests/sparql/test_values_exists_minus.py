@@ -1,0 +1,150 @@
+"""Tests for VALUES, MINUS, and FILTER (NOT) EXISTS support."""
+
+import pytest
+
+from repro.rdf import Graph, Literal, URIRef
+from repro.sparql import Engine
+
+
+def uri(name):
+    return URIRef("http://x/" + name)
+
+
+@pytest.fixture
+def engine():
+    g = Graph("http://g")
+    g.add(uri("m1"), uri("starring"), uri("a1"))
+    g.add(uri("m2"), uri("starring"), uri("a2"))
+    g.add(uri("m3"), uri("starring"), uri("a3"))
+    g.add(uri("a1"), uri("born"), uri("usa"))
+    g.add(uri("a2"), uri("born"), uri("france"))
+    g.add(uri("m1"), uri("year"), Literal(2000))
+    g.add(uri("m2"), uri("year"), Literal(2010))
+    return Engine(g)
+
+
+PFX = "PREFIX x: <http://x/>\n"
+
+
+def rows(engine, query):
+    return set(engine.query(query).to_dataframe().to_records())
+
+
+class TestValues:
+    def test_single_variable_values(self, engine):
+        result = rows(engine, PFX + """
+            SELECT ?m ?a WHERE {
+                VALUES ?a { x:a1 x:a3 }
+                ?m x:starring ?a .
+            }""")
+        assert result == {("http://x/m1", "http://x/a1"),
+                          ("http://x/m3", "http://x/a3")}
+
+    def test_multi_variable_values(self, engine):
+        result = rows(engine, PFX + """
+            SELECT ?m ?y WHERE {
+                ?m x:year ?y .
+                VALUES (?m ?y) { (x:m1 2000) (x:m2 1999) }
+            }""")
+        assert result == {("http://x/m1", 2000)}
+
+    def test_undef_is_wildcard(self, engine):
+        result = rows(engine, PFX + """
+            SELECT ?m ?y WHERE {
+                ?m x:year ?y .
+                VALUES (?m ?y) { (UNDEF 2010) }
+            }""")
+        assert result == {("http://x/m2", 2010)}
+
+    def test_values_alone(self, engine):
+        result = rows(engine, PFX + """
+            SELECT ?v WHERE { VALUES ?v { 1 2 3 } }""")
+        assert result == {(1,), (2,), (3,)}
+
+    def test_values_literal_rows(self, engine):
+        result = rows(engine, PFX + """
+            SELECT ?v WHERE { VALUES ?v { "a" "b" } }""")
+        assert result == {("a",), ("b",)}
+
+    def test_empty_values_yields_nothing(self, engine):
+        result = rows(engine, PFX + """
+            SELECT ?m WHERE { ?m x:starring ?a VALUES ?a { } }""")
+        assert result == set()
+
+    def test_arity_mismatch_rejected(self, engine):
+        from repro.sparql import ParseError
+        with pytest.raises(ParseError):
+            engine.query(PFX + """
+                SELECT * WHERE { VALUES (?a ?b) { (1) } }""")
+
+
+class TestMinus:
+    def test_minus_removes_matching(self, engine):
+        result = rows(engine, PFX + """
+            SELECT ?a WHERE {
+                ?m x:starring ?a
+                MINUS { ?a x:born x:usa }
+            }""")
+        assert result == {("http://x/a2",), ("http://x/a3",)}
+
+    def test_minus_with_no_shared_vars_keeps_all(self, engine):
+        # Disjoint domains: nothing is removed (SPARQL MINUS semantics).
+        result = rows(engine, PFX + """
+            SELECT ?m WHERE {
+                ?m x:year ?y
+                MINUS { ?z x:born x:usa }
+            }""")
+        assert len(result) == 2
+
+    def test_minus_of_everything(self, engine):
+        result = rows(engine, PFX + """
+            SELECT ?a WHERE {
+                ?m x:starring ?a
+                MINUS { ?m x:starring ?a }
+            }""")
+        assert result == set()
+
+
+class TestExists:
+    def test_filter_exists(self, engine):
+        result = rows(engine, PFX + """
+            SELECT ?a WHERE {
+                ?m x:starring ?a
+                FILTER EXISTS { ?a x:born ?c }
+            }""")
+        assert result == {("http://x/a1",), ("http://x/a2",)}
+
+    def test_filter_not_exists(self, engine):
+        result = rows(engine, PFX + """
+            SELECT ?a WHERE {
+                ?m x:starring ?a
+                FILTER NOT EXISTS { ?a x:born ?c }
+            }""")
+        assert result == {("http://x/a3",)}
+
+    def test_exists_with_concrete_term(self, engine):
+        result = rows(engine, PFX + """
+            SELECT ?a WHERE {
+                ?m x:starring ?a
+                FILTER EXISTS { ?a x:born x:usa }
+            }""")
+        assert result == {("http://x/a1",)}
+
+    def test_exists_combines_with_plain_filter(self, engine):
+        result = rows(engine, PFX + """
+            SELECT ?m WHERE {
+                ?m x:starring ?a .
+                ?m x:year ?y
+                FILTER ( ?y >= 2005 )
+                FILTER EXISTS { ?a x:born ?c }
+            }""")
+        assert result == {("http://x/m2",)}
+
+    def test_not_exists_equals_minus_here(self, engine):
+        a = rows(engine, PFX + """
+            SELECT ?a WHERE { ?m x:starring ?a
+                FILTER NOT EXISTS { ?a x:born ?c } }""")
+        b = rows(engine, PFX + """
+            SELECT ?a WHERE { ?m x:starring ?a
+                MINUS { ?a x:born ?c } }""")
+        assert a == b

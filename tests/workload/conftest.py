@@ -1,0 +1,24 @@
+"""Shared fixtures: a small synthetic dataset + clients for workload tests."""
+
+import pytest
+
+from repro.client import EngineClient
+from repro.data import build_dataset
+from repro.sparql import Engine
+
+SCALE = 0.1
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    return build_dataset(scale=SCALE)
+
+
+@pytest.fixture(scope="session")
+def engine(dataset):
+    return Engine(dataset)
+
+
+@pytest.fixture(scope="session")
+def client(engine):
+    return EngineClient(engine)

@@ -1,0 +1,91 @@
+"""The 15-query synthetic workload: equivalence and feature coverage."""
+
+import pytest
+
+from repro.workload import SYNTHETIC_QUERIES, get_query
+
+QIDS = [q.qid for q in SYNTHETIC_QUERIES]
+
+
+@pytest.fixture(params=QIDS)
+def query(request):
+    return get_query(request.param)
+
+
+class TestWorkloadDefinition:
+    def test_fifteen_queries(self):
+        assert len(SYNTHETIC_QUERIES) == 15
+        assert QIDS == ["Q%d" % i for i in range(1, 16)]
+
+    def test_descriptions_match_table2(self):
+        assert "nationality" in get_query("Q1").description
+        assert "both DBpedia and YAGO" in get_query("Q4").description
+        assert "full outer" in get_query("Q11").description.lower()
+
+    def test_unknown_query_raises(self):
+        with pytest.raises(KeyError):
+            get_query("Q99")
+
+    def test_feature_mix_matches_paper(self):
+        """Four expand/filter-only queries, four grouping queries, seven
+        join queries (Section 6.2)."""
+        from repro.core.operators import (GroupByOperator, JoinOperator)
+
+        def has(frame, kind):
+            def walk(f):
+                for op in f.operators:
+                    if isinstance(op, kind):
+                        return True
+                    if isinstance(op, JoinOperator) and kind is not JoinOperator:
+                        if walk(op.other):
+                            return True
+                return False
+            return walk(frame)
+
+        joins = [q.qid for q in SYNTHETIC_QUERIES
+                 if has(q.frame(), JoinOperator)]
+        groups = [q.qid for q in SYNTHETIC_QUERIES
+                  if has(q.frame(), GroupByOperator)]
+        assert len(joins) == 7
+        assert set(groups) >= {"Q2", "Q3", "Q7", "Q10", "Q12", "Q15"}
+        expand_filter_only = [q.qid for q in SYNTHETIC_QUERIES
+                              if q.qid not in joins and q.qid not in groups]
+        assert len(expand_filter_only) >= 4
+
+    def test_cross_graph_queries_use_two_graphs(self):
+        for qid in ("Q4", "Q11"):
+            text = get_query(qid).frame().to_sparql()
+            assert "http://yago-knowledge.org" in text
+            assert "http://dbpedia.org" in text
+
+
+class TestEquivalence:
+    def test_rdfframes_equals_expert(self, query, client):
+        df = query.frame().execute(client)
+        expert = client.execute(query.expert_sparql)
+        assert df.equals_bag(expert), query.qid
+
+    def test_rdfframes_equals_naive(self, query, client):
+        frame = query.frame()
+        assert frame.execute(client).equals_bag(
+            frame.execute(client, strategy="naive")), query.qid
+
+    def test_results_non_empty(self, query, client):
+        assert len(query.frame().execute(client)) > 0, query.qid
+
+
+class TestGeneratedQueriesAreValid:
+    def test_optimized_parses(self, query):
+        from repro.sparql import parse
+        parse(query.frame().to_sparql())
+
+    def test_naive_parses(self, query):
+        from repro.sparql import parse
+        parse(query.frame().to_sparql(strategy="naive"))
+
+    def test_naive_has_more_nesting(self, query):
+        from repro.sparql import count_nested_selects, parse
+        optimized = parse(query.frame().to_sparql())
+        naive = parse(query.frame().to_sparql(strategy="naive"))
+        assert count_nested_selects(naive.pattern) >= \
+            count_nested_selects(optimized.pattern), query.qid
