@@ -1,0 +1,8 @@
+"""Benchmark harness package.
+
+Making ``benchmarks`` a package lets its modules use relative imports
+(``from .conftest import ...``) when collected by pytest from the repo
+root: ``python -m pytest benchmarks``.  The default test run (see
+``pytest.ini``) collects only ``tests/``; benchmarks are opt-in because
+they build multi-graph datasets and run timed rounds.
+"""

@@ -1,0 +1,193 @@
+"""Engine micro-benchmark runner — the repo's perf trajectory anchor.
+
+Times a fixed, BGP-heavy query set at two dataset scales against both data
+planes of the engine:
+
+* ``columnar``  — the production dictionary-encoded columnar evaluator,
+* ``reference`` — the seed dict-of-terms evaluator
+  (:class:`~repro.sparql.ReferenceEvaluator`), frozen as the baseline.
+
+For every (scale, query) cell it records best-of-N wall time plus the
+:class:`~repro.sparql.EvaluationStats` counters, verifies that both planes
+return the identical decoded result bag, and writes everything to
+``BENCH_engine.json`` so future PRs have a comparable perf trajectory.
+
+Run it from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf_report.py [--out BENCH_engine.json]
+
+Scales default to (0.05, REPRO_BENCH_SCALE); rounds to 3.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+from repro.data import DBPEDIA_URI, build_dataset
+from repro.sparql import Engine
+
+_PREFIXES = """
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+PREFIX dbpp: <http://dbpedia.org/property/>
+PREFIX dbpo: <http://dbpedia.org/ontology/>
+PREFIX dcterms: <http://purl.org/dc/terms/>
+"""
+
+#: The fixed query set.  Mostly BGP-heavy shapes (the paper's hot path);
+#: the tail covers OPTIONAL, aggregation, and DISTINCT so regressions in
+#: the non-join operators are visible too.
+QUERIES = {
+    "bgp2_film_actor": """
+        SELECT ?film ?actor WHERE {
+            ?film rdf:type dbpo:Film .
+            ?film dbpp:starring ?actor .
+        }""",
+    "bgp3_actor_place": """
+        SELECT ?film ?actor ?place WHERE {
+            ?film rdf:type dbpo:Film .
+            ?film dbpp:starring ?actor .
+            ?actor dbpp:birthPlace ?place .
+        }""",
+    "bgp4_film_star": """
+        SELECT ?film ?actor ?studio ?country WHERE {
+            ?film rdf:type dbpo:Film .
+            ?film dbpp:starring ?actor .
+            ?film dbpp:studio ?studio .
+            ?film dbpp:country ?country .
+        }""",
+    "bgp4_player_team": """
+        SELECT ?player ?team ?sponsor ?nat WHERE {
+            ?player rdf:type dbpo:BasketballPlayer .
+            ?player dbpp:team ?team .
+            ?team dbpo:sponsor ?sponsor .
+            ?player dbpp:nationality ?nat .
+        }""",
+    "bgp_self_join_costar": """
+        SELECT ?a ?b WHERE {
+            ?film dbpp:starring ?a .
+            ?film dbpp:starring ?b .
+        }""",
+    "optional_birthdate": """
+        SELECT ?actor ?place ?date WHERE {
+            ?film dbpp:starring ?actor .
+            ?actor dbpp:birthPlace ?place
+            OPTIONAL { ?actor dbpo:birthDate ?date }
+        }""",
+    "group_count_films": """
+        SELECT ?actor (COUNT(?film) AS ?n) WHERE {
+            ?film dbpp:starring ?actor .
+        } GROUP BY ?actor""",
+    "distinct_actors": """
+        SELECT DISTINCT ?actor WHERE {
+            ?film dbpp:starring ?actor .
+        }""",
+}
+
+MODES = ("reference", "columnar")
+
+
+def _result_key(result):
+    """Order-insensitive fingerprint of the decoded rows."""
+    return sorted(tuple(map(repr, row)) for row in result.rows)
+
+
+def time_query(engine: Engine, query: str, rounds: int):
+    """Best-of-``rounds`` wall time; returns (seconds, result, stats)."""
+    best = None
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = engine.query(query, default_graph_uri=DBPEDIA_URI)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result, engine.last_stats
+
+
+def run(scales, rounds: int, out_path: str) -> dict:
+    report = {
+        "schema": "repro-bench-engine/1",
+        "created_unix": time.time(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "rounds": rounds,
+        "scales": list(scales),
+        "queries": sorted(QUERIES),
+        "results": [],
+        "summary": {},
+    }
+    speedups = []
+    for scale in scales:
+        print("== scale %.3g ==" % scale)
+        dataset = build_dataset(scale=scale)
+        engines = {
+            "reference": Engine(dataset, columnar=False),
+            "columnar": Engine(dataset, columnar=True),
+        }
+        for name in sorted(QUERIES):
+            query = _PREFIXES + QUERIES[name]
+            cell = {"query": name, "scale": scale, "modes": {}}
+            keys = {}
+            for mode in MODES:
+                seconds, result, stats = time_query(engines[mode], query,
+                                                    rounds)
+                keys[mode] = _result_key(result)
+                cell["modes"][mode] = {
+                    "seconds": seconds,
+                    "rows": len(result),
+                    "stats": stats.as_dict(),
+                }
+            if keys["columnar"] != keys["reference"]:
+                raise AssertionError(
+                    "result mismatch between columnar and reference "
+                    "engines on %r at scale %s" % (name, scale))
+            cell["identical_results"] = True
+            ref_s = cell["modes"]["reference"]["seconds"]
+            col_s = cell["modes"]["columnar"]["seconds"]
+            cell["speedup"] = ref_s / col_s if col_s > 0 else float("inf")
+            speedups.append(cell["speedup"])
+            report["results"].append(cell)
+            print("  %-22s ref %8.4fs  columnar %8.4fs  speedup %5.2fx  "
+                  "(%d rows)" % (name, ref_s, col_s, cell["speedup"],
+                                 cell["modes"]["columnar"]["rows"]))
+    geomean = 1.0
+    for s in speedups:
+        geomean *= s
+    geomean **= (1.0 / len(speedups))
+    report["summary"] = {
+        "geomean_speedup": geomean,
+        "min_speedup": min(speedups),
+        "max_speedup": max(speedups),
+        "all_results_identical": True,
+    }
+    with open(out_path, "w") as handle:
+        json.dump(report, handle, indent=2)
+    print("geomean speedup %.2fx (min %.2fx, max %.2fx) -> %s"
+          % (geomean, min(speedups), max(speedups), out_path))
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_engine.json",
+                        help="output JSON path (default: ./BENCH_engine.json)")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="timing rounds per query (best-of)")
+    parser.add_argument("--scales", type=float, nargs="+",
+                        default=[0.05,
+                                 float(os.environ.get("REPRO_BENCH_SCALE",
+                                                      "0.2"))],
+                        help="dataset scales to benchmark")
+    args = parser.parse_args(argv)
+    run(args.scales, args.rounds, args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,6 +51,18 @@ class EngineClient:
                                    default_graph_uri=self.default_graph_uri)
         return result.to_term_dataframe()
 
+    @property
+    def last_stats(self):
+        """The engine's :class:`~repro.sparql.EvaluationStats` for the most
+        recent query (pattern matches, intermediate rows, cache hits) —
+        consumed by the perf-report runner and the ablation benchmarks."""
+        return self.engine.last_stats
+
+    @property
+    def last_elapsed(self) -> float:
+        """Server-side evaluation seconds for the most recent query."""
+        return self.engine.last_elapsed
+
     def __repr__(self):
         return "EngineClient(%r)" % self.engine
 
@@ -115,6 +127,13 @@ class HttpClient:
                                   "returned an empty page at offset %d" % offset)
             offset += len(page)
         return ResultSet(variables or [], rows)
+
+    @property
+    def last_stats(self):
+        """Server-side evaluation stats of the backing engine for the most
+        recent request (the endpoint caches results per query text, so for
+        paginated fetches these are the stats of the initial execution)."""
+        return self.endpoint.engine.last_stats
 
     def _request_with_retry(self, query: str, offset: int):
         last_error = None

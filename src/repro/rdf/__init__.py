@@ -30,6 +30,7 @@ from .namespaces import (
     PrefixMap,
     DEFAULT_PREFIXES,
 )
+from .dictionary import TermDictionary, shared_dictionary
 from .graph import Graph
 from .dataset import Dataset, GraphUnion
 from . import ntriples
@@ -42,4 +43,5 @@ __all__ = [
     "RDF", "RDFS", "XSD", "OWL", "FOAF", "DC", "DCTERMS",
     "DBPP", "DBPO", "DBPR", "SWRC", "DBLPRC", "YAGO",
     "Graph", "Dataset", "GraphUnion", "ntriples", "turtle",
+    "TermDictionary", "shared_dictionary",
 ]

@@ -3,12 +3,18 @@
 SPARQL queries name the graphs they read with ``FROM <uri>`` and may scope
 patterns with ``GRAPH <uri> { ... }``.  The paper's synthetic workload joins
 DBpedia with YAGO3, which requires exactly this machinery.
+
+All graphs in a dataset must share one :class:`~.dictionary.TermDictionary`
+(the default: every graph uses the process-wide shared dictionary), so that
+the evaluator can join id-encoded solutions produced from different graphs
+without re-encoding.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
+from .dictionary import TermDictionary, shared_dictionary
 from .graph import Graph
 
 
@@ -19,13 +25,23 @@ class Dataset:
         self._graphs: Dict[str, Graph] = {}
 
     def add_graph(self, graph: Graph) -> Graph:
+        for other in self._graphs.values():
+            if other.dictionary is not graph.dictionary:
+                raise ValueError(
+                    "graph %r uses a different TermDictionary than the "
+                    "dataset's existing graphs; all graphs in a dataset "
+                    "must share one dictionary for id-level joins" % graph.uri)
         self._graphs[graph.uri] = graph
         return graph
 
     def create_graph(self, uri: str) -> Graph:
         """Get-or-create the graph named ``uri``."""
         if uri not in self._graphs:
-            self._graphs[uri] = Graph(uri)
+            dictionary = None
+            for other in self._graphs.values():
+                dictionary = other.dictionary
+                break
+            self._graphs[uri] = Graph(uri, dictionary=dictionary)
         return self._graphs[uri]
 
     def graph(self, uri: str) -> Graph:
@@ -55,29 +71,118 @@ class Dataset:
 
 
 class GraphUnion:
-    """Read-only union of graphs exposing the Graph matching interface."""
+    """Read-only union of graphs exposing the Graph matching interface
+    (term-level and id-level), with set semantics across members."""
 
     def __init__(self, graphs: List[Graph]):
         self.graphs = graphs
         self.uri = "urn:union:" + "+".join(g.uri for g in graphs)
+        self.dictionary: TermDictionary = (
+            graphs[0].dictionary if graphs else shared_dictionary())
 
     def __len__(self) -> int:
         return sum(len(g) for g in self.graphs)
 
-    def triples(self, subject=None, predicate=None, obj=None):
-        seen = set() if len(self.graphs) > 1 else None
+    def triples_ids(self, subject=None, predicate=None, obj=None):
+        """Id-level union iteration with cross-graph dedup."""
+        if len(self.graphs) == 1:
+            yield from self.graphs[0].triples_ids(subject, predicate, obj)
+            return
+        seen = set()
         for g in self.graphs:
-            for t in g.triples(subject, predicate, obj):
-                if seen is None:
-                    yield t
-                elif t not in seen:
+            for t in g.triples_ids(subject, predicate, obj):
+                if t not in seen:
                     seen.add(t)
                     yield t
+
+    # -- direct id-level accessors (same contract as Graph's) -----------
+    def objects_for(self, s, p):
+        graphs = self.graphs
+        if len(graphs) == 1:
+            return graphs[0].objects_for(s, p)
+        out = set()
+        for g in graphs:
+            out.update(g.objects_for(s, p))
+        return out
+
+    def subjects_for(self, p, o):
+        graphs = self.graphs
+        if len(graphs) == 1:
+            return graphs[0].subjects_for(p, o)
+        out = set()
+        for g in graphs:
+            out.update(g.subjects_for(p, o))
+        return out
+
+    def predicates_for(self, s, o):
+        graphs = self.graphs
+        if len(graphs) == 1:
+            return graphs[0].predicates_for(s, o)
+        out = set()
+        for g in graphs:
+            out.update(g.predicates_for(s, o))
+        return out
+
+    def contains_ids(self, s, p, o) -> bool:
+        return any(g.contains_ids(s, p, o) for g in self.graphs)
+
+    def so_pairs(self, p):
+        graphs = self.graphs
+        if len(graphs) == 1:
+            yield from graphs[0].so_pairs(p)
+            return
+        seen = set()
+        for g in graphs:
+            for pair in g.so_pairs(p):
+                if pair not in seen:
+                    seen.add(pair)
+                    yield pair
+
+    def triples(self, subject=None, predicate=None, obj=None):
+        lookup = self.dictionary.lookup
+        ids = []
+        for term in (subject, predicate, obj):
+            if term is None:
+                ids.append(None)
+            else:
+                tid = lookup(term)
+                if tid is None:
+                    return
+                ids.append(tid)
+        decode = self.dictionary.decode
+        for s, p, o in self.triples_ids(*ids):
+            yield (decode(s), decode(p), decode(o))
 
     def count(self, subject=None, predicate=None, obj=None) -> int:
         if len(self.graphs) == 1:
             return self.graphs[0].count(subject, predicate, obj)
-        return sum(1 for _ in self.triples(subject, predicate, obj))
+        lookup = self.dictionary.lookup
+        ids = []
+        for term in (subject, predicate, obj):
+            if term is None:
+                ids.append(None)
+            else:
+                tid = lookup(term)
+                if tid is None:
+                    return 0
+                ids.append(tid)
+        return sum(1 for _ in self.triples_ids(*ids))
+
+    def predicate_profile(self, predicate) -> Tuple[int, int, int]:
+        """Member-wise sum of per-graph profiles.
+
+        An upper bound when graphs overlap (duplicated triples or shared
+        entities are counted once per member graph); the optimizer only
+        needs relative magnitudes, so the approximation is fine and avoids
+        a dedup scan.
+        """
+        triples = distinct_s = distinct_o = 0
+        for g in self.graphs:
+            t, s, o = g.predicate_profile(predicate)
+            triples += t
+            distinct_s += s
+            distinct_o += o
+        return (triples, distinct_s, distinct_o)
 
     def predicate_stats(self):
         stats = {}

@@ -1,50 +1,75 @@
-"""An indexed, in-memory RDF graph.
+"""An indexed, in-memory RDF graph, dictionary-encoded.
 
 This is the storage substrate beneath the SPARQL engine (the role Virtuoso
-plays in the paper).  Triples are indexed three ways (SPO, POS, OSP nested
-dictionaries) so that a triple pattern with any combination of bound
-positions can be answered by direct index lookups rather than scans.
+plays in the paper).  Terms are interned into a :class:`TermDictionary` at
+insertion time and the SPO/POS/OSP indexes are nested dictionaries of dense
+*integer ids*, so that a triple pattern with any combination of bound
+positions can be answered by direct index lookups on ints — no term-object
+hashing on the hot path.  The evaluator consumes the id-level interface
+(:meth:`Graph.triples_ids`); the term-level interface (:meth:`Graph.triples`
+etc.) decodes at the boundary and is what loaders, serializers, and
+exploration operators use.
 
-The graph also maintains simple statistics (triple counts per predicate,
-distinct subject/object counts) used by the join-order optimizer.
+The graph also exposes per-predicate statistics
+(:meth:`Graph.predicate_profile`) used by the join-order optimizer.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
 
+from .dictionary import TermDictionary, shared_dictionary
 from .terms import Literal, Node, Triple, URIRef
+
+#: An id-level triple (subject id, predicate id, object id).
+IdTriple = Tuple[int, int, int]
 
 
 class Graph:
-    """A set of RDF triples with SPO/POS/OSP indexes.
+    """A set of RDF triples with id-keyed SPO/POS/OSP indexes.
 
     Parameters
     ----------
     uri:
         The graph URI used in ``FROM`` clauses, e.g. ``http://dbpedia.org``.
+    dictionary:
+        The term dictionary used for encoding.  Defaults to the process-wide
+        shared dictionary so that ids are join-compatible across graphs
+        (required when several graphs live in one :class:`~.dataset.Dataset`).
     """
 
-    def __init__(self, uri: str = "urn:default"):
+    def __init__(self, uri: str = "urn:default",
+                 dictionary: Optional[TermDictionary] = None):
         self.uri = uri
-        # index[s][p] -> set of o ; index maps use nested dicts of sets.
-        self._spo: Dict[Node, Dict[Node, Set[Node]]] = {}
-        self._pos: Dict[Node, Dict[Node, Set[Node]]] = {}
-        self._osp: Dict[Node, Dict[Node, Set[Node]]] = {}
+        self.dictionary = dictionary if dictionary is not None \
+            else shared_dictionary()
+        # index[s][p] -> set of o ; nested dicts of sets, all int ids.
+        self._spo: Dict[int, Dict[int, Set[int]]] = {}
+        self._pos: Dict[int, Dict[int, Set[int]]] = {}
+        self._osp: Dict[int, Dict[int, Set[int]]] = {}
         self._size = 0
+        # Memoized per-predicate profiles; invalidated on mutation.
+        self._profiles: Dict[int, Tuple[int, int, int]] = {}
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
     def add(self, subject: Node, predicate: Node, obj: Node) -> bool:
         """Add a triple; returns True if it was new."""
-        objs = self._spo.setdefault(subject, {}).setdefault(predicate, set())
-        if obj in objs:
+        encode = self.dictionary.encode
+        return self.add_ids(encode(subject), encode(predicate), encode(obj))
+
+    def add_ids(self, s: int, p: int, o: int) -> bool:
+        """Add a triple given already-encoded ids; returns True if new."""
+        objs = self._spo.setdefault(s, {}).setdefault(p, set())
+        if o in objs:
             return False
-        objs.add(obj)
-        self._pos.setdefault(predicate, {}).setdefault(obj, set()).add(subject)
-        self._osp.setdefault(obj, {}).setdefault(subject, set()).add(predicate)
+        objs.add(o)
+        self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
+        self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
         self._size += 1
+        if self._profiles:
+            self._profiles.pop(p, None)
         return True
 
     def add_triple(self, triple: Triple) -> bool:
@@ -60,25 +85,31 @@ class Graph:
 
     def remove(self, subject: Node, predicate: Node, obj: Node) -> bool:
         """Remove a triple; returns True if it was present."""
+        lookup = self.dictionary.lookup
+        s, p, o = lookup(subject), lookup(predicate), lookup(obj)
+        if s is None or p is None or o is None:
+            return False
         try:
-            self._spo[subject][predicate].remove(obj)
+            self._spo[s][p].remove(o)
         except KeyError:
             return False
-        if not self._spo[subject][predicate]:
-            del self._spo[subject][predicate]
-            if not self._spo[subject]:
-                del self._spo[subject]
-        self._pos[predicate][obj].discard(subject)
-        if not self._pos[predicate][obj]:
-            del self._pos[predicate][obj]
-            if not self._pos[predicate]:
-                del self._pos[predicate]
-        self._osp[obj][subject].discard(predicate)
-        if not self._osp[obj][subject]:
-            del self._osp[obj][subject]
-            if not self._osp[obj]:
-                del self._osp[obj]
+        if not self._spo[s][p]:
+            del self._spo[s][p]
+            if not self._spo[s]:
+                del self._spo[s]
+        self._pos[p][o].discard(s)
+        if not self._pos[p][o]:
+            del self._pos[p][o]
+            if not self._pos[p]:
+                del self._pos[p]
+        self._osp[o][s].discard(p)
+        if not self._osp[o][s]:
+            del self._osp[o][s]
+            if not self._osp[o]:
+                del self._osp[o]
         self._size -= 1
+        if self._profiles:
+            self._profiles.pop(p, None)
         return True
 
     # ------------------------------------------------------------------
@@ -88,16 +119,19 @@ class Graph:
         return self._size
 
     def __contains__(self, triple: Triple) -> bool:
-        s, p, o = triple
+        lookup = self.dictionary.lookup
+        s, p, o = (lookup(t) for t in triple)
+        if s is None or p is None or o is None:
+            return False
         return o in self._spo.get(s, {}).get(p, ())
 
-    def triples(self, subject: Optional[Node] = None,
-                predicate: Optional[Node] = None,
-                obj: Optional[Node] = None) -> Iterator[Triple]:
-        """Iterate triples matching a pattern; ``None`` matches anything.
-
-        Uses the index whose bound prefix is longest, so every combination
-        of bound positions avoids a full scan when possible.
+    def triples_ids(self, subject: Optional[int] = None,
+                    predicate: Optional[int] = None,
+                    obj: Optional[int] = None) -> Iterator[IdTriple]:
+        """Iterate id triples matching an id pattern; ``None`` matches
+        anything.  This is the evaluator's hot path: no term objects are
+        touched, and the index whose bound prefix is longest is used so
+        every combination of bound positions avoids a full scan.
         """
         if subject is not None:
             by_pred = self._spo.get(subject)
@@ -147,6 +181,64 @@ class Graph:
                 for o in objs:
                     yield (s, p, o)
 
+    # -- direct id-level accessors (evaluator hot paths) ----------------
+    # These return internal index containers; callers must treat them as
+    # read-only.  They exist so the BGP matcher's per-row probe is a dict
+    # lookup instead of a generator instantiation.
+
+    def objects_for(self, s: int, p: int):
+        """The set of object ids for (subject id, predicate id), or ()."""
+        by_pred = self._spo.get(s)
+        if by_pred is None:
+            return ()
+        return by_pred.get(p, ())
+
+    def subjects_for(self, p: int, o: int):
+        """The set of subject ids for (predicate id, object id), or ()."""
+        by_obj = self._pos.get(p)
+        if by_obj is None:
+            return ()
+        return by_obj.get(o, ())
+
+    def predicates_for(self, s: int, o: int):
+        """The set of predicate ids linking (subject id, object id), or ()."""
+        by_subj = self._osp.get(o)
+        if by_subj is None:
+            return ()
+        return by_subj.get(s, ())
+
+    def contains_ids(self, s: int, p: int, o: int) -> bool:
+        return o in self._spo.get(s, {}).get(p, ())
+
+    def so_pairs(self, p: int) -> Iterator[Tuple[int, int]]:
+        """Iterate (subject id, object id) pairs for a predicate id."""
+        by_obj = self._pos.get(p)
+        if by_obj is None:
+            return
+        for o, subjects in by_obj.items():
+            for s in subjects:
+                yield (s, o)
+
+    def triples(self, subject: Optional[Node] = None,
+                predicate: Optional[Node] = None,
+                obj: Optional[Node] = None) -> Iterator[Triple]:
+        """Iterate term-level triples matching a pattern; ``None`` matches
+        anything.  Decodes at the boundary; a bound term that was never
+        interned matches nothing."""
+        lookup = self.dictionary.lookup
+        ids = []
+        for term in (subject, predicate, obj):
+            if term is None:
+                ids.append(None)
+            else:
+                tid = lookup(term)
+                if tid is None:
+                    return
+                ids.append(tid)
+        decode = self.dictionary.decode
+        for s, p, o in self.triples_ids(*ids):
+            yield (decode(s), decode(p), decode(o))
+
     def __iter__(self) -> Iterator[Triple]:
         return self.triples()
 
@@ -159,50 +251,114 @@ class Graph:
         """Number of triples matching the pattern (index-backed fast paths)."""
         if subject is None and predicate is None and obj is None:
             return self._size
-        if subject is not None and predicate is not None and obj is None:
-            return len(self._spo.get(subject, {}).get(predicate, ()))
-        if subject is None and predicate is not None and obj is not None:
-            return len(self._pos.get(predicate, {}).get(obj, ()))
-        if subject is None and predicate is not None and obj is None:
-            by_obj = self._pos.get(predicate)
+        lookup = self.dictionary.lookup
+        s = lookup(subject) if subject is not None else None
+        p = lookup(predicate) if predicate is not None else None
+        o = lookup(obj) if obj is not None else None
+        if (subject is not None and s is None) \
+                or (predicate is not None and p is None) \
+                or (obj is not None and o is None):
+            return 0
+        if s is not None and p is not None and o is None:
+            return len(self._spo.get(s, {}).get(p, ()))
+        if s is None and p is not None and o is not None:
+            return len(self._pos.get(p, {}).get(o, ()))
+        if s is None and p is not None and o is None:
+            by_obj = self._pos.get(p)
             if by_obj is None:
                 return 0
             return sum(len(subjects) for subjects in by_obj.values())
-        return sum(1 for _ in self.triples(subject, predicate, obj))
+        return sum(1 for _ in self.triples_ids(s, p, o))
 
     def predicates(self) -> Iterator[Node]:
-        return iter(self._pos)
+        decode = self.dictionary.decode
+        return (decode(p) for p in self._pos)
 
     def subjects(self, predicate: Optional[Node] = None) -> Iterator[Node]:
+        decode = self.dictionary.decode
         if predicate is None:
-            return iter(self._spo)
-        seen = set()
-        by_obj = self._pos.get(predicate, {})
-        for subjects in by_obj.values():
+            return (decode(s) for s in self._spo)
+        pid = self.dictionary.lookup(predicate)
+        if pid is None:
+            return iter(())
+        seen: Set[int] = set()
+        for subjects in self._pos.get(pid, {}).values():
             seen.update(subjects)
-        return iter(seen)
+        return (decode(s) for s in seen)
 
     def objects(self, predicate: Optional[Node] = None) -> Iterator[Node]:
+        decode = self.dictionary.decode
         if predicate is None:
-            return iter(self._osp)
-        return iter(self._pos.get(predicate, {}))
+            return (decode(o) for o in self._osp)
+        pid = self.dictionary.lookup(predicate)
+        if pid is None:
+            return iter(())
+        return (decode(o) for o in self._pos.get(pid, {}))
+
+    def predicate_profile(self, predicate: Node) -> Tuple[int, int, int]:
+        """``(triples, distinct_subjects, distinct_objects)`` for a predicate.
+
+        This is the public statistics interface the join-order optimizer
+        consumes (via :class:`~repro.sparql.optimizer.GraphStatistics`).
+        Profiles are memoized per predicate and invalidated when a triple
+        with that predicate is added or removed, so repeated estimation
+        during a query is O(1) after the first touch.
+        """
+        pid = self.dictionary.lookup(predicate)
+        if pid is None:
+            return (0, 0, 0)
+        return self._profile_id(pid)
+
+    def _profile_id(self, pid: int) -> Tuple[int, int, int]:
+        profile = self._profiles.get(pid)
+        if profile is None:
+            by_obj = self._pos.get(pid, {})
+            triples = 0
+            subjects: Set[int] = set()
+            for subs in by_obj.values():
+                triples += len(subs)
+                subjects.update(subs)
+            profile = (triples, len(subjects), len(by_obj))
+            self._profiles[pid] = profile
+        return profile
 
     def predicate_stats(self) -> Dict[Node, int]:
         """Triple count per predicate."""
-        return {p: sum(len(ss) for ss in by_obj.values())
+        decode = self.dictionary.decode
+        return {decode(p): sum(len(ss) for ss in by_obj.values())
                 for p, by_obj in self._pos.items()}
 
     def classes(self) -> Dict[Node, int]:
         """Instance counts per ``rdf:type`` class — the paper's exploration
         operator for identifying entity types and their distributions."""
         from .namespaces import RDF
-        result: Dict[Node, int] = {}
-        for cls, subjects in self._pos.get(RDF.type, {}).items():
-            result[cls] = len(subjects)
-        return result
+        type_id = self.dictionary.lookup(RDF.type)
+        if type_id is None:
+            return {}
+        decode = self.dictionary.decode
+        return {decode(cls): len(subjects)
+                for cls, subjects in self._pos.get(type_id, {}).items()}
 
     def literal_count(self) -> int:
-        return sum(1 for o in self._osp if isinstance(o, Literal))
+        """Number of *triples* whose object is a literal.
+
+        Note: this counts triples, not distinct literal values — two triples
+        sharing the same literal object count twice.  (Earlier revisions
+        counted distinct literal objects, which under-reported literal
+        density for exploration.)  Use ``distinct_literal_count`` for the
+        distinct-value variant.
+        """
+        decode = self.dictionary.decode
+        total = 0
+        for o, by_subj in self._osp.items():
+            if isinstance(decode(o), Literal):
+                total += sum(len(preds) for preds in by_subj.values())
+        return total
+
+    def distinct_literal_count(self) -> int:
+        """Number of distinct literal terms appearing in object position."""
+        decode = self.dictionary.decode
+        return sum(1 for o in self._osp if isinstance(decode(o), Literal))
 
     def __repr__(self):
         return "Graph(%r, %d triples)" % (self.uri, self._size)

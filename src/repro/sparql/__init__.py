@@ -10,15 +10,19 @@ Public surface:
 from .algebra import Query, count_nested_selects
 from .endpoint import Endpoint, EndpointError, EndpointResponse
 from .engine import Engine, QueryTimeout
-from .evaluator import EvaluationError, Evaluator
+from .evaluator import EvaluationError, EvaluationStats, Evaluator
 from .expressions import ExpressionError
 from .parser import ParseError, parse
+from .reference import ReferenceEvaluator
 from .results import ResultSet, term_to_python
+from .solution import RowView, SolutionTable
 from .tokenizer import TokenizeError, tokenize
 
 __all__ = [
     "parse", "ParseError", "tokenize", "TokenizeError",
     "Engine", "QueryTimeout", "Evaluator", "EvaluationError",
+    "EvaluationStats", "ReferenceEvaluator",
+    "SolutionTable", "RowView",
     "ExpressionError", "ResultSet", "term_to_python",
     "Endpoint", "EndpointError", "EndpointResponse",
     "Query", "count_nested_selects",

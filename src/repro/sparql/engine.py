@@ -36,7 +36,8 @@ class Engine:
 
     def __init__(self, source: Union[Dataset, Graph, List[Graph]],
                  optimize: bool = True, cache_bgps: bool = True,
-                 max_intermediate_rows: Optional[int] = None):
+                 max_intermediate_rows: Optional[int] = None,
+                 columnar: bool = True):
         if isinstance(source, Dataset):
             self.dataset = source
         else:
@@ -49,6 +50,9 @@ class Engine:
         # Safety valve: abort queries whose intermediate results explode
         # (the role of a server-side memory budget in a real engine).
         self.max_intermediate_rows = max_intermediate_rows
+        # columnar=False selects the dict-based reference evaluator (the
+        # seed data plane), kept for differential testing and perf reports.
+        self.columnar = columnar
         self.last_stats: Optional[EvaluationStats] = None
         self.last_elapsed: float = 0.0
         self.queries_executed = 0
@@ -57,9 +61,16 @@ class Engine:
               timeout: Optional[float] = None) -> ResultSet:
         """Execute a SPARQL SELECT query and return its result set."""
         parsed = parse(text)
-        evaluator = Evaluator(self.dataset, optimize=self.optimize,
-                              cache_bgps=self.cache_bgps,
-                              max_rows=self.max_intermediate_rows)
+        if self.columnar:
+            evaluator = Evaluator(self.dataset, optimize=self.optimize,
+                                  cache_bgps=self.cache_bgps,
+                                  max_rows=self.max_intermediate_rows)
+        else:
+            from .reference import ReferenceEvaluator
+            evaluator = ReferenceEvaluator(
+                self.dataset, optimize=self.optimize,
+                cache_bgps=self.cache_bgps,
+                max_rows=self.max_intermediate_rows)
         start = time.perf_counter()
         solutions = evaluator.evaluate_query(parsed, default_graph_uri)
         elapsed = time.perf_counter() - start
@@ -70,6 +81,9 @@ class Engine:
         self.last_elapsed = elapsed
         self.queries_executed += 1
         variables = self._output_variables(parsed)
+        if self.columnar:
+            return ResultSet.from_table(solutions, evaluator.dictionary,
+                                        variables)
         return ResultSet.from_mappings(solutions, variables)
 
     @staticmethod

@@ -1,4 +1,4 @@
-"""Bottom-up evaluation of SPARQL algebra with bag semantics.
+"""Bottom-up evaluation of SPARQL algebra with bag semantics — columnar.
 
 Implements the semantics summarized in Section 5.2 of the paper.  The
 evaluator is deliberately structured the way the paper's cost model assumes:
@@ -11,20 +11,29 @@ evaluator is deliberately structured the way the paper's cost model assumes:
   hash-joined with its siblings.  This is exactly why the paper's naive
   one-subquery-per-operator queries are slow, and it makes the engine
   reproduce the naive-vs-optimized gap of Figures 3 and 5.
+
+The data plane is *dictionary-encoded and columnar*: solutions are
+:class:`~.solution.SolutionTable` objects (schema header + rows of dense
+integer term ids), pattern matching runs on :meth:`Graph.triples_ids`,
+joins hash ints, and RDF term objects are materialized only at the result
+boundary or lazily inside expression evaluation (:class:`~.solution.RowView`).
+The original dict-based evaluator survives as
+:class:`~.reference.ReferenceEvaluator` for differential tests and the
+perf-report baseline.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from ..rdf.dataset import Dataset, GraphUnion
-from ..rdf.graph import Graph
-from ..rdf.terms import Literal, Node, Variable, is_concrete
+from ..rdf.dataset import Dataset
+from ..rdf.terms import Literal, Variable
 from . import algebra as alg
-from .expressions import ExpressionError, ebv
+from .expressions import ExpressionError, VarExpr, ebv
 from .optimizer import GraphStatistics, order_patterns
-from .solution import (Mapping, Multiset, distinct, hash_join, left_join,
-                       project)
+from .solution import (RowView, SolutionTable, _rows_compatible,
+                       table_distinct, table_join, table_left_join,
+                       table_minus, table_project, table_union)
 
 
 class EvaluationError(RuntimeError):
@@ -49,9 +58,17 @@ class EvaluationStats:
                     self.pattern_matches, self.intermediate_rows,
                     self.materialized_subqueries, self.joins))
 
+    def as_dict(self) -> Dict[str, int]:
+        return {"bgp_count": self.bgp_count,
+                "bgp_cache_hits": self.bgp_cache_hits,
+                "pattern_matches": self.pattern_matches,
+                "intermediate_rows": self.intermediate_rows,
+                "materialized_subqueries": self.materialized_subqueries,
+                "joins": self.joins}
+
 
 class Evaluator:
-    """Evaluates an algebra tree against a dataset."""
+    """Evaluates an algebra tree against a dataset on the columnar plane."""
 
     def __init__(self, dataset: Dataset, optimize: bool = True,
                  max_rows: Optional[int] = None, cache_bgps: bool = True):
@@ -60,17 +77,20 @@ class Evaluator:
         self.max_rows = max_rows  # safety valve for runaway queries
         self.cache_bgps = cache_bgps
         self.stats = EvaluationStats()
+        self.dictionary = None  # set when the query's graphs are resolved
         self._stats_cache: Dict[int, GraphStatistics] = {}
         # Common-subexpression cache: identical BGPs (e.g. the repeated
         # pattern inside a full-outer-join's UNION branches) are evaluated
-        # once per query.  Cached mappings are never mutated downstream
-        # (every operator builds fresh dicts), so sharing is safe.
-        self._bgp_cache: Dict[Tuple, Multiset] = {}
+        # once per query.  Cached tables are never mutated downstream
+        # (every operator builds fresh row lists), so sharing is safe.
+        self._bgp_cache: Dict[Tuple, SolutionTable] = {}
 
     # ------------------------------------------------------------------
     def evaluate_query(self, query: alg.Query,
-                       default_graph_uri: Optional[str] = None) -> Multiset:
+                       default_graph_uri: Optional[str] = None
+                       ) -> SolutionTable:
         graph = self._resolve_graphs(query.from_graphs, default_graph_uri)
+        self.dictionary = graph.dictionary
         return self.evaluate(query.pattern, graph, top=True)
 
     def _resolve_graphs(self, from_graphs: List[str],
@@ -90,15 +110,16 @@ class Evaluator:
         return self.dataset.union_view()
 
     # ------------------------------------------------------------------
-    def evaluate(self, node: alg.AlgebraNode, graph, top: bool = False) -> Multiset:
+    def evaluate(self, node: alg.AlgebraNode, graph,
+                 top: bool = False) -> SolutionTable:
         method = getattr(self, "_eval_%s" % type(node).__name__.lower(), None)
         if method is None:
             raise EvaluationError("cannot evaluate %r" % node)
         if isinstance(node, alg.Project) and not top:
             self.stats.materialized_subqueries += 1
         result = method(node, graph)
-        self.stats.intermediate_rows += len(result)
-        if self.max_rows is not None and len(result) > self.max_rows:
+        self.stats.intermediate_rows += len(result.rows)
+        if self.max_rows is not None and len(result.rows) > self.max_rows:
             raise EvaluationError("intermediate result exceeds max_rows=%d"
                                   % self.max_rows)
         return result
@@ -114,11 +135,11 @@ class Evaluator:
             self._stats_cache[key] = stats
         return stats
 
-    def _eval_bgp(self, node: alg.BGP, graph) -> Multiset:
+    def _eval_bgp(self, node: alg.BGP, graph) -> SolutionTable:
         self.stats.bgp_count += 1
         patterns = node.triples
         if not patterns:
-            return [{}]
+            return SolutionTable.unit()
         cache_key = None
         if self.cache_bgps:
             cache_key = (id(graph),
@@ -129,210 +150,353 @@ class Evaluator:
                 return cached
         if self.optimize and len(patterns) > 1:
             patterns = order_patterns(patterns, self._graph_stats(graph))
-        solutions: Multiset = [{}]
-        for pattern in patterns:
-            solutions = self._match_pattern(pattern, solutions, graph)
-            if not solutions:
+        schema: List[str] = []
+        rows: List[tuple] = [()]
+        for i, pattern in enumerate(patterns):
+            schema, rows = self._match_pattern(pattern, schema, rows, graph)
+            if not rows:
+                # Complete the schema so downstream schema-driven operators
+                # (UNION padding, projection) see every BGP variable.
+                for later in patterns[i + 1:]:
+                    for term in later:
+                        if isinstance(term, Variable) \
+                                and term.name not in schema:
+                            schema.append(term.name)
                 break
+        table = SolutionTable(schema, rows)
         if cache_key is not None:
-            self._bgp_cache[cache_key] = solutions
-        return solutions
+            self._bgp_cache[cache_key] = table
+        return table
 
-    def _match_pattern(self, pattern, solutions: Multiset, graph) -> Multiset:
-        """Extend each solution with matches of one triple pattern."""
-        s_term, p_term, o_term = pattern
-        out: Multiset = []
-        for mu in solutions:
-            s = self._ground(s_term, mu)
-            p = self._ground(p_term, mu)
-            o = self._ground(o_term, mu)
-            for ts, tp, to in graph.triples(s, p, o):
-                self.stats.pattern_matches += 1
-                new = dict(mu)
-                ok = True
-                for term, value in ((s_term, ts), (p_term, tp), (o_term, to)):
-                    if isinstance(term, Variable):
-                        existing = new.get(term.name)
-                        if existing is None:
-                            new[term.name] = value
-                        elif existing != value:
-                            # Repeated variable in the pattern must agree.
-                            ok = False
-                            break
-                if ok:
-                    out.append(new)
-        return out
+    def _match_pattern(self, pattern, schema: List[str], rows, graph):
+        """Extend each row with id-level matches of one triple pattern."""
+        lookup = self.dictionary.lookup
+        index = {v: i for i, v in enumerate(schema)}
+        schema = list(schema)
+        # A slot per position: ('c', id) constant, ('b', col) bound var,
+        # ('n', k) k-th newly-introduced var (repeats share one k).
+        slots = []
+        new_pos: Dict[str, int] = {}
+        missing_constant = False
+        for term in pattern:
+            if isinstance(term, Variable):
+                name = term.name
+                col = index.get(name)
+                if col is not None:
+                    slots.append(("b", col))
+                elif name in new_pos:
+                    slots.append(("n", new_pos[name]))
+                else:
+                    k = len(new_pos)
+                    new_pos[name] = k
+                    schema.append(name)
+                    slots.append(("n", k))
+            else:
+                tid = lookup(term)
+                if tid is None:
+                    missing_constant = True
+                    slots.append(("c", None))
+                else:
+                    slots.append(("c", tid))
+        if missing_constant:
+            return schema, []
 
-    @staticmethod
-    def _ground(term, mu: Mapping) -> Optional[Node]:
-        if isinstance(term, Variable):
-            return mu.get(term.name)
-        return term
+        (s_kind, s_val), (p_kind, p_val), (o_kind, o_val) = slots
+        n_new = len(new_pos)
+        stats = self.stats
+        out: List[tuple] = []
+        append = out.append
+        matches = 0
+
+        # The bound/free shape of the pattern is fixed across rows ('b'
+        # columns are always bound inside a BGP), so dispatch to a
+        # specialized index probe once per *pattern*, not once per row.
+        s_free = s_kind == "n"
+        p_free = p_kind == "n"
+        o_free = o_kind == "n"
+
+        def val_of(kind, val):
+            if kind == "c":
+                return lambda row, v=val: v
+            return lambda row, c=val: row[c]
+
+        if not p_free and not s_free and not o_free:
+            # Fully bound: a containment probe per row.
+            s_of, p_of, o_of = (val_of(s_kind, s_val), val_of(p_kind, p_val),
+                                val_of(o_kind, o_val))
+            contains = graph.contains_ids
+            for row in rows:
+                if contains(s_of(row), p_of(row), o_of(row)):
+                    matches += 1
+                    append(row)
+        elif not p_free and not s_free and o_free:
+            # Forward expansion: (s, p) -> objects.  The classic
+            # index-nested-loop step of the paper's flat queries.
+            s_of, p_of = val_of(s_kind, s_val), val_of(p_kind, p_val)
+            objects_for = graph.objects_for
+            for row in rows:
+                objs = objects_for(s_of(row), p_of(row))
+                if objs:
+                    matches += len(objs)
+                    for o in objs:
+                        append(row + (o,))
+        elif not p_free and s_free and not o_free:
+            # Backward expansion: (p, o) -> subjects.
+            p_of, o_of = val_of(p_kind, p_val), val_of(o_kind, o_val)
+            subjects_for = graph.subjects_for
+            for row in rows:
+                subs = subjects_for(p_of(row), o_of(row))
+                if subs:
+                    matches += len(subs)
+                    for s in subs:
+                        append(row + (s,))
+        elif not p_free and s_free and o_free and p_kind == "c":
+            # Predicate scan with a constant predicate: materialize the
+            # (s, o) pairs once and reuse them for every input row.
+            pairs = list(graph.so_pairs(p_val))
+            if slots[0][1] == slots[2][1]:  # ?x p ?x — one new column
+                hits = [(s,) for s, o in pairs if s == o]
+            else:
+                hits = pairs
+            for row in rows:
+                matches += len(pairs)
+                for extra in hits:
+                    append(row + extra)
+        else:
+            # General shape (variable predicate, or repeated fresh
+            # variables across positions): slot-interpreting loop.
+            triples_ids = graph.triples_ids
+            for row in rows:
+                s = None if s_free else (s_val if s_kind == "c"
+                                         else row[s_val])
+                p = None if p_free else (p_val if p_kind == "c"
+                                         else row[p_val])
+                o = None if o_free else (o_val if o_kind == "c"
+                                         else row[o_val])
+                for matched in triples_ids(s, p, o):
+                    matches += 1
+                    extras = [None] * n_new
+                    ok = True
+                    for (kind, val), tid in zip(slots, matched):
+                        if kind == "n":
+                            prev = extras[val]
+                            if prev is None:
+                                extras[val] = tid
+                            elif prev != tid:
+                                # Repeated variable must agree.
+                                ok = False
+                                break
+                    if ok:
+                        append(row + tuple(extras))
+        stats.pattern_matches += matches
+        return schema, out
 
     # ------------------------------------------------------------------
-    def _eval_join(self, node: alg.Join, graph) -> Multiset:
+    def _eval_join(self, node: alg.Join, graph) -> SolutionTable:
         left = self.evaluate(node.left, graph)
-        if not left:
-            return []
+        if not left.rows:
+            return SolutionTable(left.variables)
         right = self.evaluate(node.right, graph)
-        if not right:
-            return []
+        if not right.rows:
+            return SolutionTable(left.variables + tuple(
+                v for v in right.variables if v not in left.index))
         self.stats.joins += 1
-        common = _common_vars(node.left, node.right)
-        return hash_join(left, right, common)
+        return table_join(left, right)
 
-    def _eval_leftjoin(self, node: alg.LeftJoin, graph) -> Multiset:
+    def _eval_leftjoin(self, node: alg.LeftJoin, graph) -> SolutionTable:
         left = self.evaluate(node.left, graph)
-        if not left:
-            return []
+        if not left.rows:
+            return SolutionTable(left.variables)
         right = self.evaluate(node.right, graph)
         self.stats.joins += 1
-        common = _common_vars(node.left, node.right)
         if node.condition is None:
-            return left_join(left, right, common)
-        # LeftJoin with condition: extend when compatible AND condition holds.
-        out: Multiset = []
-        for mu in left:
-            matched = False
-            for other in right:
-                if _compatible(mu, other):
-                    merged = dict(mu)
-                    merged.update(other)
-                    try:
-                        if ebv(node.condition.evaluate(merged)):
-                            out.append(merged)
-                            matched = True
-                    except ExpressionError:
-                        pass
-            if not matched:
-                out.append(mu)
-        return out
-
-    def _eval_union(self, node: alg.Union, graph) -> Multiset:
-        return self.evaluate(node.left, graph) + self.evaluate(node.right, graph)
-
-    def _eval_filter(self, node: alg.Filter, graph) -> Multiset:
-        solutions = self.evaluate(node.pattern, graph)
-        out = []
+            return table_left_join(left, right)
+        # LeftJoin with a condition: candidates are found by the same
+        # hash-partitioning as the unconditional join; the condition is
+        # evaluated lazily (terms decoded on access) within buckets only.
+        out_vars = left.variables + tuple(
+            v for v in right.variables if v not in left.index)
+        out_index = {v: i for i, v in enumerate(out_vars)}
+        decode = self.dictionary.decode
         condition = node.condition
-        for mu in solutions:
+
+        def accept(merged_row) -> bool:
             try:
-                if ebv(condition.evaluate(mu)):
-                    out.append(mu)
+                return ebv(condition.evaluate(
+                    RowView(out_index, merged_row, decode)))
+            except ExpressionError:
+                return False
+
+        return table_left_join(left, right, accept=accept)
+
+    def _eval_union(self, node: alg.Union, graph) -> SolutionTable:
+        return table_union(self.evaluate(node.left, graph),
+                           self.evaluate(node.right, graph))
+
+    def _eval_filter(self, node: alg.Filter, graph) -> SolutionTable:
+        table = self.evaluate(node.pattern, graph)
+        condition = node.condition
+        index = table.index
+        decode = self.dictionary.decode
+        rows = []
+        for row in table.rows:
+            try:
+                if ebv(condition.evaluate(RowView(index, row, decode))):
+                    rows.append(row)
             except ExpressionError:
                 continue  # errors eliminate the solution
-        return out
+        return SolutionTable(table.variables, rows)
 
-    def _eval_extend(self, node: alg.Extend, graph) -> Multiset:
-        solutions = self.evaluate(node.pattern, graph)
-        out = []
-        for mu in solutions:
-            new = dict(mu)
+    def _eval_extend(self, node: alg.Extend, graph) -> SolutionTable:
+        table = self.evaluate(node.pattern, graph)
+        index = table.index
+        decode = self.dictionary.decode
+        encode = self.dictionary.encode
+        target = index.get(node.var)
+        rows = []
+        for row in table.rows:
             try:
-                value = node.expression.evaluate(mu)
-                new[node.var] = value
+                value = node.expression.evaluate(RowView(index, row, decode))
+                tid = encode(value)
             except ExpressionError:
-                pass  # leave unbound (SPARQL Extend error semantics)
-            out.append(new)
-        return out
+                # SPARQL Extend error semantics: leave the variable as it
+                # was — unbound if fresh, the existing binding otherwise.
+                rows.append(row + (None,) if target is None else row)
+                continue
+            if target is None:
+                rows.append(row + (tid,))
+            else:
+                patched = list(row)
+                patched[target] = tid
+                rows.append(tuple(patched))
+        variables = table.variables if target is not None \
+            else table.variables + (node.var,)
+        return SolutionTable(variables, rows)
 
-    def _eval_group(self, node: alg.Group, graph) -> Multiset:
-        solutions = self.evaluate(node.pattern, graph)
+    def _eval_group(self, node: alg.Group, graph) -> SolutionTable:
+        table = self.evaluate(node.pattern, graph)
         group_vars = node.group_vars
-        groups: Dict[Tuple, Multiset] = {}
+        index = table.index
+        decode = self.dictionary.decode
+        encode = self.dictionary.encode
+        groups: Dict[Tuple, list] = {}
         if group_vars:
-            for mu in solutions:
-                key = tuple(mu.get(v) for v in group_vars)
-                groups.setdefault(key, []).append(mu)
+            positions = [index.get(v) for v in group_vars]
+            if len(positions) == 1 and positions[0] is not None:
+                # Scalar keys: no per-row tuple construction.
+                p0 = positions[0]
+                scalar_groups: Dict = {}
+                for row in table.rows:
+                    scalar_groups.setdefault(row[p0], []).append(row)
+                groups = {(k,): v for k, v in scalar_groups.items()}
+            else:
+                for row in table.rows:
+                    key = tuple(None if p is None else row[p]
+                                for p in positions)
+                    groups.setdefault(key, []).append(row)
         else:
             # Implicit single group; COUNT over an empty pattern is 0.
-            groups[()] = solutions
+            groups[()] = table.rows
 
-        out: Multiset = []
+        out_vars = tuple(group_vars) + tuple(a.alias
+                                             for a in node.aggregates)
+        out_index = {v: i for i, v in enumerate(out_vars)}
+        out_rows = []
         for key, members in groups.items():
-            if not members and not group_vars:
-                members = []
-            row: Mapping = {}
-            for var, value in zip(group_vars, key):
-                if value is not None:
-                    row[var] = value
+            views = None  # RowViews built lazily: only complex expressions
+            cells: List[Optional[int]] = list(key)
             for aggregate in node.aggregates:
-                value = _apply_aggregate(aggregate, members)
-                if value is not None:
-                    row[aggregate.alias] = value
+                value = _aggregate_columnar(aggregate, members, index, decode)
+                if value is _SLOW:
+                    if views is None:
+                        views = [RowView(index, row, decode)
+                                 for row in members]
+                    value = _apply_aggregate(aggregate, views)
+                cells.append(None if value is None else encode(value))
+            out_row = tuple(cells)
             if node.having is not None:
                 try:
-                    if not ebv(node.having.evaluate(row)):
+                    if not ebv(node.having.evaluate(
+                            RowView(out_index, out_row, decode))):
                         continue
                 except ExpressionError:
                     continue
-            out.append(row)
-        return out
+            out_rows.append(out_row)
+        return SolutionTable(out_vars, out_rows)
 
-    def _eval_project(self, node: alg.Project, graph) -> Multiset:
-        solutions = self.evaluate(node.pattern, graph)
+    def _eval_project(self, node: alg.Project, graph) -> SolutionTable:
+        table = self.evaluate(node.pattern, graph)
         if node.variables is None:
             # SELECT *: drop synthetic aggregate helper variables.
-            return [
-                {k: v for k, v in mu.items() if not k.startswith("__agg_")}
-                for mu in solutions
-            ]
-        return project(solutions, node.variables)
+            keep = [v for v in table.variables if not v.startswith("__agg_")]
+            if len(keep) == len(table.variables):
+                return table
+            return table_project(table, keep)
+        return table_project(table, node.variables)
 
-    def _eval_distinct(self, node: alg.Distinct, graph) -> Multiset:
-        return distinct(self.evaluate(node.pattern, graph))
+    def _eval_distinct(self, node: alg.Distinct, graph) -> SolutionTable:
+        return table_distinct(self.evaluate(node.pattern, graph))
 
-    def _eval_orderby(self, node: alg.OrderBy, graph) -> Multiset:
-        solutions = self.evaluate(node.pattern, graph)
+    def _eval_orderby(self, node: alg.OrderBy, graph) -> SolutionTable:
+        table = self.evaluate(node.pattern, graph)
+        rows = table.rows
+        decode = self.dictionary.decode
         for var, direction in reversed(node.keys):
-            solutions = sorted(solutions, key=lambda mu: _sort_key(mu.get(var)),
-                               reverse=(direction == "desc"))
-        return list(solutions)
+            pos = table.index.get(var)
+            if pos is None:
+                continue  # unbound everywhere: stable no-op
+            rows = sorted(rows,
+                          key=lambda row: _sort_key(
+                              None if row[pos] is None else decode(row[pos])),
+                          reverse=(direction == "desc"))
+        return SolutionTable(table.variables, list(rows))
 
-    def _eval_slice(self, node: alg.Slice, graph) -> Multiset:
-        solutions = self.evaluate(node.pattern, graph)
+    def _eval_slice(self, node: alg.Slice, graph) -> SolutionTable:
+        table = self.evaluate(node.pattern, graph)
         start = node.offset
         end = None if node.limit is None else start + node.limit
-        return solutions[start:end]
+        return SolutionTable(table.variables, table.rows[start:end])
 
-    def _eval_graphpattern(self, node: alg.GraphPattern, graph) -> Multiset:
+    def _eval_graphpattern(self, node: alg.GraphPattern, graph
+                           ) -> SolutionTable:
         target = self.dataset.graph(node.graph_uri)
         return self.evaluate(node.pattern, target)
 
-    def _eval_inlinedata(self, node: alg.InlineData, graph) -> Multiset:
-        out: Multiset = []
-        for row in node.rows:
-            mapping = {var: value
-                       for var, value in zip(node.variables, row)
-                       if value is not None}
-            out.append(mapping)
-        return out
+    def _eval_inlinedata(self, node: alg.InlineData, graph) -> SolutionTable:
+        encode = self.dictionary.encode
+        rows = [tuple(None if value is None else encode(value)
+                      for value in row)
+                for row in node.rows]
+        return SolutionTable(node.variables, rows)
 
-    def _eval_minus(self, node: alg.Minus, graph) -> Multiset:
-        from .solution import minus
+    def _eval_minus(self, node: alg.Minus, graph) -> SolutionTable:
         left = self.evaluate(node.left, graph)
-        if not left:
-            return []
+        if not left.rows:
+            return SolutionTable(left.variables)
         right = self.evaluate(node.right, graph)
-        common = _common_vars(node.left, node.right)
-        return minus(left, right, common)
+        return table_minus(left, right)
 
-    def _eval_filterexists(self, node: alg.FilterExists, graph) -> Multiset:
-        solutions = self.evaluate(node.pattern, graph)
-        if not solutions:
-            return []
+    def _eval_filterexists(self, node: alg.FilterExists, graph
+                           ) -> SolutionTable:
+        table = self.evaluate(node.pattern, graph)
+        if not table.rows:
+            return table
         inner = self.evaluate(node.group, graph)
-        common = _common_vars(node.pattern, node.group)
-        out: Multiset = []
-        for mu in solutions:
-            exists = any(_compatible_on(mu, other, common) for other in inner)
-            if exists != node.negated:
-                out.append(mu)
-        return out
+        shared = [(table.index[v], inner.index[v])
+                  for v in inner.variables if v in table.index]
+        rows = []
+        inner_rows = inner.rows
+        negated = node.negated
+        for row in table.rows:
+            exists = any(_rows_compatible(row, other, shared)
+                         for other in inner_rows)
+            if exists != negated:
+                rows.append(row)
+        return SolutionTable(table.variables, rows)
 
 
 # ----------------------------------------------------------------------
-# Helpers
+# Helpers (shared with the reference evaluator)
 # ----------------------------------------------------------------------
 
 def _common_vars(left: alg.AlgebraNode, right: alg.AlgebraNode) -> List[str]:
@@ -340,26 +504,46 @@ def _common_vars(left: alg.AlgebraNode, right: alg.AlgebraNode) -> List[str]:
     return [v for v in right.in_scope() if v in left_vars]
 
 
-def _compatible_on(mu1: Mapping, mu2: Mapping, variables) -> bool:
-    for var in variables:
-        v1 = mu1.get(var)
-        if v1 is None:
-            continue
-        v2 = mu2.get(var)
-        if v2 is not None and v1 != v2:
-            return False
-    return True
+#: Sentinel: the columnar aggregate fast path does not apply.
+_SLOW = object()
 
 
-def _compatible(mu1: Mapping, mu2: Mapping) -> bool:
-    for var, value in mu1.items():
-        other = mu2.get(var)
-        if other is not None and other != value:
-            return False
-    return True
+def _aggregate_columnar(aggregate: alg.Aggregate, rows, index, decode):
+    """Aggregate directly over id columns when the aggregate expression is
+    a bare variable (the dominant case: COUNT(?m), SUM(?y), ...).
+
+    COUNT needs no decoding at all — id equality is term equality, so
+    DISTINCT deduplicates on ids; the numeric aggregates decode only the
+    (possibly deduplicated) column.  Returns ``_SLOW`` when the expression
+    is complex and the caller must fall back to per-row views."""
+    expr = aggregate.expression
+    if expr is None:  # COUNT(*)
+        if aggregate.function != "count":
+            raise EvaluationError("only COUNT supports *")
+        return Literal(len(rows))
+    if type(expr) is not VarExpr:
+        return _SLOW
+    pos = index.get(expr.name)
+    if pos is None:
+        ids = []
+    else:
+        ids = [row[pos] for row in rows if row[pos] is not None]
+    if aggregate.distinct:
+        seen = set()
+        unique = []
+        for tid in ids:
+            if tid not in seen:
+                seen.add(tid)
+                unique.append(tid)
+        ids = unique
+    if aggregate.function == "count":
+        return Literal(len(ids))
+    return _finish_aggregate(aggregate.function,
+                             [decode(tid) for tid in ids])
 
 
-def _apply_aggregate(aggregate: alg.Aggregate, members: Multiset):
+def _apply_aggregate(aggregate: alg.Aggregate, members):
+    """Apply one aggregate over a group's members (dicts or RowViews)."""
     values = []
     if aggregate.expression is None:  # COUNT(*)
         if aggregate.function != "count":
@@ -378,7 +562,10 @@ def _apply_aggregate(aggregate: alg.Aggregate, members: Multiset):
                 seen.add(value)
                 unique.append(value)
         values = unique
-    function = aggregate.function
+    return _finish_aggregate(aggregate.function, values)
+
+
+def _finish_aggregate(function: str, values):
     if function == "count":
         return Literal(len(values))
     if function == "sample":

@@ -17,36 +17,40 @@ from ..rdf.terms import TriplePattern, Variable, is_concrete
 
 
 class GraphStatistics:
-    """Cached per-predicate statistics for cardinality estimation."""
+    """Per-predicate statistics for cardinality estimation.
+
+    Profiles come from the graph's public, memoized
+    ``predicate_profile(p) -> (triples, distinct_s, distinct_o)`` interface
+    (:class:`~repro.rdf.graph.Graph` and its :class:`~repro.rdf.dataset.GraphUnion`
+    aggregation both provide it), so the optimizer never reaches into
+    private index structures and never re-scans a predicate it has already
+    profiled.
+    """
 
     def __init__(self, graph):
         self._graph = graph
         self._total = max(1, graph.count() if hasattr(graph, "count") else len(graph))
+        # Local memo for graph-likes without predicate_profile (which is
+        # itself memoized); order_patterns calls estimate O(n^2) per BGP.
         self._by_predicate: Dict = {}
 
     def _predicate_stats(self, predicate) -> Tuple[int, int, int]:
         """(triples, distinct subjects, distinct objects) for a predicate."""
+        graph = self._graph
+        if hasattr(graph, "predicate_profile"):
+            return graph.predicate_profile(predicate)
+        # Graph-like object without the profile interface: one full scan.
         cached = self._by_predicate.get(predicate)
         if cached is not None:
             return cached
         triples = 0
-        subjects: Set = set()
-        objects = 0
-        graph = self._graph
-        if hasattr(graph, "_pos"):
-            by_obj = graph._pos.get(predicate, {})
-            objects = len(by_obj)
-            for subs in by_obj.values():
-                triples += len(subs)
-                subjects.update(subs)
-            stats = (triples, len(subjects), objects)
-        else:  # GraphUnion fallback
-            seen_s, seen_o = set(), set()
-            for s, _, o in graph.triples(None, predicate, None):
-                triples += 1
-                seen_s.add(s)
-                seen_o.add(o)
-            stats = (triples, len(seen_s), len(seen_o))
+        seen_s: Set = set()
+        seen_o: Set = set()
+        for s, _, o in graph.triples(None, predicate, None):
+            triples += 1
+            seen_s.add(s)
+            seen_o.add(o)
+        stats = (triples, len(seen_s), len(seen_o))
         self._by_predicate[predicate] = stats
         return stats
 

@@ -47,7 +47,7 @@ class ResultSet:
     @classmethod
     def from_mappings(cls, solutions, variables: Optional[Sequence[str]] = None
                       ) -> "ResultSet":
-        """Build from the evaluator's list-of-dicts multiset."""
+        """Build from the reference evaluator's list-of-dicts multiset."""
         if variables is None:
             seen: List[str] = []
             seen_set = set()
@@ -58,6 +58,29 @@ class ResultSet:
                         seen.append(var)
             variables = seen
         rows = [tuple(mu.get(v) for v in variables) for mu in solutions]
+        return cls(variables, rows)
+
+    @classmethod
+    def from_table(cls, table, dictionary,
+                   variables: Optional[Sequence[str]] = None) -> "ResultSet":
+        """Build from a columnar :class:`~.solution.SolutionTable`.
+
+        This is the engine's decode boundary: integer term ids become RDF
+        term objects here, once per output cell, and nowhere earlier in the
+        pipeline."""
+        if variables is None:
+            variables = list(table.variables)
+        positions = [table.index.get(v) for v in variables]
+        decode = dictionary.decode
+        if positions == list(range(len(table.variables))):
+            # Identity projection: decode cells positionally.
+            rows = [tuple([None if tid is None else decode(tid)
+                           for tid in row])
+                    for row in table.rows]
+        else:
+            rows = [tuple([None if p is None or row[p] is None
+                           else decode(row[p]) for p in positions])
+                    for row in table.rows]
         return cls(variables, rows)
 
     def to_dataframe(self) -> DataFrame:

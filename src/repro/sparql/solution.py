@@ -3,22 +3,36 @@
 Section 5.2 of the paper defines evaluation over *multisets of mappings*: a
 mapping is a partial function from variables to RDF terms; two mappings are
 compatible when they agree on every shared variable; joins merge compatible
-mappings.  This module implements those definitions.
+mappings.  This module implements those definitions twice:
 
-A mapping is represented as a plain ``dict`` from variable *name* (string,
-without the ``?``) to an RDF term.  Unbound variables are simply absent from
-the dict.  A multiset is a Python list of such dicts (duplicates preserved —
-bag semantics).
+* The original *dict-based* representation: a mapping is a plain ``dict``
+  from variable name (string, without the ``?``) to an RDF term; unbound
+  variables are absent; a multiset is a list of such dicts (bag semantics).
+  This representation is retained as the executable reference semantics —
+  the :class:`~.reference.ReferenceEvaluator` runs on it, and the columnar
+  operators are differential-tested against it.
+
+* The *columnar* representation used by the production evaluator: a
+  :class:`SolutionTable` with a fixed schema header (tuple of variable
+  names) and positional rows of dense integer term ids (``None`` for
+  unbound).  Joins hash ints instead of term objects, merges are tuple
+  concatenation instead of dict copies, and terms are decoded only at the
+  result boundary or inside expression evaluation (via :class:`RowView`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (Callable, Dict, Iterable, List, Optional, Sequence,
+                    Tuple)
 
 from ..rdf.terms import Node
 
 Mapping = Dict[str, Node]
 Multiset = List[Mapping]
+
+#: One columnar solution row: term ids positionally aligned with the
+#: table's schema, ``None`` for unbound.
+Row = Tuple[Optional[int], ...]
 
 
 def compatible(mu1: Mapping, mu2: Mapping) -> bool:
@@ -247,3 +261,459 @@ def in_scope_variables(solutions: Multiset) -> List[str]:
                 seen_set.add(var)
                 seen.append(var)
     return seen
+
+
+# ======================================================================
+# Columnar solution tables (dictionary-encoded data plane)
+# ======================================================================
+
+class SolutionTable:
+    """A multiset of solution mappings in columnar form.
+
+    ``variables`` is the fixed schema header; ``rows`` is a list of
+    positionally-aligned tuples of dense integer term ids (``None`` for
+    unbound).  Duplicates are preserved (bag semantics).  Operators never
+    mutate input rows, so tables can be shared (e.g. by the BGP cache).
+    """
+
+    __slots__ = ("variables", "index", "rows")
+
+    def __init__(self, variables: Sequence[str],
+                 rows: Optional[List[Row]] = None):
+        self.variables: Tuple[str, ...] = tuple(variables)
+        self.index: Dict[str, int] = {v: i for i, v in
+                                      enumerate(self.variables)}
+        self.rows: List[Row] = rows if rows is not None else []
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self):
+        return "SolutionTable(%d rows, vars=%s)" % (
+            len(self.rows), list(self.variables))
+
+    @staticmethod
+    def unit() -> "SolutionTable":
+        """The join identity: one empty solution."""
+        return SolutionTable((), [()])
+
+
+class RowView:
+    """A read-only dict-like view of one columnar row, decoding term ids
+    lazily on access.  This is what expression evaluation sees: an unbound
+    variable (``None`` cell or absent column) raises ``KeyError`` from
+    ``[]``, exactly like the dict representation, so SPARQL error
+    semantics are preserved without materializing a dict per row."""
+
+    __slots__ = ("_index", "_row", "_decode")
+
+    def __init__(self, index: Dict[str, int], row: Row,
+                 decode: Callable[[int], Node]):
+        self._index = index
+        self._row = row
+        self._decode = decode
+
+    def __getitem__(self, name: str) -> Node:
+        pos = self._index.get(name)
+        if pos is None:
+            raise KeyError(name)
+        tid = self._row[pos]
+        if tid is None:
+            raise KeyError(name)
+        return self._decode(tid)
+
+    def __contains__(self, name: str) -> bool:
+        pos = self._index.get(name)
+        return pos is not None and self._row[pos] is not None
+
+    def get(self, name: str, default=None):
+        pos = self._index.get(name)
+        if pos is None:
+            return default
+        tid = self._row[pos]
+        if tid is None:
+            return default
+        return self._decode(tid)
+
+    def keys(self):
+        return [v for v, pos in self._index.items()
+                if self._row[pos] is not None]
+
+    def __iter__(self):
+        return iter(self.keys())
+
+    def __len__(self):
+        return sum(1 for cell in self._row if cell is not None)
+
+
+# -- schema plumbing ---------------------------------------------------
+
+def _merge_plan(left: SolutionTable, right: SolutionTable):
+    """Precompute the merged schema of a binary operator.
+
+    Returns ``(out_vars, shared, right_only)`` where ``shared`` is a list
+    of ``(left_pos, right_pos)`` pairs for variables in both schemas and
+    ``right_only`` the right positions appended after the left columns.
+    """
+    shared: List[Tuple[int, int]] = []
+    right_only: List[int] = []
+    lindex = left.index
+    for rpos, var in enumerate(right.variables):
+        lpos = lindex.get(var)
+        if lpos is None:
+            right_only.append(rpos)
+        else:
+            shared.append((lpos, rpos))
+    out_vars = left.variables + tuple(right.variables[rp]
+                                      for rp in right_only)
+    return out_vars, shared, right_only
+
+
+def _merge_rows(lrow: Row, rrow: Row, shared, right_only) -> Row:
+    """Union of two compatible rows in the merged schema."""
+    if shared:
+        merged = list(lrow)
+        for lp, rp in shared:
+            if merged[lp] is None:
+                merged[lp] = rrow[rp]
+        merged.extend(rrow[rp] for rp in right_only)
+        return tuple(merged)
+    return lrow + tuple(rrow[rp] for rp in right_only)
+
+
+def _rows_compatible(lrow: Row, rrow: Row, shared) -> bool:
+    for lp, rp in shared:
+        a = lrow[lp]
+        if a is None:
+            continue
+        b = rrow[rp]
+        if b is not None and a != b:
+            return False
+    return True
+
+
+def _always_bound_pairs(left_rows: List[Row], right_rows: List[Row],
+                        shared) -> Tuple[list, list]:
+    """Split shared column pairs into (always bound on both sides,
+    residual).  Mirrors the dict implementation's ``_always_bound``."""
+    keys = []
+    residual = []
+    for lp, rp in shared:
+        if all(row[lp] is not None for row in left_rows) and \
+                all(row[rp] is not None for row in right_rows):
+            keys.append((lp, rp))
+        else:
+            residual.append((lp, rp))
+    return keys, residual
+
+
+# -- operators ---------------------------------------------------------
+
+def table_join(left: SolutionTable, right: SolutionTable) -> SolutionTable:
+    """Join two solution tables on their shared schema variables.
+
+    Same strategy as :func:`hash_join`: hash on the shared columns bound in
+    every row of both sides, verify residual shared columns within each
+    bucket, and fall back to a fully-bound/loose partition when no shared
+    column is universally bound.
+    """
+    out_vars, shared, right_only = _merge_plan(left, right)
+    out = SolutionTable(out_vars)
+    if not left.rows or not right.rows:
+        return out
+    if not shared:
+        rows = out.rows
+        for lrow in left.rows:
+            for rrow in right.rows:
+                rows.append(lrow + tuple(rrow[rp] for rp in right_only))
+        return out
+
+    keys, residual = _always_bound_pairs(left.rows, right.rows, shared)
+    if not keys:
+        _loose_table_join(left, right, shared, right_only, out)
+        return out
+
+    # Build the hash table on the smaller side, probe with the larger.
+    build_left = len(left.rows) <= len(right.rows)
+    if build_left:
+        build_rows, probe_rows = left.rows, right.rows
+        build_key = [lp for lp, _ in keys]
+        probe_key = [rp for _, rp in keys]
+    else:
+        build_rows, probe_rows = right.rows, left.rows
+        build_key = [rp for _, rp in keys]
+        probe_key = [lp for lp, _ in keys]
+
+    index: Dict = {}
+    if len(build_key) == 1:
+        # Scalar keys: no per-row tuple construction.
+        bk, pk = build_key[0], probe_key[0]
+        for row in build_rows:
+            index.setdefault(row[bk], []).append(row)
+        probe_keys = ((probe, probe[pk]) for probe in probe_rows)
+    else:
+        for row in build_rows:
+            index.setdefault(tuple(row[p] for p in build_key), []).append(row)
+        probe_keys = ((probe, tuple(probe[p] for p in probe_key))
+                      for probe in probe_rows)
+
+    rows = out.rows
+    fast_merge = not residual  # keys + residual partition shared
+    for probe, key in probe_keys:
+        bucket = index.get(key)
+        if not bucket:
+            continue
+        if fast_merge:
+            # Every shared column is an always-bound key: the merged row is
+            # the left row plus the right-only columns, no None filling.
+            if build_left:
+                extra = tuple([probe[rp] for rp in right_only])
+                for other in bucket:
+                    rows.append(other + extra)
+            else:
+                for other in bucket:
+                    rows.append(probe + tuple([other[rp]
+                                               for rp in right_only]))
+            continue
+        for other in bucket:
+            if build_left:
+                lrow, rrow = other, probe
+            else:
+                lrow, rrow = probe, other
+            if not residual or _rows_compatible(lrow, rrow, residual):
+                rows.append(_merge_rows(lrow, rrow, shared, right_only))
+    return out
+
+
+def _loose_table_join(left: SolutionTable, right: SolutionTable,
+                      shared, right_only, out: SolutionTable) -> None:
+    """Fallback when no shared column is universally bound: partition the
+    left side on fully-bound keys and nested-loop the rest."""
+    lkey = [lp for lp, _ in shared]
+    rkey = [rp for _, rp in shared]
+    index: Dict[Tuple, List[Row]] = {}
+    loose: List[Row] = []
+    for lrow in left.rows:
+        key = tuple(lrow[p] for p in lkey)
+        if None in key:
+            loose.append(lrow)
+        else:
+            index.setdefault(key, []).append(lrow)
+    rows = out.rows
+    for rrow in right.rows:
+        key = tuple(rrow[p] for p in rkey)
+        if None in key:
+            for lrow in left.rows:
+                if _rows_compatible(lrow, rrow, shared):
+                    rows.append(_merge_rows(lrow, rrow, shared, right_only))
+            continue
+        for lrow in index.get(key, ()):
+            rows.append(_merge_rows(lrow, rrow, shared, right_only))
+        for lrow in loose:
+            if _rows_compatible(lrow, rrow, shared):
+                rows.append(_merge_rows(lrow, rrow, shared, right_only))
+
+
+def table_left_join(left: SolutionTable, right: SolutionTable,
+                    accept: Optional[Callable[[Row], bool]] = None
+                    ) -> SolutionTable:
+    """SPARQL LeftJoin on solution tables: every left row survives;
+    compatible right rows extend it, otherwise the left row passes through
+    padded with ``None``.
+
+    ``accept``, when given, is the LeftJoin *condition* evaluated on each
+    merged candidate row (in the output schema): the extension only counts
+    as a match when ``accept`` returns True.  Candidates are still found by
+    hash-partitioning on the always-bound shared columns — the condition is
+    evaluated only within buckets, never over the full cross product.
+    """
+    out_vars, shared, right_only = _merge_plan(left, right)
+    out = SolutionTable(out_vars)
+    rows = out.rows
+    pad = (None,) * len(right_only)
+    if not right.rows:
+        for lrow in left.rows:
+            rows.append(lrow + pad)
+        return out
+    if not shared:
+        for lrow in left.rows:
+            matched = False
+            for rrow in right.rows:
+                merged = lrow + tuple(rrow[rp] for rp in right_only)
+                if accept is None or accept(merged):
+                    rows.append(merged)
+                    matched = True
+            if not matched:
+                rows.append(lrow + pad)
+        return out
+
+    keys, residual = _always_bound_pairs(left.rows, right.rows, shared)
+    if not keys:
+        _loose_table_left_join(left, right, shared, right_only, pad,
+                               accept, out)
+        return out
+
+    lkey = [lp for lp, _ in keys]
+    rkey = [rp for _, rp in keys]
+    index: Dict = {}
+    if len(keys) == 1:
+        rk, lk = rkey[0], lkey[0]
+        for rrow in right.rows:
+            index.setdefault(rrow[rk], []).append(rrow)
+        left_keys = ((lrow, lrow[lk]) for lrow in left.rows)
+    else:
+        for rrow in right.rows:
+            index.setdefault(tuple(rrow[p] for p in rkey), []).append(rrow)
+        left_keys = ((lrow, tuple(lrow[p] for p in lkey))
+                     for lrow in left.rows)
+
+    fast_merge = not residual and accept is None
+    for lrow, key in left_keys:
+        bucket = index.get(key)
+        if bucket:
+            if fast_merge:
+                for rrow in bucket:
+                    rows.append(lrow + tuple([rrow[rp]
+                                              for rp in right_only]))
+                continue
+            matched = False
+            for rrow in bucket:
+                if residual and not _rows_compatible(lrow, rrow, residual):
+                    continue
+                merged = _merge_rows(lrow, rrow, shared, right_only)
+                if accept is None or accept(merged):
+                    rows.append(merged)
+                    matched = True
+            if matched:
+                continue
+        rows.append(lrow + pad)
+    return out
+
+
+def _loose_table_left_join(left: SolutionTable, right: SolutionTable,
+                           shared, right_only, pad,
+                           accept, out: SolutionTable) -> None:
+    lkey = [lp for lp, _ in shared]
+    rkey = [rp for _, rp in shared]
+    index: Dict[Tuple, List[Row]] = {}
+    loose: List[Row] = []
+    for rrow in right.rows:
+        key = tuple(rrow[p] for p in rkey)
+        if None in key:
+            loose.append(rrow)
+        else:
+            index.setdefault(key, []).append(rrow)
+    rows = out.rows
+    for lrow in left.rows:
+        key = tuple(lrow[p] for p in lkey)
+        matched = False
+        if None in key:
+            candidates: Iterable[Row] = right.rows
+        else:
+            candidates = list(index.get(key, ())) + loose
+        for rrow in candidates:
+            if not _rows_compatible(lrow, rrow, shared):
+                continue
+            merged = _merge_rows(lrow, rrow, shared, right_only)
+            if accept is None or accept(merged):
+                rows.append(merged)
+                matched = True
+        if not matched:
+            rows.append(lrow + pad)
+
+
+def table_minus(left: SolutionTable, right: SolutionTable) -> SolutionTable:
+    """Rows of ``left`` with no compatible row in ``right`` sharing at
+    least one *bound* variable — SPARQL MINUS semantics."""
+    _, shared, _ = _merge_plan(left, right)
+    if not shared or not right.rows:
+        return SolutionTable(left.variables, list(left.rows))
+    out = SolutionTable(left.variables)
+    rows = out.rows
+    for lrow in left.rows:
+        excluded = False
+        for rrow in right.rows:
+            overlap = False
+            compatible = True
+            for lp, rp in shared:
+                a = lrow[lp]
+                b = rrow[rp]
+                if a is None or b is None:
+                    continue
+                if a != b:
+                    compatible = False
+                    break
+                overlap = True
+            if compatible and overlap:
+                excluded = True
+                break
+        if not excluded:
+            rows.append(lrow)
+    return out
+
+
+def table_project(table: SolutionTable,
+                  variables: Sequence[str]) -> SolutionTable:
+    """Restrict the table to the given schema (bag semantics kept).
+    Variables absent from the input schema become all-``None`` columns."""
+    positions = [table.index.get(v) for v in variables]
+    if None in positions:
+        rows = [tuple([None if p is None else row[p] for p in positions])
+                for row in table.rows]
+    elif len(positions) == 1:
+        p0 = positions[0]
+        rows = [(row[p0],) for row in table.rows]
+    else:
+        rows = [tuple([row[p] for p in positions]) for row in table.rows]
+    return SolutionTable(variables, rows)
+
+
+def table_distinct(table: SolutionTable) -> SolutionTable:
+    """Collapse duplicate rows to multiplicity one."""
+    seen = set()
+    rows: List[Row] = []
+    for row in table.rows:
+        if row not in seen:
+            seen.add(row)
+            rows.append(row)
+    return SolutionTable(table.variables, rows)
+
+
+def table_union(left: SolutionTable, right: SolutionTable) -> SolutionTable:
+    """Bag concatenation with schema alignment (SPARQL UNION)."""
+    out_vars, _, right_only = _merge_plan(left, right)
+    out = SolutionTable(out_vars)
+    rows = out.rows
+    pad = (None,) * len(right_only)
+    for lrow in left.rows:
+        rows.append(lrow + pad)
+    rindex = right.index
+    rmap = [rindex.get(v) for v in out_vars]
+    for rrow in right.rows:
+        rows.append(tuple(None if p is None else rrow[p] for p in rmap))
+    return out
+
+
+# -- conversion (tests / decode boundary) ------------------------------
+
+def table_from_mappings(solutions: Multiset, dictionary,
+                        variables: Optional[Sequence[str]] = None
+                        ) -> SolutionTable:
+    """Encode a dict-based multiset into a columnar table."""
+    if variables is None:
+        variables = in_scope_variables(solutions)
+    encode = dictionary.encode
+    rows = [tuple(encode(mu[v]) if v in mu else None for v in variables)
+            for mu in solutions]
+    return SolutionTable(variables, rows)
+
+
+def table_to_mappings(table: SolutionTable, dictionary) -> Multiset:
+    """Decode a columnar table back into a dict-based multiset."""
+    decode = dictionary.decode
+    out: Multiset = []
+    variables = table.variables
+    for row in table.rows:
+        out.append({v: decode(tid) for v, tid in zip(variables, row)
+                    if tid is not None})
+    return out
