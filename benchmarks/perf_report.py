@@ -12,11 +12,18 @@ For every (scale, query) cell it records best-of-N wall time plus the
 return the identical decoded result bag, and writes everything to
 ``BENCH_engine.json`` so future PRs have a comparable perf trajectory.
 
+A second section, ``plan_path``, times the paper's case-study pipelines on
+both front-end paths of the planner layer — the SPARQL-text round trip
+(generate -> translate -> parse -> plan -> execute) versus the direct
+model path (generate -> compile -> plan-cache hit -> execute) — verifying
+identical results and recording the repeated-execution speedup.
+
 Run it from the repo root::
 
     PYTHONPATH=src python benchmarks/perf_report.py [--out BENCH_engine.json]
 
-Scales default to (0.05, REPRO_BENCH_SCALE); rounds to 3.
+Scales default to (0.05, REPRO_BENCH_SCALE); rounds to 3.  ``--smoke``
+shrinks everything for CI (one tiny scale, one round).
 """
 
 from __future__ import annotations
@@ -28,8 +35,10 @@ import platform
 import sys
 import time
 
+from repro.client import EngineClient
 from repro.data import DBPEDIA_URI, build_dataset
 from repro.sparql import Engine
+from repro.workload import CASE_STUDIES
 
 _PREFIXES = """
 PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
@@ -92,6 +101,13 @@ QUERIES = {
 MODES = ("reference", "columnar")
 
 
+def _geomean(values):
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
 def _result_key(result):
     """Order-insensitive fingerprint of the decoded rows."""
     return sorted(tuple(map(repr, row)) for row in result.rows)
@@ -110,7 +126,69 @@ def time_query(engine: Engine, query: str, rounds: int):
     return best, result, engine.last_stats
 
 
-def run(scales, rounds: int, out_path: str) -> dict:
+def run_plan_path(scale: float, iterations: int) -> dict:
+    """Time the case studies on the text path vs the direct plan path.
+
+    Both paths regenerate the query model per iteration (that is what a
+    real RDFFrame re-execution pays); the text path additionally pays
+    translate + validate + parse, the direct path compiles the model and
+    then hits the plan cache.
+    """
+    dataset = build_dataset(scale=scale)
+    engine = Engine(dataset)
+    client = EngineClient(engine)
+    section = {"scale": scale, "iterations": iterations, "cases": []}
+    print("== plan path vs text path (scale %.3g, %d iterations) =="
+          % (scale, iterations))
+    for case in CASE_STUDIES:
+        frame = case.frame()
+        direct_df = frame.execute(client)           # warm + direct result
+        text_df = client.execute(frame.to_sparql())  # warm + text result
+        identical = direct_df.equals_bag(text_df)
+        hits_before = engine.plan_cache_hits
+
+        def best_of(thunk):
+            best = None
+            for _ in range(iterations):
+                start = time.perf_counter()
+                thunk()
+                elapsed = time.perf_counter() - start
+                if best is None or elapsed < best:
+                    best = elapsed
+            return best
+
+        text_seconds = best_of(lambda: client.execute(frame.to_sparql()))
+        plan_seconds = best_of(lambda: frame.execute(client))
+
+        plan = engine.last_plan
+        cell = {
+            "case": case.key,
+            "rows": len(direct_df),
+            "identical_results": identical,
+            "text_seconds": text_seconds,
+            "plan_seconds": plan_seconds,
+            "speedup": (text_seconds / plan_seconds
+                        if plan_seconds > 0 else float("inf")),
+            "plan_cache_hits": engine.plan_cache_hits - hits_before,
+            "passes": [s.as_dict() for s in plan.pass_stats] if plan else [],
+        }
+        if not identical:
+            raise AssertionError(
+                "direct plan path and text path disagree on case study %r"
+                % case.key)
+        section["cases"].append(cell)
+        print("  %-16s text %8.4fs  plan %8.4fs  speedup %5.2fx  (%d rows)"
+              % (case.key, text_seconds, plan_seconds, cell["speedup"],
+                 cell["rows"]))
+    geomean = _geomean([c["speedup"] for c in section["cases"]])
+    section["geomean_speedup"] = geomean
+    section["all_results_identical"] = True
+    print("plan-path geomean speedup %.2fx" % geomean)
+    return section
+
+
+def run(scales, rounds: int, out_path: str,
+        plan_iterations: int = 5) -> dict:
     report = {
         "schema": "repro-bench-engine/1",
         "created_unix": time.time(),
@@ -156,16 +234,14 @@ def run(scales, rounds: int, out_path: str) -> dict:
             print("  %-22s ref %8.4fs  columnar %8.4fs  speedup %5.2fx  "
                   "(%d rows)" % (name, ref_s, col_s, cell["speedup"],
                                  cell["modes"]["columnar"]["rows"]))
-    geomean = 1.0
-    for s in speedups:
-        geomean *= s
-    geomean **= (1.0 / len(speedups))
+    geomean = _geomean(speedups)
     report["summary"] = {
         "geomean_speedup": geomean,
         "min_speedup": min(speedups),
         "max_speedup": max(speedups),
         "all_results_identical": True,
     }
+    report["plan_path"] = run_plan_path(scales[-1], plan_iterations)
     with open(out_path, "w") as handle:
         json.dump(report, handle, indent=2)
     print("geomean speedup %.2fx (min %.2fx, max %.2fx) -> %s"
@@ -184,8 +260,16 @@ def main(argv=None) -> int:
                                  float(os.environ.get("REPRO_BENCH_SCALE",
                                                       "0.2"))],
                         help="dataset scales to benchmark")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny CI configuration: one small scale, one "
+                             "round, fewer plan-path iterations")
     args = parser.parse_args(argv)
-    run(args.scales, args.rounds, args.out)
+    if args.smoke:
+        args.scales = [0.02]
+        args.rounds = 1
+        run(args.scales, args.rounds, args.out, plan_iterations=2)
+    else:
+        run(args.scales, args.rounds, args.out)
     return 0
 
 

@@ -33,7 +33,14 @@ class ClientError(RuntimeError):
 
 
 class EngineClient:
-    """Executes queries directly against an in-process engine."""
+    """Executes queries directly against an in-process engine.
+
+    Supports both front-ends: SPARQL text via :meth:`execute` and
+    RDFFrames query models via :meth:`execute_model` — the latter takes
+    the engine's direct compile-to-algebra path, skipping SPARQL text
+    generation and parsing entirely (:meth:`RDFFrame.execute
+    <repro.core.rdfframe.RDFFrame.execute>` uses it automatically).
+    """
 
     def __init__(self, engine: Engine, default_graph_uri: Optional[str] = None):
         self.engine = engine
@@ -43,6 +50,12 @@ class EngineClient:
         """Run a SPARQL query and return the full result as a dataframe."""
         result = self.engine.query(query,
                                    default_graph_uri=self.default_graph_uri)
+        return result.to_dataframe()
+
+    def execute_model(self, model) -> DataFrame:
+        """Run an RDFFrames query model on the direct plan path."""
+        result = self.engine.query_model(
+            model, default_graph_uri=self.default_graph_uri)
         return result.to_dataframe()
 
     def execute_terms(self, query: str) -> DataFrame:
@@ -78,15 +91,22 @@ class HttpClient:
         Requested rows per response; the endpoint may cap it lower.
     max_retries:
         Transient endpoint errors are retried this many times per page.
+    retry_delay:
+        Base backoff in seconds: attempt ``k`` sleeps
+        ``retry_delay * 2**k``, capped at ``max_retry_delay`` (0 disables
+        sleeping, the default, which keeps tests instant).
     """
 
     def __init__(self, endpoint: Endpoint, page_size: Optional[int] = None,
-                 max_retries: int = 3, retry_delay: float = 0.0):
+                 max_retries: int = 3, retry_delay: float = 0.0,
+                 max_retry_delay: float = 2.0):
         self.endpoint = endpoint
         self.page_size = page_size
         self.max_retries = max_retries
         self.retry_delay = retry_delay
+        self.max_retry_delay = max_retry_delay
         self.pages_fetched = 0
+        self._sleep = time.sleep  # injectable for tests
 
     def execute(self, query: str) -> DataFrame:
         """Fetch all pages of a query's results into one dataframe."""
@@ -135,18 +155,27 @@ class HttpClient:
         paginated fetches these are the stats of the initial execution)."""
         return self.endpoint.engine.last_stats
 
+    def _backoff_delay(self, attempt: int) -> float:
+        """Capped exponential backoff before retry ``attempt`` (0-based)."""
+        if self.retry_delay <= 0:
+            return 0.0
+        return min(self.retry_delay * (2 ** attempt), self.max_retry_delay)
+
     def _request_with_retry(self, query: str, offset: int):
         last_error = None
-        for _ in range(self.max_retries + 1):
+        for attempt in range(self.max_retries + 1):
             try:
                 return self.endpoint.request(query, offset=offset,
                                              limit=self.page_size)
             except EndpointError as exc:
                 last_error = exc
-                if self.retry_delay:
-                    time.sleep(self.retry_delay)
-        raise ClientError("endpoint failed after %d retries: %s"
-                          % (self.max_retries, last_error))
+                if attempt < self.max_retries:
+                    delay = self._backoff_delay(attempt)
+                    if delay:
+                        self._sleep(delay)
+        raise ClientError(
+            "endpoint failed after %d retries fetching the page at "
+            "offset %d: %s" % (self.max_retries, offset, last_error))
 
     def __repr__(self):
         return "HttpClient(page_size=%r)" % self.page_size

@@ -4,6 +4,7 @@ The user API (KnowledgeGraph + RDFFrame), the lazy operator Recorder, the
 query model, the optimized and naive query generators, and the translator.
 """
 
+from .compiler import CompilationError, ModelCompiler, compile_model
 from .conditions import ConditionError, condition_to_sparql
 from .generator import GenerationError, Generator
 from .knowledge_graph import KnowledgeGraph
@@ -20,6 +21,7 @@ __all__ = [
     "KnowledgeGraph", "RDFFrame", "GroupedRDFFrame", "RDFFrameError",
     "Generator", "GenerationError", "NaiveGenerator", "naive_transform",
     "QueryModel", "OptionalBlock", "Aggregation",
+    "compile_model", "ModelCompiler", "CompilationError",
     "translate", "TranslationError",
     "condition_to_sparql", "ConditionError",
     "OPTIONAL", "INCOMING", "OUTGOING",

@@ -264,6 +264,13 @@ class RDFFrame:
         generator = Generator(self._kg.prefixes)
         return generator.generate(self)
 
+    def _generate_model(self, strategy: str):
+        if strategy == "optimized":
+            return self.query_model()
+        if strategy == "naive":
+            return NaiveGenerator(self._kg.prefixes).generate(self)
+        raise RDFFrameError("unknown strategy %r" % strategy)
+
     def to_sparql(self, strategy: str = "optimized",
                   validate: bool = True) -> str:
         """Generate the SPARQL query for this frame.
@@ -271,24 +278,23 @@ class RDFFrame:
         ``strategy`` is ``'optimized'`` (the RDFFrames algorithm) or
         ``'naive'`` (the one-subquery-per-operator baseline of Section 6.3).
         """
-        if strategy == "optimized":
-            model = self.query_model()
-        elif strategy == "naive":
-            model = NaiveGenerator(self._kg.prefixes).generate(self)
-        else:
-            raise RDFFrameError("unknown strategy %r" % strategy)
-        return translate(model, validate=validate)
+        return translate(self._generate_model(strategy), validate=validate)
 
     def execute(self, client, return_format: str = "dataframe",
                 strategy: str = "optimized"):
         """Generate, execute, and fetch results as a dataframe.
 
-        ``client`` is any object with an ``execute(sparql_text)`` method
-        returning a :class:`~repro.dataframe.DataFrame` (see
-        :mod:`repro.client`).
+        Clients exposing ``execute_model`` (the in-process
+        :class:`~repro.client.EngineClient`) receive the query model
+        directly — the engine compiles it straight to algebra, skipping
+        SPARQL text generation and parsing.  Other clients (HTTP
+        endpoints) get SPARQL text, the wire format.
         """
-        query = self.to_sparql(strategy=strategy)
-        result = client.execute(query)
+        model = self._generate_model(strategy)
+        if hasattr(client, "execute_model"):
+            result = client.execute_model(model)
+        else:
+            result = client.execute(translate(model))
         if return_format in ("dataframe", "df", "pandas_df"):
             return result
         if return_format in ("records", "tuples"):

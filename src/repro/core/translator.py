@@ -11,18 +11,25 @@ projected variables match the model's visible columns).
 
 from __future__ import annotations
 
-from typing import List, Optional
+import re
+from typing import List, Optional, Set
 
 from ..rdf.namespaces import PrefixMap
 from .query_model import Aggregation, OptionalBlock, QueryModel
 
 INDENT = "    "
 
+#: A prefixed-name prefix inside an expression string (quoted literals and
+#: <...> IRIs are stripped before this runs, so ``"a:b"`` inside a string
+#: literal never counts).
+_EXPR_PNAME_RE = re.compile(r"(?<![\w?$])([A-Za-z_][\w.-]*):")
+_STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+_IRI_RE = re.compile(r"<[^<>\s]*>")
+
 
 def rename_expression_alias(expression: str, alias: str,
                             replacement: str) -> str:
     """Replace ``?alias`` in an expression with an aggregate call."""
-    import re
     return re.sub(r"\?%s\b" % re.escape(alias), replacement, expression)
 
 
@@ -33,20 +40,80 @@ class TranslationError(ValueError):
 def translate(model: QueryModel, validate: bool = True) -> str:
     """Render a query model as a complete SPARQL query string."""
     body = _render_query(model, depth=0, top_level=True)
-    prefixes = _render_prefixes(model, body)
+    prefixes = _render_prefixes(model)
     query = prefixes + body
     if validate:
         _validate(query, model)
     return query
 
 
-def _render_prefixes(model: QueryModel, body: str) -> str:
-    """Emit PREFIX declarations for every binding the query body uses."""
+def _render_prefixes(model: QueryModel) -> str:
+    """Emit PREFIX declarations for the prefixes the model's recorded
+    terms and expressions actually use.
+
+    Driven by the model's own components — not a substring scan of the
+    rendered body, which could match text inside literals/IRIs and was
+    O(prefixes x body size).
+    """
+    used = _collect_used_prefixes(model, set())
     prefix_map = PrefixMap(model.prefixes)
     lines = ["PREFIX %s: <%s>" % (prefix, base)
-             for prefix, base in prefix_map.items()
-             if ("%s:" % prefix) in body]
+             for prefix, base in prefix_map.items() if prefix in used]
     return "\n".join(lines) + "\n" if lines else ""
+
+
+def _term_prefix(term: str) -> Optional[str]:
+    """The prefix of a prefixed-name term, else None (variables, <IRI>s,
+    plain literals, numbers).  A typed literal's datatype may itself be a
+    prefixed name (``'"2000"^^xsd:gYear'``) and counts as a use."""
+    if not term:
+        return None
+    if term[0] in "\"'":
+        # Only the ^^datatype of a quoted literal can reference a prefix.
+        marker = term.rfind("^^")
+        if marker == -1:
+            return None
+        datatype = term[marker + 2:]
+        if datatype.startswith("<"):
+            return None
+        prefix, sep, _ = datatype.partition(":")
+        return prefix if sep else None
+    if term[0] in "?$<" or term[0].isdigit():
+        return None
+    prefix, sep, _ = term.partition(":")
+    return prefix if sep else None
+
+
+def _expression_prefixes(expression: str) -> Set[str]:
+    """Prefixes referenced by a SPARQL expression string, ignoring
+    anything inside string literals or <...> IRIs."""
+    stripped = _IRI_RE.sub("<>", _STRING_RE.sub('""', expression))
+    return set(_EXPR_PNAME_RE.findall(stripped))
+
+
+def _collect_used_prefixes(model, used: Set[str]) -> Set[str]:
+    """Walk a model (or optional block) and collect every prefix its
+    recorded terms and expressions mention."""
+    triples = list(getattr(model, "triples", ()))
+    for scoped in getattr(model, "scoped_triples", ()):
+        triples.append(scoped[1:])
+    for triple in triples:
+        for term in triple:
+            prefix = _term_prefix(term)
+            if prefix is not None:
+                used.add(prefix)
+    for expression in getattr(model, "filters", ()):
+        used |= _expression_prefixes(expression)
+    for expression in getattr(model, "having", ()):
+        used |= _expression_prefixes(expression)
+    for block in getattr(model, "optionals", ()):
+        _collect_used_prefixes(block, used)
+    nested = (list(getattr(model, "subqueries", ()))
+              + list(getattr(model, "optional_subqueries", ()))
+              + list(getattr(model, "union_models", ())))
+    for subquery in nested:
+        _collect_used_prefixes(subquery, used)
+    return used
 
 
 def _render_query(model: QueryModel, depth: int, top_level: bool = False) -> str:

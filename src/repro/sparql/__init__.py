@@ -13,6 +13,7 @@ from .engine import Engine, QueryTimeout
 from .evaluator import EvaluationError, EvaluationStats, Evaluator
 from .expressions import ExpressionError
 from .parser import ParseError, parse
+from .plan import Plan, PassStats, optimize_plan, plan_key
 from .reference import ReferenceEvaluator
 from .results import ResultSet, term_to_python
 from .solution import RowView, SolutionTable
@@ -22,6 +23,7 @@ __all__ = [
     "parse", "ParseError", "tokenize", "TokenizeError",
     "Engine", "QueryTimeout", "Evaluator", "EvaluationError",
     "EvaluationStats", "ReferenceEvaluator",
+    "Plan", "PassStats", "optimize_plan", "plan_key",
     "SolutionTable", "RowView",
     "ExpressionError", "ResultSet", "term_to_python",
     "Endpoint", "EndpointError", "EndpointResponse",

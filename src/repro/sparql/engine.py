@@ -1,25 +1,33 @@
 """The SPARQL engine façade — this repo's stand-in for Virtuoso.
 
 ``Engine`` owns a :class:`~repro.rdf.Dataset` of named graphs and answers
-SPARQL SELECT text queries: parse -> algebra -> (optimize) -> evaluate ->
-:class:`~.results.ResultSet`.
+queries from either front-end through one logical-plan layer:
+
+* SPARQL text: parse -> algebra -> optimizer passes -> evaluate,
+* RDFFrames query models: compile (:mod:`repro.core.compiler`) -> the same
+  algebra -> the same passes -> evaluate — no SPARQL text round trip.
+
+Plans are cached by their normalized structural key
+(:func:`~repro.sparql.plan.plan_key`), so repeated executions of the same
+logical query — from either front-end, in any surface spelling — skip
+parsing/compilation *and* the optimizer pipeline entirely.
 """
 
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Union
+from collections import OrderedDict
+from typing import List, Optional, Tuple, Union
 
 from ..rdf.dataset import Dataset
 from ..rdf.graph import Graph
 from . import algebra as alg
-from .evaluator import EvaluationStats, Evaluator
-from .parser import ParseError, parse
+from .evaluator import EvaluationStats, Evaluator, QueryTimeout
+from .parser import parse
+from .plan import Plan, optimize_plan, output_variables, plan_key
 from .results import ResultSet
 
-
-class QueryTimeout(RuntimeError):
-    """Raised when a query exceeds the engine's time budget."""
+__all__ = ["Engine", "QueryTimeout"]
 
 
 class Engine:
@@ -30,14 +38,17 @@ class Engine:
     source:
         A :class:`Dataset`, a single :class:`Graph`, or a list of graphs.
     optimize:
-        When False, BGP join-order optimization is disabled (used by the
-        ablation benchmarks to isolate the optimizer's contribution).
+        When False, the plan-time ``JoinOrdering`` pass (and the reference
+        plane's eval-time BGP ordering) is disabled — used by the ablation
+        benchmarks to isolate the optimizer's contribution.
+    plan_cache_size:
+        Maximum number of optimized plans kept (LRU).  0 disables caching.
     """
 
     def __init__(self, source: Union[Dataset, Graph, List[Graph]],
                  optimize: bool = True, cache_bgps: bool = True,
                  max_intermediate_rows: Optional[int] = None,
-                 columnar: bool = True):
+                 columnar: bool = True, plan_cache_size: int = 128):
         if isinstance(source, Dataset):
             self.dataset = source
         else:
@@ -53,24 +64,143 @@ class Engine:
         # columnar=False selects the dict-based reference evaluator (the
         # seed data plane), kept for differential testing and perf reports.
         self.columnar = columnar
+        self.plan_cache_size = plan_cache_size
+        self._plan_cache: "OrderedDict[str, Plan]" = OrderedDict()
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+        self.last_plan: Optional[Plan] = None
         self.last_stats: Optional[EvaluationStats] = None
         self.last_elapsed: float = 0.0
         self.queries_executed = 0
 
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan(self, source, default_graph_uri: Optional[str] = None) -> Plan:
+        """Build (or fetch from cache) the optimized plan for ``source``.
+
+        ``source`` is SPARQL text, an already-parsed algebra
+        :class:`~.algebra.Query`, or an RDFFrames
+        :class:`~repro.core.query_model.QueryModel` (compiled directly,
+        skipping the text round trip).
+        """
+        if isinstance(source, str):
+            query, kind = parse(source), "text"
+        elif isinstance(source, alg.Query):
+            query, kind = source, "algebra"
+        else:
+            from ..core.compiler import compile_model
+            query, kind = compile_model(source), "model"
+
+        key = plan_key(query, default_graph_uri, self._fingerprint())
+        cached = self._plan_cache.get(key)
+        if cached is not None:
+            self._plan_cache.move_to_end(key)
+            self.plan_cache_hits += 1
+            return cached
+
+        graph = self._planning_graph(query.from_graphs, default_graph_uri)
+        plan = optimize_plan(query, key=key, graph=graph,
+                             dataset=self.dataset, join_order=self.optimize,
+                             source=kind)
+        self.plan_cache_misses += 1
+        if self.plan_cache_size > 0:
+            self._plan_cache[key] = plan
+            while len(self._plan_cache) > self.plan_cache_size:
+                self._plan_cache.popitem(last=False)
+        return plan
+
+    def _planning_graph(self, from_graphs: List[str],
+                        default_graph_uri: Optional[str]):
+        """The graph whose statistics drive join ordering, or ``None`` when
+        resolution fails (the error then surfaces at execution, exactly as
+        it did on the pre-planner path)."""
+        try:
+            if from_graphs:
+                if any(uri not in self.dataset for uri in from_graphs):
+                    return None
+                if len(from_graphs) == 1:
+                    return self.dataset.graph(from_graphs[0])
+                return self.dataset.union_view(from_graphs)
+            if default_graph_uri is not None:
+                if default_graph_uri not in self.dataset:
+                    return None
+                return self.dataset.graph(default_graph_uri)
+            graphs = list(self.dataset)
+            if not graphs:
+                return None
+            if len(graphs) == 1:
+                return graphs[0]
+            return self.dataset.union_view()
+        except KeyError:
+            return None
+
+    def _fingerprint(self) -> Tuple:
+        """Cheap dataset-state fingerprint tied into every plan key, so
+        graph mutations invalidate cached join orders."""
+        return tuple(sorted((g.uri, len(g)) for g in self.dataset))
+
+    def clear_plan_cache(self) -> None:
+        self._plan_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute_plan(self, plan: Plan,
+                     default_graph_uri: Optional[str] = None,
+                     timeout: Optional[float] = None) -> ResultSet:
+        """Evaluate an optimized plan on the columnar data plane."""
+        start = time.perf_counter()
+        deadline = None if timeout is None else start + timeout
+        # Join ordering already happened at plan time; the evaluator must
+        # not re-derive it per execution.
+        evaluator = Evaluator(self.dataset, optimize=False,
+                              cache_bgps=self.cache_bgps,
+                              max_rows=self.max_intermediate_rows,
+                              deadline=deadline)
+        solutions = evaluator.evaluate_query(plan.query, default_graph_uri)
+        elapsed = time.perf_counter() - start
+        if timeout is not None and elapsed > timeout:
+            raise QueryTimeout("query took %.3fs (budget %.3fs)"
+                               % (elapsed, timeout))
+        plan.executions += 1
+        self.last_plan = plan
+        self.last_stats = evaluator.stats
+        self.last_elapsed = elapsed
+        self.queries_executed += 1
+        return ResultSet.from_table(solutions, evaluator.dictionary,
+                                    plan.output_variables)
+
     def query(self, text: str, default_graph_uri: Optional[str] = None,
               timeout: Optional[float] = None) -> ResultSet:
         """Execute a SPARQL SELECT query and return its result set."""
-        parsed = parse(text)
         if self.columnar:
-            evaluator = Evaluator(self.dataset, optimize=self.optimize,
-                                  cache_bgps=self.cache_bgps,
-                                  max_rows=self.max_intermediate_rows)
-        else:
-            from .reference import ReferenceEvaluator
-            evaluator = ReferenceEvaluator(
-                self.dataset, optimize=self.optimize,
-                cache_bgps=self.cache_bgps,
-                max_rows=self.max_intermediate_rows)
+            plan = self.plan(text, default_graph_uri)
+            return self.execute_plan(plan, default_graph_uri, timeout)
+        return self._query_reference(parse(text), default_graph_uri, timeout)
+
+    def query_model(self, model, default_graph_uri: Optional[str] = None,
+                    timeout: Optional[float] = None) -> ResultSet:
+        """Execute an RDFFrames query model on the direct plan path.
+
+        On the reference plane (``columnar=False``) the model is rendered
+        to SPARQL text first, pinning the seed semantics end to end.
+        """
+        if self.columnar:
+            plan = self.plan(model, default_graph_uri)
+            return self.execute_plan(plan, default_graph_uri, timeout)
+        from ..core.translator import translate
+        return self.query(translate(model), default_graph_uri, timeout)
+
+    def _query_reference(self, parsed: alg.Query,
+                         default_graph_uri: Optional[str],
+                         timeout: Optional[float]) -> ResultSet:
+        """The seed dict-based path, kept verbatim for differential tests."""
+        from .reference import ReferenceEvaluator
+        evaluator = ReferenceEvaluator(
+            self.dataset, optimize=self.optimize,
+            cache_bgps=self.cache_bgps,
+            max_rows=self.max_intermediate_rows)
         start = time.perf_counter()
         solutions = evaluator.evaluate_query(parsed, default_graph_uri)
         elapsed = time.perf_counter() - start
@@ -81,24 +211,22 @@ class Engine:
         self.last_elapsed = elapsed
         self.queries_executed += 1
         variables = self._output_variables(parsed)
-        if self.columnar:
-            return ResultSet.from_table(solutions, evaluator.dictionary,
-                                        variables)
         return ResultSet.from_mappings(solutions, variables)
 
     @staticmethod
     def _output_variables(parsed: alg.Query) -> Optional[List[str]]:
         """The projection's column order, or None for SELECT * (in which
         case column order is derived from the solutions)."""
-        node = parsed.pattern
-        while isinstance(node, (alg.Slice, alg.OrderBy, alg.Distinct)):
-            node = node.pattern
-        if isinstance(node, alg.Project) and node.variables is not None:
-            return node.variables
-        return None
+        return output_variables(parsed)
 
-    def explain(self, text: str) -> str:
-        """A textual rendering of the algebra tree (for debugging/tests)."""
+    def explain(self, text: str, optimized: bool = False) -> str:
+        """A textual rendering of the algebra tree (for debugging/tests).
+
+        With ``optimized=True`` the optimizer pipeline runs first and the
+        rendering includes per-pass statistics.
+        """
+        if optimized:
+            return self.plan(text).explain()
         parsed = parse(text)
         lines: List[str] = ["FROM %s" % parsed.from_graphs]
 

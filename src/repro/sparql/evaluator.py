@@ -24,6 +24,7 @@ perf-report baseline.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Tuple
 
 from ..rdf.dataset import Dataset
@@ -38,6 +39,15 @@ from .solution import (RowView, SolutionTable, _rows_compatible,
 
 class EvaluationError(RuntimeError):
     """Raised when a query cannot be evaluated (e.g. missing graph)."""
+
+
+class QueryTimeout(RuntimeError):
+    """Raised when a query exceeds the engine's time budget.
+
+    With a ``deadline`` set on the evaluator this trips *mid-query* — the
+    pattern matcher checks the clock while rows are being produced — so a
+    runaway cross product is abandoned instead of run to completion.
+    """
 
 
 class EvaluationStats:
@@ -71,10 +81,14 @@ class Evaluator:
     """Evaluates an algebra tree against a dataset on the columnar plane."""
 
     def __init__(self, dataset: Dataset, optimize: bool = True,
-                 max_rows: Optional[int] = None, cache_bgps: bool = True):
+                 max_rows: Optional[int] = None, cache_bgps: bool = True,
+                 deadline: Optional[float] = None):
         self.dataset = dataset
         self.optimize = optimize
         self.max_rows = max_rows  # safety valve for runaway queries
+        # Absolute time.perf_counter() deadline; checked between operators
+        # and inside the pattern matcher's row production.
+        self.deadline = deadline
         self.cache_bgps = cache_bgps
         self.stats = EvaluationStats()
         self.dictionary = None  # set when the query's graphs are resolved
@@ -112,6 +126,9 @@ class Evaluator:
     # ------------------------------------------------------------------
     def evaluate(self, node: alg.AlgebraNode, graph,
                  top: bool = False) -> SolutionTable:
+        if self.deadline is not None \
+                and time.perf_counter() > self.deadline:
+            raise QueryTimeout("query exceeded its time budget at %r" % node)
         method = getattr(self, "_eval_%s" % type(node).__name__.lower(), None)
         if method is None:
             raise EvaluationError("cannot evaluate %r" % node)
@@ -205,7 +222,7 @@ class Evaluator:
         n_new = len(new_pos)
         stats = self.stats
         out: List[tuple] = []
-        append = out.append
+        append = self._guarded_append(out)
         matches = 0
 
         # The bound/free shape of the pattern is fixed across rows ('b'
@@ -290,6 +307,35 @@ class Evaluator:
                         append(row + tuple(extras))
         stats.pattern_matches += matches
         return schema, out
+
+    def _guarded_append(self, out: List[tuple]):
+        """The row sink for pattern matching.
+
+        The plain ``list.append`` on the hot path; when a row budget or a
+        deadline is armed, a wrapper that trips the safety valve *while*
+        rows are being produced — an exploding cross product is abandoned
+        mid-pattern instead of materialized and then rejected.
+        """
+        limit = self.max_rows
+        deadline = self.deadline
+        if limit is None and deadline is None:
+            return out.append
+        raw_append = out.append
+
+        def append(row):
+            raw_append(row)
+            n = len(out)
+            if limit is not None and n > limit:
+                raise EvaluationError(
+                    "intermediate result exceeds max_rows=%d "
+                    "(tripped mid-pattern)" % limit)
+            if deadline is not None and not (n & 1023) \
+                    and time.perf_counter() > deadline:
+                raise QueryTimeout(
+                    "query exceeded its time budget after %d rows "
+                    "of a pattern match" % n)
+
+        return append
 
     # ------------------------------------------------------------------
     def _eval_join(self, node: alg.Join, graph) -> SolutionTable:

@@ -1,0 +1,506 @@
+"""The logical-plan layer: optimizer passes over the SPARQL algebra.
+
+Both front-ends produce the same algebra — SPARQL text through the parser
+and RDFFrames query models through :mod:`repro.core.compiler` — and this
+module turns that algebra into an executable :class:`Plan` by running an
+explicit pipeline of rewrite passes:
+
+* ``FilterPushdown``   — move filters below joins/unions toward the data,
+* ``ProjectionPruning`` — collapse and remove redundant projections,
+* ``BGPMerge``         — fuse adjacent basic graph patterns into one scope,
+* ``JoinOrdering``     — the selectivity-greedy triple ordering of
+  :mod:`~repro.sparql.optimizer`, applied once at plan time instead of on
+  every evaluation.
+
+Each pass is a pure ``node -> (node, changes)`` function (input trees are
+never mutated) and records per-pass statistics on the plan, so ablations
+and tests can see exactly what fired.  :class:`~repro.sparql.engine.Engine`
+keys its plan cache on :func:`plan_key`, a normalized structural
+serialization of the algebra — two textually different renderings of the
+same query share one cached plan.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..rdf.terms import Variable
+from . import algebra as alg
+from .expressions import AndExpr, Expression
+from .optimizer import GraphStatistics, order_patterns
+
+PassResult = Tuple[alg.AlgebraNode, int]
+PassFn = Callable[[alg.AlgebraNode], PassResult]
+
+#: Pipeline iteration cap: passes enable each other (pruning a no-op
+#: projection exposes two BGPs to merging), so the pipeline reruns until a
+#: full sweep changes nothing, bounded by this.
+MAX_PIPELINE_ROUNDS = 4
+
+
+class PassStats:
+    """What one optimizer pass did during planning."""
+
+    def __init__(self, name: str, changes: int, seconds: float):
+        self.name = name
+        self.changes = changes
+        self.seconds = seconds
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "changes": self.changes,
+                "seconds": self.seconds}
+
+    def __repr__(self):
+        return "PassStats(%s, changes=%d, %.6fs)" % (
+            self.name, self.changes, self.seconds)
+
+
+class Plan:
+    """An optimized, executable logical plan.
+
+    Holds the rewritten algebra :class:`~.algebra.Query`, the structural
+    cache key it was planned under, per-pass statistics, and the output
+    column order (``None`` for ``SELECT *``).  Plans are immutable once
+    built and safe to execute any number of times.
+    """
+
+    def __init__(self, query: alg.Query, key: str,
+                 pass_stats: Sequence[PassStats], source: str = "text"):
+        self.query = query
+        self.key = key
+        self.pass_stats = list(pass_stats)
+        self.source = source  # 'text' | 'model' | 'algebra'
+        self.output_variables = output_variables(query)
+        self.executions = 0
+
+    @property
+    def total_changes(self) -> int:
+        return sum(s.changes for s in self.pass_stats)
+
+    def explain(self) -> str:
+        """Textual rendering of the optimized tree plus pass statistics."""
+        lines: List[str] = ["FROM %s" % self.query.from_graphs]
+
+        def walk(node, depth):
+            lines.append("  " * depth + repr(node))
+            for child in node.children():
+                walk(child, depth + 1)
+
+        walk(self.query.pattern, 0)
+        for stats in self.pass_stats:
+            lines.append("-- %s: %d change(s) in %.6fs"
+                         % (stats.name, stats.changes, stats.seconds))
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "Plan(source=%s, passes=%s)" % (
+            self.source, [s.name for s in self.pass_stats])
+
+
+def output_variables(query: alg.Query) -> Optional[List[str]]:
+    """The projection's column order, or ``None`` for ``SELECT *`` (column
+    order then derives from the solutions)."""
+    node = query.pattern
+    while isinstance(node, (alg.Slice, alg.OrderBy, alg.Distinct)):
+        node = node.pattern
+    if isinstance(node, alg.Project) and node.variables is not None:
+        return list(node.variables)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Generic structural helpers (all passes rebuild, never mutate)
+# ----------------------------------------------------------------------
+
+def _rebuild(node: alg.AlgebraNode,
+             children: List[alg.AlgebraNode]) -> alg.AlgebraNode:
+    """A copy of ``node`` with its children replaced (same arity/order as
+    ``node.children()``)."""
+    if isinstance(node, alg.BGP):
+        return alg.BGP(node.triples)
+    if isinstance(node, alg.InlineData):
+        return alg.InlineData(node.variables, node.rows)
+    if isinstance(node, alg.Join):
+        return alg.Join(children[0], children[1])
+    if isinstance(node, alg.LeftJoin):
+        return alg.LeftJoin(children[0], children[1], node.condition)
+    if isinstance(node, alg.Union):
+        return alg.Union(children[0], children[1])
+    if isinstance(node, alg.Minus):
+        return alg.Minus(children[0], children[1])
+    if isinstance(node, alg.Filter):
+        return alg.Filter(node.condition, children[0])
+    if isinstance(node, alg.Extend):
+        return alg.Extend(children[0], node.var, node.expression)
+    if isinstance(node, alg.Group):
+        return alg.Group(children[0], node.group_vars, node.aggregates,
+                         node.having)
+    if isinstance(node, alg.Project):
+        return alg.Project(children[0], node.variables)
+    if isinstance(node, alg.Distinct):
+        return alg.Distinct(children[0])
+    if isinstance(node, alg.OrderBy):
+        return alg.OrderBy(children[0], node.keys)
+    if isinstance(node, alg.Slice):
+        return alg.Slice(children[0], node.limit, node.offset)
+    if isinstance(node, alg.GraphPattern):
+        return alg.GraphPattern(node.graph_uri, children[0])
+    if isinstance(node, alg.FilterExists):
+        return alg.FilterExists(children[0], children[1], node.negated)
+    raise TypeError("cannot rebuild algebra node %r" % node)
+
+
+def expression_variables(expression: Expression) -> Set[str]:
+    """All variable names an expression refers to."""
+    return set(expression.variables())
+
+
+def _split_conjuncts(expression: Expression) -> List[Expression]:
+    """Flatten a chain of ``&&`` into its conjuncts.
+
+    Safe for filter placement: a row passes ``FILTER(A && B)`` iff the
+    effective boolean value of both conjuncts is true (SPARQL's
+    three-valued ``&&`` never turns a non-true pair into true), which is
+    exactly when it passes ``FILTER(A)`` and ``FILTER(B)``.
+    """
+    if isinstance(expression, AndExpr):
+        return (_split_conjuncts(expression.left)
+                + _split_conjuncts(expression.right))
+    return [expression]
+
+
+# ----------------------------------------------------------------------
+# Pass 1: FilterPushdown
+# ----------------------------------------------------------------------
+
+def filter_pushdown(node: alg.AlgebraNode) -> PassResult:
+    """Push filters toward the data.
+
+    A conjunct moves below a Join (or to the preserved side of a LeftJoin)
+    when all its variables are in scope on that side *and none* are in
+    scope on the other side — the moved filter then sees exactly the same
+    bindings it would have seen above the join, including unbound ones.
+    Filters distribute into both branches of a Union unconditionally
+    (union rows come from exactly one branch).
+    """
+    changes = 0
+
+    def visit(n: alg.AlgebraNode) -> alg.AlgebraNode:
+        nonlocal changes
+        if isinstance(n, alg.Filter):
+            inner = n.pattern
+            pushed = _push_condition(n.condition, inner)
+            if pushed is not None:
+                changes += 1
+                return visit(pushed)
+            return alg.Filter(n.condition, visit(inner))
+        children = [visit(child) for child in n.children()]
+        return _rebuild(n, children) if children else n
+
+    return visit(node), changes
+
+
+def _push_condition(condition: Expression,
+                    inner: alg.AlgebraNode) -> Optional[alg.AlgebraNode]:
+    """One pushdown step for ``Filter(condition, inner)``; ``None`` when the
+    filter cannot move."""
+    conjuncts = _split_conjuncts(condition)
+
+    if isinstance(inner, alg.Union):
+        return alg.Union(alg.Filter(condition, inner.left),
+                         alg.Filter(condition, inner.right))
+
+    if isinstance(inner, (alg.Join, alg.LeftJoin)):
+        left_scope = set(inner.left.in_scope())
+        right_scope = set(inner.right.in_scope())
+        stay: List[Expression] = []
+        to_left: List[Expression] = []
+        to_right: List[Expression] = []
+        for conjunct in conjuncts:
+            variables = expression_variables(conjunct)
+            if variables <= left_scope and not (variables & right_scope):
+                to_left.append(conjunct)
+            elif (isinstance(inner, alg.Join) and variables <= right_scope
+                    and not (variables & left_scope)):
+                # Only an inner join admits a push to the right: LeftJoin
+                # must preserve every left row regardless of the right side.
+                to_right.append(conjunct)
+            else:
+                stay.append(conjunct)
+        if not to_left and not to_right:
+            return None
+        left = inner.left
+        for conjunct in to_left:
+            left = alg.Filter(conjunct, left)
+        right = inner.right
+        for conjunct in to_right:
+            right = alg.Filter(conjunct, right)
+        if isinstance(inner, alg.LeftJoin):
+            node: alg.AlgebraNode = alg.LeftJoin(left, right, inner.condition)
+        else:
+            node = alg.Join(left, right)
+        for conjunct in stay:
+            node = alg.Filter(conjunct, node)
+        return node
+
+    return None
+
+
+# ----------------------------------------------------------------------
+# Pass 2: ProjectionPruning
+# ----------------------------------------------------------------------
+
+def projection_pruning(node: alg.AlgebraNode) -> PassResult:
+    """Remove redundant projection work.
+
+    * ``Project(vars)`` over ``Project(cvars)`` with ``vars ⊆ cvars``
+      collapses to a single projection (one table copy instead of two).
+    * A non-root ``Project`` whose explicit variables equal its child's
+      in-scope columns (same order) is a no-op and is dropped — which also
+      exposes the pattern below it to ``BGPMerge``.
+    * ``Distinct(Distinct(x))`` collapses.
+
+    ``SELECT *`` projections (``variables=None``) are never touched: they
+    carry the scope-isolation intent of deliberately nested queries (the
+    naive-strategy baseline measures exactly that cost).  The root
+    projection is protected because it defines the result column order.
+    """
+    changes = 0
+
+    def visit(n: alg.AlgebraNode) -> alg.AlgebraNode:
+        nonlocal changes
+        children = [visit(child) for child in n.children()]
+        n = _rebuild(n, children) if children else n
+        if isinstance(n, alg.Distinct) and isinstance(n.pattern, alg.Distinct):
+            changes += 1
+            return n.pattern
+        if isinstance(n, alg.Project) and n.variables is not None:
+            child = n.pattern
+            if (isinstance(child, alg.Project) and child.variables is not None
+                    and set(n.variables) <= set(child.variables)):
+                changes += 1
+                return alg.Project(child.pattern, n.variables)
+            if list(n.variables) == child.in_scope():
+                changes += 1
+                return child
+        return n
+
+    def spine(n: alg.AlgebraNode) -> alg.AlgebraNode:
+        # The root modifier spine (Slice/OrderBy/Distinct over the root
+        # Project) is walked structurally so the root projection itself is
+        # never removed — it defines the result column order — while
+        # everything below it is pruned by ``visit``.
+        nonlocal changes
+        if isinstance(n, (alg.Slice, alg.OrderBy, alg.Distinct)):
+            n = _rebuild(n, [spine(n.pattern)])
+            if isinstance(n, alg.Distinct) \
+                    and isinstance(n.pattern, alg.Distinct):
+                changes += 1
+                return n.pattern
+            return n
+        if isinstance(n, alg.Project):
+            return alg.Project(visit(n.pattern), n.variables)
+        return visit(n)
+
+    return spine(node), changes
+
+
+# ----------------------------------------------------------------------
+# Pass 3: BGPMerge
+# ----------------------------------------------------------------------
+
+def bgp_merge(node: alg.AlgebraNode) -> PassResult:
+    """Fuse ``Join(BGP, BGP)`` into a single BGP.
+
+    A join of two basic graph patterns over the same active graph is, by
+    the SPARQL algebra, the BGP of their combined triples — and one flat
+    BGP is what the selectivity optimizer orders best.
+    """
+    changes = 0
+
+    def visit(n: alg.AlgebraNode) -> alg.AlgebraNode:
+        nonlocal changes
+        children = [visit(child) for child in n.children()]
+        n = _rebuild(n, children) if children else n
+        if (isinstance(n, alg.Join) and isinstance(n.left, alg.BGP)
+                and isinstance(n.right, alg.BGP)):
+            changes += 1
+            return alg.BGP(n.left.triples + n.right.triples)
+        return n
+
+    return visit(node), changes
+
+
+# ----------------------------------------------------------------------
+# Pass 4: JoinOrdering (plan-time selectivity ordering)
+# ----------------------------------------------------------------------
+
+def make_join_ordering(graph, dataset=None) -> PassFn:
+    """Build the join-ordering pass for a query's resolved default graph.
+
+    Reorders every BGP's triple patterns with the greedy selectivity
+    ordering of :func:`~.optimizer.order_patterns`; BGPs under a
+    ``GRAPH <uri>`` scope are ordered with that graph's statistics.  This
+    is the same decision the evaluator used to make per execution — made
+    once here, it is amortized over every plan-cache hit.
+    """
+    stats_cache: Dict[int, GraphStatistics] = {}
+
+    def stats_for(g) -> GraphStatistics:
+        key = id(g)
+        stats = stats_cache.get(key)
+        if stats is None:
+            stats = GraphStatistics(g)
+            stats_cache[key] = stats
+        return stats
+
+    def join_ordering(node: alg.AlgebraNode) -> PassResult:
+        changes = 0
+
+        def visit(n: alg.AlgebraNode, g) -> alg.AlgebraNode:
+            nonlocal changes
+            if isinstance(n, alg.BGP):
+                if g is None or len(n.triples) < 2:
+                    return n
+                ordered = order_patterns(n.triples, stats_for(g))
+                if ordered != n.triples:
+                    changes += 1
+                    return alg.BGP(ordered)
+                return n
+            if isinstance(n, alg.GraphPattern):
+                target = g
+                if dataset is not None and n.graph_uri in dataset:
+                    target = dataset.graph(n.graph_uri)
+                return alg.GraphPattern(n.graph_uri,
+                                        visit(n.pattern, target))
+            children = [visit(child, g) for child in n.children()]
+            return _rebuild(n, children) if children else n
+
+        return visit(node, graph), changes
+
+    return join_ordering
+
+
+# ----------------------------------------------------------------------
+# The pipeline
+# ----------------------------------------------------------------------
+
+#: The rewrite passes every plan goes through, in order (JoinOrdering is
+#: appended by :func:`optimize_plan` when a graph is resolved and the
+#: engine's optimizer is enabled).
+DEFAULT_PASSES: Tuple[Tuple[str, PassFn], ...] = (
+    ("FilterPushdown", filter_pushdown),
+    ("ProjectionPruning", projection_pruning),
+    ("BGPMerge", bgp_merge),
+)
+
+
+def optimize_plan(query: alg.Query, key: str = "", graph=None, dataset=None,
+                  join_order: bool = True, source: str = "text",
+                  passes: Optional[Sequence[Tuple[str, PassFn]]] = None
+                  ) -> Plan:
+    """Run the pass pipeline over a parsed/compiled query and return a
+    :class:`Plan`.
+
+    ``graph`` is the query's resolved default graph (used only for
+    join-ordering statistics; pass ``None`` to skip ordering), ``dataset``
+    resolves ``GRAPH <uri>`` scopes.  Passes rerun until a full sweep
+    changes nothing (earlier passes expose opportunities to later ones),
+    capped at :data:`MAX_PIPELINE_ROUNDS` sweeps.
+    """
+    pipeline = list(DEFAULT_PASSES if passes is None else passes)
+    if join_order and graph is not None:
+        pipeline.append(("JoinOrdering", make_join_ordering(graph, dataset)))
+
+    node = query.pattern
+    totals: Dict[str, PassStats] = {
+        name: PassStats(name, 0, 0.0) for name, _ in pipeline}
+    for _ in range(MAX_PIPELINE_ROUNDS):
+        round_changes = 0
+        for name, pass_fn in pipeline:
+            start = time.perf_counter()
+            node, changes = pass_fn(node)
+            totals[name].seconds += time.perf_counter() - start
+            totals[name].changes += changes
+            round_changes += changes
+        if not round_changes:
+            break
+    optimized = alg.Query(node, from_graphs=list(query.from_graphs),
+                          prefixes=dict(query.prefixes))
+    return Plan(optimized, key, [totals[name] for name, _ in pipeline],
+                source=source)
+
+
+# ----------------------------------------------------------------------
+# Structural plan keys
+# ----------------------------------------------------------------------
+
+def plan_key(query: alg.Query, default_graph_uri: Optional[str] = None,
+             fingerprint: Tuple = ()) -> str:
+    """A normalized structural serialization of a query, for plan caching.
+
+    Two queries with the same algebra — regardless of surface text
+    (whitespace, prefixed vs. full IRIs, front-end) — map to the same key.
+    ``fingerprint`` ties the key to the dataset state so mutations re-plan
+    (join ordering depends on graph statistics).
+    """
+    return "|".join([
+        repr(tuple(query.from_graphs)),
+        repr(default_graph_uri),
+        repr(fingerprint),
+        _node_key(query.pattern),
+    ])
+
+
+def _term_key(term) -> str:
+    if isinstance(term, Variable):
+        return "?" + term.name
+    return repr(term)
+
+
+def _node_key(node: alg.AlgebraNode) -> str:
+    if isinstance(node, alg.BGP):
+        return "BGP[%s]" % ";".join(
+            ",".join(_term_key(t) for t in triple) for triple in node.triples)
+    if isinstance(node, alg.InlineData):
+        return "Values[%s|%s]" % (",".join(node.variables),
+                                  ";".join(repr(row) for row in node.rows))
+    if isinstance(node, alg.Join):
+        return "Join(%s,%s)" % (_node_key(node.left), _node_key(node.right))
+    if isinstance(node, alg.LeftJoin):
+        condition = node.condition.sparql() if node.condition else ""
+        return "LeftJoin(%s,%s,%s)" % (_node_key(node.left),
+                                       _node_key(node.right), condition)
+    if isinstance(node, alg.Union):
+        return "Union(%s,%s)" % (_node_key(node.left), _node_key(node.right))
+    if isinstance(node, alg.Minus):
+        return "Minus(%s,%s)" % (_node_key(node.left), _node_key(node.right))
+    if isinstance(node, alg.Filter):
+        return "Filter(%s,%s)" % (node.condition.sparql(),
+                                  _node_key(node.pattern))
+    if isinstance(node, alg.Extend):
+        return "Extend(%s,%s,%s)" % (node.var, node.expression.sparql(),
+                                     _node_key(node.pattern))
+    if isinstance(node, alg.Group):
+        having = node.having.sparql() if node.having is not None else ""
+        return "Group(%s|%s|%s|%s)" % (
+            ",".join(node.group_vars),
+            ",".join(a.sparql() for a in node.aggregates),
+            having, _node_key(node.pattern))
+    if isinstance(node, alg.Project):
+        variables = "*" if node.variables is None else ",".join(node.variables)
+        return "Project(%s|%s)" % (variables, _node_key(node.pattern))
+    if isinstance(node, alg.Distinct):
+        return "Distinct(%s)" % _node_key(node.pattern)
+    if isinstance(node, alg.OrderBy):
+        return "OrderBy(%s|%s)" % (node.keys, _node_key(node.pattern))
+    if isinstance(node, alg.Slice):
+        return "Slice(%s,%s|%s)" % (node.limit, node.offset,
+                                    _node_key(node.pattern))
+    if isinstance(node, alg.GraphPattern):
+        return "Graph(%s|%s)" % (node.graph_uri, _node_key(node.pattern))
+    if isinstance(node, alg.FilterExists):
+        return "Exists(%s,%s,%s)" % (node.negated, _node_key(node.pattern),
+                                     _node_key(node.group))
+    raise TypeError("cannot serialize algebra node %r" % node)

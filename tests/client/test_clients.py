@@ -42,6 +42,24 @@ class TestEngineClient:
         client = EngineClient(engine, default_graph_uri="http://g")
         assert len(client.execute(QUERY)) == 37
 
+    def test_execute_model_direct_path(self, engine):
+        from repro.core import KnowledgeGraph
+        kg = KnowledgeGraph(graph_uri="http://g",
+                            prefixes={"x": "http://x/"})
+        frame = kg.seed("s", "x:p", "v")
+        client = EngineClient(engine)
+        df = client.execute_model(frame.query_model())
+        assert df.equals_bag(client.execute(frame.to_sparql()))
+        assert engine.last_plan.source == "model"
+
+    def test_frame_execute_prefers_model_path(self, engine):
+        from repro.core import KnowledgeGraph
+        kg = KnowledgeGraph(graph_uri="http://g",
+                            prefixes={"x": "http://x/"})
+        df = kg.seed("s", "x:p", "v").execute(EngineClient(engine))
+        assert len(df) == 37
+        assert engine.last_plan.source == "model"
+
 
 class TestHttpClientPagination:
     def test_assembles_all_pages(self, engine):
@@ -104,6 +122,46 @@ class TestRetries:
         endpoint = FlakyEndpoint(engine, failures_per_query=5, max_rows=10)
         client = HttpClient(endpoint, max_retries=1)
         with pytest.raises(ClientError):
+            client.execute(QUERY)
+
+    def test_exponential_backoff_schedule(self, engine):
+        endpoint = FlakyEndpoint(engine, failures_per_query=3, max_rows=100)
+        client = HttpClient(endpoint, max_retries=3, retry_delay=0.1,
+                            max_retry_delay=10.0)
+        sleeps = []
+        client._sleep = sleeps.append
+        client.execute(QUERY)
+        assert sleeps == [0.1, 0.2, 0.4]
+
+    def test_backoff_is_capped(self, engine):
+        client = HttpClient(Endpoint(engine), retry_delay=1.0,
+                            max_retry_delay=2.5)
+        assert [client._backoff_delay(k) for k in range(4)] \
+            == [1.0, 2.0, 2.5, 2.5]
+
+    def test_no_sleep_after_final_failure(self, engine):
+        endpoint = FlakyEndpoint(engine, failures_per_query=9, max_rows=10)
+        client = HttpClient(endpoint, max_retries=2, retry_delay=0.1)
+        sleeps = []
+        client._sleep = sleeps.append
+        with pytest.raises(ClientError):
+            client.execute(QUERY)
+        # 3 attempts -> sleeps only *between* them, never after the last.
+        assert len(sleeps) == 2
+
+    def test_error_reports_failing_offset(self, engine):
+        # Pages at offset 0..9 succeed, the one at offset 10 keeps failing.
+        class FailsAtOffset(Endpoint):
+            def request(self, query_text, offset=0, limit=None):
+                from repro.sparql import EndpointError
+                if offset >= 10:
+                    raise EndpointError("boom")
+                return super().request(query_text, offset=offset,
+                                       limit=limit)
+
+        client = HttpClient(FailsAtOffset(engine, max_rows=10),
+                            max_retries=1)
+        with pytest.raises(ClientError, match="offset 10"):
             client.execute(QUERY)
 
 

@@ -21,6 +21,33 @@ class TestBasicRendering:
         assert "PREFIX dbpp:" in text
         assert "PREFIX swrc:" not in text
 
+    def test_prefix_inside_literal_not_emitted(self, kg):
+        # 'swrc:' occurring only inside a quoted literal is not a use of
+        # the prefix; emission is driven by the model's terms, not by a
+        # substring scan of the rendered body.
+        frame = kg.feature_domain_range("dbpp:starring", "m", "a") \
+            .filter({"a": ['="swrc: not a prefix use"']})
+        text = frame.to_sparql()
+        assert '"swrc: not a prefix use"' in text
+        assert "PREFIX swrc:" not in text
+
+    def test_prefix_in_filter_expression_emitted(self, kg):
+        frame = kg.feature_domain_range("dbpp:starring", "m", "a") \
+            .filter({"a": ["=dbpr:ActorA"]})
+        assert "PREFIX dbpr:" in frame.to_sparql()
+
+    def test_prefix_in_typed_literal_datatype_emitted(self, kg):
+        # The ^^datatype of a typed literal is a prefix use.
+        frame = kg.seed("s", "dbpp:year", '"2000"^^xsd:gYear')
+        text = frame.to_sparql()
+        assert "PREFIX xsd:" in text
+
+    def test_prefix_in_function_cast_emitted(self, kg):
+        frame = kg.feature_domain_range("dbpp:starring", "m", "a") \
+            .expand("m", [("dbpp:year", "y")]) \
+            .filter({"y": ["year(xsd:dateTime(?y)) >= 2000"]})
+        assert "PREFIX xsd:" in frame.to_sparql(validate=False)
+
     def test_filter_rendering(self, kg):
         frame = kg.feature_domain_range("dbpp:starring", "m", "a") \
             .filter({"a": ["=dbpr:ActorA"]})

@@ -295,10 +295,13 @@ class TestEngineBehaviour:
         assert engine.last_stats.pattern_matches == 4
 
     def test_bgp_cache_hit_on_repeated_pattern(self, engine):
+        # Real (column-dropping) projections, so the planner's
+        # ProjectionPruning pass keeps both subqueries and the repeated
+        # BGP is evaluated through the cache.
         engine.query(PFX + """
             SELECT * WHERE {
-                { SELECT ?m ?a WHERE { ?m x:starring ?a } }
-                { SELECT ?m ?a WHERE { ?m x:starring ?a } }
+                { SELECT ?m WHERE { ?m x:starring ?a } }
+                { SELECT ?m WHERE { ?m x:starring ?a } }
             }""")
         assert engine.last_stats.bgp_cache_hits >= 1
 

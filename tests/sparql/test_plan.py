@@ -1,0 +1,319 @@
+"""Unit tests for the logical-plan layer: optimizer passes, pass stats,
+plan keys, and the engine's plan cache."""
+
+import pytest
+
+from repro.rdf import Dataset, Graph, Literal, TermDictionary, URIRef, Variable
+from repro.sparql import Engine, parse, plan_key
+from repro.sparql import algebra as alg
+from repro.sparql.expressions import AndExpr, CompareExpr, ConstExpr, VarExpr
+from repro.sparql.plan import (bgp_merge, filter_pushdown, make_join_ordering,
+                               optimize_plan, projection_pruning)
+
+PFX = "PREFIX x: <http://x/>\n"
+
+
+def uri(name):
+    return URIRef("http://x/" + name)
+
+
+def var(name):
+    return Variable(name)
+
+
+def bgp(*triples):
+    return alg.BGP(list(triples))
+
+
+def gt(expression_var, value):
+    return CompareExpr(">", VarExpr(expression_var),
+                       ConstExpr(Literal(value)))
+
+
+@pytest.fixture
+def graph():
+    d = TermDictionary()
+    g = Graph("http://g", dictionary=d)
+    for i in range(20):
+        g.add(uri("m%d" % i), uri("starring"), uri("a%d" % (i % 4)))
+        g.add(uri("m%d" % i), uri("year"), Literal(1990 + i))
+    g.add(uri("m0"), uri("rare"), uri("thing"))
+    return g
+
+
+# ----------------------------------------------------------------------
+# FilterPushdown
+# ----------------------------------------------------------------------
+class TestFilterPushdown:
+    def test_pushes_into_join_side(self):
+        left = bgp((var("m"), uri("year"), var("y")))
+        right = bgp((var("m"), uri("starring"), var("a")))
+        node = alg.Filter(gt("y", 2000), alg.Join(left, right))
+        rewritten, changes = filter_pushdown(node)
+        assert changes == 1
+        assert isinstance(rewritten, alg.Join)
+        assert isinstance(rewritten.left, alg.Filter)
+        assert isinstance(rewritten.left.pattern, alg.BGP)
+        assert isinstance(rewritten.right, alg.BGP)
+
+    def test_splits_conjunction_across_sides(self):
+        left = bgp((var("m"), uri("year"), var("y")))
+        right = bgp((var("a"), uri("born"), var("c")))
+        both = AndExpr(gt("y", 2000), gt("c", 1))
+        node = alg.Filter(both, alg.Join(left, right))
+        rewritten, changes = filter_pushdown(node)
+        assert changes == 1
+        assert isinstance(rewritten, alg.Join)
+        assert isinstance(rewritten.left, alg.Filter)
+        assert isinstance(rewritten.right, alg.Filter)
+
+    def test_shared_variable_filter_stays(self):
+        # ?m is in scope on both sides: the filter must not move.
+        left = bgp((var("m"), uri("year"), var("y")))
+        right = bgp((var("m"), uri("starring"), var("a")))
+        node = alg.Filter(gt("m", 0), alg.Join(left, right))
+        rewritten, changes = filter_pushdown(node)
+        assert changes == 0
+        assert isinstance(rewritten, alg.Filter)
+
+    def test_left_join_pushes_left_only(self):
+        left = bgp((var("m"), uri("year"), var("y")))
+        right = bgp((var("m"), uri("starring"), var("a")))
+        node = alg.Filter(gt("a", 0), alg.LeftJoin(left, right))
+        rewritten, changes = filter_pushdown(node)
+        # ?a lives on the optional side: pushing would change which left
+        # rows survive, so the filter stays put.
+        assert changes == 0
+        assert isinstance(rewritten, alg.Filter)
+
+        node = alg.Filter(gt("y", 2000), alg.LeftJoin(left, right))
+        rewritten, changes = filter_pushdown(node)
+        assert changes == 1
+        assert isinstance(rewritten, alg.LeftJoin)
+        assert isinstance(rewritten.left, alg.Filter)
+
+    def test_distributes_into_union(self):
+        left = bgp((var("m"), uri("year"), var("y")))
+        right = bgp((var("m"), uri("age"), var("y")))
+        node = alg.Filter(gt("y", 2000), alg.Union(left, right))
+        rewritten, changes = filter_pushdown(node)
+        assert changes == 1
+        assert isinstance(rewritten, alg.Union)
+        assert isinstance(rewritten.left, alg.Filter)
+        assert isinstance(rewritten.right, alg.Filter)
+
+
+# ----------------------------------------------------------------------
+# ProjectionPruning
+# ----------------------------------------------------------------------
+class TestProjectionPruning:
+    def test_collapses_adjacent_projections(self):
+        inner = alg.Project(bgp((var("m"), uri("starring"), var("a"))),
+                            ["m", "a"])
+        node = alg.Project(inner, ["m"])
+        rewritten, changes = projection_pruning(node)
+        assert changes >= 1
+        assert isinstance(rewritten, alg.Project)
+        assert rewritten.variables == ["m"]
+        assert isinstance(rewritten.pattern, alg.BGP)
+
+    def test_removes_noop_projection_below_root(self):
+        pattern = bgp((var("m"), uri("starring"), var("a")))
+        noop = alg.Project(pattern, ["m", "a"])  # scope is exactly [m, a]
+        root = alg.Project(alg.Join(noop, bgp((var("m"), uri("year"),
+                                               var("y")))), ["m"])
+        rewritten, changes = projection_pruning(root)
+        assert changes == 1
+        assert isinstance(rewritten.pattern, alg.Join)
+        assert isinstance(rewritten.pattern.left, alg.BGP)
+
+    def test_root_projection_protected(self):
+        pattern = bgp((var("m"), uri("starring"), var("a")))
+        root = alg.Project(pattern, ["m", "a"])  # a no-op, but the root
+        rewritten, changes = projection_pruning(root)
+        assert changes == 0
+        assert isinstance(rewritten, alg.Project)
+
+    def test_select_star_never_touched(self):
+        # SELECT * subqueries carry the naive baseline's deliberate
+        # materialization cost; the pruner must leave them alone.
+        inner = alg.Project(bgp((var("m"), uri("starring"), var("a"))), None)
+        root = alg.Project(alg.Join(inner, bgp((var("m"), uri("year"),
+                                                var("y")))), None)
+        rewritten, changes = projection_pruning(root)
+        assert changes == 0
+        assert isinstance(rewritten.pattern.left, alg.Project)
+
+    def test_distinct_distinct_collapses(self):
+        node = alg.Distinct(alg.Distinct(
+            alg.Project(bgp((var("m"), uri("year"), var("y"))), ["m"])))
+        rewritten, changes = projection_pruning(node)
+        assert changes == 1
+        assert isinstance(rewritten, alg.Distinct)
+        assert isinstance(rewritten.pattern, alg.Project)
+
+
+# ----------------------------------------------------------------------
+# BGPMerge
+# ----------------------------------------------------------------------
+class TestBGPMerge:
+    def test_merges_joined_bgps(self):
+        t1 = (var("m"), uri("starring"), var("a"))
+        t2 = (var("m"), uri("year"), var("y"))
+        node = alg.Join(bgp(t1), bgp(t2))
+        rewritten, changes = bgp_merge(node)
+        assert changes == 1
+        assert isinstance(rewritten, alg.BGP)
+        assert rewritten.triples == [t1, t2]
+
+    def test_merge_is_recursive(self):
+        t = (var("m"), uri("year"), var("y"))
+        node = alg.Join(alg.Join(bgp(t), bgp(t)), bgp(t))
+        rewritten, changes = bgp_merge(node)
+        assert changes == 2
+        assert isinstance(rewritten, alg.BGP)
+        assert len(rewritten.triples) == 3
+
+    def test_does_not_merge_across_graph_scope(self):
+        t = (var("m"), uri("year"), var("y"))
+        node = alg.Join(bgp(t), alg.GraphPattern("http://g2", bgp(t)))
+        rewritten, changes = bgp_merge(node)
+        assert changes == 0
+        assert isinstance(rewritten, alg.Join)
+
+
+# ----------------------------------------------------------------------
+# JoinOrdering (plan-time)
+# ----------------------------------------------------------------------
+class TestJoinOrdering:
+    def test_orders_by_selectivity(self, graph):
+        # 'rare' has one triple; 'starring' has twenty.  The rare pattern
+        # must be matched first.
+        common = (var("m"), uri("starring"), var("a"))
+        rare = (var("m"), uri("rare"), var("t"))
+        node = bgp(common, rare)
+        ordering = make_join_ordering(graph)
+        rewritten, changes = ordering(node)
+        assert changes == 1
+        assert rewritten.triples[0] == rare
+
+    def test_recurses_into_graph_scope(self, graph):
+        dataset = Dataset()
+        dataset.add_graph(graph)
+        common = (var("m"), uri("starring"), var("a"))
+        rare = (var("m"), uri("rare"), var("t"))
+        node = alg.GraphPattern("http://g", bgp(common, rare))
+        ordering = make_join_ordering(None, dataset)
+        rewritten, changes = ordering(node)
+        assert changes == 1
+        assert rewritten.pattern.triples[0] == rare
+
+    def test_input_tree_not_mutated(self, graph):
+        common = (var("m"), uri("starring"), var("a"))
+        rare = (var("m"), uri("rare"), var("t"))
+        node = bgp(common, rare)
+        make_join_ordering(graph)(node)
+        assert node.triples == [common, rare]
+
+
+# ----------------------------------------------------------------------
+# The pipeline + plan objects
+# ----------------------------------------------------------------------
+class TestOptimizePlan:
+    def test_records_per_pass_stats(self, graph):
+        query = parse(PFX + """
+            SELECT ?m WHERE {
+                ?m x:starring ?a . ?m x:rare ?t .
+                FILTER(?y > 2000)
+                { SELECT ?m ?y WHERE { ?m x:year ?y } }
+            }""")
+        plan = optimize_plan(query, graph=graph)
+        names = [s.name for s in plan.pass_stats]
+        assert names == ["FilterPushdown", "ProjectionPruning", "BGPMerge",
+                         "JoinOrdering"]
+        assert plan.total_changes >= 3  # push + prune + merge + order
+        assert all(s.seconds >= 0 for s in plan.pass_stats)
+
+    def test_passes_feed_each_other(self, graph):
+        # Pruning the no-op projection exposes Join(BGP, BGP) to BGPMerge,
+        # whose output JoinOrdering then reorders — one flat ordered BGP.
+        query = parse(PFX + """
+            SELECT ?m WHERE {
+                ?m x:starring ?a .
+                { SELECT ?m ?y WHERE { ?m x:year ?y } }
+            }""")
+        plan = optimize_plan(query, graph=graph)
+        node = plan.query.pattern
+        assert isinstance(node, alg.Project)
+        assert isinstance(node.pattern, alg.BGP)
+        assert len(node.pattern.triples) == 2
+
+    def test_explain_mentions_passes(self, graph):
+        plan = optimize_plan(parse(PFX + "SELECT ?m WHERE { ?m x:year ?y }"),
+                             graph=graph)
+        text = plan.explain()
+        assert "FilterPushdown" in text and "JoinOrdering" in text
+
+
+# ----------------------------------------------------------------------
+# Plan keys + the engine's plan cache
+# ----------------------------------------------------------------------
+class TestPlanCache:
+    def test_key_normalizes_surface_text(self):
+        a = parse(PFX + "SELECT ?m WHERE { ?m x:year ?y }")
+        b = parse("PREFIX p: <http://x/>\nSELECT  ?m\nWHERE{?m p:year ?y.}")
+        assert plan_key(a) == plan_key(b)
+
+    def test_key_distinguishes_structure(self):
+        a = parse(PFX + "SELECT ?m WHERE { ?m x:year ?y }")
+        b = parse(PFX + "SELECT DISTINCT ?m WHERE { ?m x:year ?y }")
+        assert plan_key(a) != plan_key(b)
+
+    def test_cache_hit_on_repeat(self, graph):
+        engine = Engine(graph)
+        q = PFX + "SELECT ?m WHERE { ?m x:starring ?a . ?m x:rare ?t }"
+        first = engine.query(q)
+        assert engine.plan_cache_misses == 1
+        second = engine.query(q)
+        assert engine.plan_cache_hits == 1
+        assert engine.last_plan.executions == 2
+        assert sorted(map(repr, first.rows)) == sorted(map(repr, second.rows))
+
+    def test_cache_invalidated_by_mutation(self, graph):
+        engine = Engine(graph)
+        q = PFX + "SELECT ?m WHERE { ?m x:starring ?a }"
+        engine.query(q)
+        graph.add(uri("m99"), uri("starring"), uri("a0"))
+        result = engine.query(q)
+        assert engine.plan_cache_hits == 0
+        assert engine.plan_cache_misses == 2
+        assert len(result) == 21
+
+    def test_cache_respects_size_limit(self, graph):
+        engine = Engine(graph, plan_cache_size=2)
+        for i in range(4):
+            engine.query(PFX + "SELECT ?m WHERE { ?m x:year %d }" % i)
+        assert len(engine._plan_cache) == 2
+
+    def test_cache_disabled(self, graph):
+        engine = Engine(graph, plan_cache_size=0)
+        q = PFX + "SELECT ?m WHERE { ?m x:year ?y }"
+        engine.query(q)
+        engine.query(q)
+        assert engine.plan_cache_hits == 0
+
+    def test_optimize_false_skips_join_ordering(self, graph):
+        engine = Engine(graph, optimize=False)
+        q = PFX + "SELECT ?m WHERE { ?m x:starring ?a . ?m x:rare ?t }"
+        plan = engine.plan(q)
+        assert "JoinOrdering" not in [s.name for s in plan.pass_stats]
+        # The un-reordered pattern keeps its textual order.
+        node = plan.query.pattern.pattern
+        assert node.triples[0][1] == uri("starring")
+
+    def test_engine_explain_optimized(self, graph):
+        engine = Engine(graph)
+        text = engine.explain(
+            PFX + "SELECT ?m WHERE { ?m x:starring ?a . ?m x:rare ?t }",
+            optimized=True)
+        assert "JoinOrdering" in text
