@@ -64,6 +64,20 @@ class EngineClient:
                                    default_graph_uri=self.default_graph_uri)
         return result.to_term_dataframe()
 
+    def execute_page(self, source, offset: int = 0,
+                     limit: int = 1000) -> DataFrame:
+        """Fetch one page of a query's results as a dataframe.
+
+        ``source`` is SPARQL text or an RDFFrames query model.  The page
+        rides the engine's streaming cursor (:meth:`Engine.stream
+        <repro.sparql.engine.Engine.stream>`): only about
+        ``offset + limit`` rows are produced locally, however large the
+        full result — check ``last_stats.rows_pulled``.
+        """
+        cursor = self.engine.stream(source,
+                                    default_graph_uri=self.default_graph_uri)
+        return cursor.page(offset, limit).to_dataframe()
+
     @property
     def last_stats(self):
         """The engine's :class:`~repro.sparql.EvaluationStats` for the most
@@ -116,36 +130,77 @@ class HttpClient:
         """Like :meth:`execute` but cells hold raw RDF terms."""
         return self._fetch_all(query).to_term_dataframe()
 
-    def _fetch_all(self, query: str) -> ResultSet:
+    def execute_page(self, query: str, offset: int = 0,
+                     limit: Optional[int] = None) -> DataFrame:
+        """Fetch one window of a query's results as a dataframe.
+
+        Returns exactly ``min(limit, rows available)`` rows starting at
+        ``offset``; when ``limit`` exceeds the endpoint's per-response
+        cap, additional requests fill the window (so a capped response is
+        never silently mistaken for the end of the result).  With
+        ``limit=None`` the client's ``page_size`` is the window; if that
+        is also unset, a single endpoint-capped response is returned.
+        The endpoint serves every request from its per-query streaming
+        cursor, so the window costs O(offset + limit) server-side row
+        production — not a full materialization of the result.
+        """
+        if limit is None:
+            limit = self.page_size
+        return self._fetch_window(query, offset=offset, budget=limit,
+                                  single=limit is None).to_dataframe()
+
+    def _decode_page(self, response, offset: int) -> ResultSet:
         from ..sparql.json_results import decode_results
 
-        offset = 0
+        if response.payload is None:
+            return response.result
+        try:
+            return decode_results(response.payload)
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ClientError(
+                "endpoint returned a malformed SPARQL-JSON payload "
+                "at offset %d: %s" % (offset, exc))
+
+    def _fetch_all(self, query: str) -> ResultSet:
+        return self._fetch_window(query)
+
+    def _fetch_window(self, query: str, offset: int = 0,
+                      budget: Optional[int] = None,
+                      single: bool = False) -> ResultSet:
+        """The pagination loop behind :meth:`execute` and
+        :meth:`execute_page`.
+
+        Crawls pages from ``offset``, accumulating rows until ``budget``
+        rows are collected (``None``: until the endpoint reports no more;
+        with ``single`` a lone endpoint-capped response is returned).
+        Each response's wire payload is decoded (the real SPARQL-JSON
+        parse cost that SPARQLWrapper pays), falling back to the
+        in-memory page if the endpoint did not provide one.
+        """
         variables = None
-        rows = []
+        rows: list = []
+        cursor = offset
         while True:
-            response = self._request_with_retry(query, offset)
-            # Decode the wire payload (the real SPARQL-JSON parse cost that
-            # SPARQLWrapper pays); fall back to the in-memory page if the
-            # endpoint did not provide one.
-            if response.payload is not None:
-                try:
-                    page = decode_results(response.payload)
-                except (ValueError, KeyError, TypeError) as exc:
-                    raise ClientError(
-                        "endpoint returned a malformed SPARQL-JSON payload "
-                        "at offset %d: %s" % (offset, exc))
-            else:
-                page = response.result
+            remaining = self.page_size if budget is None \
+                else budget - len(rows)
+            response = self._request_with_retry(query, cursor,
+                                                limit=remaining)
+            page = self._decode_page(response, cursor)
             if variables is None:
                 variables = page.variables
             rows.extend(page.rows)
             self.pages_fetched += 1
+            if budget is not None and len(rows) >= budget:
+                break
+            if single:
+                break
             if not response.has_more:
                 break
             if len(page) == 0:
                 raise ClientError("endpoint reported more results but "
-                                  "returned an empty page at offset %d" % offset)
-            offset += len(page)
+                                  "returned an empty page at offset %d"
+                                  % cursor)
+            cursor += len(page)
         return ResultSet(variables or [], rows)
 
     @property
@@ -161,12 +216,17 @@ class HttpClient:
             return 0.0
         return min(self.retry_delay * (2 ** attempt), self.max_retry_delay)
 
-    def _request_with_retry(self, query: str, offset: int):
+    _USE_PAGE_SIZE = object()  # sentinel: caller did not override the limit
+
+    def _request_with_retry(self, query: str, offset: int,
+                            limit=_USE_PAGE_SIZE):
+        if limit is self._USE_PAGE_SIZE:
+            limit = self.page_size
         last_error = None
         for attempt in range(self.max_retries + 1):
             try:
                 return self.endpoint.request(query, offset=offset,
-                                             limit=self.page_size)
+                                             limit=limit)
             except EndpointError as exc:
                 last_error = exc
                 if attempt < self.max_retries:

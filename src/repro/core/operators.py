@@ -174,12 +174,16 @@ class SortOperator(Operator):
 
 
 class HeadOperator(Operator):
-    """``D.head(k, i)`` — LIMIT k OFFSET i."""
+    """``D.head(k, i)`` — LIMIT k OFFSET i.
+
+    ``limit=None`` means no LIMIT (an OFFSET-only window: skip the first
+    ``offset`` rows, keep the rest).
+    """
 
     name = "head"
 
-    def __init__(self, limit: int, offset: int = 0):
-        if limit < 0 or offset < 0:
+    def __init__(self, limit, offset: int = 0):
+        if (limit is not None and limit < 0) or offset < 0:
             raise ValueError("head requires non-negative limit/offset")
         self.limit = limit
         self.offset = offset

@@ -223,8 +223,13 @@ class RDFFrame:
         return self._extend(ops.SortOperator(key_list),
                             frame_class=type(self))
 
-    def head(self, limit: int, offset: int = 0) -> "RDFFrame":
-        """The first ``limit`` rows starting at ``offset``."""
+    def head(self, limit: Opt[int], offset: int = 0) -> "RDFFrame":
+        """The first ``limit`` rows starting at ``offset``.
+
+        ``limit=None`` keeps everything from ``offset`` on (OFFSET-only).
+        On the local engine a bounded head rides the streaming executor:
+        row production stops as soon as ``offset + limit`` rows exist.
+        """
         return self._extend(ops.HeadOperator(limit, offset),
                             frame_class=type(self))
 
@@ -281,7 +286,8 @@ class RDFFrame:
         return translate(self._generate_model(strategy), validate=validate)
 
     def execute(self, client, return_format: str = "dataframe",
-                strategy: str = "optimized"):
+                strategy: str = "optimized", limit: Opt[int] = None,
+                offset: int = 0):
         """Generate, execute, and fetch results as a dataframe.
 
         Clients exposing ``execute_model`` (the in-process
@@ -289,8 +295,17 @@ class RDFFrame:
         directly — the engine compiles it straight to algebra, skipping
         SPARQL text generation and parsing.  Other clients (HTTP
         endpoints) get SPARQL text, the wire format.
+
+        ``limit``/``offset`` request one page of the result: they append
+        a :meth:`head` window, which the engine's ``LimitPushdown`` pass
+        turns into a streaming plan — the page is produced with
+        O(offset + limit) local row pulls instead of a full
+        materialization.
         """
-        model = self._generate_model(strategy)
+        frame = self
+        if limit is not None or offset:
+            frame = frame.head(limit, offset)
+        model = frame._generate_model(strategy)
         if hasattr(client, "execute_model"):
             result = client.execute_model(model)
         else:

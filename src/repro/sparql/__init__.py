@@ -15,8 +15,8 @@ from .expressions import ExpressionError
 from .parser import ParseError, parse
 from .plan import Plan, PassStats, optimize_plan, plan_key
 from .reference import ReferenceEvaluator
-from .results import ResultSet, term_to_python
-from .solution import RowView, SolutionTable
+from .results import ResultSet, ResultStream, term_to_python
+from .solution import RowView, SolutionTable, TableStream, stream_distinct
 from .tokenizer import TokenizeError, tokenize
 
 __all__ = [
@@ -24,8 +24,8 @@ __all__ = [
     "Engine", "QueryTimeout", "Evaluator", "EvaluationError",
     "EvaluationStats", "ReferenceEvaluator",
     "Plan", "PassStats", "optimize_plan", "plan_key",
-    "SolutionTable", "RowView",
-    "ExpressionError", "ResultSet", "term_to_python",
+    "SolutionTable", "TableStream", "RowView", "stream_distinct",
+    "ExpressionError", "ResultSet", "ResultStream", "term_to_python",
     "Endpoint", "EndpointError", "EndpointResponse",
     "Query", "count_nested_selects",
 ]

@@ -246,6 +246,35 @@ class Slice(AlgebraNode):
         return "Slice(limit=%s, offset=%s)" % (self.limit, self.offset)
 
 
+class TopK(AlgebraNode):
+    """Fused ``ORDER BY ... LIMIT k [OFFSET o]`` — a bounded sort.
+
+    Produced by the planner's ``LimitPushdown`` pass from
+    ``Slice(OrderBy(p))`` when a limit is present; never built by the
+    parser.  The evaluator answers it with a single heap pass
+    (``heapq.nsmallest`` under a composite, direction-aware key) instead
+    of a full sort followed by a slice, and the streaming executor keeps
+    only ``offset + limit`` rows in memory while consuming its child.
+    """
+
+    def __init__(self, pattern: AlgebraNode, keys: Sequence[Tuple[str, str]],
+                 limit: int, offset: int = 0):
+        self.pattern = pattern
+        self.keys = [(v.lstrip("?$"), order.lower()) for v, order in keys]
+        self.limit = limit
+        self.offset = offset
+
+    def in_scope(self):
+        return self.pattern.in_scope()
+
+    def children(self):
+        return [self.pattern]
+
+    def __repr__(self):
+        return "TopK(%s, limit=%s, offset=%s)" % (self.keys, self.limit,
+                                                  self.offset)
+
+
 class InlineData(AlgebraNode):
     """VALUES: an inline table of bindings joined into the pattern.
 

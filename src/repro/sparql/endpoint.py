@@ -19,7 +19,7 @@ import time
 from typing import Dict, Optional, Tuple
 
 from .engine import Engine, QueryTimeout
-from .results import ResultSet
+from .results import ResultSet, ResultStream
 
 
 class EndpointError(RuntimeError):
@@ -69,9 +69,13 @@ class Endpoint:
         self.max_rows = max_rows
         self.timeout = timeout
         self.requests_served = 0
-        # Results are cached per query text so pagination does not re-execute
+        # A lazy cursor is kept per query text so pagination neither
+        # re-executes the query nor materializes rows no client asked for:
+        # serving the page at ``offset`` pulls at most ``offset + page``
+        # rows from the engine's streaming executor, and rows already
+        # pulled for earlier pages are served from the cursor's buffer
         # (mirrors endpoint-side cursors/result caches).
-        self._cache: Dict[str, ResultSet] = {}
+        self._cache: Dict[str, ResultStream] = {}
 
     def request(self, query_text: str, offset: int = 0,
                 limit: Optional[int] = None) -> EndpointResponse:
@@ -81,13 +85,25 @@ class Endpoint:
         """
         self.requests_served += 1
         key = hashlib.sha256(query_text.encode()).hexdigest()
-        cached = self._cache.get(key)
-        if cached is None:
-            cached = self.engine.query(query_text, timeout=self.timeout)
-            self._cache[key] = cached
+        cursor = self._cache.get(key)
+        if cursor is None:
+            cursor = self.engine.stream(query_text, timeout=self.timeout)
+            self._cache[key] = cursor
+        elif self.timeout is not None:
+            # Each request gets a fresh evaluation budget: the timeout
+            # bounds this page's pull, not the cursor's wall-clock
+            # lifetime (client think-time between pages is free).
+            cursor.arm_deadline(self.timeout)
         page_size = self.max_rows if limit is None else min(limit, self.max_rows)
-        page = cached.slice(offset, page_size)
-        has_more = offset + len(page) < len(cached)
+        try:
+            page = cursor.page(offset, page_size)
+            has_more = cursor.has_more(offset + len(page))
+        except Exception:
+            # A failed pull (timeout, row budget) kills the underlying
+            # generator: drop the cursor so the next request re-executes
+            # instead of silently serving a truncated/empty result.
+            self._cache.pop(key, None)
+            raise
         from .json_results import encode_results
         payload = encode_results(page)
         return EndpointResponse(page, offset, True, has_more, payload=payload)

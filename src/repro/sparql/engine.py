@@ -25,7 +25,7 @@ from . import algebra as alg
 from .evaluator import EvaluationStats, Evaluator, QueryTimeout
 from .parser import parse
 from .plan import Plan, optimize_plan, output_variables, plan_key
-from .results import ResultSet
+from .results import ResultSet, ResultStream
 
 __all__ = ["Engine", "QueryTimeout"]
 
@@ -41,6 +41,18 @@ class Engine:
         When False, the plan-time ``JoinOrdering`` pass (and the reference
         plane's eval-time BGP ordering) is disabled — used by the ablation
         benchmarks to isolate the optimizer's contribution.
+    streaming:
+        How bounded queries are executed.  ``"auto"`` (the default) routes
+        plans the planner marked streaming (a ``TopK`` or a limited
+        ``Slice`` in the tree) through the pipelined batch-iterator
+        executor, everything else through the materialized one.  ``True``
+        forces the streaming executor for every plan, ``False`` never uses
+        it — both used by the differential test suite and the benchmarks.
+    limit_pushdown:
+        When False, the planner's ``LimitPushdown`` pass is skipped (no
+        ``TopK`` fusion, no slice motion, no streaming annotation) — the
+        materialize-everything baseline the ``limit_topk`` benchmark
+        section measures against.
     plan_cache_size:
         Maximum number of optimized plans kept (LRU).  0 disables caching.
     """
@@ -48,7 +60,9 @@ class Engine:
     def __init__(self, source: Union[Dataset, Graph, List[Graph]],
                  optimize: bool = True, cache_bgps: bool = True,
                  max_intermediate_rows: Optional[int] = None,
-                 columnar: bool = True, plan_cache_size: int = 128):
+                 columnar: bool = True, plan_cache_size: int = 128,
+                 streaming: Union[bool, str] = "auto",
+                 limit_pushdown: bool = True):
         if isinstance(source, Dataset):
             self.dataset = source
         else:
@@ -64,6 +78,10 @@ class Engine:
         # columnar=False selects the dict-based reference evaluator (the
         # seed data plane), kept for differential testing and perf reports.
         self.columnar = columnar
+        if streaming not in (True, False, "auto"):
+            raise ValueError("streaming must be True, False, or 'auto'")
+        self.streaming = streaming
+        self.limit_pushdown = limit_pushdown
         self.plan_cache_size = plan_cache_size
         self._plan_cache: "OrderedDict[str, Plan]" = OrderedDict()
         self.plan_cache_hits = 0
@@ -102,7 +120,7 @@ class Engine:
         graph = self._planning_graph(query.from_graphs, default_graph_uri)
         plan = optimize_plan(query, key=key, graph=graph,
                              dataset=self.dataset, join_order=self.optimize,
-                             source=kind)
+                             source=kind, push_limits=self.limit_pushdown)
         self.plan_cache_misses += 1
         if self.plan_cache_size > 0:
             self._plan_cache[key] = plan
@@ -146,10 +164,28 @@ class Engine:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _use_streaming(self, plan: Plan) -> bool:
+        if self.streaming == "auto":
+            return plan.streaming
+        return bool(self.streaming)
+
     def execute_plan(self, plan: Plan,
                      default_graph_uri: Optional[str] = None,
                      timeout: Optional[float] = None) -> ResultSet:
-        """Evaluate an optimized plan on the columnar data plane."""
+        """Evaluate an optimized plan on the columnar data plane.
+
+        Plans the planner marked streaming (a row bound in the tree) run
+        on the pipelined batch-iterator executor, so ``LIMIT``-topped
+        queries stop pulling as soon as the bound is satisfied; everything
+        else runs fully materialized.  For *unbounded* queries the two
+        planes return identical result bags (the differential suite holds
+        them to that).  Row order for unordered join results is
+        plane-specific — the materialized join picks its build side by
+        cardinality, the streaming join always probes with the right
+        child — so a ``LIMIT`` window over such a join is a valid but
+        possibly different k-subset per plane, exactly as it already is
+        between the columnar and reference planes.
+        """
         start = time.perf_counter()
         deadline = None if timeout is None else start + timeout
         # Join ordering already happened at plan time; the evaluator must
@@ -158,7 +194,12 @@ class Engine:
                               cache_bgps=self.cache_bgps,
                               max_rows=self.max_intermediate_rows,
                               deadline=deadline)
-        solutions = evaluator.evaluate_query(plan.query, default_graph_uri)
+        if self._use_streaming(plan):
+            solutions = evaluator.evaluate_query_stream(
+                plan.query, default_graph_uri).to_table()
+        else:
+            solutions = evaluator.evaluate_query(plan.query,
+                                                 default_graph_uri)
         elapsed = time.perf_counter() - start
         if timeout is not None and elapsed > timeout:
             raise QueryTimeout("query took %.3fs (budget %.3fs)"
@@ -178,6 +219,75 @@ class Engine:
             plan = self.plan(text, default_graph_uri)
             return self.execute_plan(plan, default_graph_uri, timeout)
         return self._query_reference(parse(text), default_graph_uri, timeout)
+
+    def stream(self, source, default_graph_uri: Optional[str] = None,
+               timeout: Optional[float] = None,
+               batch_rows: int = 64) -> ResultStream:
+        """Execute a query as a lazy cursor over decoded result rows.
+
+        ``source`` is anything :meth:`plan` accepts.  The returned
+        :class:`~.results.ResultStream` pulls from the pipelined executor
+        on demand: fetching a page of ``n`` rows at ``offset`` costs
+        O(offset + n) local row production — regardless of whether the
+        query itself carries a LIMIT — which is what the simulated
+        endpoint's pagination and the clients' page fetches ride on.
+        ``timeout`` arms a deadline covering future pulls from the
+        cursor; long-lived cursors can restart the budget per request
+        with :meth:`ResultStream.arm_deadline` (the endpoint does, so
+        client think-time between pages never counts against it).  On the
+        reference plane (``columnar=False``) the query is materialized up
+        front and the cursor merely pages over it.
+        """
+        if not self.columnar:
+            if isinstance(source, str):
+                result = self.query(source, default_graph_uri, timeout)
+            elif isinstance(source, alg.Query):
+                result = self._query_reference(source, default_graph_uri,
+                                               timeout)
+            else:
+                from ..core.translator import translate
+                result = self.query(translate(source), default_graph_uri,
+                                    timeout)
+            return ResultStream(result.variables, iter(result.rows))
+        if self.streaming is False:
+            # Streaming explicitly pinned off: materialize through the
+            # standard path and page over the finished result, so this
+            # engine's row order is the materialized plane's everywhere.
+            plan = self.plan(source, default_graph_uri)
+            result = self.execute_plan(plan, default_graph_uri, timeout)
+            return ResultStream(result.variables, iter(result.rows))
+        plan = self.plan(source, default_graph_uri)
+        deadline = None if timeout is None \
+            else time.perf_counter() + timeout
+        evaluator = Evaluator(self.dataset, optimize=False,
+                              cache_bgps=self.cache_bgps,
+                              max_rows=self.max_intermediate_rows,
+                              deadline=deadline)
+        table_stream = evaluator.evaluate_query_stream(
+            plan.query, default_graph_uri, hint=batch_rows)
+        variables = plan.output_variables
+        if variables is None:
+            variables = [v for v in table_stream.variables
+                         if not v.startswith("__agg_")]
+        positions = [table_stream.index.get(v) for v in variables]
+        decode = evaluator.dictionary.decode
+
+        def rows():
+            for batch in table_stream.batches:
+                for row in batch:
+                    yield tuple(None if p is None or row[p] is None
+                                else decode(row[p]) for p in positions)
+
+        plan.executions += 1
+        self.last_plan = plan
+        self.last_stats = evaluator.stats
+        self.queries_executed += 1
+
+        def arm(seconds):
+            evaluator.deadline = None if seconds is None \
+                else time.perf_counter() + seconds
+
+        return ResultStream(variables, rows(), arm_deadline=arm)
 
     def query_model(self, model, default_graph_uri: Optional[str] = None,
                     timeout: Optional[float] = None) -> ResultSet:

@@ -20,10 +20,27 @@ boundary or lazily inside expression evaluation (:class:`~.solution.RowView`).
 The original dict-based evaluator survives as
 :class:`~.reference.ReferenceEvaluator` for differential tests and the
 perf-report baseline.
+
+The data plane has two execution modes over the same operators:
+
+* the *materialized* mode (``evaluate``/``evaluate_query``): every operator
+  returns a fully-built :class:`SolutionTable` — the differential oracle
+  and the default for unbounded queries;
+* the *streaming* mode (``stream``/``evaluate_query_stream``): operators
+  produce/consume :class:`~.solution.TableStream` iterators of row
+  batches, materializing only at pipeline breakers (hash-join build sides,
+  ``Group``, ``Minus``, full ``OrderBy``).  A bounded consumer — ``Slice``
+  with a limit, or the fused bounded-sort ``TopK`` — stops upstream row
+  production by not pulling, so ``LIMIT``-topped queries exit early
+  instead of materializing the full intermediate result.  The
+  ``rows_pulled``/``early_exits``/``peak_batch_rows`` counters on
+  :class:`EvaluationStats` make the short-circuiting observable.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import time
 from typing import Dict, List, Optional, Tuple
 
@@ -32,9 +49,15 @@ from ..rdf.terms import Literal, Variable
 from . import algebra as alg
 from .expressions import ExpressionError, VarExpr, ebv
 from .optimizer import GraphStatistics, order_patterns
-from .solution import (RowView, SolutionTable, _rows_compatible,
-                       table_distinct, table_join, table_left_join,
-                       table_minus, table_project, table_union)
+from .solution import (RowView, SolutionTable, TableStream, _merge_plan,
+                       _merge_rows, _rows_compatible, batched,
+                       stream_distinct, table_distinct, table_join,
+                       table_left_join, table_minus, table_project,
+                       table_union)
+
+#: Target rows per streamed batch.  Bounded consumers shrink it (a
+#: ``LIMIT 10`` pulls batches of ~10), so early exit is row-accurate.
+STREAM_BATCH_ROWS = 512
 
 
 class EvaluationError(RuntimeError):
@@ -60,13 +83,27 @@ class EvaluationStats:
         self.intermediate_rows = 0
         self.materialized_subqueries = 0
         self.joins = 0
+        # Streaming-executor counters.  ``rows_pulled`` counts every row
+        # crossing an operator's stream boundary (a row passing through k
+        # streaming operators counts k times); on an early-exiting query it
+        # stays near k * LIMIT instead of the intermediate cardinality.
+        # ``early_exits`` counts operators that stopped pulling from their
+        # child because a row bound was satisfied; ``peak_batch_rows`` is
+        # the largest single batch seen (breakers emit one table-sized
+        # batch, pipelined operators stay at the configured batch size).
+        self.rows_pulled = 0
+        self.early_exits = 0
+        self.peak_batch_rows = 0
 
     def __repr__(self):
         return ("EvaluationStats(bgps=%d, cache_hits=%d, matches=%d, "
-                "rows=%d, subqueries=%d, joins=%d)" % (
+                "rows=%d, subqueries=%d, joins=%d, pulled=%d, "
+                "early_exits=%d, peak_batch=%d)" % (
                     self.bgp_count, self.bgp_cache_hits,
                     self.pattern_matches, self.intermediate_rows,
-                    self.materialized_subqueries, self.joins))
+                    self.materialized_subqueries, self.joins,
+                    self.rows_pulled, self.early_exits,
+                    self.peak_batch_rows))
 
     def as_dict(self) -> Dict[str, int]:
         return {"bgp_count": self.bgp_count,
@@ -74,7 +111,10 @@ class EvaluationStats:
                 "pattern_matches": self.pattern_matches,
                 "intermediate_rows": self.intermediate_rows,
                 "materialized_subqueries": self.materialized_subqueries,
-                "joins": self.joins}
+                "joins": self.joins,
+                "rows_pulled": self.rows_pulled,
+                "early_exits": self.early_exits,
+                "peak_batch_rows": self.peak_batch_rows}
 
 
 class Evaluator:
@@ -187,6 +227,26 @@ class Evaluator:
 
     def _match_pattern(self, pattern, schema: List[str], rows, graph):
         """Extend each row with id-level matches of one triple pattern."""
+        schema, step = self._pattern_plan(pattern, schema, graph)
+        if step is None:
+            return schema, []
+        out: List[tuple] = []
+        step(rows, self._guarded_append(out))
+        return schema, out
+
+    def _pattern_plan(self, pattern, schema: List[str], graph):
+        """Compile one triple pattern into ``(new_schema, step)``.
+
+        ``step(rows, append)`` extends each input row (positionally aligned
+        with the *old* schema) with the pattern's id-level matches, calling
+        ``append`` per output row.  The bound/free shape is analyzed here,
+        once per pattern, so the specialized index probe it returns is
+        reusable for any number of row batches — this is what lets the
+        streaming executor drive the same matcher one input row at a time.
+        ``step`` is ``None`` when a constant term is unknown to the
+        dictionary (no triple can match); the returned schema still
+        includes the pattern's fresh variables.
+        """
         lookup = self.dictionary.lookup
         index = {v: i for i, v in enumerate(schema)}
         schema = list(schema)
@@ -216,14 +276,11 @@ class Evaluator:
                 else:
                     slots.append(("c", tid))
         if missing_constant:
-            return schema, []
+            return schema, None
 
         (s_kind, s_val), (p_kind, p_val), (o_kind, o_val) = slots
         n_new = len(new_pos)
         stats = self.stats
-        out: List[tuple] = []
-        append = self._guarded_append(out)
-        matches = 0
 
         # The bound/free shape of the pattern is fixed across rows ('b'
         # columns are always bound inside a BGP), so dispatch to a
@@ -242,31 +299,43 @@ class Evaluator:
             s_of, p_of, o_of = (val_of(s_kind, s_val), val_of(p_kind, p_val),
                                 val_of(o_kind, o_val))
             contains = graph.contains_ids
-            for row in rows:
-                if contains(s_of(row), p_of(row), o_of(row)):
-                    matches += 1
-                    append(row)
+
+            def step(rows, append):
+                matches = 0
+                for row in rows:
+                    if contains(s_of(row), p_of(row), o_of(row)):
+                        matches += 1
+                        append(row)
+                stats.pattern_matches += matches
         elif not p_free and not s_free and o_free:
             # Forward expansion: (s, p) -> objects.  The classic
             # index-nested-loop step of the paper's flat queries.
             s_of, p_of = val_of(s_kind, s_val), val_of(p_kind, p_val)
             objects_for = graph.objects_for
-            for row in rows:
-                objs = objects_for(s_of(row), p_of(row))
-                if objs:
-                    matches += len(objs)
-                    for o in objs:
-                        append(row + (o,))
+
+            def step(rows, append):
+                matches = 0
+                for row in rows:
+                    objs = objects_for(s_of(row), p_of(row))
+                    if objs:
+                        matches += len(objs)
+                        for o in objs:
+                            append(row + (o,))
+                stats.pattern_matches += matches
         elif not p_free and s_free and not o_free:
             # Backward expansion: (p, o) -> subjects.
             p_of, o_of = val_of(p_kind, p_val), val_of(o_kind, o_val)
             subjects_for = graph.subjects_for
-            for row in rows:
-                subs = subjects_for(p_of(row), o_of(row))
-                if subs:
-                    matches += len(subs)
-                    for s in subs:
-                        append(row + (s,))
+
+            def step(rows, append):
+                matches = 0
+                for row in rows:
+                    subs = subjects_for(p_of(row), o_of(row))
+                    if subs:
+                        matches += len(subs)
+                        for s in subs:
+                            append(row + (s,))
+                stats.pattern_matches += matches
         elif not p_free and s_free and o_free and p_kind == "c":
             # Predicate scan with a constant predicate: materialize the
             # (s, o) pairs once and reuse them for every input row.
@@ -275,38 +344,46 @@ class Evaluator:
                 hits = [(s,) for s, o in pairs if s == o]
             else:
                 hits = pairs
-            for row in rows:
-                matches += len(pairs)
-                for extra in hits:
-                    append(row + extra)
+
+            def step(rows, append):
+                matches = 0
+                for row in rows:
+                    matches += len(pairs)
+                    for extra in hits:
+                        append(row + extra)
+                stats.pattern_matches += matches
         else:
             # General shape (variable predicate, or repeated fresh
             # variables across positions): slot-interpreting loop.
             triples_ids = graph.triples_ids
-            for row in rows:
-                s = None if s_free else (s_val if s_kind == "c"
-                                         else row[s_val])
-                p = None if p_free else (p_val if p_kind == "c"
-                                         else row[p_val])
-                o = None if o_free else (o_val if o_kind == "c"
-                                         else row[o_val])
-                for matched in triples_ids(s, p, o):
-                    matches += 1
-                    extras = [None] * n_new
-                    ok = True
-                    for (kind, val), tid in zip(slots, matched):
-                        if kind == "n":
-                            prev = extras[val]
-                            if prev is None:
-                                extras[val] = tid
-                            elif prev != tid:
-                                # Repeated variable must agree.
-                                ok = False
-                                break
-                    if ok:
-                        append(row + tuple(extras))
-        stats.pattern_matches += matches
-        return schema, out
+
+            def step(rows, append):
+                matches = 0
+                for row in rows:
+                    s = None if s_free else (s_val if s_kind == "c"
+                                             else row[s_val])
+                    p = None if p_free else (p_val if p_kind == "c"
+                                             else row[p_val])
+                    o = None if o_free else (o_val if o_kind == "c"
+                                             else row[o_val])
+                    for matched in triples_ids(s, p, o):
+                        matches += 1
+                        extras = [None] * n_new
+                        ok = True
+                        for (kind, val), tid in zip(slots, matched):
+                            if kind == "n":
+                                prev = extras[val]
+                                if prev is None:
+                                    extras[val] = tid
+                                elif prev != tid:
+                                    # Repeated variable must agree.
+                                    ok = False
+                                    break
+                        if ok:
+                            append(row + tuple(extras))
+                stats.pattern_matches += matches
+
+        return schema, step
 
     def _guarded_append(self, out: List[tuple]):
         """The row sink for pattern matching.
@@ -483,19 +560,54 @@ class Evaluator:
     def _eval_distinct(self, node: alg.Distinct, graph) -> SolutionTable:
         return table_distinct(self.evaluate(node.pattern, graph))
 
+    def _order_key(self, index: Dict[str, int], keys):
+        """One composite, direction-aware sort key for ``ORDER BY``.
+
+        Builds a single ``row -> tuple`` function covering every sort key
+        (descending components wrapped in :class:`_Desc`), so a multi-key
+        ORDER BY is one stable sort instead of one full re-sort per key.
+        Keys naming variables absent from the schema are skipped (unbound
+        everywhere — a stable no-op, as before).  Decoded key values are
+        memoized per term id: a column with many repeated terms pays one
+        decode per distinct term, not one per row.
+        """
+        decode = self.dictionary.decode
+        # One memo per key: maps term id -> finished key component
+        # (direction wrapper included, so ids repeat their component
+        # without re-decoding or re-wrapping).
+        specs = [(index[var], direction == "desc", {})
+                 for var, direction in keys if var in index]
+
+        def key(row):
+            parts = []
+            for pos, desc, cache in specs:
+                tid = row[pos]
+                part = cache.get(tid)
+                if part is None:
+                    part = _sort_key(None if tid is None else decode(tid))
+                    if desc:
+                        part = _Desc(part)
+                    cache[tid] = part
+                parts.append(part)
+            return tuple(parts)
+
+        return key
+
     def _eval_orderby(self, node: alg.OrderBy, graph) -> SolutionTable:
         table = self.evaluate(node.pattern, graph)
-        rows = table.rows
-        decode = self.dictionary.decode
-        for var, direction in reversed(node.keys):
-            pos = table.index.get(var)
-            if pos is None:
-                continue  # unbound everywhere: stable no-op
-            rows = sorted(rows,
-                          key=lambda row: _sort_key(
-                              None if row[pos] is None else decode(row[pos])),
-                          reverse=(direction == "desc"))
-        return SolutionTable(table.variables, list(rows))
+        rows = sorted(table.rows, key=self._order_key(table.index, node.keys))
+        return SolutionTable(table.variables, rows)
+
+    def _eval_topk(self, node: alg.TopK, graph) -> SolutionTable:
+        """Bounded sort, materialized mode: one heap pass instead of a
+        full sort + slice.  ``heapq.nsmallest`` is documented equivalent to
+        ``sorted(rows, key=key)[:n]``, so stability (ties keep input
+        order) matches :meth:`_eval_orderby` exactly."""
+        table = self.evaluate(node.pattern, graph)
+        keep = node.offset + node.limit
+        rows = heapq.nsmallest(keep, table.rows,
+                               key=self._order_key(table.index, node.keys))
+        return SolutionTable(table.variables, rows[node.offset:])
 
     def _eval_slice(self, node: alg.Slice, graph) -> SolutionTable:
         table = self.evaluate(node.pattern, graph)
@@ -539,6 +651,601 @@ class Evaluator:
             if exists != negated:
                 rows.append(row)
         return SolutionTable(table.variables, rows)
+
+    # ==================================================================
+    # Streaming execution — the pipelined batch-iterator plane
+    # ==================================================================
+    #
+    # ``stream`` mirrors ``evaluate`` but returns a lazily-pulled
+    # :class:`TableStream`.  Operators with a ``_stream_`` form pipeline
+    # their input; anything else (Group, Minus, full OrderBy) is a
+    # pipeline breaker: its subtree is materialized via ``evaluate`` and
+    # emitted as a single batch.  Schemas are computed statically, so
+    # constructing a stream never pulls a row; breakers embedded in a
+    # subtree do their work when the subtree's stream is *constructed*
+    # (the build side of a join must exist before the first probe).
+
+    def evaluate_query_stream(self, query: alg.Query,
+                              default_graph_uri: Optional[str] = None,
+                              hint: Optional[int] = None) -> TableStream:
+        """Streaming counterpart of :meth:`evaluate_query`.
+
+        ``hint`` caps the root batch size — cursors pulling small pages
+        pass a small one so each pull stays proportional to the page.
+        """
+        graph = self._resolve_graphs(query.from_graphs, default_graph_uri)
+        self.dictionary = graph.dictionary
+        return self.stream(query.pattern, graph, hint)
+
+    def stream(self, node: alg.AlgebraNode, graph,
+               hint: Optional[int] = None) -> TableStream:
+        """Evaluate ``node`` to a stream of row batches.
+
+        ``hint`` is a *batch-size* hint from a bounded consumer (``Slice``
+        passes ``offset + limit`` down): producers emit batches no larger
+        than it so early exit is row-accurate.  It never changes results —
+        only how much is in flight per pull.
+        """
+        if self.deadline is not None \
+                and time.perf_counter() > self.deadline:
+            raise QueryTimeout("query exceeded its time budget at %r" % node)
+        method = getattr(self, "_stream_%s" % type(node).__name__.lower(),
+                         None)
+        if method is not None:
+            return method(node, graph, hint)
+        # Pipeline breaker: materialize the subtree, emit one batch.
+        table = self.evaluate(node, graph)
+        batches = iter((table.rows,)) if table.rows else iter(())
+        return TableStream(table.variables, self._meter(batches))
+
+    def _cap(self, hint: Optional[int]) -> int:
+        if hint is None or hint <= 0:
+            return STREAM_BATCH_ROWS
+        return min(STREAM_BATCH_ROWS, hint)
+
+    def _meter(self, batches):
+        """Instrument one operator's output stream.
+
+        Counts rows crossing the boundary (``rows_pulled``), tracks the
+        largest batch (``peak_batch_rows``), and arms the safety valves:
+        the per-operator row budget and the wall-clock deadline are
+        checked on every batch, so runaway production is abandoned while
+        streaming, not after.
+        """
+        stats = self.stats
+        max_rows = self.max_rows
+        produced = 0
+        for batch in batches:
+            n = len(batch)
+            if not n:
+                continue
+            produced += n
+            stats.rows_pulled += n
+            if n > stats.peak_batch_rows:
+                stats.peak_batch_rows = n
+            if max_rows is not None and produced > max_rows:
+                raise EvaluationError(
+                    "intermediate result exceeds max_rows=%d "
+                    "(tripped while streaming)" % max_rows)
+            if self.deadline is not None \
+                    and time.perf_counter() > self.deadline:
+                raise QueryTimeout(
+                    "query exceeded its time budget after %d streamed rows"
+                    % produced)
+            yield batch
+
+    # -- producers -----------------------------------------------------
+
+    def _bgp_steps(self, patterns, graph):
+        """Compile an ordered pattern list into per-level match steps.
+
+        Returns ``(final_schema, per_level_schemas, steps)``; ``steps`` is
+        ``None`` when some constant term is unknown (the BGP is empty, but
+        the schema still names every variable, exactly like the
+        materialized path's schema completion).
+        """
+        schema: List[str] = []
+        schemas: List[List[str]] = []
+        steps = []
+        alive = True
+        for pattern in patterns:
+            schema, step = self._pattern_plan(pattern, schema, graph)
+            if step is None:
+                alive = False
+            elif alive:
+                steps.append(step)
+            schemas.append(list(schema))
+        return schema, schemas, steps if alive else None
+
+    def _stream_bgp(self, node: alg.BGP, graph,
+                    hint: Optional[int]) -> TableStream:
+        self.stats.bgp_count += 1
+        patterns = node.triples
+        if not patterns:
+            return TableStream((), self._meter(iter(([()],))))
+        cap = self._cap(hint)
+        if self.cache_bgps:
+            cache_key = (id(graph),
+                         tuple(sorted(patterns, key=lambda t: repr(t))))
+            cached = self._bgp_cache.get(cache_key)
+            if cached is not None:
+                # A fully-materialized table from an earlier (materialized)
+                # evaluation of the same BGP: re-chunk it.  Streamed
+                # results are never cached — they may be pulled partially.
+                self.stats.bgp_cache_hits += 1
+                return TableStream(cached.variables,
+                                   self._meter(batched(cached.rows, cap)))
+        if self.optimize and len(patterns) > 1:
+            patterns = order_patterns(patterns, self._graph_stats(graph))
+        schema, _schemas, steps = self._bgp_steps(patterns, graph)
+        if steps is None:
+            return TableStream(schema, self._meter(iter(())))
+        last = len(steps) - 1
+
+        def leaves(level, rows):
+            # Depth-first index-nested-loop with per-row granularity: a
+            # complete output row surfaces after touching only its own
+            # chain of index probes, which is what lets LIMIT-bounded
+            # consumers leave the remaining fan-out unexpanded.
+            step = steps[level]
+            if level == last:
+                for row in rows:
+                    out: List[tuple] = []
+                    step((row,), out.append)
+                    if out:
+                        yield out
+                return
+            for row in rows:
+                out = []
+                step((row,), out.append)
+                if out:
+                    yield from leaves(level + 1, out)
+
+        def batches():
+            # Re-chunk leaf bursts to ``cap`` with a start pointer +
+            # one compaction per burst (amortized O(1) per row — slicing
+            # the buffer head off per yield would go quadratic).
+            buf: List[tuple] = []
+            start = 0
+            for leaf in leaves(0, [()]):
+                buf.extend(leaf)
+                if len(buf) - start >= cap:
+                    while len(buf) - start >= cap:
+                        yield buf[start:start + cap]
+                        start += cap
+                    buf = buf[start:]
+                    start = 0
+            if buf:
+                yield buf
+
+        return TableStream(schema, self._meter(batches()))
+
+    def _stream_inlinedata(self, node: alg.InlineData, graph,
+                           hint: Optional[int]) -> TableStream:
+        encode = self.dictionary.encode
+        rows = [tuple(None if value is None else encode(value)
+                      for value in row)
+                for row in node.rows]
+        return TableStream(node.variables,
+                           self._meter(batched(rows, self._cap(hint))))
+
+    # -- row-wise operators (fully pipelined) --------------------------
+
+    def _stream_filter(self, node: alg.Filter, graph,
+                       hint: Optional[int]) -> TableStream:
+        # The hint survives only as a batch-size bound: a filter may need
+        # many input rows per surviving row, so it caps nothing.
+        inner = self.stream(node.pattern, graph, hint)
+        condition = node.condition
+        index = inner.index
+        decode = self.dictionary.decode
+
+        def batches():
+            for batch in inner.batches:
+                keep = []
+                append = keep.append
+                for row in batch:
+                    try:
+                        if ebv(condition.evaluate(RowView(index, row,
+                                                          decode))):
+                            append(row)
+                    except ExpressionError:
+                        continue  # errors eliminate the solution
+                if keep:
+                    yield keep
+
+        return TableStream(inner.variables, self._meter(batches()))
+
+    def _stream_extend(self, node: alg.Extend, graph,
+                       hint: Optional[int]) -> TableStream:
+        inner = self.stream(node.pattern, graph, hint)
+        index = inner.index
+        decode = self.dictionary.decode
+        encode = self.dictionary.encode
+        target = index.get(node.var)
+        expression = node.expression
+        variables = inner.variables if target is not None \
+            else inner.variables + (node.var,)
+
+        def extend_row(row):
+            try:
+                value = expression.evaluate(RowView(index, row, decode))
+                tid = encode(value)
+            except ExpressionError:
+                return row + (None,) if target is None else row
+            if target is None:
+                return row + (tid,)
+            patched = list(row)
+            patched[target] = tid
+            return tuple(patched)
+
+        def batches():
+            for batch in inner.batches:
+                yield [extend_row(row) for row in batch]
+
+        return TableStream(variables, self._meter(batches()))
+
+    def _stream_project(self, node: alg.Project, graph,
+                        hint: Optional[int]) -> TableStream:
+        inner = self.stream(node.pattern, graph, hint)
+        if node.variables is None:
+            # SELECT *: drop synthetic aggregate helper variables.
+            keep = [v for v in inner.variables if not v.startswith("__agg_")]
+            if len(keep) == len(inner.variables):
+                return inner
+            variables = keep
+        else:
+            variables = list(node.variables)
+        positions = [inner.index.get(v) for v in variables]
+
+        def batches():
+            if None in positions:
+                for batch in inner.batches:
+                    yield [tuple([None if p is None else row[p]
+                                  for p in positions]) for row in batch]
+            elif len(positions) == 1:
+                p0 = positions[0]
+                for batch in inner.batches:
+                    yield [(row[p0],) for row in batch]
+            else:
+                for batch in inner.batches:
+                    yield [tuple([row[p] for p in positions])
+                           for row in batch]
+
+        return TableStream(variables, self._meter(batches()))
+
+    def _stream_union(self, node: alg.Union, graph,
+                      hint: Optional[int]) -> TableStream:
+        left = self.stream(node.left, graph, hint)
+        right = self.stream(node.right, graph, hint)
+        out_vars = left.variables + tuple(v for v in right.variables
+                                          if v not in left.index)
+        pad = (None,) * (len(out_vars) - len(left.variables))
+        rmap = [right.index.get(v) for v in out_vars]
+
+        def batches():
+            for batch in left.batches:
+                yield [row + pad for row in batch] if pad else batch
+            for batch in right.batches:
+                yield [tuple(None if p is None else row[p] for p in rmap)
+                       for row in batch]
+
+        return TableStream(out_vars, self._meter(batches()))
+
+    def _stream_distinct(self, node: alg.Distinct, graph,
+                         hint: Optional[int]) -> TableStream:
+        # A dedup typically consumes many duplicate rows per distinct row
+        # it emits: inflate the child batch size so a bounded consumer
+        # above (DISTINCT ... LIMIT k) doesn't drive the producer in
+        # k-row micro-batches.
+        child_hint = None if hint is None else max(hint * 16, 64)
+        inner = self.stream(node.pattern, graph, child_hint)
+        return TableStream(inner.variables,
+                           self._meter(stream_distinct(inner.batches)))
+
+    def _stream_graphpattern(self, node: alg.GraphPattern, graph,
+                             hint: Optional[int]) -> TableStream:
+        target = self.dataset.graph(node.graph_uri)
+        return self.stream(node.pattern, target, hint)
+
+    def _stream_slice(self, node: alg.Slice, graph,
+                      hint: Optional[int]) -> TableStream:
+        start = node.offset
+        limit = node.limit
+        need = None if limit is None else start + limit
+        child_hint = hint if need is None \
+            else (need if hint is None else min(hint, need))
+        inner = self.stream(node.pattern, graph, child_hint)
+        stats = self.stats
+
+        def batches():
+            if limit == 0:
+                stats.early_exits += 1
+                return
+            seen = 0
+            for batch in inner.batches:
+                end = seen + len(batch)
+                if end > start:
+                    lo = max(0, start - seen)
+                    hi = len(batch) if need is None \
+                        else min(len(batch), need - seen)
+                    piece = batch if lo == 0 and hi == len(batch) \
+                        else batch[lo:hi]
+                    if piece:
+                        yield piece
+                seen = end
+                if need is not None and end >= need:
+                    # The bound is satisfied: stop pulling.  Upstream
+                    # producers past this point never run.
+                    stats.early_exits += 1
+                    close = getattr(inner.batches, "close", None)
+                    if close is not None:
+                        close()
+                    return
+
+        return TableStream(inner.variables, self._meter(batches()))
+
+    # -- joins: build side materialized, probe side streamed -----------
+
+    def _stream_join(self, node: alg.Join, graph,
+                     hint: Optional[int]) -> TableStream:
+        left = self.evaluate(node.left, graph)  # build side: breaker
+        if not left.rows:
+            return TableStream(left.variables, self._meter(iter(())))
+        right = self.stream(node.right, graph, None)
+        self.stats.joins += 1
+        out_vars, shared, right_only = _merge_plan(left, right)
+        lkey = [lp for lp, _ in shared]
+        rkey = [rp for _, rp in shared]
+        index: Dict[Tuple, List[tuple]] = {}
+        loose: List[tuple] = []
+        for lrow in left.rows:
+            key = tuple(lrow[p] for p in lkey)
+            if None in key:
+                loose.append(lrow)
+            else:
+                index.setdefault(key, []).append(lrow)
+        left_rows = left.rows
+
+        def batches():
+            for batch in right.batches:
+                out: List[tuple] = []
+                append = out.append
+                for rrow in batch:
+                    if not shared:
+                        extra = tuple(rrow[rp] for rp in right_only)
+                        for lrow in left_rows:
+                            append(lrow + extra)
+                        continue
+                    key = tuple(rrow[p] for p in rkey)
+                    if None in key:
+                        for lrow in left_rows:
+                            if _rows_compatible(lrow, rrow, shared):
+                                append(_merge_rows(lrow, rrow, shared,
+                                                   right_only))
+                        continue
+                    for lrow in index.get(key, ()):
+                        append(_merge_rows(lrow, rrow, shared, right_only))
+                    for lrow in loose:
+                        if _rows_compatible(lrow, rrow, shared):
+                            append(_merge_rows(lrow, rrow, shared,
+                                               right_only))
+                if out:
+                    yield out
+
+        return TableStream(out_vars, self._meter(batches()))
+
+    def _stream_leftjoin(self, node: alg.LeftJoin, graph,
+                         hint: Optional[int]) -> TableStream:
+        left = self.stream(node.left, graph, hint)
+        right = self.evaluate(node.right, graph)  # build side: breaker
+        self.stats.joins += 1
+        out_vars, shared, right_only = _merge_plan(left, right)
+        condition = node.condition
+        accept = None
+        if condition is not None:
+            out_index = {v: i for i, v in enumerate(out_vars)}
+            decode = self.dictionary.decode
+
+            def accept(merged_row) -> bool:
+                try:
+                    return ebv(condition.evaluate(
+                        RowView(out_index, merged_row, decode)))
+                except ExpressionError:
+                    return False
+
+        pad = (None,) * len(right_only)
+        lkey = [lp for lp, _ in shared]
+        rkey = [rp for _, rp in shared]
+        index: Dict[Tuple, List[tuple]] = {}
+        loose: List[tuple] = []
+        for rrow in right.rows:
+            key = tuple(rrow[p] for p in rkey)
+            if None in key:
+                loose.append(rrow)
+            else:
+                index.setdefault(key, []).append(rrow)
+        right_rows = right.rows
+
+        def batches():
+            for batch in left.batches:
+                out: List[tuple] = []
+                append = out.append
+                for lrow in batch:
+                    matched = False
+                    if not shared:
+                        candidates = right_rows
+                    else:
+                        key = tuple(lrow[p] for p in lkey)
+                        if None in key:
+                            candidates = right_rows
+                        else:
+                            bucket = index.get(key)
+                            candidates = bucket + loose if bucket else loose
+                    for rrow in candidates:
+                        if shared and not _rows_compatible(lrow, rrow,
+                                                           shared):
+                            continue
+                        merged = _merge_rows(lrow, rrow, shared, right_only)
+                        if accept is None or accept(merged):
+                            append(merged)
+                            matched = True
+                    if not matched:
+                        append(lrow + pad)
+                if out:
+                    yield out
+
+        return TableStream(out_vars, self._meter(batches()))
+
+    def _stream_filterexists(self, node: alg.FilterExists, graph,
+                             hint: Optional[int]) -> TableStream:
+        outer = self.stream(node.pattern, graph, hint)
+        inner = self.evaluate(node.group, graph)  # probe table: breaker
+        shared = [(outer.index[v], inner.index[v])
+                  for v in inner.variables if v in outer.index]
+        inner_rows = inner.rows
+        negated = node.negated
+
+        def batches():
+            for batch in outer.batches:
+                keep = [row for row in batch
+                        if any(_rows_compatible(row, other, shared)
+                               for other in inner_rows) != negated]
+                if keep:
+                    yield keep
+
+        return TableStream(outer.variables, self._meter(batches()))
+
+    # -- bounded sort --------------------------------------------------
+
+    def _stream_topk(self, node: alg.TopK, graph,
+                     hint: Optional[int]) -> TableStream:
+        keep = node.offset + node.limit
+        if isinstance(node.pattern, alg.BGP) and node.pattern.triples:
+            return self._stream_topk_bgp(node, graph, keep)
+        inner = self.stream(node.pattern, graph, None)
+        key = self._order_key(inner.index, node.keys)
+        offset = node.offset
+
+        def batches():
+            rows = heapq.nsmallest(keep, inner.rows(), key=key)[offset:]
+            if rows:
+                yield rows
+
+        return TableStream(inner.variables, self._meter(batches()))
+
+    def _stream_topk_bgp(self, node: alg.TopK, graph,
+                         keep: int) -> TableStream:
+        """Bounded sort fused into BGP matching — threshold pruning.
+
+        In the spirit of the threshold family of top-k algorithms (Fagin
+        et al.), the sort bound flows *into* the join: patterns are
+        matched breadth-first only until every ORDER BY variable is
+        bound, then each partial row's sort key is compared against the
+        current k-th-best complete row.  A partial that cannot beat it is
+        dropped *before* its remaining patterns are expanded, so for
+        ``ORDER BY ... LIMIT k`` over a high-fan-out BGP almost all of the
+        join fan-out is never produced.  Ties are resolved exactly like a
+        stable full sort: a later row never displaces an equal earlier
+        one (the heap orders on ``(key, arrival)``).
+        """
+        stats = self.stats
+        offset = node.offset
+        pattern_vars = {term.name for triple in node.pattern.triples
+                        for term in triple if isinstance(term, Variable)}
+        wanted = [var for var, _ in node.keys if var in pattern_vars]
+        if not wanted:
+            # Every row ties on the (absent) keys: the stable top-k is
+            # simply the first ``keep`` rows the BGP produces.
+            inner = self._stream_bgp(node.pattern, graph, keep)
+
+            def head_batches():
+                taken: List[tuple] = []
+                for batch in inner.batches:
+                    taken.extend(batch)
+                    if len(taken) >= keep:
+                        stats.early_exits += 1
+                        close = getattr(inner.batches, "close", None)
+                        if close is not None:
+                            close()
+                        break
+                rows = taken[offset:keep]
+                if rows:
+                    yield rows
+
+            return TableStream(inner.variables, self._meter(head_batches()))
+
+        self.stats.bgp_count += 1
+        patterns = node.pattern.triples
+        if self.optimize and len(patterns) > 1:
+            patterns = order_patterns(patterns, self._graph_stats(graph))
+        schema, schemas, steps = self._bgp_steps(patterns, graph)
+        if steps is None:
+            return TableStream(schema, self._meter(iter(())))
+        # First pattern depth at which every sort variable is bound.
+        prune_level = 0
+        for var in wanted:
+            for level, level_schema in enumerate(schemas):
+                if var in level_schema:
+                    prune_level = max(prune_level, level + 1)
+                    break
+        prune_level = min(prune_level, len(steps))
+
+        partial_index = {v: i
+                         for i, v in enumerate(schemas[prune_level - 1])}
+        key_fn = self._order_key(partial_index, node.keys)
+        head, tail = steps[:prune_level], steps[prune_level:]
+        n_tail = len(tail)
+
+        def finals(level, rows_in):
+            if level == n_tail:
+                for row in rows_in:
+                    yield row
+                return
+            out: List[tuple] = []
+            tail[level](rows_in, self._guarded_append(out))
+            if out:
+                yield from finals(level + 1, out)
+
+        def batches():
+            # The breadth-first head scan materializes the prune-level
+            # partials, so it runs under the same mid-pattern safety
+            # valves (max_rows, deadline) as the materialized BGP path.
+            partials = [()]
+            for step in head:
+                out: List[tuple] = []
+                step(partials, self._guarded_append(out))
+                partials = out
+                if not partials:
+                    break
+            heap: List[tuple] = []
+            push, pushpop = heapq.heappush, heapq.heappushpop
+            arrival = itertools.count()
+            threshold = None
+            pruned = False
+            for partial in partials:
+                kkey = key_fn(partial)
+                if threshold is not None and not (kkey < threshold):
+                    pruned = True
+                    continue
+                for frow in finals(0, (partial,)):
+                    entry = (_Desc((kkey, next(arrival))), frow)
+                    if len(heap) < keep:
+                        push(heap, entry)
+                        if len(heap) == keep:
+                            threshold = heap[0][0].key[0]
+                    else:
+                        pushpop(heap, entry)
+                        threshold = heap[0][0].key[0]
+            if pruned:
+                stats.early_exits += 1
+            rows = [entry[1] for entry in sorted(heap)]
+            rows.reverse()  # the max-heap sorts descending
+            rows = rows[offset:]
+            if rows:
+                yield rows
+
+        return TableStream(schema, self._meter(batches()))
 
 
 # ----------------------------------------------------------------------
@@ -647,3 +1354,24 @@ def _sort_key(value):
             return (1, value.value, "")
         return (2, 0, str(value.lexical))
     return (2, 0, str(value))
+
+
+class _Desc:
+    """Inverts the comparison order of a wrapped sort key.
+
+    Used for the DESC components of a composite ORDER BY key (strings have
+    no arithmetic negation) and to turn ``heapq``'s min-heap into the
+    max-heap the bounded top-k scan needs.  Equal keys stay equal, so
+    sort stability is untouched.
+    """
+
+    __slots__ = ("key",)
+
+    def __init__(self, key):
+        self.key = key
+
+    def __lt__(self, other):
+        return other.key < self.key
+
+    def __eq__(self, other):
+        return other.key == self.key

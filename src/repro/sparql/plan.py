@@ -8,6 +8,12 @@ explicit pipeline of rewrite passes:
 * ``FilterPushdown``   — move filters below joins/unions toward the data,
 * ``ProjectionPruning`` — collapse and remove redundant projections,
 * ``BGPMerge``         — fuse adjacent basic graph patterns into one scope,
+* ``LimitPushdown``    — fuse nested slices, push ``Slice`` bounds through
+  cardinality-and-order-preserving spines (``Project``), and fuse
+  ``Slice`` over ``OrderBy`` into a single bounded-sort :class:`~.algebra.TopK`
+  node; plans whose tree carries a row bound are annotated
+  (:attr:`Plan.streaming`) so the engine routes them to the pipelined
+  streaming executor,
 * ``JoinOrdering``     — the selectivity-greedy triple ordering of
   :mod:`~repro.sparql.optimizer`, applied once at plan time instead of on
   every evaluation.
@@ -73,6 +79,10 @@ class Plan:
         self.source = source  # 'text' | 'model' | 'algebra'
         self.output_variables = output_variables(query)
         self.executions = 0
+        # True when the tree carries a row bound (TopK, or Slice with a
+        # limit): the engine then evaluates the plan on the pipelined
+        # streaming executor so the bound can short-circuit row production.
+        self.streaming = plan_is_bounded(query.pattern)
 
     @property
     def total_changes(self) -> int:
@@ -102,11 +112,22 @@ def output_variables(query: alg.Query) -> Optional[List[str]]:
     """The projection's column order, or ``None`` for ``SELECT *`` (column
     order then derives from the solutions)."""
     node = query.pattern
-    while isinstance(node, (alg.Slice, alg.OrderBy, alg.Distinct)):
+    while isinstance(node, (alg.Slice, alg.OrderBy, alg.Distinct, alg.TopK)):
         node = node.pattern
     if isinstance(node, alg.Project) and node.variables is not None:
         return list(node.variables)
     return None
+
+
+def plan_is_bounded(node: alg.AlgebraNode) -> bool:
+    """True when the tree contains a row bound a streaming executor can
+    exploit (a ``TopK``, or a ``Slice`` with a limit).  Offset-only slices
+    do not count: they still require every trailing row."""
+    if isinstance(node, alg.TopK):
+        return True
+    if isinstance(node, alg.Slice) and node.limit is not None:
+        return True
+    return any(plan_is_bounded(child) for child in node.children())
 
 
 # ----------------------------------------------------------------------
@@ -144,6 +165,8 @@ def _rebuild(node: alg.AlgebraNode,
         return alg.OrderBy(children[0], node.keys)
     if isinstance(node, alg.Slice):
         return alg.Slice(children[0], node.limit, node.offset)
+    if isinstance(node, alg.TopK):
+        return alg.TopK(children[0], node.keys, node.limit, node.offset)
     if isinstance(node, alg.GraphPattern):
         return alg.GraphPattern(node.graph_uri, children[0])
     if isinstance(node, alg.FilterExists):
@@ -292,7 +315,7 @@ def projection_pruning(node: alg.AlgebraNode) -> PassResult:
         # never removed — it defines the result column order — while
         # everything below it is pruned by ``visit``.
         nonlocal changes
-        if isinstance(n, (alg.Slice, alg.OrderBy, alg.Distinct)):
+        if isinstance(n, (alg.Slice, alg.OrderBy, alg.Distinct, alg.TopK)):
             n = _rebuild(n, [spine(n.pattern)])
             if isinstance(n, alg.Distinct) \
                     and isinstance(n.pattern, alg.Distinct):
@@ -333,7 +356,86 @@ def bgp_merge(node: alg.AlgebraNode) -> PassResult:
 
 
 # ----------------------------------------------------------------------
-# Pass 4: JoinOrdering (plan-time selectivity ordering)
+# Pass 4: LimitPushdown
+# ----------------------------------------------------------------------
+
+def limit_pushdown(node: alg.AlgebraNode) -> PassResult:
+    """Move row bounds toward the data and fuse bounded sorts.
+
+    Three rewrites, applied bottom-up until the pipeline reaches fixpoint:
+
+    * ``Slice(Slice(p))`` — compose the two windows into one.
+    * ``Slice(Project(p))`` — push the slice below the projection.  A
+      projection is a per-row map (cardinality- and order-preserving), so
+      slicing before or after it selects the same rows; moving the bound
+      down lets it meet an ``OrderBy`` (next rewrite) or sit directly on a
+      streaming producer.  This deliberately crosses subquery boundaries:
+      a nested SELECT is materialized independently, but its row order and
+      multiplicity are exactly what the outer slice would have seen.
+    * ``Slice(OrderBy(p), limit=k)`` — fuse into :class:`~.algebra.TopK`:
+      a single bounded-sort operator that keeps only ``offset + k`` rows.
+    * ``TopK(Project(p))`` — swap to ``Project(TopK(p))`` when every sort
+      variable bound below survives the projection (ordering before or
+      after the column cut then ranks identically).  This lands the
+      bounded sort directly on a BGP, where the streaming executor can
+      threshold-prune join fan-out.
+
+    ``Distinct`` is *not* reordered with a slice (``LIMIT k`` over
+    ``DISTINCT`` must dedupe first); the streaming executor instead stops
+    pulling from the dedupe as soon as ``k`` distinct rows exist.  A
+    ``LIMIT 0`` slice is left alone — the streaming ``Slice`` answers it
+    without pulling a single row, so there is nothing to fuse.
+    """
+    changes = 0
+
+    def visit(n: alg.AlgebraNode) -> alg.AlgebraNode:
+        nonlocal changes
+        children = [visit(child) for child in n.children()]
+        n = _rebuild(n, children) if children else n
+        if isinstance(n, alg.TopK):
+            inner = n.pattern
+            if isinstance(inner, alg.Project):
+                scope = set(inner.pattern.in_scope())
+                if inner.variables is None:
+                    projected = {v for v in scope
+                                 if not v.startswith("__agg_")}
+                else:
+                    projected = set(inner.variables)
+                if all(var in projected for var, _ in n.keys
+                       if var in scope):
+                    changes += 1
+                    return alg.Project(
+                        alg.TopK(inner.pattern, n.keys, n.limit, n.offset),
+                        inner.variables)
+            return n
+        if not isinstance(n, alg.Slice):
+            return n
+        inner = n.pattern
+        if isinstance(inner, alg.Slice):
+            # rows[o2:o2+l2][o1:o1+l1] == rows[o2+o1 : o2+o1+min-window]
+            offset = inner.offset + n.offset
+            if inner.limit is None:
+                limit = n.limit
+            else:
+                window = max(inner.limit - n.offset, 0)
+                limit = window if n.limit is None else min(n.limit, window)
+            changes += 1
+            return visit(alg.Slice(inner.pattern, limit, offset))
+        if isinstance(inner, alg.Project):
+            changes += 1
+            return alg.Project(visit(alg.Slice(inner.pattern,
+                                               n.limit, n.offset)),
+                               inner.variables)
+        if isinstance(inner, alg.OrderBy) and n.limit:
+            changes += 1
+            return alg.TopK(inner.pattern, inner.keys, n.limit, n.offset)
+        return n
+
+    return visit(node), changes
+
+
+# ----------------------------------------------------------------------
+# Pass 5: JoinOrdering (plan-time selectivity ordering)
 # ----------------------------------------------------------------------
 
 def make_join_ordering(graph, dataset=None) -> PassFn:
@@ -393,23 +495,28 @@ DEFAULT_PASSES: Tuple[Tuple[str, PassFn], ...] = (
     ("FilterPushdown", filter_pushdown),
     ("ProjectionPruning", projection_pruning),
     ("BGPMerge", bgp_merge),
+    ("LimitPushdown", limit_pushdown),
 )
 
 
 def optimize_plan(query: alg.Query, key: str = "", graph=None, dataset=None,
                   join_order: bool = True, source: str = "text",
-                  passes: Optional[Sequence[Tuple[str, PassFn]]] = None
-                  ) -> Plan:
+                  passes: Optional[Sequence[Tuple[str, PassFn]]] = None,
+                  push_limits: bool = True) -> Plan:
     """Run the pass pipeline over a parsed/compiled query and return a
     :class:`Plan`.
 
     ``graph`` is the query's resolved default graph (used only for
     join-ordering statistics; pass ``None`` to skip ordering), ``dataset``
-    resolves ``GRAPH <uri>`` scopes.  Passes rerun until a full sweep
+    resolves ``GRAPH <uri>`` scopes.  ``push_limits=False`` drops the
+    ``LimitPushdown`` pass (the benchmarks use it to measure the
+    materialize-everything baseline).  Passes rerun until a full sweep
     changes nothing (earlier passes expose opportunities to later ones),
     capped at :data:`MAX_PIPELINE_ROUNDS` sweeps.
     """
     pipeline = list(DEFAULT_PASSES if passes is None else passes)
+    if not push_limits and passes is None:
+        pipeline = [entry for entry in pipeline if entry[0] != "LimitPushdown"]
     if join_order and graph is not None:
         pipeline.append(("JoinOrdering", make_join_ordering(graph, dataset)))
 
@@ -428,8 +535,12 @@ def optimize_plan(query: alg.Query, key: str = "", graph=None, dataset=None,
             break
     optimized = alg.Query(node, from_graphs=list(query.from_graphs),
                           prefixes=dict(query.prefixes))
-    return Plan(optimized, key, [totals[name] for name, _ in pipeline],
+    plan = Plan(optimized, key, [totals[name] for name, _ in pipeline],
                 source=source)
+    if not push_limits:
+        # The materialize-everything baseline: no streaming annotation.
+        plan.streaming = False
+    return plan
 
 
 # ----------------------------------------------------------------------
@@ -498,6 +609,9 @@ def _node_key(node: alg.AlgebraNode) -> str:
     if isinstance(node, alg.Slice):
         return "Slice(%s,%s|%s)" % (node.limit, node.offset,
                                     _node_key(node.pattern))
+    if isinstance(node, alg.TopK):
+        return "TopK(%s,%s,%s|%s)" % (node.keys, node.limit, node.offset,
+                                      _node_key(node.pattern))
     if isinstance(node, alg.GraphPattern):
         return "Graph(%s|%s)" % (node.graph_uri, _node_key(node.pattern))
     if isinstance(node, alg.FilterExists):

@@ -106,3 +106,75 @@ class ResultSet:
     def slice(self, offset: int, limit: int) -> "ResultSet":
         """A page of the result (used by the simulated endpoint)."""
         return ResultSet(self.variables, self.rows[offset:offset + limit])
+
+    def distinct(self) -> "ResultSet":
+        """Collapse duplicate rows to multiplicity one (first occurrence
+        wins), via the same streaming dedup the engine's executor uses."""
+        from .solution import stream_distinct
+        rows: List[Tuple[Optional[Node], ...]] = []
+        for batch in stream_distinct(iter((self.rows,))):
+            rows.extend(batch)
+        return ResultSet(self.variables, rows)
+
+
+class ResultStream:
+    """A lazily-pulled query result — the engine's streaming cursor.
+
+    Wraps the decoded row iterator of a streaming evaluation.  Rows are
+    materialized incrementally into :attr:`rows` as they are pulled, so a
+    page fetch of ``offset + n`` rows costs O(offset + n) local work and
+    re-reading an already-fetched page costs nothing.  This is what the
+    simulated endpoint keeps per query instead of a fully-materialized
+    :class:`ResultSet`.
+    """
+
+    def __init__(self, variables: Sequence[str], row_iter,
+                 arm_deadline=None):
+        self.variables = list(variables)
+        self.rows: List[Tuple[Optional[Node], ...]] = []
+        self.exhausted = False
+        self._iter = row_iter
+        self._arm_deadline = arm_deadline
+
+    def arm_deadline(self, seconds) -> None:
+        """Restart the evaluation-time budget covering subsequent pulls.
+
+        A long-lived cursor (the endpoint keeps one per query) serves many
+        requests; each caller's timeout should budget *its own* pull, not
+        the wall-clock lifetime of the cursor.  No-op when the underlying
+        stream has no deadline support (the reference-plane fallback)."""
+        if self._arm_deadline is not None:
+            self._arm_deadline(seconds)
+
+    def fetch_until(self, count: int) -> None:
+        """Pull from the underlying iterator until ``count`` rows are
+        materialized (or the stream ends)."""
+        rows = self.rows
+        append = rows.append
+        it = self._iter
+        while len(rows) < count and not self.exhausted:
+            try:
+                append(next(it))
+            except StopIteration:
+                self.exhausted = True
+
+    def page(self, offset: int, limit: int) -> ResultSet:
+        """Materialize and return one page of the result."""
+        self.fetch_until(offset + limit)
+        return ResultSet(self.variables, self.rows[offset:offset + limit])
+
+    def has_more(self, offset: int) -> bool:
+        """True when at least one row exists at or beyond ``offset``."""
+        self.fetch_until(offset + 1)
+        return len(self.rows) > offset
+
+    def result(self) -> ResultSet:
+        """Drain the stream into a complete :class:`ResultSet`."""
+        while not self.exhausted:
+            self.fetch_until(len(self.rows) + 4096)
+        return ResultSet(self.variables, self.rows)
+
+    def __repr__(self):
+        return "ResultStream(%d rows fetched%s, vars=%s)" % (
+            len(self.rows), " (exhausted)" if self.exhausted else "",
+            self.variables)

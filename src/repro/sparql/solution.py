@@ -298,6 +298,71 @@ class SolutionTable:
         return SolutionTable((), [()])
 
 
+class TableStream:
+    """A lazily-produced :class:`SolutionTable`: a fixed schema header plus
+    an iterator of row *batches* (lists of id-rows).
+
+    This is the unit of the pipelined executor: operators hand each other
+    ``TableStream`` objects and pull batches on demand, so a bounded
+    consumer (``Slice``, ``TopK``) stops upstream row production simply by
+    not pulling.  The schema is computed statically at stream-construction
+    time — no batch has to be pulled to know the columns.
+    """
+
+    __slots__ = ("variables", "index", "batches")
+
+    def __init__(self, variables: Sequence[str], batches):
+        self.variables: Tuple[str, ...] = tuple(variables)
+        self.index: Dict[str, int] = {v: i for i, v in
+                                      enumerate(self.variables)}
+        self.batches = batches
+
+    def rows(self):
+        """Flatten the remaining batches into one row iterator."""
+        for batch in self.batches:
+            for row in batch:
+                yield row
+
+    def to_table(self) -> SolutionTable:
+        """Drain the stream into a materialized table."""
+        rows: List[Row] = []
+        for batch in self.batches:
+            rows.extend(batch)
+        return SolutionTable(self.variables, rows)
+
+    def __repr__(self):
+        return "TableStream(vars=%s)" % (list(self.variables),)
+
+
+def batched(rows: Sequence[Row], cap: int):
+    """Re-chunk a materialized row list into batches of at most ``cap``."""
+    for start in range(0, len(rows), cap):
+        yield list(rows[start:start + cap])
+
+
+def stream_distinct(batches, seen: Optional[set] = None):
+    """Streaming dedup over an iterator of row batches.
+
+    Yields each batch reduced to its first-seen rows, preserving order and
+    pulling nothing beyond what the consumer asks for — the dedup behind
+    both the executor's ``Distinct`` operator and
+    :meth:`~repro.sparql.results.ResultSet.distinct`.  ``seen`` can be
+    passed in to carry dedup state across several streams (e.g. paginated
+    fetches)."""
+    if seen is None:
+        seen = set()
+    add = seen.add
+    for batch in batches:
+        fresh = []
+        append = fresh.append
+        for row in batch:
+            if row not in seen:
+                add(row)
+                append(row)
+        if fresh:
+            yield fresh
+
+
 class RowView:
     """A read-only dict-like view of one columnar row, decoding term ids
     lazily on access.  This is what expression evaluation sees: an unbound
@@ -669,13 +734,11 @@ def table_project(table: SolutionTable,
 
 
 def table_distinct(table: SolutionTable) -> SolutionTable:
-    """Collapse duplicate rows to multiplicity one."""
-    seen = set()
+    """Collapse duplicate rows to multiplicity one (the materialized face
+    of :func:`stream_distinct`)."""
     rows: List[Row] = []
-    for row in table.rows:
-        if row not in seen:
-            seen.add(row)
-            rows.append(row)
+    for batch in stream_distinct(iter((table.rows,))):
+        rows.extend(batch)
     return SolutionTable(table.variables, rows)
 
 

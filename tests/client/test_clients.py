@@ -229,3 +229,111 @@ class TestEngineSafetyValve:
         bounded = Engine(g, max_intermediate_rows=500)
         assert len(bounded.query("PREFIX x: <http://x/>\n"
                                  "SELECT * WHERE { ?a x:p ?o }")) == 60
+
+
+class TestStreamingPagination:
+    """Page fetches ride the engine's streaming cursor: serving the page
+    at ``offset`` pulls O(offset + page) rows, not the full result."""
+
+    @pytest.fixture
+    def big_engine(self):
+        g = Graph("http://g")
+        for i in range(400):
+            g.add(uri("s%d" % i), uri("p"), Literal(i))
+        return Engine(g)
+
+    BIG_QUERY = "PREFIX x: <http://x/>\nSELECT ?s ?v WHERE { ?s x:p ?v }"
+
+    def test_endpoint_page_pulls_offset_plus_n_rows(self, big_engine):
+        endpoint = Endpoint(big_engine, max_rows=20)
+        response = endpoint.request(self.BIG_QUERY)
+        assert len(response.result) == 20
+        assert response.has_more
+        pulled = big_engine.last_stats.rows_pulled
+        assert 0 < pulled < 400  # nowhere near the full 400-row result
+        # The next page only pulls the *additional* rows.
+        endpoint.request(self.BIG_QUERY, offset=20)
+        assert big_engine.last_stats.rows_pulled < 400
+
+    def test_endpoint_pagination_result_complete(self, big_engine):
+        endpoint = Endpoint(big_engine, max_rows=32)
+        client = HttpClient(endpoint)
+        df = client.execute(self.BIG_QUERY)
+        direct = EngineClient(big_engine).execute(self.BIG_QUERY)
+        assert df.equals_bag(direct)
+
+    def test_http_client_execute_page(self, big_engine):
+        endpoint = Endpoint(big_engine, max_rows=1000)
+        client = HttpClient(endpoint)
+        page = client.execute_page(self.BIG_QUERY, offset=5, limit=10)
+        assert len(page) == 10
+        assert client.pages_fetched == 1  # one request filled the window
+        assert big_engine.last_stats.rows_pulled < 200
+
+    def test_engine_client_execute_page(self, big_engine):
+        client = EngineClient(big_engine)
+        full = client.execute(self.BIG_QUERY)
+        page = client.execute_page(self.BIG_QUERY, offset=10, limit=25)
+        assert len(page) == 25
+        assert client.last_stats.rows_pulled < 200
+        assert page.column("s") == full.column("s")[10:35]
+
+    def test_engine_client_execute_page_model(self, big_engine):
+        from repro.core import KnowledgeGraph
+        kg = KnowledgeGraph(graph_uri="http://g",
+                            prefixes={"x": "http://x/"})
+        frame = kg.seed("s", "x:p", "v")
+        client = EngineClient(big_engine)
+        page = client.execute_page(frame.query_model(), limit=7)
+        assert len(page) == 7
+
+    def test_execute_page_spans_endpoint_cap(self, big_engine):
+        # A window larger than the endpoint's per-response cap is filled
+        # by several requests — never silently truncated at the cap.
+        endpoint = Endpoint(big_engine, max_rows=50)
+        client = HttpClient(endpoint)
+        full = EngineClient(big_engine).execute(self.BIG_QUERY)
+        page = client.execute_page(self.BIG_QUERY, offset=10, limit=120)
+        assert len(page) == 120
+        assert client.pages_fetched == 3
+        assert page.column("s") == full.column("s")[10:130]
+
+    def test_execute_page_window_past_end(self, big_engine):
+        endpoint = Endpoint(big_engine, max_rows=50)
+        page = HttpClient(endpoint).execute_page(self.BIG_QUERY,
+                                                 offset=390, limit=120)
+        assert len(page) == 10
+
+    def test_endpoint_timeout_budgets_each_request(self, big_engine):
+        # The per-query timeout bounds each page's evaluation, not the
+        # cursor's wall-clock lifetime: client think-time between page
+        # requests must not accumulate into a QueryTimeout.
+        import time as _time
+        endpoint = Endpoint(big_engine, max_rows=10, timeout=0.5)
+        endpoint.request(self.BIG_QUERY)
+        _time.sleep(0.6)  # longer than the whole budget
+        response = endpoint.request(self.BIG_QUERY, offset=10)
+        assert len(response.result) == 10
+
+    def test_failed_request_does_not_poison_cursor_cache(self, big_engine):
+        # A request that times out must not leave a dead cursor behind:
+        # once the pressure clears, the same query re-executes fresh.
+        from repro.sparql import QueryTimeout
+        cross = ("PREFIX x: <http://x/>\n"
+                 "SELECT * WHERE { ?a x:p ?v . ?b x:p ?w }")
+        endpoint = Endpoint(big_engine, max_rows=10, timeout=0.0)
+        with pytest.raises(QueryTimeout):
+            endpoint.request(cross)
+        endpoint.timeout = None
+        response = endpoint.request(cross)
+        assert len(response.result) == 10
+        assert response.has_more
+
+    def test_engine_stream_honors_streaming_false(self, big_engine):
+        # streaming=False pins the materialized plane everywhere,
+        # including the cursor path used by endpoints.
+        pinned = Engine(big_engine.dataset, streaming=False)
+        cursor = pinned.stream(self.BIG_QUERY)
+        want = pinned.query(self.BIG_QUERY)
+        assert cursor.result().rows == want.rows
+        assert pinned.last_stats.rows_pulled == 0
