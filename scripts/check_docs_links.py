@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Check that every relative markdown link in README.md and docs/ resolves.
+
+Scans ``[text](target)`` links, ignores absolute URLs (``http(s)://``,
+``mailto:``) and pure in-page anchors, and verifies that the referenced
+file exists relative to the file containing the link.  Exits non-zero on
+the first pass listing every broken link, so CI fails loudly when a doc
+is moved or renamed without updating its references.
+
+Run from the repo root::
+
+    python scripts/check_docs_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+REPO = Path(__file__).resolve().parents[1]
+
+
+def iter_doc_files():
+    yield REPO / "README.md"
+    yield from sorted((REPO / "docs").glob("*.md"))
+
+
+def check_file(path: Path):
+    broken = []
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        for target in LINK.findall(line):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            if not (path.parent / relative).exists():
+                broken.append((path, lineno, target))
+    return broken
+
+
+def main() -> int:
+    broken = []
+    checked = 0
+    for path in iter_doc_files():
+        if not path.exists():
+            broken.append((path, 0, "<file missing>"))
+            continue
+        checked += 1
+        broken.extend(check_file(path))
+    for path, lineno, target in broken:
+        print("BROKEN %s:%d -> %s" % (path.relative_to(REPO), lineno, target))
+    print("checked %d file(s): %s" % (
+        checked, "FAILED (%d broken)" % len(broken) if broken else "ok"))
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,19 @@ class EngineClient:
     the engine's direct compile-to-algebra path, skipping SPARQL text
     generation and parsing entirely (:meth:`RDFFrame.execute
     <repro.core.rdfframe.RDFFrame.execute>` uses it automatically).
+
+    Example
+    -------
+    >>> from repro.client import EngineClient
+    >>> from repro.data import DBPEDIA_URI, build_dataset
+    >>> from repro.sparql import Engine
+    >>> client = EngineClient(Engine(build_dataset(scale=0.02)),
+    ...                       default_graph_uri=DBPEDIA_URI)
+    >>> df = client.execute(
+    ...     "PREFIX dbpp: <http://dbpedia.org/property/> "
+    ...     "SELECT ?film ?actor WHERE { ?film dbpp:starring ?actor }")
+    >>> list(df.columns)
+    ['film', 'actor']
     """
 
     def __init__(self, engine: Engine, default_graph_uri: Optional[str] = None):
@@ -73,6 +86,20 @@ class EngineClient:
         <repro.sparql.engine.Engine.stream>`): only about
         ``offset + limit`` rows are produced locally, however large the
         full result — check ``last_stats.rows_pulled``.
+
+        Example
+        -------
+        >>> from repro.client import EngineClient
+        >>> from repro.data import DBPEDIA_URI, build_dataset
+        >>> from repro.sparql import Engine
+        >>> client = EngineClient(Engine(build_dataset(scale=0.02)),
+        ...                       default_graph_uri=DBPEDIA_URI)
+        >>> page = client.execute_page(
+        ...     "PREFIX dbpp: <http://dbpedia.org/property/> "
+        ...     "SELECT ?f ?a WHERE { ?f dbpp:starring ?a }",
+        ...     offset=10, limit=5)
+        >>> len(page)
+        5
         """
         cursor = self.engine.stream(source,
                                     default_graph_uri=self.default_graph_uri)
@@ -133,6 +160,21 @@ class HttpClient:
     def execute_page(self, query: str, offset: int = 0,
                      limit: Optional[int] = None) -> DataFrame:
         """Fetch one window of a query's results as a dataframe.
+
+        Example
+        -------
+        >>> from repro.client import HttpClient
+        >>> from repro.data import build_dataset
+        >>> from repro.sparql import Endpoint, Engine
+        >>> endpoint = Endpoint(Engine(build_dataset(scale=0.02)))
+        >>> client = HttpClient(endpoint, page_size=50)
+        >>> page = client.execute_page(
+        ...     "PREFIX dbpp: <http://dbpedia.org/property/> "
+        ...     "SELECT ?f ?a FROM <http://dbpedia.org> "
+        ...     "WHERE { ?f dbpp:starring ?a }",
+        ...     offset=5, limit=20)
+        >>> len(page)
+        20
 
         Returns exactly ``min(limit, rows available)`` rows starting at
         ``offset``; when ``limit`` exceeds the endpoint's per-response

@@ -43,9 +43,15 @@ class KnowledgeGraph:
         """The generic seed: an RDFFrame from one triple pattern.
 
         Arguments containing ``:`` (or wrapped in ``<>``/quotes) are
-        concrete terms; bare names become columns.  For example
-        ``graph.seed('instance', 'rdf:type', 'dbpo:Film')`` yields a
-        one-column frame of all film instances.
+        concrete terms; bare names become columns.
+
+        Example
+        -------
+        >>> from repro.core import KnowledgeGraph
+        >>> graph = KnowledgeGraph(graph_uri="http://dbpedia.org")
+        >>> frame = graph.seed("instance", "rdf:type", "dbpo:Film")
+        >>> frame.columns   # one column: all film instances
+        ['instance']
         """
         columns = [name for name in (subject, predicate, obj)
                    if _is_column(name)]
@@ -58,17 +64,34 @@ class KnowledgeGraph:
                              range_col: str) -> RDFFrame:
         """All (subject, object) pairs connected by ``predicate``.
 
-        The paper's running example:
-        ``graph.feature_domain_range('dbpp:starring', 'movie', 'actor')``.
         When ``predicate`` itself is a bare name, it becomes a column too
         (useful for whole-graph extraction, as in the KG-embedding case
         study's ``feature_domain_range(s, p, o)``).
+
+        Example
+        -------
+        The paper's running example:
+
+        >>> from repro.core import KnowledgeGraph
+        >>> graph = KnowledgeGraph(graph_uri="http://dbpedia.org")
+        >>> movies = graph.feature_domain_range("dbpp:starring",
+        ...                                     "movie", "actor")
+        >>> movies.columns
+        ['movie', 'actor']
         """
         return self.seed(domain_col, predicate, range_col)
 
     def entities(self, class_name: str, new_column: str) -> RDFFrame:
-        """All instances of an RDFS/OWL class, e.g.
-        ``graph.entities('swrc:InProceedings', 'paper')``."""
+        """All instances of an RDFS/OWL class.
+
+        Example
+        -------
+        >>> from repro.core import KnowledgeGraph
+        >>> graph = KnowledgeGraph(graph_uri="http://dblp.l3s.de")
+        >>> papers = graph.entities("swrc:InProceedings", "paper")
+        >>> papers.columns
+        ['paper']
+        """
         return self.seed(new_column, "rdf:type", class_name)
 
     def features(self, class_name: str, instance_col: str = "instance",

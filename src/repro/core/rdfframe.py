@@ -229,6 +229,19 @@ class RDFFrame:
         ``limit=None`` keeps everything from ``offset`` on (OFFSET-only).
         On the local engine a bounded head rides the streaming executor:
         row production stops as soon as ``offset + limit`` rows exist.
+
+        Example
+        -------
+        >>> from repro.client import EngineClient
+        >>> from repro.core import KnowledgeGraph
+        >>> from repro.data import DBPEDIA_URI, build_dataset
+        >>> from repro.sparql import Engine
+        >>> client = EngineClient(Engine(build_dataset(scale=0.02)))
+        >>> frame = (KnowledgeGraph(graph_uri=DBPEDIA_URI)
+        ...          .feature_domain_range("dbpp:starring", "film", "actor")
+        ...          .head(5))
+        >>> len(frame.execute(client))
+        5
         """
         return self._extend(ops.HeadOperator(limit, offset),
                             frame_class=type(self))
@@ -301,6 +314,20 @@ class RDFFrame:
         turns into a streaming plan — the page is produced with
         O(offset + limit) local row pulls instead of a full
         materialization.
+
+        Example
+        -------
+        >>> from repro.client import EngineClient
+        >>> from repro.core import KnowledgeGraph
+        >>> from repro.data import DBPEDIA_URI, build_dataset
+        >>> from repro.sparql import Engine
+        >>> client = EngineClient(Engine(build_dataset(scale=0.02)))
+        >>> counts = (KnowledgeGraph(graph_uri=DBPEDIA_URI)
+        ...           .feature_domain_range("dbpp:starring", "film", "actor")
+        ...           .group_by(["actor"]).count("film", "n"))
+        >>> df = counts.execute(client)      # one pushed-down GROUP BY
+        >>> list(df.columns)
+        ['actor', 'n']
         """
         frame = self
         if limit is not None or offset:

@@ -62,16 +62,20 @@ def generate_dblp(scale: float = 1.0, seed: int = 7) -> Graph:
         graph.add(paper, RDF.type, SWRC.InProceedings)
 
         # Core authors dominate SIGMOD/VLDB; the tail spreads everywhere.
+        # Plain lists, not sets: core/tail URIs never collide (disjoint
+        # name spaces, sampling is without replacement) and set iteration
+        # order would vary with PYTHONHASHSEED, making triple insertion
+        # order — and every downstream row order — nondeterministic.
         if rng.random() < 0.35:
             conference = rng.choice(["sigmod", "vldb"])
             n_core = 1 + rng.randint(0, 2)
-            creators = set(rng.sample(core, n_core))
-            creators.update(rng.sample(tail, rng.randint(0, 2)))
+            creators = rng.sample(core, n_core)
+            creators.extend(rng.sample(tail, rng.randint(0, 2)))
         else:
             conference = rng.choice(CONFERENCES)
-            creators = set(rng.sample(tail, 1 + rng.randint(0, 3)))
+            creators = rng.sample(tail, 1 + rng.randint(0, 3))
             if rng.random() < 0.10:
-                creators.add(rng.choice(core))
+                creators.append(rng.choice(core))
         for creator in creators:
             graph.add(paper, DC.creator, creator)
 

@@ -115,7 +115,15 @@ def _generate_films(graph: Graph, rng: Rng, count: int,
         # long tail in few — this is what makes "prolific actor" thresholds
         # meaningful.
         cast_size = 1 + rng.poissonish(2.0)
-        cast = {rng.zipf_choice(actors) for _ in range(cast_size)}
+        # Dedupe preserving draw order: a set here would iterate in
+        # term-hash order, making triple insertion (and therefore id
+        # assignment and every downstream row order) vary with
+        # PYTHONHASHSEED.
+        cast: List[URIRef] = []
+        for _ in range(cast_size):
+            actor = rng.zipf_choice(actors)
+            if actor not in cast:
+                cast.append(actor)
         for actor in cast:
             graph.add(film, DBPP.starring, actor)
         graph.add(film, RDFS.label, Literal("Film %s" % _label(rng, index)))

@@ -207,6 +207,68 @@ class Graph:
             return ()
         return by_subj.get(s, ())
 
+    def count_objects_for(self, s: int, p: int) -> int:
+        """Number of distinct object ids for (subject id, predicate id).
+
+        An O(1) index lookup.  Because the graph stores triples with set
+        semantics, this is simultaneously the number of ``(s, p, ?o)``
+        matches and the number of *distinct* ``?o`` bindings — which is
+        what lets the evaluator answer ``GROUP BY ?s (COUNT(?o))`` over a
+        single triple pattern without producing any rows.
+        """
+        by_pred = self._spo.get(s)
+        if by_pred is None:
+            return 0
+        return len(by_pred.get(p, ()))
+
+    def count_subjects_for(self, p: int, o: int) -> int:
+        """Number of distinct subject ids for (predicate id, object id).
+
+        The mirror of :meth:`count_objects_for`, backed by the POS index.
+        """
+        by_obj = self._pos.get(p)
+        if by_obj is None:
+            return 0
+        return len(by_obj.get(o, ()))
+
+    def object_group_counts(self, p: int) -> Iterator[Tuple[int, int]]:
+        """``(object id, subject count)`` pairs for a predicate id.
+
+        Iterates the POS index directly — O(distinct objects), never
+        touching individual triples.  The yield order equals the
+        first-seen object order of :meth:`so_pairs` (both walk the same
+        index), which is what lets the evaluator's index-backed GROUP BY
+        fast path emit groups in exactly the order the row-producing
+        path would.
+        """
+        by_obj = self._pos.get(p)
+        if by_obj is None:
+            return
+        for o, subjects in by_obj.items():
+            yield o, len(subjects)
+
+    def subject_group_counts(self, p: int) -> Iterator[Tuple[int, int]]:
+        """``(subject id, object count)`` pairs for a predicate id.
+
+        The subject-keyed mirror of :meth:`object_group_counts`.  Yield
+        order is the first-seen *subject* order of the object-major
+        :meth:`so_pairs` scan (same index walk, same order guarantee for
+        the evaluator's GROUP BY fast path); each count is an O(1) SPO
+        lookup, so the sweep costs one set-membership test per triple and
+        allocates nothing per pair.
+        """
+        by_obj = self._pos.get(p)
+        if by_obj is None:
+            return
+        spo = self._spo
+        seen: Set[int] = set()
+        add = seen.add
+        for subjects in by_obj.values():
+            for s in subjects:
+                if s not in seen:
+                    add(s)
+                    yield s, len(spo[s][p])
+
     def contains_ids(self, s: int, p: int, o: int) -> bool:
         return o in self._spo.get(s, {}).get(p, ())
 

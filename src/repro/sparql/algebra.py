@@ -127,22 +127,39 @@ class Extend(AlgebraNode):
 
 
 class Aggregate:
-    """One aggregate in a GROUP BY query: ``fn([DISTINCT] expr) AS alias``."""
+    """One aggregate in a GROUP BY query: ``fn([DISTINCT] expr) AS alias``.
+
+    ``separator`` applies to ``GROUP_CONCAT`` only (the ``SEPARATOR=".."``
+    modifier); ``None`` means the SPARQL default, a single space.
+    """
 
     def __init__(self, function: str, expression: Optional[Expression],
-                 alias: str, distinct: bool = False):
+                 alias: str, distinct: bool = False,
+                 separator: Optional[str] = None):
         function = function.lower()
         if function not in AGGREGATE_FUNCTIONS:
             raise ValueError("unknown aggregate %r" % function)
+        if separator is not None and function != "group_concat":
+            raise ValueError("SEPARATOR only applies to GROUP_CONCAT")
         self.function = function
         self.expression = expression  # None means COUNT(*)
         self.alias = alias.lstrip("?$")
         self.distinct = distinct
+        self.separator = separator
 
     def sparql(self) -> str:
         inner = "*" if self.expression is None else self.expression.sparql()
         if self.distinct:
             inner = "DISTINCT " + inner
+        if self.separator is not None:
+            # The escape set mirrors what the parser's string literal
+            # unescapes, so render -> parse round-trips exactly.  A raw
+            # newline would break the tokenizer's STRING rule.
+            escaped = (self.separator.replace("\\", "\\\\")
+                       .replace('"', '\\"').replace("\n", "\\n")
+                       .replace("\r", "\\r").replace("\t", "\\t")
+                       .replace("\b", "\\b").replace("\f", "\\f"))
+            inner += ' ; SEPARATOR="%s"' % escaped
         return "(%s(%s) AS ?%s)" % (self.function.upper(), inner, self.alias)
 
     def __repr__(self):

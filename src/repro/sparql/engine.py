@@ -33,6 +33,19 @@ __all__ = ["Engine", "QueryTimeout"]
 class Engine:
     """An in-process RDF database engine with a SPARQL SELECT interface.
 
+    Example
+    -------
+    >>> from repro.rdf import Graph, URIRef
+    >>> from repro.sparql import Engine
+    >>> g = Graph("http://example.org")
+    >>> _ = g.add(URIRef("http://ex/m1"), URIRef("http://ex/starring"),
+    ...           URIRef("http://ex/alice"))
+    >>> engine = Engine(g)
+    >>> result = engine.query(
+    ...     "SELECT ?a WHERE { ?m <http://ex/starring> ?a }")
+    >>> [str(a) for (a,) in result.rows]
+    ['http://ex/alice']
+
     Parameters
     ----------
     source:
@@ -42,12 +55,13 @@ class Engine:
         plane's eval-time BGP ordering) is disabled — used by the ablation
         benchmarks to isolate the optimizer's contribution.
     streaming:
-        How bounded queries are executed.  ``"auto"`` (the default) routes
-        plans the planner marked streaming (a ``TopK`` or a limited
-        ``Slice`` in the tree) through the pipelined batch-iterator
-        executor, everything else through the materialized one.  ``True``
-        forces the streaming executor for every plan, ``False`` never uses
-        it — both used by the differential test suite and the benchmarks.
+        How plans are executed.  ``"auto"`` (the default) routes plans
+        the planner marked streaming — a row bound (``TopK`` or a limited
+        ``Slice``) or an aggregation (``Group``) in the tree — through
+        the pipelined batch-iterator executor, everything else through
+        the materialized one.  ``True`` forces the streaming executor for
+        every plan, ``False`` never uses it — both used by the
+        differential test suite and the benchmarks.
     limit_pushdown:
         When False, the planner's ``LimitPushdown`` pass is skipped (no
         ``TopK`` fusion, no slice motion, no streaming annotation) — the
@@ -174,10 +188,12 @@ class Engine:
                      timeout: Optional[float] = None) -> ResultSet:
         """Evaluate an optimized plan on the columnar data plane.
 
-        Plans the planner marked streaming (a row bound in the tree) run
-        on the pipelined batch-iterator executor, so ``LIMIT``-topped
-        queries stop pulling as soon as the bound is satisfied; everything
-        else runs fully materialized.  For *unbounded* queries the two
+        Plans the planner marked streaming (a row bound or a ``Group`` in
+        the tree) run on the pipelined batch-iterator executor, so
+        ``LIMIT``-topped queries stop pulling as soon as the bound is
+        satisfied and aggregations fold their input into per-group
+        accumulators instead of materializing it; everything else runs
+        fully materialized.  For *unbounded* queries the two
         planes return identical result bags (the differential suite holds
         them to that).  Row order for unordered join results is
         plane-specific — the materialized join picks its build side by
@@ -214,7 +230,20 @@ class Engine:
 
     def query(self, text: str, default_graph_uri: Optional[str] = None,
               timeout: Optional[float] = None) -> ResultSet:
-        """Execute a SPARQL SELECT query and return its result set."""
+        """Execute a SPARQL SELECT query and return its result set.
+
+        Example
+        -------
+        >>> from repro.data import DBPEDIA_URI, build_dataset
+        >>> engine = Engine(build_dataset(scale=0.02))
+        >>> result = engine.query(
+        ...     "PREFIX dbpp: <http://dbpedia.org/property/> "
+        ...     "SELECT ?actor (COUNT(?film) AS ?n) "
+        ...     "WHERE { ?film dbpp:starring ?actor } GROUP BY ?actor",
+        ...     default_graph_uri=DBPEDIA_URI)
+        >>> engine.last_plan.streaming  # aggregate plans stream
+        True
+        """
         if self.columnar:
             plan = self.plan(text, default_graph_uri)
             return self.execute_plan(plan, default_graph_uri, timeout)
@@ -237,6 +266,20 @@ class Engine:
         client think-time between pages never counts against it).  On the
         reference plane (``columnar=False``) the query is materialized up
         front and the cursor merely pages over it.
+
+        Example
+        -------
+        >>> from repro.data import DBPEDIA_URI, build_dataset
+        >>> engine = Engine(build_dataset(scale=0.02))
+        >>> cursor = engine.stream(
+        ...     "PREFIX dbpp: <http://dbpedia.org/property/> "
+        ...     "SELECT ?a ?b WHERE { ?f dbpp:starring ?a . "
+        ...     "?f dbpp:starring ?b }", default_graph_uri=DBPEDIA_URI)
+        >>> page = cursor.page(offset=0, limit=5)
+        >>> len(page)
+        5
+        >>> engine.last_stats.rows_pulled <= 200  # not the full join
+        True
         """
         if not self.columnar:
             if isinstance(source, str):

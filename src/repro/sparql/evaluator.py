@@ -29,12 +29,17 @@ The data plane has two execution modes over the same operators:
 * the *streaming* mode (``stream``/``evaluate_query_stream``): operators
   produce/consume :class:`~.solution.TableStream` iterators of row
   batches, materializing only at pipeline breakers (hash-join build sides,
-  ``Group``, ``Minus``, full ``OrderBy``).  A bounded consumer — ``Slice``
-  with a limit, or the fused bounded-sort ``TopK`` — stops upstream row
+  ``Minus``, full ``OrderBy``).  A bounded consumer — ``Slice`` with a
+  limit, or the fused bounded-sort ``TopK`` — stops upstream row
   production by not pulling, so ``LIMIT``-topped queries exit early
-  instead of materializing the full intermediate result.  The
-  ``rows_pulled``/``early_exits``/``peak_batch_rows`` counters on
-  :class:`EvaluationStats` make the short-circuiting observable.
+  instead of materializing the full intermediate result.  ``Group`` is a
+  *streaming hash aggregation*: it consumes its child stream batch by
+  batch into per-group accumulator states (no input table exists) and the
+  single-pattern COUNT shape is answered straight from the graph indexes
+  without producing rows at all (:meth:`Evaluator._fast_group_count`).
+  The ``rows_pulled``/``early_exits``/``peak_batch_rows``/``groups_built``
+  counters on :class:`EvaluationStats` make the short-circuiting
+  observable.
 """
 
 from __future__ import annotations
@@ -42,10 +47,12 @@ from __future__ import annotations
 import heapq
 import itertools
 import time
+from decimal import Decimal
 from typing import Dict, List, Optional, Tuple
 
 from ..rdf.dataset import Dataset
-from ..rdf.terms import Literal, Variable
+from ..rdf.terms import (XSD_DECIMAL, XSD_DOUBLE, XSD_INTEGER, Literal,
+                         Variable)
 from . import algebra as alg
 from .expressions import ExpressionError, VarExpr, ebv
 from .optimizer import GraphStatistics, order_patterns
@@ -94,16 +101,24 @@ class EvaluationStats:
         self.rows_pulled = 0
         self.early_exits = 0
         self.peak_batch_rows = 0
+        # Aggregation counters.  ``groups_built`` counts distinct groups
+        # materialized by Group operators (hash entries or index-backed
+        # groups); ``accumulator_rows`` counts input rows folded into
+        # streaming per-group accumulator states — the streaming Group's
+        # working-set proxy (the index-backed fast path folds zero).
+        self.groups_built = 0
+        self.accumulator_rows = 0
 
     def __repr__(self):
         return ("EvaluationStats(bgps=%d, cache_hits=%d, matches=%d, "
                 "rows=%d, subqueries=%d, joins=%d, pulled=%d, "
-                "early_exits=%d, peak_batch=%d)" % (
+                "early_exits=%d, peak_batch=%d, groups=%d, acc_rows=%d)" % (
                     self.bgp_count, self.bgp_cache_hits,
                     self.pattern_matches, self.intermediate_rows,
                     self.materialized_subqueries, self.joins,
                     self.rows_pulled, self.early_exits,
-                    self.peak_batch_rows))
+                    self.peak_batch_rows, self.groups_built,
+                    self.accumulator_rows))
 
     def as_dict(self) -> Dict[str, int]:
         return {"bgp_count": self.bgp_count,
@@ -114,7 +129,9 @@ class EvaluationStats:
                 "joins": self.joins,
                 "rows_pulled": self.rows_pulled,
                 "early_exits": self.early_exits,
-                "peak_batch_rows": self.peak_batch_rows}
+                "peak_batch_rows": self.peak_batch_rows,
+                "groups_built": self.groups_built,
+                "accumulator_rows": self.accumulator_rows}
 
 
 class Evaluator:
@@ -496,6 +513,134 @@ class Evaluator:
             else table.variables + (node.var,)
         return SolutionTable(variables, rows)
 
+    def _fast_group_count(self, node: alg.Group,
+                          graph) -> Optional[SolutionTable]:
+        """Index-backed ``GROUP BY`` counting — no rows are produced.
+
+        Applies to ``Group(BGP)`` over a *single* triple pattern with a
+        constant predicate and distinct subject/object variables, grouped
+        by one of them, where every aggregate is a COUNT over the
+        pattern's variables (or ``COUNT(*)``).  On a set-semantics triple
+        store each such count equals the group's row count, which the
+        SPO/POS indexes answer directly (:meth:`Graph.count_objects_for` /
+        :meth:`Graph.count_subjects_for`): the whole aggregation runs in
+        one index sweep with zero solution rows, zero hashing, and zero
+        term decoding.  Group order matches the row-producing path (the
+        first-seen order of the ``so_pairs`` scan), so the result is
+        identical — not merely bag-equal — to the general path's.
+
+        This is a *streaming-plane* rewrite (used by :meth:`_stream_group`
+        only): the materialized ``Group`` deliberately keeps producing the
+        full input table so it remains the differential oracle and the
+        perf baseline the ``aggregation`` benchmark section measures
+        against.
+
+        Returns ``None`` when the shape does not apply.
+        """
+        pattern = node.pattern
+        if not isinstance(pattern, alg.BGP) or len(pattern.triples) != 1:
+            return None
+        if len(node.group_vars) != 1:
+            return None
+        s_term, p_term, o_term = pattern.triples[0]
+        if isinstance(p_term, Variable) or not isinstance(s_term, Variable) \
+                or not isinstance(o_term, Variable):
+            return None
+        s_name, o_name = s_term.name, o_term.name
+        if s_name == o_name:
+            return None
+        gvar = node.group_vars[0]
+        if gvar not in (s_name, o_name):
+            return None
+        for aggregate in node.aggregates:
+            if aggregate.function != "count":
+                return None
+            expr = aggregate.expression
+            if expr is None:  # COUNT(*): counts the group's rows
+                if aggregate.distinct:
+                    return None
+                continue
+            if type(expr) is not VarExpr or expr.name not in (s_name, o_name):
+                return None
+            if aggregate.distinct and expr.name == gvar:
+                # COUNT(DISTINCT ?g) GROUP BY ?g is 1, not the row count.
+                return None
+        if not hasattr(graph, "count_objects_for") \
+                or not hasattr(graph, "count_subjects_for"):
+            return None
+
+        self.stats.bgp_count += 1
+        out_vars = tuple(node.group_vars) + tuple(a.alias
+                                                  for a in node.aggregates)
+        pid = self.dictionary.lookup(p_term)
+        out_rows: List[tuple] = []
+        if pid is not None:
+            encode = self.dictionary.encode
+            decode = self.dictionary.decode
+            n_aggs = len(node.aggregates)
+            having = node.having
+            out_index = {v: i for i, v in enumerate(out_vars)}
+            group_on_subject = gvar == s_name
+            if group_on_subject and hasattr(graph, "subject_group_counts"):
+                # Subject-keyed groups: one allocation-free index sweep
+                # (a set-membership test per triple, an O(1) SPO count
+                # per group).
+                group_counts = graph.subject_group_counts(pid)
+            elif not group_on_subject \
+                    and hasattr(graph, "object_group_counts"):
+                # Object-keyed groups read straight off the POS index:
+                # O(groups), no per-triple work at all.
+                group_counts = graph.object_group_counts(pid)
+            else:
+                # Union views: one sweep over the deduplicated (s, o)
+                # pairs, counting per first-seen group — still no
+                # solution rows, hashing, or decoding.
+                count_objects = graph.count_objects_for
+                count_subjects = graph.count_subjects_for
+
+                def sweep():
+                    seen = set()
+                    for s, o in graph.so_pairs(pid):
+                        gid = s if group_on_subject else o
+                        if gid in seen:
+                            continue
+                        seen.add(gid)
+                        yield gid, (count_objects(gid, pid)
+                                    if group_on_subject
+                                    else count_subjects(pid, gid))
+
+                group_counts = sweep()
+            built = 0
+            count_ids: Dict[int, int] = {}  # count value -> term id
+            max_rows = self.max_rows
+            deadline = self.deadline
+            for gid, count in group_counts:
+                built += 1
+                # Same safety valves as row production elsewhere: a graph
+                # with an enormous group count is abandoned mid-sweep, not
+                # after the result is built.
+                if deadline is not None and not (built & 1023) \
+                        and time.perf_counter() > deadline:
+                    raise QueryTimeout(
+                        "query exceeded its time budget after %d groups "
+                        "of an index-backed aggregation" % built)
+                tid = count_ids.get(count)
+                if tid is None:
+                    tid = encode(Literal(count))
+                    count_ids[count] = tid
+                out_row = (gid,) + (tid,) * n_aggs
+                if having is not None \
+                        and not _passes_having(having, out_index,
+                                               out_row, decode):
+                    continue
+                out_rows.append(out_row)
+                if max_rows is not None and len(out_rows) > max_rows:
+                    raise EvaluationError(
+                        "intermediate result exceeds max_rows=%d "
+                        "(tripped mid-aggregation)" % max_rows)
+            self.stats.groups_built += built
+        return SolutionTable(out_vars, out_rows)
+
     def _eval_group(self, node: alg.Group, graph) -> SolutionTable:
         table = self.evaluate(node.pattern, graph)
         group_vars = node.group_vars
@@ -520,6 +665,7 @@ class Evaluator:
         else:
             # Implicit single group; COUNT over an empty pattern is 0.
             groups[()] = table.rows
+        self.stats.groups_built += len(groups)
 
         out_vars = tuple(group_vars) + tuple(a.alias
                                              for a in node.aggregates)
@@ -537,13 +683,10 @@ class Evaluator:
                     value = _apply_aggregate(aggregate, views)
                 cells.append(None if value is None else encode(value))
             out_row = tuple(cells)
-            if node.having is not None:
-                try:
-                    if not ebv(node.having.evaluate(
-                            RowView(out_index, out_row, decode))):
-                        continue
-                except ExpressionError:
-                    continue
+            if node.having is not None \
+                    and not _passes_having(node.having, out_index,
+                                           out_row, decode):
+                continue
             out_rows.append(out_row)
         return SolutionTable(out_vars, out_rows)
 
@@ -658,12 +801,14 @@ class Evaluator:
     #
     # ``stream`` mirrors ``evaluate`` but returns a lazily-pulled
     # :class:`TableStream`.  Operators with a ``_stream_`` form pipeline
-    # their input; anything else (Group, Minus, full OrderBy) is a
-    # pipeline breaker: its subtree is materialized via ``evaluate`` and
-    # emitted as a single batch.  Schemas are computed statically, so
-    # constructing a stream never pulls a row; breakers embedded in a
-    # subtree do their work when the subtree's stream is *constructed*
-    # (the build side of a join must exist before the first probe).
+    # their input; anything else (Minus, full OrderBy) is a pipeline
+    # breaker: its subtree is materialized via ``evaluate`` and emitted
+    # as a single batch.  ``Group`` streams too — a hash aggregation that
+    # folds its child's batches into per-group accumulators and emits one
+    # final batch.  Schemas are computed statically, so constructing a
+    # stream never pulls a row; breakers embedded in a subtree do their
+    # work when the subtree's stream is *constructed* (the build side of
+    # a join must exist before the first probe).
 
     def evaluate_query_stream(self, query: alg.Query,
                               default_graph_uri: Optional[str] = None,
@@ -780,6 +925,49 @@ class Evaluator:
         schema, _schemas, steps = self._bgp_steps(patterns, graph)
         if steps is None:
             return TableStream(schema, self._meter(iter(())))
+        if hint is None:
+            # No bound above: the consumer (a streaming Group, a join
+            # build, a full drain) will pull everything, so per-row
+            # depth-first granularity buys nothing and costs a generator
+            # resume per row.  Expand breadth-first instead — the first
+            # pattern materializes once, then each chunk of its rows runs
+            # through the remaining patterns with the same tight
+            # per-level loops as the materialized matcher.  The output
+            # row order is identical either way (both enumerate leaves in
+            # lexicographic probe order).
+            cap = STREAM_BATCH_ROWS
+            first, rest = steps[0], steps[1:]
+            n_rest = len(rest)
+
+            def expand(rows, level):
+                # Chunk at *every* level, not just the seed: a <= cap
+                # chunk with high fan-out would otherwise expand through
+                # all remaining patterns into one table-sized batch.
+                # Working set stays at one chunk's single-level fan-out;
+                # depth-first recursion over chunks preserves the
+                # lexicographic row order.
+                if level == n_rest:
+                    if len(rows) <= cap:
+                        yield rows
+                    else:
+                        for start in range(0, len(rows), cap):
+                            yield rows[start:start + cap]
+                    return
+                step = rest[level]
+                for start in range(0, len(rows), cap):
+                    out: List[tuple] = []
+                    step(rows[start:start + cap],
+                         self._guarded_append(out))
+                    if out:
+                        yield from expand(out, level + 1)
+
+            def batches():
+                seed: List[tuple] = []
+                first(((),), self._guarded_append(seed))
+                if seed:
+                    yield from expand(seed, 0)
+
+            return TableStream(schema, self._meter(batches()))
         last = len(steps) - 1
 
         def leaves(level, rows):
@@ -984,6 +1172,241 @@ class Evaluator:
                     return
 
         return TableStream(inner.variables, self._meter(batches()))
+
+    # -- aggregation: streaming hash groups ----------------------------
+
+    def _stream_group(self, node: alg.Group, graph,
+                      hint: Optional[int]) -> TableStream:
+        """Streaming hash aggregation: fold input batches into per-group
+        accumulator states as they arrive, emit one final batch.
+
+        ``Group`` is no longer a pipeline breaker: its input is *consumed*
+        incrementally (the child BGP/join pipeline runs batch by batch and
+        no input table is ever materialized); only the per-group states —
+        one small accumulator per aggregate per group — are held.  For
+        COUNT that state is an integer (or an id seen-set for DISTINCT);
+        SUM/MIN/MAX/AVG fold decoded numeric values as they stream by;
+        SAMPLE keeps the first value; GROUP_CONCAT appends lexical parts.
+        The single-pattern COUNT shape short-circuits to the index-backed
+        :meth:`_fast_group_count` and touches no rows at all.
+
+        Group keys hash dense int-id tuples (scalar ids for the common
+        one-variable GROUP BY), exactly like the materialized operator, so
+        group order is the first-seen order of the input stream and every
+        finished cell is bit-identical to :meth:`_eval_group`'s.
+        """
+        fast = self._fast_group_count(node, graph)
+        if fast is not None:
+            batches = iter((fast.rows,)) if fast.rows else iter(())
+            return TableStream(fast.variables, self._meter(batches))
+        inner = self.stream(node.pattern, graph, None)
+        out_vars = tuple(node.group_vars) + tuple(a.alias
+                                                  for a in node.aggregates)
+        index = inner.index
+        decode = self.dictionary.decode
+        encode = self.dictionary.encode
+        if len(node.aggregates) >= 2 and all(
+                (a.expression is None and not a.distinct)
+                or type(a.expression) is VarExpr
+                for a in node.aggregates):
+            # Several column aggregates over one group: appending one
+            # member tuple — only the columns the aggregates read — and
+            # batch-aggregating each column at emit (the materialized
+            # operator's own :func:`_aggregate_columnar`) beats driving
+            # N accumulators per row.  COUNT(DISTINCT *) is excluded: it
+            # needs full solutions, so it stays on the accumulator path.
+            return self._stream_group_members(node, inner, out_vars)
+        specs = [_compile_aggregate(a, index, decode)
+                 for a in node.aggregates]
+        group_vars = node.group_vars
+        positions = [index.get(v) for v in group_vars]
+        having = node.having
+        out_index = {v: i for i, v in enumerate(out_vars)}
+        stats = self.stats
+
+        # Scalar keys (the common one-variable GROUP BY) skip per-row
+        # tuple construction; the single-aggregate shape skips the
+        # state-list indirection.  Both mirror the materialized operator's
+        # own fast paths, so the same queries stay fast on both planes.
+        scalar = positions[0] if (len(positions) == 1
+                                  and positions[0] is not None) else None
+        if group_vars and scalar is None:
+            def key_of(row):
+                return tuple(None if p is None else row[p]
+                             for p in positions)
+        else:
+            def key_of(row):  # implicit single group
+                return ()
+
+        def batches():
+            groups: Dict = {}  # key -> aggregate state(s)
+            get = groups.get
+            folded = 0
+            if len(specs) == 1:
+                new0, fold0, _ = specs[0]
+                for batch in inner.batches:
+                    folded += len(batch)
+                    if scalar is not None:
+                        for row in batch:
+                            key = row[scalar]
+                            state = get(key)
+                            if state is None:
+                                groups[key] = state = new0()
+                            fold0(state, row)
+                    else:
+                        for row in batch:
+                            key = key_of(row)
+                            state = get(key)
+                            if state is None:
+                                groups[key] = state = new0()
+                            fold0(state, row)
+                finished = ((key, (state,))
+                            for key, state in groups.items())
+            else:
+                folds = [fold for _, fold, _ in specs]
+                if len(folds) == 2:
+                    f0, f1 = folds
+
+                    def fold_all(states, row):
+                        f0(states[0], row)
+                        f1(states[1], row)
+                elif len(folds) == 3:
+                    f0, f1, f2 = folds
+
+                    def fold_all(states, row):
+                        f0(states[0], row)
+                        f1(states[1], row)
+                        f2(states[2], row)
+                else:
+                    def fold_all(states, row):
+                        i = 0
+                        for fold in folds:
+                            fold(states[i], row)
+                            i += 1
+                for batch in inner.batches:
+                    folded += len(batch)
+                    for row in batch:
+                        key = row[scalar] if scalar is not None \
+                            else key_of(row)
+                        states = get(key)
+                        if states is None:
+                            states = [new() for new, _, _ in specs]
+                            groups[key] = states
+                        fold_all(states, row)
+                finished = groups.items()
+            if not group_vars and not groups:
+                # Implicit single group over empty input: COUNT is 0.
+                groups[()] = [new() for new, _, _ in specs]
+                finished = groups.items()
+            stats.accumulator_rows += folded
+            stats.groups_built += len(groups)
+            out_rows: List[tuple] = []
+            for key, states in finished:
+                cells = [key] if scalar is not None else list(key)
+                for (_, _, finish), state in zip(specs, states):
+                    value = finish(state)
+                    cells.append(None if value is None else encode(value))
+                out_row = tuple(cells)
+                if having is not None \
+                        and not _passes_having(having, out_index,
+                                               out_row, decode):
+                    continue
+                out_rows.append(out_row)
+            if out_rows:
+                yield out_rows
+
+        return TableStream(out_vars, self._meter(batches()))
+
+    def _stream_group_members(self, node: alg.Group, inner: TableStream,
+                              out_vars) -> TableStream:
+        """Member grouping for multi-aggregate column-only Groups.
+
+        One ``list.append`` per input row while the child stream drains —
+        of a *projected* member tuple holding only the columns the
+        aggregates read, so wide input rows are never retained.  Each
+        group's columns are then aggregated in one batch pass per
+        aggregate — the same :func:`_aggregate_columnar` math the
+        materialized operator runs, so cells are bit-identical.
+        """
+        index = inner.index
+        decode = self.dictionary.decode
+        encode = self.dictionary.encode
+        group_vars = node.group_vars
+        positions = [index.get(v) for v in group_vars]
+        having = node.having
+        out_index = {v: i for i, v in enumerate(out_vars)}
+        stats = self.stats
+        scalar = positions[0] if (len(positions) == 1
+                                  and positions[0] is not None) else None
+        # Project members down to the aggregated columns.  COUNT(*)
+        # needs only multiplicity, so an all-COUNT(*) Group keeps empty
+        # tuples; _aggregate_columnar reads the members through the
+        # narrowed schema below.
+        needed: List[str] = []
+        for aggregate in node.aggregates:
+            expr = aggregate.expression
+            if expr is not None and expr.name in index \
+                    and expr.name not in needed:
+                needed.append(expr.name)
+        member_pos = [index[v] for v in needed]
+        member_index = {v: i for i, v in enumerate(needed)}
+        if len(member_pos) == 1:
+            mp0 = member_pos[0]
+
+            def member_of(row):
+                return (row[mp0],)
+        else:
+            def member_of(row):
+                return tuple(row[p] for p in member_pos)
+
+        def batches():
+            groups: Dict = {}  # key -> projected member tuples
+            get = groups.get
+            folded = 0
+            for batch in inner.batches:
+                folded += len(batch)
+                if scalar is not None:
+                    for row in batch:
+                        key = row[scalar]
+                        members = get(key)
+                        if members is None:
+                            groups[key] = members = []
+                        members.append(member_of(row))
+                elif group_vars:
+                    for row in batch:
+                        key = tuple(None if p is None else row[p]
+                                    for p in positions)
+                        members = get(key)
+                        if members is None:
+                            groups[key] = members = []
+                        members.append(member_of(row))
+                else:
+                    for row in batch:
+                        members = get(())
+                        if members is None:
+                            groups[()] = members = []
+                        members.append(member_of(row))
+            if not group_vars and not groups:
+                groups[()] = []  # implicit single group: COUNT is 0
+            stats.accumulator_rows += folded
+            stats.groups_built += len(groups)
+            out_rows: List[tuple] = []
+            for key, members in groups.items():
+                cells = [key] if scalar is not None else list(key)
+                for aggregate in node.aggregates:
+                    value = _aggregate_columnar(aggregate, members,
+                                                member_index, decode)
+                    cells.append(None if value is None else encode(value))
+                out_row = tuple(cells)
+                if having is not None \
+                        and not _passes_having(having, out_index,
+                                               out_row, decode):
+                    continue
+                out_rows.append(out_row)
+            if out_rows:
+                yield out_rows
+
+        return TableStream(out_vars, self._meter(batches()))
 
     # -- joins: build side materialized, probe side streamed -----------
 
@@ -1261,6 +1684,17 @@ def _common_vars(left: alg.AlgebraNode, right: alg.AlgebraNode) -> List[str]:
 _SLOW = object()
 
 
+def _passes_having(having, out_index, out_row, decode) -> bool:
+    """SPARQL HAVING over one finished group row (grouping variables +
+    aggregate aliases): errors eliminate the group, exactly like FILTER.
+    The single definition keeps the materialized, streaming, and
+    index-backed Group paths from diverging on error semantics."""
+    try:
+        return ebv(having.evaluate(RowView(out_index, out_row, decode)))
+    except ExpressionError:
+        return False
+
+
 def _aggregate_columnar(aggregate: alg.Aggregate, rows, index, decode):
     """Aggregate directly over id columns when the aggregate expression is
     a bare variable (the dominant case: COUNT(?m), SUM(?y), ...).
@@ -1273,6 +1707,8 @@ def _aggregate_columnar(aggregate: alg.Aggregate, rows, index, decode):
     if expr is None:  # COUNT(*)
         if aggregate.function != "count":
             raise EvaluationError("only COUNT supports *")
+        if aggregate.distinct:  # COUNT(DISTINCT *): distinct solutions
+            return Literal(len(set(rows)))
         return Literal(len(rows))
     if type(expr) is not VarExpr:
         return _SLOW
@@ -1292,7 +1728,8 @@ def _aggregate_columnar(aggregate: alg.Aggregate, rows, index, decode):
     if aggregate.function == "count":
         return Literal(len(ids))
     return _finish_aggregate(aggregate.function,
-                             [decode(tid) for tid in ids])
+                             [decode(tid) for tid in ids],
+                             aggregate.separator)
 
 
 def _apply_aggregate(aggregate: alg.Aggregate, members):
@@ -1301,6 +1738,12 @@ def _apply_aggregate(aggregate: alg.Aggregate, members):
     if aggregate.expression is None:  # COUNT(*)
         if aggregate.function != "count":
             raise EvaluationError("only COUNT supports *")
+        if aggregate.distinct:
+            # COUNT(DISTINCT *): count distinct solutions.  Mappings are
+            # keyed by their sorted (variable, term) items; sorting never
+            # compares terms because dict keys are unique.
+            return Literal(len({tuple(sorted(mu.items()))
+                                for mu in members}))
         return Literal(len(members))
     for mu in members:
         try:
@@ -1315,25 +1758,341 @@ def _apply_aggregate(aggregate: alg.Aggregate, members):
                 seen.add(value)
                 unique.append(value)
         values = unique
-    return _finish_aggregate(aggregate.function, values)
+    return _finish_aggregate(aggregate.function, values, aggregate.separator)
 
 
-def _finish_aggregate(function: str, values):
+def _value_accumulator(function: str, separator: Optional[str]):
+    """``(new_state, fold(state, term), finish(state))`` over term values.
+
+    The per-group accumulator core of the streaming ``Group``: states are
+    tiny mutable lists folded one value at a time.  Numeric folds replicate
+    :func:`_finish_aggregate` exactly — same left-to-right addition order
+    (so float sums are bit-identical), same poison rule (one non-numeric
+    value makes the whole aggregate an error -> unbound), same datatype
+    promotion flags.
+    """
+    if function == "sample":
+        def new_state():
+            return [None, False]
+
+        def fold(state, value):
+            if not state[1]:
+                state[0] = value
+                state[1] = True
+
+        def finish(state):
+            return state[0]
+    elif function == "group_concat":
+        new_state = list
+        sep = " " if separator is None else separator
+
+        def fold(state, value):
+            state.append(value.lexical if isinstance(value, Literal)
+                         else str(value))
+
+        def finish(state):
+            return Literal(sep.join(state))
+    elif function in ("min", "max"):
+        smaller = function == "min"
+
+        def new_state():
+            # [best, any_value_seen, poisoned]
+            return [None, False, False]
+
+        def fold(state, value):
+            state[1] = True
+            if state[2]:
+                return
+            if not (isinstance(value, Literal) and value.is_numeric):
+                state[2] = True
+                return
+            number = value.value
+            best = state[0]
+            if best is None:
+                state[0] = number
+            elif (number < best) if smaller else (best < number):
+                state[0] = number
+
+        def finish(state):
+            if state[2] or not state[1]:
+                return None
+            return Literal(state[0])
+    elif function in ("sum", "avg"):
+        def new_state():
+            # [total, n, poisoned, saw_double, saw_non_integer]
+            return [0, 0, False, False, False]
+
+        def fold(state, value):
+            if state[2]:
+                return
+            if not (isinstance(value, Literal) and value.is_numeric):
+                state[2] = True
+                return
+            state[0] += value.value
+            state[1] += 1
+            if value.datatype == XSD_DOUBLE:
+                state[3] = True
+            elif value.datatype != XSD_INTEGER:
+                state[4] = True
+
+        if function == "sum":
+            def finish(state):
+                if state[2]:
+                    return None
+                if not state[1]:
+                    return Literal(0)
+                return _numeric_literal(state[0], state[3], state[4])
+        else:
+            def finish(state):
+                if state[2] or not state[1]:
+                    return None
+                return _numeric_literal(state[0] / state[1], state[3], True)
+    else:
+        raise EvaluationError("unknown aggregate %r" % function)
+    return new_state, fold, finish
+
+
+def _compile_aggregate(aggregate: alg.Aggregate, index: Dict[str, int],
+                       decode):
+    """Compile one aggregate into ``(new_state, fold(state, row), finish)``.
+
+    The row-level face of :func:`_value_accumulator`, specialized once per
+    Group per aggregate on the input schema:
+
+    * COUNT folds without decoding anything — plain integer bumps, or an
+      id seen-set for ``COUNT(DISTINCT ?x)`` (id equality is term
+      equality, the same dedup the materialized fast path uses);
+    * bare-variable value aggregates read the id column, dedupe on ids
+      when DISTINCT, and decode one term per folded value;
+    * complex expressions evaluate through a lazy :class:`RowView` per
+      row, with SPARQL error semantics (an erroring row contributes no
+      value), and dedupe on term values when DISTINCT.
+
+    ``finish`` returns a term (or ``None`` for unbound); results are
+    bit-identical to the materialized operator's
+    :func:`_aggregate_columnar` / :func:`_apply_aggregate` path.
+    """
+    function = aggregate.function
+    expr = aggregate.expression
+    if expr is None:  # COUNT(*)
+        if function != "count":
+            raise EvaluationError("only COUNT supports *")
+        if aggregate.distinct:  # COUNT(DISTINCT *): distinct solutions
+            new_state = set
+
+            def fold(state, row):
+                state.add(row)
+
+            def finish(state):
+                return Literal(len(state))
+        else:
+            def new_state():
+                return [0]
+
+            def fold(state, row):
+                state[0] += 1
+
+            def finish(state):
+                return Literal(state[0])
+
+        return new_state, fold, finish
+
+    if type(expr) is VarExpr:
+        pos = index.get(expr.name)
+        if function == "count":
+            if not aggregate.distinct:
+                def new_state():
+                    return [0]
+
+                if pos is None:
+                    def fold(state, row):
+                        pass
+                else:
+                    def fold(state, row):
+                        if row[pos] is not None:
+                            state[0] += 1
+
+                def finish(state):
+                    return Literal(state[0])
+            else:
+                new_state = set
+                if pos is None:
+                    def fold(state, row):
+                        pass
+                else:
+                    def fold(state, row):
+                        tid = row[pos]
+                        if tid is not None:
+                            state.add(tid)
+
+                def finish(state):
+                    return Literal(len(state))
+            return new_state, fold, finish
+
+        # Value aggregates over an id column fold each decoded value into
+        # the incremental :func:`_value_accumulator` state — O(1) per
+        # group for the numerics (running totals, same left-to-right
+        # addition order and poison/promotion flags as the materialized
+        # path, so results match bit for bit).  SAMPLE keeps only the
+        # first id; DISTINCT dedupes on ids before folding.
+        if function == "sample":
+            def new_state():
+                return [None]
+
+            if pos is None:
+                def fold(state, row):
+                    pass
+            else:
+                # First id, DISTINCT or not: dedup cannot change values[0].
+                def fold(state, row):
+                    if state[0] is None:
+                        state[0] = row[pos]
+
+            def finish(state):
+                return None if state[0] is None else decode(state[0])
+
+            return new_state, fold, finish
+        value_new, value_fold, value_finish = _value_accumulator(
+            function, aggregate.separator)
+        if aggregate.distinct:
+            def new_state():
+                return (set(), value_new())
+
+            if pos is None:
+                def fold(state, row):
+                    pass
+            else:
+                def fold(state, row):
+                    tid = row[pos]
+                    if tid is not None and tid not in state[0]:
+                        state[0].add(tid)
+                        value_fold(state[1], decode(tid))
+
+            def finish(state):
+                return value_finish(state[1])
+        else:
+            new_state = value_new
+            if pos is None:
+                def fold(state, row):
+                    pass
+            else:
+                def fold(state, row):
+                    tid = row[pos]
+                    if tid is not None:
+                        value_fold(state, decode(tid))
+
+            finish = value_finish
+        return new_state, fold, finish
+
+    # Complex expression: per-row lazy evaluation, error rows skipped.
+    expression = expr
+    if function == "count":
+        if aggregate.distinct:
+            new_state = set
+
+            def fold(state, row):
+                try:
+                    state.add(expression.evaluate(RowView(index, row,
+                                                          decode)))
+                except ExpressionError:
+                    pass
+
+            def finish(state):
+                return Literal(len(state))
+        else:
+            def new_state():
+                return [0]
+
+            def fold(state, row):
+                try:
+                    expression.evaluate(RowView(index, row, decode))
+                except ExpressionError:
+                    return
+                state[0] += 1
+
+            def finish(state):
+                return Literal(state[0])
+        return new_state, fold, finish
+
+    value_new, value_fold, value_finish = _value_accumulator(
+        function, aggregate.separator)
+    if aggregate.distinct:
+        def new_state():
+            return (set(), value_new())
+
+        def fold(state, row):
+            try:
+                value = expression.evaluate(RowView(index, row, decode))
+            except ExpressionError:
+                return
+            if value not in state[0]:
+                state[0].add(value)
+                value_fold(state[1], value)
+
+        def finish(state):
+            return value_finish(state[1])
+    else:
+        new_state = value_new
+
+        def fold(state, row):
+            try:
+                value = expression.evaluate(RowView(index, row, decode))
+            except ExpressionError:
+                return
+            value_fold(state, value)
+
+        finish = value_finish
+    return new_state, fold, finish
+
+
+def _numeric_literal(number, saw_double: bool,
+                     saw_non_integer: bool) -> Literal:
+    """A SUM/AVG result literal with SPARQL's numeric type promotion.
+
+    Integer inputs promote to ``xsd:decimal`` when the operation leaves
+    the integers (AVG divides; a decimal operand infects a SUM); any
+    ``xsd:double`` operand makes the result a double.  Earlier revisions
+    let Python's float arithmetic turn every non-integer result into
+    ``xsd:double``, so ``AVG`` over int/decimal columns silently changed
+    datatype; the value itself was and is the same.
+    """
+    if saw_double:
+        return Literal(float(number))
+    if saw_non_integer or isinstance(number, float):
+        lexical = repr(float(number))
+        if "e" in lexical or "E" in lexical:
+            # XSD decimal forbids exponent notation; expand to the exact
+            # plain form of the shortest-round-trip float repr.
+            lexical = format(Decimal(lexical), "f")
+        if lexical.endswith(".0"):
+            lexical = lexical[:-2]
+        return Literal(lexical, datatype=XSD_DECIMAL)
+    return Literal(number)
+
+
+def _finish_aggregate(function: str, values, separator: Optional[str] = None):
     if function == "count":
         return Literal(len(values))
     if function == "sample":
         return values[0] if values else None
     if function == "group_concat":
         parts = [v.lexical if isinstance(v, Literal) else str(v) for v in values]
-        return Literal(" ".join(parts))
+        return Literal((" " if separator is None else separator).join(parts))
     numbers = []
+    saw_double = saw_non_integer = False
     for value in values:
         if isinstance(value, Literal) and value.is_numeric:
             numbers.append(value.value)
+            if value.datatype == XSD_DOUBLE:
+                saw_double = True
+            elif value.datatype != XSD_INTEGER:
+                saw_non_integer = True
         else:
             return None  # type error -> aggregate is an error -> unbound
     if function == "sum":
-        return Literal(sum(numbers) if numbers else 0)
+        if not numbers:
+            return Literal(0)
+        return _numeric_literal(sum(numbers), saw_double, saw_non_integer)
     if not numbers:
         return None
     if function == "min":
@@ -1341,7 +2100,8 @@ def _finish_aggregate(function: str, values):
     if function == "max":
         return Literal(max(numbers))
     if function == "avg":
-        return Literal(sum(numbers) / len(numbers))
+        return _numeric_literal(sum(numbers) / len(numbers), saw_double,
+                                True)
     raise EvaluationError("unknown aggregate %r" % function)
 
 

@@ -20,6 +20,7 @@ and the group's filters wrap the result.
 
 from __future__ import annotations
 
+import re
 from typing import List, Optional, Tuple
 
 from ..rdf.namespaces import DEFAULT_PREFIXES, RDF
@@ -31,6 +32,12 @@ from .expressions import (AndExpr, ArithmeticExpr, CompareExpr, ConstExpr,
 from .tokenizer import Token, tokenize
 
 _AGG_KEYWORDS = ("COUNT", "SUM", "MIN", "MAX", "AVG", "SAMPLE", "GROUP_CONCAT")
+
+#: SPARQL string-literal escape sequences (ECHAR).  Unknown sequences
+#: keep their backslash verbatim, matching the previous lenient behavior.
+_STRING_ESCAPE = re.compile(r"\\(.)", re.DOTALL)
+_STRING_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "b": "\b", "f": "\f",
+                   '"': '"', "'": "'", "\\": "\\"}
 
 _BUILTIN_FUNCTIONS = frozenset("""
     regex str lang datatype bound isiri isuri isliteral isblank isnumeric
@@ -453,8 +460,11 @@ class Parser:
             text = raw[3:-3]
         else:
             text = raw[1:-1]
-        text = (text.replace("\\n", "\n").replace("\\t", "\t")
-                .replace('\\"', '"').replace("\\'", "'").replace("\\\\", "\\"))
+        # Single-pass unescape: sequential str.replace corrupts adjacent
+        # sequences (r"\\n" — escaped backslash, then 'n' — would first
+        # match the inner r"\n" and turn into backslash+newline).
+        text = _STRING_ESCAPE.sub(
+            lambda m: _STRING_ESCAPES.get(m.group(1), m.group(0)), text)
         datatype = None
         language = None
         if self.accept("DTYPE"):
@@ -611,6 +621,8 @@ class Parser:
         The aggregate is appended to ``aggs`` (synthesizing an alias) and a
         variable reference to that alias is returned, so the surrounding
         expression evaluates against pre-computed per-group values.
+        ``GROUP_CONCAT`` additionally accepts the standard
+        ``; SEPARATOR="..."`` modifier.
         """
         token = self.next()
         function = token.value.lower()
@@ -622,10 +634,24 @@ class Parser:
             expression = None
         else:
             expression = self._parse_expression()
+        separator = None
+        if self.accept("PUNCT", ";"):
+            word = self.next()
+            if not (word.kind == "NAME" and word.value.upper() == "SEPARATOR"):
+                raise ParseError("expected SEPARATOR", word)
+            if function != "group_concat":
+                raise ParseError("SEPARATOR only applies to GROUP_CONCAT",
+                                 word)
+            self.expect("OP", "=")
+            if self.peek().kind != "STRING":
+                raise ParseError("SEPARATOR expects a string literal",
+                                 self.peek())
+            separator = self._parse_string_literal().lexical
         self.expect("PUNCT", ")")
         self._synthetic_counter += 1
         alias = "__agg_%d" % self._synthetic_counter
-        aggregate = alg.Aggregate(function, expression, alias, distinct)
+        aggregate = alg.Aggregate(function, expression, alias, distinct,
+                                  separator=separator)
         aggs.append(aggregate)
         return VarExpr(alias)
 

@@ -8,6 +8,11 @@ explicit pipeline of rewrite passes:
 * ``FilterPushdown``   — move filters below joins/unions toward the data,
 * ``ProjectionPruning`` — collapse and remove redundant projections,
 * ``BGPMerge``         — fuse adjacent basic graph patterns into one scope,
+* ``AggregatePushdown`` — narrow pre-``Group`` projections to the grouping
+  and aggregated variables only, so aggregations consume (and the
+  streaming hash ``Group`` keys on) exactly the columns they read; plans
+  containing a ``Group`` are annotated streaming so the engine routes
+  them through the pipelined executor's hash-aggregation path,
 * ``LimitPushdown``    — fuse nested slices, push ``Slice`` bounds through
   cardinality-and-order-preserving spines (``Project``), and fuse
   ``Slice`` over ``OrderBy`` into a single bounded-sort :class:`~.algebra.TopK`
@@ -80,9 +85,12 @@ class Plan:
         self.output_variables = output_variables(query)
         self.executions = 0
         # True when the tree carries a row bound (TopK, or Slice with a
-        # limit): the engine then evaluates the plan on the pipelined
-        # streaming executor so the bound can short-circuit row production.
-        self.streaming = plan_is_bounded(query.pattern)
+        # limit) or an aggregation (Group): the engine then evaluates the
+        # plan on the pipelined streaming executor, where a bound
+        # short-circuits row production and Group runs as a streaming
+        # hash aggregation over its child pipeline.
+        self.streaming = (plan_is_bounded(query.pattern)
+                          or plan_has_aggregate(query.pattern))
 
     @property
     def total_changes(self) -> int:
@@ -128,6 +136,17 @@ def plan_is_bounded(node: alg.AlgebraNode) -> bool:
     if isinstance(node, alg.Slice) and node.limit is not None:
         return True
     return any(plan_is_bounded(child) for child in node.children())
+
+
+def plan_has_aggregate(node: alg.AlgebraNode) -> bool:
+    """True when the tree contains a ``Group``.  Such plans benefit from
+    the streaming executor even without a row bound: the streaming hash
+    ``Group`` folds its input into per-group accumulators instead of
+    materializing the pre-aggregation table, and the single-pattern COUNT
+    shape collapses into index-backed counting."""
+    if isinstance(node, alg.Group):
+        return True
+    return any(plan_has_aggregate(child) for child in node.children())
 
 
 # ----------------------------------------------------------------------
@@ -356,7 +375,59 @@ def bgp_merge(node: alg.AlgebraNode) -> PassResult:
 
 
 # ----------------------------------------------------------------------
-# Pass 4: LimitPushdown
+# Pass 4: AggregatePushdown
+# ----------------------------------------------------------------------
+
+def aggregate_pushdown(node: alg.AlgebraNode) -> PassResult:
+    """Shrink the data flowing into aggregations.
+
+    ``Group`` reads only its grouping variables and the variables its
+    aggregate expressions mention; everything else its child carries is
+    dead weight — columns hashed into no key and folded into no
+    accumulator.  When the child is an explicit projection (the shape the
+    RDFFrames generator emits for grouped subqueries), the projection is
+    narrowed to exactly the needed variables, in their original order.
+    Multiplicity is untouched (a projection is a per-row map), so every
+    aggregate — including ``COUNT(*)`` — sees the same bag of groups.
+
+    ``HAVING`` needs no extra columns: it is evaluated over the *output*
+    row (grouping variables + aggregate aliases), never over the input.
+
+    This narrowing is what lets the streaming hash ``Group`` key on thin
+    id tuples, and it frequently exposes the single-pattern COUNT shape
+    that the evaluator answers straight from the graph indexes.
+    """
+    changes = 0
+
+    def visit(n: alg.AlgebraNode) -> alg.AlgebraNode:
+        nonlocal changes
+        children = [visit(child) for child in n.children()]
+        n = _rebuild(n, children) if children else n
+        if not isinstance(n, alg.Group):
+            return n
+        child = n.pattern
+        if not isinstance(child, alg.Project) or child.variables is None:
+            return n
+        if any(a.expression is None and a.distinct for a in n.aggregates):
+            # COUNT(DISTINCT *) counts distinct whole solutions — every
+            # column is semantically significant, nothing can be pruned.
+            return n
+        needed = set(n.group_vars)
+        for aggregate in n.aggregates:
+            if aggregate.expression is not None:
+                needed |= expression_variables(aggregate.expression)
+        keep = [v for v in child.variables if v in needed]
+        if len(keep) == len(child.variables):
+            return n
+        changes += 1
+        return alg.Group(alg.Project(child.pattern, keep),
+                         n.group_vars, n.aggregates, n.having)
+
+    return visit(node), changes
+
+
+# ----------------------------------------------------------------------
+# Pass 5: LimitPushdown
 # ----------------------------------------------------------------------
 
 def limit_pushdown(node: alg.AlgebraNode) -> PassResult:
@@ -435,7 +506,7 @@ def limit_pushdown(node: alg.AlgebraNode) -> PassResult:
 
 
 # ----------------------------------------------------------------------
-# Pass 5: JoinOrdering (plan-time selectivity ordering)
+# Pass 6: JoinOrdering (plan-time selectivity ordering)
 # ----------------------------------------------------------------------
 
 def make_join_ordering(graph, dataset=None) -> PassFn:
@@ -495,6 +566,7 @@ DEFAULT_PASSES: Tuple[Tuple[str, PassFn], ...] = (
     ("FilterPushdown", filter_pushdown),
     ("ProjectionPruning", projection_pruning),
     ("BGPMerge", bgp_merge),
+    ("AggregatePushdown", aggregate_pushdown),
     ("LimitPushdown", limit_pushdown),
 )
 

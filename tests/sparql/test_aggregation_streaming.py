@@ -1,0 +1,596 @@
+"""Differential + behavioral suite for streaming hash aggregation.
+
+Three execution planes answer every grouped query here:
+
+* ``streaming``    — ``Engine(streaming=True)``: ``Group`` runs as a
+  streaming hash aggregation (or the index-backed COUNT fast path),
+* ``materialized`` — ``Engine(streaming=False)``: the table-at-a-time
+  ``Group`` operator, the differential oracle,
+* ``reference``    — ``Engine(columnar=False)``: the seed dict-based
+  evaluator.
+
+They must agree on the case studies and on a synthetic grouped workload
+covering every aggregate function, DISTINCT variants, HAVING, implicit
+groups, and unbound inputs.  The streaming plane must additionally
+*prove* its behavior through the ``groups_built`` / ``accumulator_rows``
+/ ``rows_pulled`` counters — in particular that the single-pattern COUNT
+shape touches no rows at all.
+
+The ``TestAggregateBugfixes`` classes pin the GROUP_CONCAT separator and
+AVG/SUM numeric-promotion behavior (previously untested) on all planes.
+"""
+
+import pytest
+
+from repro.data import DBPEDIA_URI, build_dataset
+from repro.rdf import (Dataset, Graph, Literal, TermDictionary, URIRef)
+from repro.rdf.terms import XSD_DECIMAL, XSD_DOUBLE, XSD_INTEGER
+from repro.sparql import Engine
+from repro.workload import CASE_STUDIES, get_case_study
+
+PFX = """
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX dbpp: <http://dbpedia.org/property/>
+PREFIX dbpo: <http://dbpedia.org/ontology/>
+PREFIX x: <http://x/>
+"""
+
+COUNT_FILMS = PFX + """
+SELECT ?actor (COUNT(?film) AS ?n) WHERE {
+    ?film dbpp:starring ?actor .
+} GROUP BY ?actor"""
+
+AVG_RUNTIME = PFX + """
+SELECT ?country (AVG(?rt) AS ?mean) WHERE {
+    ?film dbpp:country ?country .
+    ?film dbpo:runtime ?rt .
+} GROUP BY ?country"""
+
+
+def uri(name):
+    return URIRef("http://x/" + name)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset(scale=0.05)
+
+
+@pytest.fixture(scope="module")
+def engines(dataset):
+    return {
+        "streaming": Engine(dataset, streaming=True),
+        "materialized": Engine(dataset, streaming=False),
+        "reference": Engine(dataset, columnar=False),
+    }
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    """A handcrafted graph exercising aggregation edge cases: unbound
+    cells (OPTIONAL), duplicate values over a multi-valued predicate,
+    mixed numeric datatypes, and non-numeric values."""
+    d = TermDictionary()
+    ds = Dataset()
+    g = Graph("http://g", dictionary=d)
+    for i in range(12):
+        g.add(uri("m%d" % i), uri("type"), uri("Film"))
+        g.add(uri("m%d" % i), uri("starring"), uri("a%d" % (i % 4)))
+        g.add(uri("m%d" % i), uri("year"), Literal(1990 + i))
+    # A second starring edge for some films: multi-valued fan-out.
+    for i in range(0, 12, 3):
+        g.add(uri("m%d" % i), uri("starring"), uri("a%d" % ((i + 1) % 4)))
+    # Mixed numeric datatypes on one predicate.
+    g.add(uri("m0"), uri("score"), Literal(7))                      # integer
+    g.add(uri("m1"), uri("score"), Literal("7.5", XSD_DECIMAL))     # decimal
+    g.add(uri("m2"), uri("score"), Literal(8.0))                    # double
+    # A predicate whose objects are not numeric (poisons SUM/AVG).
+    g.add(uri("m0"), uri("tag"), Literal("good"))
+    g.add(uri("m1"), uri("tag"), Literal("bad"))
+    for i in range(4):
+        if i != 3:  # a3 has no birthplace: OPTIONAL leaves it unbound
+            g.add(uri("a%d" % i), uri("born"), uri("c%d" % (i % 2)))
+        g.add(uri("a%d" % i), uri("label"), Literal("Actor %d" % i))
+    ds.add_graph(g)
+    return ds
+
+
+def small_engines(small_dataset):
+    return {
+        "streaming": Engine(small_dataset, streaming=True),
+        "materialized": Engine(small_dataset, streaming=False),
+        "reference": Engine(small_dataset, columnar=False),
+    }
+
+
+def row_bag(result):
+    """Order-insensitive fingerprint with columns keyed by name."""
+    order = sorted(range(len(result.variables)),
+                   key=lambda i: result.variables[i])
+    return sorted(tuple(repr(row[i]) for i in order) for row in result.rows)
+
+
+GROUPED_CORPUS = [
+    # Index-backed COUNT shapes (single pattern, constant predicate)
+    "SELECT ?a (COUNT(?m) AS ?n) WHERE { ?m x:starring ?a } GROUP BY ?a",
+    "SELECT ?a (COUNT(DISTINCT ?m) AS ?n) WHERE { ?m x:starring ?a } GROUP BY ?a",
+    "SELECT ?m (COUNT(?a) AS ?n) WHERE { ?m x:starring ?a } GROUP BY ?m",
+    "SELECT ?a (COUNT(*) AS ?n) WHERE { ?m x:starring ?a } GROUP BY ?a",
+    """SELECT ?a (COUNT(?m) AS ?n) WHERE { ?m x:starring ?a }
+        GROUP BY ?a HAVING (COUNT(?m) >= 3)""",
+    # General streaming hash aggregation over multi-pattern BGPs
+    """SELECT ?a (COUNT(?m) AS ?n) (MIN(?y) AS ?lo) (MAX(?y) AS ?hi)
+        WHERE { ?m x:starring ?a . ?m x:year ?y } GROUP BY ?a""",
+    """SELECT ?a (SUM(?y) AS ?s) (AVG(?y) AS ?mean)
+        WHERE { ?m x:starring ?a . ?m x:year ?y } GROUP BY ?a""",
+    """SELECT ?a (SAMPLE(?y) AS ?one)
+        WHERE { ?m x:starring ?a . ?m x:year ?y } GROUP BY ?a""",
+    """SELECT ?a (GROUP_CONCAT(?l) AS ?labels)
+        WHERE { ?m x:starring ?a . ?a x:label ?l } GROUP BY ?a""",
+    # DISTINCT value aggregates
+    """SELECT ?c (COUNT(DISTINCT ?a) AS ?n) (SUM(?y) AS ?s)
+        WHERE { ?m x:starring ?a . ?a x:born ?c . ?m x:year ?y }
+        GROUP BY ?c""",
+    """SELECT ?a (SUM(DISTINCT ?y) AS ?s)
+        WHERE { ?m x:starring ?a . ?m x:year ?y } GROUP BY ?a""",
+    # Multi-variable grouping keys
+    """SELECT ?a ?c (COUNT(?m) AS ?n)
+        WHERE { ?m x:starring ?a . ?a x:born ?c } GROUP BY ?a ?c""",
+    # Group over OPTIONAL: unbound key and unbound aggregated column
+    """SELECT ?c (COUNT(?a) AS ?n)
+        WHERE { ?m x:starring ?a OPTIONAL { ?a x:born ?c } } GROUP BY ?c""",
+    """SELECT ?a (COUNT(?c) AS ?n) (SAMPLE(?c) AS ?any)
+        WHERE { ?m x:starring ?a OPTIONAL { ?a x:born ?c } } GROUP BY ?a""",
+    # Complex aggregate expressions (per-row evaluation path)
+    """SELECT ?a (SUM(?y - 1990) AS ?s)
+        WHERE { ?m x:starring ?a . ?m x:year ?y } GROUP BY ?a""",
+    # Implicit single group
+    "SELECT (COUNT(*) AS ?n) WHERE { ?m x:starring ?a }",
+    "SELECT (COUNT(*) AS ?n) (SUM(?y) AS ?s) WHERE { ?m x:nope ?y }",
+    "SELECT (AVG(?y) AS ?mean) WHERE { ?m x:nope ?y }",
+    # Poisoned numeric aggregates (non-numeric values -> unbound)
+    "SELECT ?m (SUM(?t) AS ?s) WHERE { ?m x:tag ?t } GROUP BY ?m",
+    "SELECT (AVG(?t) AS ?mean) WHERE { ?m x:tag ?t }",
+    # Aggregation over a subquery (projection narrowing applies)
+    """SELECT ?a (COUNT(?m) AS ?n) WHERE {
+        { SELECT ?m ?a ?y WHERE { ?m x:starring ?a . ?m x:year ?y } }
+    } GROUP BY ?a""",
+    # Bounded grouped query: TopK over Group
+    """SELECT ?a (COUNT(?m) AS ?n) WHERE { ?m x:starring ?a }
+        GROUP BY ?a ORDER BY DESC(?n) ?a LIMIT 3""",
+]
+
+
+@pytest.mark.parametrize("query", GROUPED_CORPUS,
+                         ids=range(len(GROUPED_CORPUS)))
+def test_grouped_corpus_identical_across_planes(small_dataset, query):
+    engines = small_engines(small_dataset)
+    results = {plane: engine.query(PFX + query,
+                                   default_graph_uri="http://g")
+               for plane, engine in engines.items()}
+    want = row_bag(results["reference"])
+    assert row_bag(results["materialized"]) == want
+    assert row_bag(results["streaming"]) == want
+
+
+class TestCaseStudyPlanes:
+    """The paper's case-study pipelines (which all aggregate) under
+    streaming='auto': aggregate plans route through the new path and
+    still match the other planes."""
+
+    @pytest.fixture(params=[cs.key for cs in CASE_STUDIES])
+    def case_study(self, request):
+        return get_case_study(request.param)
+
+    def test_auto_routing_matches_reference(self, dataset, case_study):
+        auto = Engine(dataset)  # streaming='auto'
+        reference = Engine(dataset, columnar=False)
+        frame = case_study.frame()
+        got = auto.query_model(frame.query_model())
+        want = reference.query(frame.to_sparql())
+        assert row_bag(got) == row_bag(want)
+
+
+class TestStreamingRouting:
+    def test_aggregate_plan_is_annotated_streaming(self, engines):
+        plan = engines["streaming"].plan(COUNT_FILMS,
+                                         default_graph_uri=DBPEDIA_URI)
+        assert plan.streaming
+
+    def test_auto_engine_routes_group_through_streaming(self, dataset):
+        engine = Engine(dataset)  # streaming='auto'
+        engine.query(COUNT_FILMS, default_graph_uri=DBPEDIA_URI)
+        stats = engine.last_stats
+        assert engine.last_plan.streaming
+        assert stats.groups_built > 0
+        assert stats.rows_pulled > 0  # went through the batch executor
+
+    def test_materialized_engine_stays_materialized(self, dataset):
+        engine = Engine(dataset, streaming=False)
+        engine.query(COUNT_FILMS, default_graph_uri=DBPEDIA_URI)
+        assert engine.last_stats.rows_pulled == 0
+        assert engine.last_stats.groups_built > 0
+
+
+class TestIndexBackedCount:
+    def test_count_hooks(self):
+        d = TermDictionary()
+        g = Graph("http://h", dictionary=d)
+        p = uri("p")
+        for i in range(3):
+            g.add(uri("s"), p, uri("o%d" % i))
+        g.add(uri("s2"), p, uri("o0"))
+        pid = d.lookup(p)
+        assert g.count_objects_for(d.lookup(uri("s")), pid) == 3
+        assert g.count_objects_for(d.lookup(uri("s2")), pid) == 1
+        assert g.count_subjects_for(pid, d.lookup(uri("o0"))) == 2
+        assert g.count_objects_for(999999, pid) == 0
+        assert g.count_subjects_for(999999, 0) == 0
+
+    def test_union_count_hooks_dedup(self):
+        d = TermDictionary()
+        ds = Dataset()
+        g1 = Graph("http://u1", dictionary=d)
+        g2 = Graph("http://u2", dictionary=d)
+        p = uri("p")
+        g1.add(uri("s"), p, uri("o1"))
+        g1.add(uri("s"), p, uri("o2"))
+        g2.add(uri("s"), p, uri("o2"))  # overlaps g1
+        g2.add(uri("s"), p, uri("o3"))
+        ds.add_graph(g1)
+        ds.add_graph(g2)
+        union = ds.union_view()
+        sid, pid = d.lookup(uri("s")), d.lookup(p)
+        assert union.count_objects_for(sid, pid) == 3
+        assert union.count_subjects_for(pid, d.lookup(uri("o2"))) == 1
+
+    def test_fast_path_touches_no_rows(self, dataset):
+        engine = Engine(dataset, streaming=True)
+        result = engine.query(COUNT_FILMS, default_graph_uri=DBPEDIA_URI)
+        stats = engine.last_stats
+        groups = len(result)
+        assert groups > 10
+        assert stats.pattern_matches == 0      # no index-nested-loop rows
+        assert stats.accumulator_rows == 0     # nothing folded
+        assert stats.groups_built == groups
+        # Only the finished group rows cross stream boundaries
+        # (Group output + root projection).
+        assert stats.rows_pulled <= 2 * groups
+
+    def test_fast_path_and_general_path_agree_exactly(self, dataset):
+        # The same query routed through the fast path (single pattern) and
+        # the general hash path (forced by an extra pattern that matches
+        # everything the first one does) must name identical counts.
+        fast_engine = Engine(dataset, streaming=True)
+        fast = fast_engine.query(COUNT_FILMS, default_graph_uri=DBPEDIA_URI)
+        assert fast_engine.last_stats.accumulator_rows == 0
+        general_q = PFX + """
+        SELECT ?actor (COUNT(DISTINCT ?film) AS ?n) WHERE {
+            ?film dbpp:starring ?actor .
+            ?film rdf:type ?t .
+        } GROUP BY ?actor"""
+        general_engine = Engine(dataset, streaming=True)
+        general = general_engine.query(general_q,
+                                       default_graph_uri=DBPEDIA_URI)
+        assert general_engine.last_stats.accumulator_rows > 0
+        fast_counts = {repr(a): n.value for a, n in fast.rows}
+        general_counts = {repr(a): n.value for a, n in general.rows}
+        assert fast_counts == general_counts
+
+    def test_fast_path_disabled_for_repeated_variable(self, small_dataset):
+        # ?x p ?x must not take the index shortcut.
+        engines = small_engines(small_dataset)
+        query = PFX + """SELECT ?x (COUNT(*) AS ?n)
+            WHERE { ?x x:starring ?x } GROUP BY ?x"""
+        bags = {plane: row_bag(e.query(query, default_graph_uri="http://g"))
+                for plane, e in engines.items()}
+        assert bags["streaming"] == bags["reference"]
+        assert bags["materialized"] == bags["reference"]
+
+
+class TestBoundedBatches:
+    def test_high_fanout_group_input_stays_chunked(self):
+        # A BGP whose first pattern is tiny but whose join fan-out is huge
+        # must still reach the streaming Group in capped batches — the
+        # exhaustive breadth-first producer re-chunks at every level, so
+        # no single batch materializes the pre-aggregation table.
+        from repro.sparql.evaluator import STREAM_BATCH_ROWS
+
+        d = TermDictionary()
+        g = Graph("http://fan", dictionary=d)
+        for i in range(4):  # 4 seed subjects ...
+            s = uri("hub%d" % i)
+            g.add(s, uri("kind"), uri("Hub"))
+            for j in range(1500):  # ... each fanning out 1500x
+                g.add(s, uri("link"), uri("t%d_%d" % (i, j)))
+        engine = Engine(g, streaming=True)
+        result = engine.query(PFX + """
+            SELECT ?h (COUNT(?t) AS ?n) WHERE {
+                ?h x:kind x:Hub . ?h x:link ?t .
+            } GROUP BY ?h""")
+        stats = engine.last_stats
+        assert sorted(n.value for _, n in result.rows) == [1500] * 4
+        assert stats.accumulator_rows == 6000  # general hash path ran
+        assert stats.peak_batch_rows <= STREAM_BATCH_ROWS
+
+
+class TestCountDistinctStar:
+    def test_counts_distinct_solutions_on_all_planes(self):
+        # s1,s2 -> o1 and s3 -> o2: the subquery projects ?o, so the
+        # outer pattern sees 3 rows but only 2 distinct solutions.
+        d = TermDictionary()
+        g = Graph("http://cds", dictionary=d)
+        g.add(uri("s1"), uri("p"), uri("o1"))
+        g.add(uri("s2"), uri("p"), uri("o1"))
+        g.add(uri("s3"), uri("p"), uri("o2"))
+        query = PFX + """SELECT (COUNT(DISTINCT *) AS ?n) WHERE {
+            { SELECT ?o WHERE { ?s x:p ?o } } }"""
+        plain = PFX + """SELECT (COUNT(*) AS ?n) WHERE {
+            { SELECT ?o WHERE { ?s x:p ?o } } }"""
+        for engine in (Engine(g, streaming=True),
+                       Engine(g, streaming=False),
+                       Engine(g, columnar=False)):
+            assert engine.query(query).rows[0][0].value == 2
+            assert engine.query(plain).rows[0][0].value == 3
+
+
+class TestFastPathSafetyValves:
+    def test_max_rows_trips_mid_sweep(self):
+        d = TermDictionary()
+        g = Graph("http://valve", dictionary=d)
+        for i in range(200):  # 200 groups, budget of 50
+            g.add(uri("s%d" % i), uri("p"), uri("o%d" % i))
+        from repro.sparql.evaluator import EvaluationError
+
+        engine = Engine(g, streaming=True, max_intermediate_rows=50)
+        with pytest.raises(EvaluationError, match="max_rows"):
+            engine.query(PFX + """SELECT ?s (COUNT(?o) AS ?n)
+                WHERE { ?s x:p ?o } GROUP BY ?s""")
+
+
+class TestTopKGroups:
+    QUERY = COUNT_FILMS + " ORDER BY DESC(?n) ?actor LIMIT 10"
+
+    def test_bounded_grouped_query_identical(self, engines):
+        streamed = engines["streaming"].query(
+            self.QUERY, default_graph_uri=DBPEDIA_URI)
+        materialized = engines["materialized"].query(
+            self.QUERY, default_graph_uri=DBPEDIA_URI)
+        assert streamed.rows == materialized.rows
+        assert len(streamed) == 10
+        # The heap keeps the true top groups: counts are non-increasing.
+        counts = [row[1].value for row in streamed.rows]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_plan_fuses_into_topk_over_group(self, engines):
+        from repro.sparql import algebra as alg
+
+        plan = engines["streaming"].plan(self.QUERY,
+                                         default_graph_uri=DBPEDIA_URI)
+        assert plan.streaming
+        node = plan.query.pattern
+        while not isinstance(node, alg.TopK):
+            node = node.pattern
+        assert isinstance(node.pattern, alg.Group)
+
+
+class TestAggregatePushdownPass:
+    def test_pre_group_projection_narrowed(self):
+        from repro.rdf.terms import Variable
+        from repro.sparql import algebra as alg
+        from repro.sparql.expressions import VarExpr
+        from repro.sparql.plan import aggregate_pushdown
+
+        bgp = alg.BGP([(Variable("m"), uri("starring"), Variable("a")),
+                       (Variable("m"), uri("year"), Variable("y"))])
+        wide = alg.Project(bgp, ["m", "a", "y"])
+        group = alg.Group(wide, ["a"],
+                          [alg.Aggregate("count", VarExpr("m"), "n")])
+        node, changes = aggregate_pushdown(alg.Project(group, ["a", "n"]))
+        assert changes == 1
+        narrowed = node.pattern.pattern
+        assert isinstance(narrowed, alg.Project)
+        assert narrowed.variables == ["m", "a"]  # ?y pruned, order kept
+
+    def test_noop_when_all_columns_needed(self):
+        from repro.rdf.terms import Variable
+        from repro.sparql import algebra as alg
+        from repro.sparql.expressions import VarExpr
+        from repro.sparql.plan import aggregate_pushdown
+
+        bgp = alg.BGP([(Variable("m"), uri("starring"), Variable("a"))])
+        group = alg.Group(alg.Project(bgp, ["m", "a"]), ["a"],
+                          [alg.Aggregate("count", VarExpr("m"), "n")])
+        _, changes = aggregate_pushdown(group)
+        assert changes == 0
+
+    def test_narrowing_preserves_results(self, small_dataset):
+        engines = small_engines(small_dataset)
+        query = PFX + """SELECT ?a (COUNT(?m) AS ?n) WHERE {
+            { SELECT ?m ?a ?y ?t WHERE {
+                ?m x:starring ?a . ?m x:year ?y . ?m x:type ?t } }
+        } GROUP BY ?a"""
+        bags = {plane: row_bag(e.query(query, default_graph_uri="http://g"))
+                for plane, e in engines.items()}
+        assert bags["streaming"] == bags["reference"]
+        assert bags["materialized"] == bags["reference"]
+
+
+class TestGroupConcatSeparator:
+    """Regression: GROUP_CONCAT's SEPARATOR modifier (previously a parse
+    error; the default separator was untested)."""
+
+    @pytest.fixture()
+    def label_engines(self):
+        d = TermDictionary()
+        g = Graph("http://gc", dictionary=d)
+        s = uri("s")
+        for name in ("alpha", "beta", "gamma"):
+            g.add(s, uri("tag"), Literal(name))
+        g.add(uri("s2"), uri("tag"), Literal("solo"))
+        return {
+            "streaming": Engine(g, streaming=True),
+            "materialized": Engine(g, streaming=False),
+            "reference": Engine(g, columnar=False),
+        }
+
+    def planes(self, label_engines, query):
+        out = {}
+        for plane, engine in label_engines.items():
+            result = engine.query(PFX + query)
+            out[plane] = {str(row[0]): row[1] for row in result.rows}
+        assert out["streaming"] == out["materialized"] == out["reference"]
+        return out["streaming"]
+
+    def test_default_separator_is_single_space(self, label_engines):
+        rows = self.planes(label_engines, """
+            SELECT ?s (GROUP_CONCAT(?t) AS ?c)
+            WHERE { ?s x:tag ?t } GROUP BY ?s""")
+        parts = sorted(rows["http://x/s"].lexical.split(" "))
+        assert parts == ["alpha", "beta", "gamma"]
+        assert rows["http://x/s2"].lexical == "solo"
+
+    def test_custom_separator(self, label_engines):
+        rows = self.planes(label_engines, """
+            SELECT ?s (GROUP_CONCAT(?t ; SEPARATOR=", ") AS ?c)
+            WHERE { ?s x:tag ?t } GROUP BY ?s""")
+        parts = sorted(rows["http://x/s"].lexical.split(", "))
+        assert parts == ["alpha", "beta", "gamma"]
+        assert ", " in rows["http://x/s"].lexical
+
+    def test_distinct_with_separator(self, label_engines):
+        rows = self.planes(label_engines, """
+            SELECT ?s (GROUP_CONCAT(DISTINCT ?t ; SEPARATOR="|") AS ?c)
+            WHERE { ?s x:tag ?t } GROUP BY ?s""")
+        assert sorted(rows["http://x/s"].lexical.split("|")) == \
+            ["alpha", "beta", "gamma"]
+
+    def test_separator_round_trips_through_algebra(self):
+        from repro.sparql.parser import parse
+
+        query = parse(PFX + """
+            SELECT ?s (GROUP_CONCAT(?t ; SEPARATOR="; ") AS ?c)
+            WHERE { ?s x:tag ?t } GROUP BY ?s""")
+        node = query.pattern
+        while not hasattr(node, "aggregates"):
+            node = node.pattern
+        aggregate = node.aggregates[0]
+        assert aggregate.separator == "; "
+        assert 'SEPARATOR="; "' in aggregate.sparql()
+
+    @pytest.mark.parametrize("separator,spelling", [
+        ("\n\t", r"\n\t"),
+        ("\\n", r"\\n"),      # literal backslash then 'n' — not a newline
+        ("a\\tb", r"a\\tb"),  # literal backslash mid-string
+        ('"|"', r'\"|\"'),
+    ])
+    def test_separator_escapes_round_trip(self, separator, spelling):
+        from repro.sparql.parser import parse
+
+        def first_aggregate(query):
+            node = query.pattern
+            while not hasattr(node, "aggregates"):
+                node = node.pattern
+            return node.aggregates[0]
+
+        query = parse(PFX + """
+            SELECT ?s (GROUP_CONCAT(?t ; SEPARATOR="%s") AS ?c)
+            WHERE { ?s x:tag ?t } GROUP BY ?s""" % spelling)
+        aggregate = first_aggregate(query)
+        assert aggregate.separator == separator
+        # The rendered form re-escapes, so render -> parse is exact (a
+        # raw newline inside the quotes would not even tokenize).
+        rendered = aggregate.sparql()
+        assert "\n" not in rendered
+        reparsed = parse(PFX + """
+            SELECT %s WHERE { ?s x:tag ?t } GROUP BY ?s""" % rendered)
+        assert first_aggregate(reparsed).separator == separator
+
+    def test_separator_rejected_outside_group_concat(self):
+        from repro.sparql.parser import ParseError, parse
+
+        with pytest.raises(ParseError):
+            parse(PFX + """SELECT (COUNT(?t ; SEPARATOR=",") AS ?c)
+                WHERE { ?s x:tag ?t }""")
+
+
+class TestNumericAggregateTyping:
+    """Regression: AVG/SUM datatype promotion over mixed int/decimal
+    columns (previously AVG always produced xsd:double)."""
+
+    @pytest.fixture()
+    def score_engines(self):
+        d = TermDictionary()
+        g = Graph("http://num", dictionary=d)
+        g.add(uri("intonly"), uri("v"), Literal(2))
+        g.add(uri("intonly"), uri("v"), Literal(4))
+        g.add(uri("mixed"), uri("v"), Literal(1))
+        g.add(uri("mixed"), uri("v"), Literal("2.5", XSD_DECIMAL))
+        g.add(uri("double"), uri("v"), Literal(1))
+        g.add(uri("double"), uri("v"), Literal(3.0))
+        return {
+            "streaming": Engine(g, streaming=True),
+            "materialized": Engine(g, streaming=False),
+            "reference": Engine(g, columnar=False),
+        }
+
+    def agg(self, score_engines, call):
+        query = PFX + """SELECT ?s (%s AS ?r)
+            WHERE { ?s x:v ?n } GROUP BY ?s""" % call
+        out = {}
+        for plane, engine in score_engines.items():
+            result = engine.query(query)
+            out[plane] = {str(row[0]).rsplit("/", 1)[1]: row[1]
+                          for row in result.rows}
+        assert out["streaming"] == out["materialized"] == out["reference"]
+        return out["streaming"]
+
+    def test_avg_int_and_mixed_are_decimal(self, score_engines):
+        means = self.agg(score_engines, "AVG(?n)")
+        assert means["intonly"].datatype == XSD_DECIMAL
+        assert means["intonly"].value == 3
+        assert means["mixed"].datatype == XSD_DECIMAL
+        assert means["mixed"].value == 1.75
+        # A double operand still promotes all the way to double.
+        assert means["double"].datatype == XSD_DOUBLE
+        assert means["double"].value == 2.0
+
+    def test_sum_promotion(self, score_engines):
+        sums = self.agg(score_engines, "SUM(?n)")
+        assert sums["intonly"].datatype == XSD_INTEGER
+        assert sums["intonly"].value == 6
+        assert sums["mixed"].datatype == XSD_DECIMAL
+        assert sums["mixed"].value == 3.5
+        assert sums["double"].datatype == XSD_DOUBLE
+        assert sums["double"].value == 4.0
+
+    def test_tiny_decimal_avg_has_plain_lexical(self):
+        # repr(1e-05) is exponent notation, which xsd:decimal forbids:
+        # the promoted lexical must be expanded to plain form.
+        d = TermDictionary()
+        g = Graph("http://tiny", dictionary=d)
+        g.add(uri("s"), uri("v"), Literal("0.00001", XSD_DECIMAL))
+        g.add(uri("s"), uri("v"), Literal("0.00003", XSD_DECIMAL))
+        results = {}
+        for plane, engine in (("streaming", Engine(g, streaming=True)),
+                              ("materialized", Engine(g, streaming=False)),
+                              ("reference", Engine(g, columnar=False))):
+            row = engine.query(
+                PFX + "SELECT (AVG(?n) AS ?m) WHERE { ?s x:v ?n }").rows[0]
+            results[plane] = row[0]
+        assert results["streaming"] == results["materialized"] \
+            == results["reference"]
+        mean = results["streaming"]
+        assert mean.datatype == XSD_DECIMAL
+        assert mean.value == 2e-05
+        assert "e" not in mean.lexical.lower()
+
+    def test_avg_runtime_identical_on_synthetic_graph(self, engines):
+        results = {plane: engine.query(AVG_RUNTIME,
+                                       default_graph_uri=DBPEDIA_URI)
+                   for plane, engine in engines.items()}
+        want = row_bag(results["reference"])
+        assert row_bag(results["materialized"]) == want
+        assert row_bag(results["streaming"]) == want
+        for row in results["streaming"].rows:
+            assert row[1].datatype == XSD_DECIMAL  # ints averaged
