@@ -35,12 +35,26 @@ materialization of the pre-aggregation table).  It records the speedup,
 materialized plane's ``intermediate_rows``, and asserts both planes
 return literally identical rows.
 
+A fifth section, ``joins``, measures the join subsystem on the dedicated
+join corpus (:mod:`repro.workload.joins`: star, cyclic, chain, self-join,
+and semi-join shapes): ``Engine()`` with sideways information passing and
+multiway intersection in their default ``'auto'`` routing versus
+``Engine(sip=False, multiway=False)`` — the engine exactly as it stood
+before the join subsystem landed.  Plans are built once per engine and
+the *execution* is timed (the planner annotations are amortized by the
+plan cache in both configurations), results are verified identical across
+both configurations *and* the reference plane, and the
+``sip_filtered_rows``/``intersect_steps``/``sorted_runs_built`` counters
+are asserted wherever the planner chose the corresponding strategy.
+
 Run it from the repo root::
 
     PYTHONPATH=src python benchmarks/perf_report.py [--out BENCH_engine.json]
 
 Scales default to (0.05, REPRO_BENCH_SCALE); rounds to 3.  ``--smoke``
-shrinks everything for CI (one tiny scale, one round).
+shrinks everything for CI (one tiny scale, one round); ``--section``
+(repeatable) restricts the run to named sections — e.g. ``--section
+engine --section joins`` — so CI jobs can stay inside their time budget.
 """
 
 from __future__ import annotations
@@ -55,7 +69,7 @@ import time
 from repro.client import EngineClient
 from repro.data import DBPEDIA_URI, build_dataset
 from repro.sparql import Engine
-from repro.workload import CASE_STUDIES
+from repro.workload import CASE_STUDIES, JOIN_QUERIES
 
 _PREFIXES = """
 PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
@@ -310,6 +324,93 @@ def run_limit_topk(scale: float, rounds: int) -> dict:
     return section
 
 
+def run_joins(scale: float, rounds: int) -> dict:
+    """Time the join corpus: SIP + multiway intersection vs the PR-4 engine.
+
+    Both engines are the streaming-auto columnar engine; they differ only
+    in the join-subsystem knobs.  Plans are built once per engine (their
+    annotations are identical — the knobs act at execution time) and
+    ``execute_plan`` is what the clock covers.  Every query must return
+    the identical row bag on the optimized engine, the baseline engine,
+    and the dict-based reference plane; queries whose planner-chosen
+    strategy is SIP must prove ``sip_filtered_rows > 0`` and multiway
+    ones ``intersect_steps > 0``.
+    """
+    dataset = build_dataset(scale=scale)
+    optimized = Engine(dataset)
+    baseline = Engine(dataset, sip=False, multiway=False)
+    reference = Engine(dataset, columnar=False)
+    graph = dataset.graph(DBPEDIA_URI)
+    runs_before = graph.sorted_runs_built
+    section = {"scale": scale, "rounds": rounds, "queries": []}
+    print("== joins (scale %.3g) ==" % scale)
+    speedups = []
+    for query in JOIN_QUERIES:
+        opt_plan = optimized.plan(query.sparql, DBPEDIA_URI)
+        base_plan = baseline.plan(query.sparql, DBPEDIA_URI)
+
+        def best_of(engine, plan):
+            best = None
+            result = None
+            for _ in range(rounds):
+                start = time.perf_counter()
+                result = engine.execute_plan(plan, DBPEDIA_URI)
+                elapsed = time.perf_counter() - start
+                if best is None or elapsed < best:
+                    best = elapsed
+            return best, result, engine.last_stats
+
+        opt_s, opt_result, opt_stats = best_of(optimized, opt_plan)
+        base_s, base_result, base_stats = best_of(baseline, base_plan)
+        ref_result = reference.query(query.sparql,
+                                     default_graph_uri=DBPEDIA_URI)
+        opt_key = _result_key(opt_result)
+        if opt_key != _result_key(base_result) \
+                or opt_key != _result_key(ref_result):
+            raise AssertionError(
+                "join corpus query %r disagrees across engines at scale %s"
+                % (query.key, scale))
+        cell = {
+            "query": query.key,
+            "shape": query.shape,
+            "expect": query.expect,
+            "rows": len(opt_result),
+            "identical_results": True,
+            "optimized_seconds": opt_s,
+            "baseline_seconds": base_s,
+            "speedup": base_s / opt_s if opt_s > 0 else float("inf"),
+            "sip_filtered_rows": opt_stats.sip_filtered_rows,
+            "intersect_steps": opt_stats.intersect_steps,
+            "baseline_intermediate_rows": base_stats.intermediate_rows,
+            "optimized_intermediate_rows": opt_stats.intermediate_rows,
+        }
+        if query.expect == "sip" and cell["sip_filtered_rows"] == 0:
+            raise AssertionError(
+                "planner chose SIP for %r but no rows were filtered"
+                % query.key)
+        if query.expect == "multiway" and cell["intersect_steps"] == 0:
+            raise AssertionError(
+                "planner chose multiway for %r but no intersections ran"
+                % query.key)
+        speedups.append(cell["speedup"])
+        section["queries"].append(cell)
+        print("  %-30s base %8.4fs  opt %8.4fs  speedup %5.2fx  "
+              "sip %6d  isect %6d  (%s, %d rows)" % (
+                  query.key, base_s, opt_s, cell["speedup"],
+                  cell["sip_filtered_rows"], cell["intersect_steps"],
+                  query.expect, cell["rows"]))
+    section["sorted_runs_built"] = graph.sorted_runs_built - runs_before
+    if section["sorted_runs_built"] <= 0:
+        raise AssertionError("join corpus built no sorted runs")
+    section["geomean_speedup"] = _geomean(speedups)
+    section["min_speedup"] = min(speedups)
+    section["all_results_identical"] = True
+    print("joins geomean speedup %.2fx (min %.2fx, %d sorted runs built)"
+          % (section["geomean_speedup"], section["min_speedup"],
+             section["sorted_runs_built"]))
+    return section
+
+
 def _geomean(values):
     product = 1.0
     for value in values:
@@ -396,8 +497,14 @@ def run_plan_path(scale: float, iterations: int) -> dict:
     return section
 
 
+#: Every section the report can produce, in run order.
+SECTIONS = ("engine", "plan_path", "limit_topk", "aggregation", "joins")
+
+
 def run(scales, rounds: int, out_path: str,
-        plan_iterations: int = 5) -> dict:
+        plan_iterations: int = 5, sections=None) -> dict:
+    chosen = list(SECTIONS) if not sections else [s for s in SECTIONS
+                                                 if s in sections]
     report = {
         "schema": "repro-bench-engine/1",
         "created_unix": time.time(),
@@ -405,58 +512,66 @@ def run(scales, rounds: int, out_path: str,
         "platform": platform.platform(),
         "rounds": rounds,
         "scales": list(scales),
+        "sections": chosen,
         "queries": sorted(QUERIES),
         "results": [],
         "summary": {},
     }
-    speedups = []
-    for scale in scales:
-        print("== scale %.3g ==" % scale)
-        dataset = build_dataset(scale=scale)
-        engines = {
-            "reference": Engine(dataset, columnar=False),
-            "columnar": Engine(dataset, columnar=True),
+    if "engine" in chosen:
+        speedups = []
+        for scale in scales:
+            print("== scale %.3g ==" % scale)
+            dataset = build_dataset(scale=scale)
+            engines = {
+                "reference": Engine(dataset, columnar=False),
+                "columnar": Engine(dataset, columnar=True),
+            }
+            for name in sorted(QUERIES):
+                query = _PREFIXES + QUERIES[name]
+                cell = {"query": name, "scale": scale, "modes": {}}
+                keys = {}
+                for mode in MODES:
+                    seconds, result, stats = time_query(engines[mode], query,
+                                                        rounds)
+                    keys[mode] = _result_key(result)
+                    cell["modes"][mode] = {
+                        "seconds": seconds,
+                        "rows": len(result),
+                        "stats": stats.as_dict(),
+                    }
+                if keys["columnar"] != keys["reference"]:
+                    raise AssertionError(
+                        "result mismatch between columnar and reference "
+                        "engines on %r at scale %s" % (name, scale))
+                cell["identical_results"] = True
+                ref_s = cell["modes"]["reference"]["seconds"]
+                col_s = cell["modes"]["columnar"]["seconds"]
+                cell["speedup"] = ref_s / col_s if col_s > 0 else float("inf")
+                speedups.append(cell["speedup"])
+                report["results"].append(cell)
+                print("  %-22s ref %8.4fs  columnar %8.4fs  speedup %5.2fx  "
+                      "(%d rows)" % (name, ref_s, col_s, cell["speedup"],
+                                     cell["modes"]["columnar"]["rows"]))
+        geomean = _geomean(speedups)
+        report["summary"] = {
+            "geomean_speedup": geomean,
+            "min_speedup": min(speedups),
+            "max_speedup": max(speedups),
+            "all_results_identical": True,
         }
-        for name in sorted(QUERIES):
-            query = _PREFIXES + QUERIES[name]
-            cell = {"query": name, "scale": scale, "modes": {}}
-            keys = {}
-            for mode in MODES:
-                seconds, result, stats = time_query(engines[mode], query,
-                                                    rounds)
-                keys[mode] = _result_key(result)
-                cell["modes"][mode] = {
-                    "seconds": seconds,
-                    "rows": len(result),
-                    "stats": stats.as_dict(),
-                }
-            if keys["columnar"] != keys["reference"]:
-                raise AssertionError(
-                    "result mismatch between columnar and reference "
-                    "engines on %r at scale %s" % (name, scale))
-            cell["identical_results"] = True
-            ref_s = cell["modes"]["reference"]["seconds"]
-            col_s = cell["modes"]["columnar"]["seconds"]
-            cell["speedup"] = ref_s / col_s if col_s > 0 else float("inf")
-            speedups.append(cell["speedup"])
-            report["results"].append(cell)
-            print("  %-22s ref %8.4fs  columnar %8.4fs  speedup %5.2fx  "
-                  "(%d rows)" % (name, ref_s, col_s, cell["speedup"],
-                                 cell["modes"]["columnar"]["rows"]))
-    geomean = _geomean(speedups)
-    report["summary"] = {
-        "geomean_speedup": geomean,
-        "min_speedup": min(speedups),
-        "max_speedup": max(speedups),
-        "all_results_identical": True,
-    }
-    report["plan_path"] = run_plan_path(scales[-1], plan_iterations)
-    report["limit_topk"] = run_limit_topk(scales[-1], max(rounds, 3))
-    report["aggregation"] = run_aggregation(scales[-1], max(rounds, 3))
+        print("geomean speedup %.2fx (min %.2fx, max %.2fx)"
+              % (geomean, min(speedups), max(speedups)))
+    if "plan_path" in chosen:
+        report["plan_path"] = run_plan_path(scales[-1], plan_iterations)
+    if "limit_topk" in chosen:
+        report["limit_topk"] = run_limit_topk(scales[-1], max(rounds, 3))
+    if "aggregation" in chosen:
+        report["aggregation"] = run_aggregation(scales[-1], max(rounds, 3))
+    if "joins" in chosen:
+        report["joins"] = run_joins(scales[-1], max(rounds, 5))
     with open(out_path, "w") as handle:
         json.dump(report, handle, indent=2)
-    print("geomean speedup %.2fx (min %.2fx, max %.2fx) -> %s"
-          % (geomean, min(speedups), max(speedups), out_path))
+    print("sections %s -> %s" % (", ".join(chosen), out_path))
     return report
 
 
@@ -474,13 +589,18 @@ def main(argv=None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="tiny CI configuration: one small scale, one "
                              "round, fewer plan-path iterations")
+    parser.add_argument("--section", action="append", choices=SECTIONS,
+                        dest="sections", metavar="NAME",
+                        help="run only the named section(s); repeatable "
+                             "(default: all of %s)" % (", ".join(SECTIONS)))
     args = parser.parse_args(argv)
     if args.smoke:
         args.scales = [0.02]
         args.rounds = 1
-        run(args.scales, args.rounds, args.out, plan_iterations=2)
+        run(args.scales, args.rounds, args.out, plan_iterations=2,
+            sections=args.sections)
     else:
-        run(args.scales, args.rounds, args.out)
+        run(args.scales, args.rounds, args.out, sections=args.sections)
     return 0
 
 

@@ -31,7 +31,7 @@ from .namespaces import (
     DEFAULT_PREFIXES,
 )
 from .dictionary import TermDictionary, shared_dictionary
-from .graph import Graph
+from .graph import Graph, gallop, intersect_runs
 from .dataset import Dataset, GraphUnion
 from . import ntriples
 from . import turtle
@@ -43,5 +43,5 @@ __all__ = [
     "RDF", "RDFS", "XSD", "OWL", "FOAF", "DC", "DCTERMS",
     "DBPP", "DBPO", "DBPR", "SWRC", "DBLPRC", "YAGO",
     "Graph", "Dataset", "GraphUnion", "ntriples", "turtle",
-    "TermDictionary", "shared_dictionary",
+    "TermDictionary", "shared_dictionary", "gallop", "intersect_runs",
 ]

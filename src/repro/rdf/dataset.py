@@ -79,9 +79,64 @@ class GraphUnion:
         self.uri = "urn:union:" + "+".join(g.uri for g in graphs)
         self.dictionary: TermDictionary = (
             graphs[0].dictionary if graphs else shared_dictionary())
+        # Sorted runs merged across members, memoized per union view.  A
+        # union view is created per query resolution, so the cache cannot
+        # go stale across mutations; single-member unions delegate to the
+        # member's persistent (mutation-invalidated) run cache instead.
+        self._runs: Dict[Tuple, Tuple[int, ...]] = {}
+        self.sorted_runs_built = 0
 
     def __len__(self) -> int:
         return sum(len(g) for g in self.graphs)
+
+    # -- sorted runs (multiway intersection joins) ----------------------
+    def _merged_run(self, key: Tuple, sets) -> Tuple[int, ...]:
+        run = self._runs.get(key)
+        if run is None:
+            merged = set()
+            for member in sets:
+                merged.update(member)
+            if not merged:
+                return ()
+            run = tuple(sorted(merged))
+            self._runs[key] = run
+            self.sorted_runs_built += 1
+        return run
+
+    def objects_run(self, s, p):
+        graphs = self.graphs
+        if len(graphs) == 1:
+            return graphs[0].objects_run(s, p)
+        return self._merged_run(("o", s, p),
+                                (g.objects_for(s, p) for g in graphs))
+
+    def subjects_run(self, p, o):
+        graphs = self.graphs
+        if len(graphs) == 1:
+            return graphs[0].subjects_run(p, o)
+        return self._merged_run(("s", p, o),
+                                (g.subjects_for(p, o) for g in graphs))
+
+    def predicate_subjects_run(self, p):
+        graphs = self.graphs
+        if len(graphs) == 1:
+            return graphs[0].predicate_subjects_run(p)
+        return self._merged_run(("ps", p),
+                                (g.predicate_subjects_run(p)
+                                 for g in graphs))
+
+    def predicate_subjects_set(self, p):
+        graphs = self.graphs
+        if len(graphs) == 1:
+            return graphs[0].predicate_subjects_set(p)
+        key = ("pss", p)
+        members = self._runs.get(key)
+        if members is None:
+            members = frozenset(self.predicate_subjects_run(p))
+            if not members:
+                return members
+            self._runs[key] = members
+        return members
 
     def triples_ids(self, subject=None, predicate=None, obj=None):
         """Id-level union iteration with cross-graph dedup."""

@@ -11,18 +11,90 @@ etc.) decodes at the boundary and is what loaders, serializers, and
 exploration operators use.
 
 The graph also exposes per-predicate statistics
-(:meth:`Graph.predicate_profile`) used by the join-order optimizer.
+(:meth:`Graph.predicate_profile`) used by the join-order optimizer, and
+lazily-built *sorted runs* — sorted arrays of ids per ``(s, p)``, ``(p, o)``
+and ``p`` — that the evaluator's multiway-intersection join steps iterate
+as sorted seeds, probing the companion index sets for elimination
+(:meth:`Graph.objects_run` and friends).  Runs are memoized like the
+profiles and invalidated on mutation.  :func:`gallop` and
+:func:`intersect_runs` are the classic binary-search formulation of the
+same intersection — the property-tested reference the hash-probe step is
+held equivalent to, exported for consumers that have runs but no set
+views.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
+from bisect import bisect_left
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, \
+    Tuple
 
 from .dictionary import TermDictionary, shared_dictionary
 from .terms import Literal, Node, Triple, URIRef
 
 #: An id-level triple (subject id, predicate id, object id).
 IdTriple = Tuple[int, int, int]
+
+#: An immutable sorted run of term ids (strictly increasing).
+SortedRun = Tuple[int, ...]
+
+
+def gallop(run: Sequence[int], value: int, lo: int = 0) -> int:
+    """Index of the first element ``>= value`` in ``run[lo:]``.
+
+    Gallops (doubling probe distance) from ``lo`` before binary-searching
+    the bracketed range, so an intersection that walks two runs of very
+    different lengths pays O(log gap) per probe instead of O(log n) — the
+    standard exponential-search building block of merge-based set
+    intersection.
+    """
+    n = len(run)
+    if lo >= n or run[lo] >= value:
+        return lo
+    step = 1
+    hi = lo + 1
+    while hi < n and run[hi] < value:
+        lo = hi
+        step <<= 1
+        hi += step
+    return bisect_left(run, value, lo + 1, min(hi + 1, n))
+
+
+def intersect_runs(runs: Sequence[Sequence[int]]) -> List[int]:
+    """K-way intersection of sorted id runs via galloping search.
+
+    Iterates the shortest run and eliminates candidates against the others
+    leapfrog-style: each run keeps a cursor that only moves forward, so the
+    total work is bounded by the shortest run's length times a logarithmic
+    gallop per longer run.  This is the comparison-based reference for the
+    evaluator's intersection steps (which produce the same candidates in
+    the same ascending order via hash probes against the index sets —
+    faster in CPython); use it where only sorted runs are available.
+    Returns the intersection in ascending id order.
+    """
+    if not runs:
+        return []
+    runs = sorted(runs, key=len)
+    base = runs[0]
+    others = runs[1:]
+    if not others:
+        return list(base)
+    out: List[int] = []
+    append = out.append
+    cursors = [0] * len(others)
+    for value in base:
+        keep = True
+        for k, run in enumerate(others):
+            pos = gallop(run, value, cursors[k])
+            if pos >= len(run):
+                return out  # this run is exhausted: nothing more matches
+            cursors[k] = pos
+            if run[pos] != value:
+                keep = False
+                break
+        if keep:
+            append(value)
+    return out
 
 
 class Graph:
@@ -50,6 +122,15 @@ class Graph:
         self._size = 0
         # Memoized per-predicate profiles; invalidated on mutation.
         self._profiles: Dict[int, Tuple[int, int, int]] = {}
+        # Memoized sorted runs for the intersection join steps; invalidated
+        # on mutation exactly like the profiles.  ``sorted_runs_built``
+        # counts lazy builds (monotone), so callers can attribute build
+        # cost to the query that triggered it.
+        self._object_runs: Dict[Tuple[int, int], SortedRun] = {}
+        self._subject_runs: Dict[Tuple[int, int], SortedRun] = {}
+        self._predicate_subject_runs: Dict[int, SortedRun] = {}
+        self._predicate_subject_sets: Dict[int, frozenset] = {}
+        self.sorted_runs_built = 0
 
     # ------------------------------------------------------------------
     # Mutation
@@ -70,6 +151,7 @@ class Graph:
         self._size += 1
         if self._profiles:
             self._profiles.pop(p, None)
+        self._invalidate_runs(s, p, o)
         return True
 
     def add_triple(self, triple: Triple) -> bool:
@@ -110,7 +192,19 @@ class Graph:
         self._size -= 1
         if self._profiles:
             self._profiles.pop(p, None)
+        self._invalidate_runs(s, p, o)
         return True
+
+    def _invalidate_runs(self, s: int, p: int, o: int) -> None:
+        """Drop the sorted runs a ``(s, p, o)`` mutation can have changed."""
+        if self._object_runs:
+            self._object_runs.pop((s, p), None)
+        if self._subject_runs:
+            self._subject_runs.pop((p, o), None)
+        if self._predicate_subject_runs:
+            self._predicate_subject_runs.pop(p, None)
+        if self._predicate_subject_sets:
+            self._predicate_subject_sets.pop(p, None)
 
     # ------------------------------------------------------------------
     # Lookup
@@ -271,6 +365,73 @@ class Graph:
 
     def contains_ids(self, s: int, p: int, o: int) -> bool:
         return o in self._spo.get(s, {}).get(p, ())
+
+    # -- sorted runs (multiway intersection joins) ----------------------
+    # Lazily-built, memoized sorted id arrays over the same index entries
+    # the set accessors above expose.  The evaluator's intersection BGP
+    # steps gallop over them (:func:`intersect_runs`); memoization means a
+    # hot (s, p) pays the sort once until the entry mutates.  Empty results
+    # are returned as () but never cached, so probing absent keys cannot
+    # grow the caches.
+
+    def objects_run(self, s: int, p: int) -> SortedRun:
+        """Sorted object ids for ``(subject id, predicate id)``, or ()."""
+        key = (s, p)
+        run = self._object_runs.get(key)
+        if run is None:
+            objs = self._spo.get(s, {}).get(p)
+            if not objs:
+                return ()
+            run = tuple(sorted(objs))
+            self._object_runs[key] = run
+            self.sorted_runs_built += 1
+        return run
+
+    def subjects_run(self, p: int, o: int) -> SortedRun:
+        """Sorted subject ids for ``(predicate id, object id)``, or ()."""
+        key = (p, o)
+        run = self._subject_runs.get(key)
+        if run is None:
+            subs = self._pos.get(p, {}).get(o)
+            if not subs:
+                return ()
+            run = tuple(sorted(subs))
+            self._subject_runs[key] = run
+            self.sorted_runs_built += 1
+        return run
+
+    def predicate_subjects_run(self, p: int) -> SortedRun:
+        """Sorted ids of subjects with at least one ``p`` triple, or ().
+
+        This is the run behind ``?s p ?anything`` membership: the
+        intersection steps use it to require that a candidate subject
+        *has* a predicate before the pattern's fan-out is expanded.
+        """
+        run = self._predicate_subject_runs.get(p)
+        if run is None:
+            by_obj = self._pos.get(p)
+            if not by_obj:
+                return ()
+            subjects: Set[int] = set()
+            for subs in by_obj.values():
+                subjects.update(subs)
+            run = tuple(sorted(subjects))
+            self._predicate_subject_runs[p] = run
+            self.sorted_runs_built += 1
+        return run
+
+    def predicate_subjects_set(self, p: int) -> frozenset:
+        """The hashed companion of :meth:`predicate_subjects_run` — the
+        membership-probe face of the same lazily-built entry (also
+        invalidated on mutation).  The intersection steps probe it when
+        the presence run is not the iteration seed."""
+        members = self._predicate_subject_sets.get(p)
+        if members is None:
+            members = frozenset(self.predicate_subjects_run(p))
+            if not members:
+                return members
+            self._predicate_subject_sets[p] = members
+        return members
 
     def so_pairs(self, p: int) -> Iterator[Tuple[int, int]]:
         """Iterate (subject id, object id) pairs for a predicate id."""

@@ -67,6 +67,29 @@ class Engine:
         ``TopK`` fusion, no slice motion, no streaming annotation) — the
         materialize-everything baseline the ``limit_topk`` benchmark
         section measures against.
+    sip:
+        Sideways information passing: hash-join build sides export their
+        join-key id-sets into the probe side's BGP leaves as semi-join
+        filters, pruning fan-out before rows exist.  ``'auto'`` (default)
+        follows the planner's per-join ``JoinStrategy`` eligibility
+        annotations; ``True`` forces it wherever structurally sound;
+        ``False`` disables it — the baseline the ``joins`` benchmark
+        section measures against.
+    multiway:
+        Multiway intersection BGP evaluation: when the next variable to
+        bind occurs in two or more remaining triple patterns, its
+        candidates come from a k-way intersection of the graph's sorted
+        runs instead of expand-then-filter.  Same
+        ``'auto'``/``True``/``False`` contract as ``sip``.
+
+        Both knobs preserve result *bags* for un-windowed queries, but
+        not row order: a filtered or intersected BGP produces rows in a
+        different (still deterministic) order, so toggling a knob may
+        reorder results, and a ``LIMIT`` window without a total ``ORDER
+        BY`` (or with ties on its keys) may select a different — equally
+        valid — k-subset.  With the knobs *fixed*, the streaming and
+        materialized executors drive identical compiled steps and agree
+        on BGP-spine row order exactly as before.
     plan_cache_size:
         Maximum number of optimized plans kept (LRU).  0 disables caching.
     """
@@ -76,7 +99,9 @@ class Engine:
                  max_intermediate_rows: Optional[int] = None,
                  columnar: bool = True, plan_cache_size: int = 128,
                  streaming: Union[bool, str] = "auto",
-                 limit_pushdown: bool = True):
+                 limit_pushdown: bool = True,
+                 sip: Union[bool, str] = "auto",
+                 multiway: Union[bool, str] = "auto"):
         if isinstance(source, Dataset):
             self.dataset = source
         else:
@@ -94,8 +119,14 @@ class Engine:
         self.columnar = columnar
         if streaming not in (True, False, "auto"):
             raise ValueError("streaming must be True, False, or 'auto'")
+        if sip not in (True, False, "auto"):
+            raise ValueError("sip must be True, False, or 'auto'")
+        if multiway not in (True, False, "auto"):
+            raise ValueError("multiway must be True, False, or 'auto'")
         self.streaming = streaming
         self.limit_pushdown = limit_pushdown
+        self.sip = sip
+        self.multiway = multiway
         self.plan_cache_size = plan_cache_size
         self._plan_cache: "OrderedDict[str, Plan]" = OrderedDict()
         self.plan_cache_hits = 0
@@ -209,7 +240,8 @@ class Engine:
         evaluator = Evaluator(self.dataset, optimize=False,
                               cache_bgps=self.cache_bgps,
                               max_rows=self.max_intermediate_rows,
-                              deadline=deadline)
+                              deadline=deadline,
+                              sip=self.sip, multiway=self.multiway)
         if self._use_streaming(plan):
             solutions = evaluator.evaluate_query_stream(
                 plan.query, default_graph_uri).to_table()
@@ -305,7 +337,8 @@ class Engine:
         evaluator = Evaluator(self.dataset, optimize=False,
                               cache_bgps=self.cache_bgps,
                               max_rows=self.max_intermediate_rows,
-                              deadline=deadline)
+                              deadline=deadline,
+                              sip=self.sip, multiway=self.multiway)
         table_stream = evaluator.evaluate_query_stream(
             plan.query, default_graph_uri, hint=batch_rows)
         variables = plan.output_variables

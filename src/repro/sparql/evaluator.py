@@ -48,14 +48,15 @@ import heapq
 import itertools
 import time
 from decimal import Decimal
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..rdf.dataset import Dataset
 from ..rdf.terms import (XSD_DECIMAL, XSD_DOUBLE, XSD_INTEGER, Literal,
                          Variable)
 from . import algebra as alg
 from .expressions import ExpressionError, VarExpr, ebv
-from .optimizer import GraphStatistics, order_patterns
+from .optimizer import (GraphStatistics, intersection_worthwhile,
+                        order_patterns, run_signature, run_width)
 from .solution import (RowView, SolutionTable, TableStream, _merge_plan,
                        _merge_rows, _rows_compatible, batched,
                        stream_distinct, table_distinct, table_join,
@@ -108,17 +109,30 @@ class EvaluationStats:
         # working-set proxy (the index-backed fast path folds zero).
         self.groups_built = 0
         self.accumulator_rows = 0
+        # Join-subsystem counters.  ``sip_filtered_rows`` counts candidate
+        # bindings a sideways-information-passing filter dropped at a BGP
+        # leaf (rows that never existed thanks to a join build side's
+        # exported key set); ``intersect_steps`` counts k-way sorted-run
+        # intersections executed by multiway BGP steps (one per input row
+        # per intersection step); ``sorted_runs_built`` counts sorted runs
+        # lazily built on the graphs this query touched (cached runs
+        # reused by later queries count zero).
+        self.sip_filtered_rows = 0
+        self.intersect_steps = 0
+        self.sorted_runs_built = 0
 
     def __repr__(self):
         return ("EvaluationStats(bgps=%d, cache_hits=%d, matches=%d, "
                 "rows=%d, subqueries=%d, joins=%d, pulled=%d, "
-                "early_exits=%d, peak_batch=%d, groups=%d, acc_rows=%d)" % (
+                "early_exits=%d, peak_batch=%d, groups=%d, acc_rows=%d, "
+                "sip_filtered=%d, intersects=%d, runs_built=%d)" % (
                     self.bgp_count, self.bgp_cache_hits,
                     self.pattern_matches, self.intermediate_rows,
                     self.materialized_subqueries, self.joins,
                     self.rows_pulled, self.early_exits,
                     self.peak_batch_rows, self.groups_built,
-                    self.accumulator_rows))
+                    self.accumulator_rows, self.sip_filtered_rows,
+                    self.intersect_steps, self.sorted_runs_built))
 
     def as_dict(self) -> Dict[str, int]:
         return {"bgp_count": self.bgp_count,
@@ -131,7 +145,10 @@ class EvaluationStats:
                 "early_exits": self.early_exits,
                 "peak_batch_rows": self.peak_batch_rows,
                 "groups_built": self.groups_built,
-                "accumulator_rows": self.accumulator_rows}
+                "accumulator_rows": self.accumulator_rows,
+                "sip_filtered_rows": self.sip_filtered_rows,
+                "intersect_steps": self.intersect_steps,
+                "sorted_runs_built": self.sorted_runs_built}
 
 
 class Evaluator:
@@ -139,7 +156,9 @@ class Evaluator:
 
     def __init__(self, dataset: Dataset, optimize: bool = True,
                  max_rows: Optional[int] = None, cache_bgps: bool = True,
-                 deadline: Optional[float] = None):
+                 deadline: Optional[float] = None,
+                 sip: Union[bool, str] = "auto",
+                 multiway: Union[bool, str] = "auto"):
         self.dataset = dataset
         self.optimize = optimize
         self.max_rows = max_rows  # safety valve for runaway queries
@@ -147,6 +166,18 @@ class Evaluator:
         # and inside the pattern matcher's row production.
         self.deadline = deadline
         self.cache_bgps = cache_bgps
+        # Sideways information passing and multiway intersection knobs.
+        # ``'auto'`` follows the planner's JoinStrategy annotations
+        # (``sip_eligible`` on join nodes, ``strategy`` on BGPs); True
+        # forces the technique wherever structurally possible; False
+        # disables it — the PR-4 behaviour the joins benchmark measures
+        # against.
+        self.sip = sip
+        self.multiway = multiway
+        # Active sideways filters: variable name -> set of admissible term
+        # ids, installed by join operators around their probe side and
+        # consulted by the BGP pattern steps.  Always {} at quiescence.
+        self._sip: Dict[str, set] = {}
         self.stats = EvaluationStats()
         self.dictionary = None  # set when the query's graphs are resolved
         self._stats_cache: Dict[int, GraphStatistics] = {}
@@ -209,47 +240,127 @@ class Evaluator:
             self._stats_cache[key] = stats
         return stats
 
+    # -- strategy / SIP routing ----------------------------------------
+
+    def _bgp_intersect(self, node: alg.BGP) -> bool:
+        """Should this BGP compile with multiway intersection steps?"""
+        mode = self.multiway
+        if mode is True:
+            return True
+        return mode == "auto" and getattr(node, "strategy",
+                                          None) == "intersect"
+
+    def _use_sip(self, node) -> bool:
+        """Should this join export sideways filters to its probe side?"""
+        mode = self.sip
+        if mode is True:
+            return True
+        return mode == "auto" and getattr(node, "sip_eligible", False)
+
+    def _sip_touches(self, patterns) -> bool:
+        """True when an active sideways filter names a pattern variable
+        (such BGPs bypass the BGP cache: their result depends on the
+        filter, not just the pattern set)."""
+        sip = self._sip
+        if not sip:
+            return False
+        for triple in patterns:
+            for term in triple:
+                if isinstance(term, Variable) and term.name in sip:
+                    return True
+        return False
+
+    def _sip_exports(self, table: SolutionTable, probe) -> Optional[Dict]:
+        """The join-key id-sets a build side exports toward a probe.
+
+        One set per variable that (a) the probe has in scope and (b) is
+        bound in *every* build row — an unbound build cell joins with any
+        probe value, so such variables export nothing.  A probe candidate
+        whose id is outside the set cannot join any build row, which is
+        what lets the BGP leaves drop it before a row exists.
+        """
+        if not table.rows:
+            return None
+        probe_vars = set(probe.in_scope())
+        exports: Dict[str, set] = {}
+        for pos, var in enumerate(table.variables):
+            if var not in probe_vars:
+                continue
+            values = set()
+            add = values.add
+            bound_everywhere = True
+            for row in table.rows:
+                tid = row[pos]
+                if tid is None:
+                    bound_everywhere = False
+                    break
+                add(tid)
+            if bound_everywhere:
+                exports[var] = values
+        return exports or None
+
+    def _sip_merge(self, exports: Dict) -> Dict:
+        """Merge fresh exports into the active scope.  A variable filtered
+        by two enclosing joins keeps the intersection of both sets."""
+        if not self._sip:
+            return exports
+        merged = dict(self._sip)
+        for var, values in exports.items():
+            prev = merged.get(var)
+            merged[var] = values if prev is None else (prev & values)
+        return merged
+
+    def _order_for_sip(self, patterns, graph):
+        """Re-order a sideways-filtered BGP so the filtered leaves lead.
+
+        The plan-time join order was chosen without knowing the build
+        side's key sets; with them in hand, a pattern binding a filtered
+        variable is far more selective than its base estimate (the filter
+        keeps ``|set|`` of the variable's distinct values).  Re-running
+        the greedy ordering with discounted estimates starts the probe at
+        the semi-join filter instead of dragging the full scan first —
+        the classic magic-sets effect, per execution and only for BGPs a
+        filter actually touches."""
+        return order_patterns(patterns,
+                              _SipAwareStats(self._graph_stats(graph),
+                                             self._sip, graph))
+
+    # -- BGP evaluation ------------------------------------------------
+
     def _eval_bgp(self, node: alg.BGP, graph) -> SolutionTable:
         self.stats.bgp_count += 1
         patterns = node.triples
         if not patterns:
             return SolutionTable.unit()
+        intersect = self._bgp_intersect(node)
+        sip_active = self._sip_touches(patterns)
         cache_key = None
-        if self.cache_bgps:
-            cache_key = (id(graph),
+        if self.cache_bgps and not sip_active:
+            cache_key = (id(graph), intersect,
                          tuple(sorted(patterns, key=lambda t: repr(t))))
             cached = self._bgp_cache.get(cache_key)
             if cached is not None:
                 self.stats.bgp_cache_hits += 1
                 return cached
-        if self.optimize and len(patterns) > 1:
-            patterns = order_patterns(patterns, self._graph_stats(graph))
-        schema: List[str] = []
-        rows: List[tuple] = [()]
-        for i, pattern in enumerate(patterns):
-            schema, rows = self._match_pattern(pattern, schema, rows, graph)
-            if not rows:
-                # Complete the schema so downstream schema-driven operators
-                # (UNION padding, projection) see every BGP variable.
-                for later in patterns[i + 1:]:
-                    for term in later:
-                        if isinstance(term, Variable) \
-                                and term.name not in schema:
-                            schema.append(term.name)
-                break
+        if len(patterns) > 1:
+            if sip_active:
+                patterns = self._order_for_sip(patterns, graph)
+            elif self.optimize:
+                patterns = order_patterns(patterns, self._graph_stats(graph))
+        schema, _schemas, steps = self._bgp_steps(patterns, graph, intersect)
+        rows: List[tuple] = []
+        if steps is not None:
+            rows = [()]
+            for step in steps:
+                out: List[tuple] = []
+                step(rows, self._guarded_append(out))
+                rows = out
+                if not rows:
+                    break
         table = SolutionTable(schema, rows)
         if cache_key is not None:
             self._bgp_cache[cache_key] = table
         return table
-
-    def _match_pattern(self, pattern, schema: List[str], rows, graph):
-        """Extend each row with id-level matches of one triple pattern."""
-        schema, step = self._pattern_plan(pattern, schema, graph)
-        if step is None:
-            return schema, []
-        out: List[tuple] = []
-        step(rows, self._guarded_append(out))
-        return schema, out
 
     def _pattern_plan(self, pattern, schema: List[str], graph):
         """Compile one triple pattern into ``(new_schema, step)``.
@@ -263,8 +374,15 @@ class Evaluator:
         ``step`` is ``None`` when a constant term is unknown to the
         dictionary (no triple can match); the returned schema still
         includes the pattern's fresh variables.
+
+        When a sideways-information-passing scope is active
+        (``self._sip``), the step additionally drops candidate bindings
+        for filtered fresh variables at the index probe itself — the
+        pruned combination never becomes a row — and counts them in
+        ``stats.sip_filtered_rows``.
         """
         lookup = self.dictionary.lookup
+        sip = self._sip
         index = {v: i for i, v in enumerate(schema)}
         schema = list(schema)
         # A slot per position: ('c', id) constant, ('b', col) bound var,
@@ -329,30 +447,64 @@ class Evaluator:
             # index-nested-loop step of the paper's flat queries.
             s_of, p_of = val_of(s_kind, s_val), val_of(p_kind, p_val)
             objects_for = graph.objects_for
+            o_filter = sip.get(pattern[2].name) if sip else None
 
-            def step(rows, append):
-                matches = 0
-                for row in rows:
-                    objs = objects_for(s_of(row), p_of(row))
-                    if objs:
-                        matches += len(objs)
-                        for o in objs:
-                            append(row + (o,))
-                stats.pattern_matches += matches
+            if o_filter is None:
+                def step(rows, append):
+                    matches = 0
+                    for row in rows:
+                        objs = objects_for(s_of(row), p_of(row))
+                        if objs:
+                            matches += len(objs)
+                            for o in objs:
+                                append(row + (o,))
+                    stats.pattern_matches += matches
+            else:
+                def step(rows, append):
+                    matches = 0
+                    dropped = 0
+                    for row in rows:
+                        objs = objects_for(s_of(row), p_of(row))
+                        if objs:
+                            matches += len(objs)
+                            for o in objs:
+                                if o in o_filter:
+                                    append(row + (o,))
+                                else:
+                                    dropped += 1
+                    stats.pattern_matches += matches
+                    stats.sip_filtered_rows += dropped
         elif not p_free and s_free and not o_free:
             # Backward expansion: (p, o) -> subjects.
             p_of, o_of = val_of(p_kind, p_val), val_of(o_kind, o_val)
             subjects_for = graph.subjects_for
+            s_filter = sip.get(pattern[0].name) if sip else None
 
-            def step(rows, append):
-                matches = 0
-                for row in rows:
-                    subs = subjects_for(p_of(row), o_of(row))
-                    if subs:
-                        matches += len(subs)
-                        for s in subs:
-                            append(row + (s,))
-                stats.pattern_matches += matches
+            if s_filter is None:
+                def step(rows, append):
+                    matches = 0
+                    for row in rows:
+                        subs = subjects_for(p_of(row), o_of(row))
+                        if subs:
+                            matches += len(subs)
+                            for s in subs:
+                                append(row + (s,))
+                    stats.pattern_matches += matches
+            else:
+                def step(rows, append):
+                    matches = 0
+                    dropped = 0
+                    for row in rows:
+                        subs = subjects_for(p_of(row), o_of(row))
+                        if subs:
+                            matches += len(subs)
+                            for s in subs:
+                                if s in s_filter:
+                                    append(row + (s,))
+                                else:
+                                    dropped += 1
+                    stats.pattern_matches += matches
+                    stats.sip_filtered_rows += dropped
         elif not p_free and s_free and o_free and p_kind == "c":
             # Predicate scan with a constant predicate: materialize the
             # (s, o) pairs once and reuse them for every input row.
@@ -361,21 +513,46 @@ class Evaluator:
                 hits = [(s,) for s, o in pairs if s == o]
             else:
                 hits = pairs
+            dropped_per_row = 0
+            if sip:
+                # Filter the materialized pairs once at compile time; the
+                # per-input-row drop count keeps the counter's meaning
+                # (candidate bindings pruned) identical to the row-driven
+                # shapes.
+                s_filter = sip.get(pattern[0].name)
+                o_filter = sip.get(pattern[2].name)
+                if s_filter is not None or o_filter is not None:
+                    kept = [extra for extra in hits
+                            if (s_filter is None or extra[0] in s_filter)
+                            and (o_filter is None or extra[-1] in o_filter)]
+                    dropped_per_row = len(hits) - len(kept)
+                    hits = kept
 
             def step(rows, append):
                 matches = 0
+                n_rows = 0
                 for row in rows:
+                    n_rows += 1
                     matches += len(pairs)
                     for extra in hits:
                         append(row + extra)
                 stats.pattern_matches += matches
+                if dropped_per_row:
+                    stats.sip_filtered_rows += dropped_per_row * n_rows
         else:
             # General shape (variable predicate, or repeated fresh
             # variables across positions): slot-interpreting loop.
             triples_ids = graph.triples_ids
+            filters_by_slot = {}
+            if sip:
+                for name, k in new_pos.items():
+                    flt = sip.get(name)
+                    if flt is not None:
+                        filters_by_slot[k] = flt
 
             def step(rows, append):
                 matches = 0
+                dropped = 0
                 for row in rows:
                     s = None if s_free else (s_val if s_kind == "c"
                                              else row[s_val])
@@ -391,6 +568,11 @@ class Evaluator:
                             if kind == "n":
                                 prev = extras[val]
                                 if prev is None:
+                                    flt = filters_by_slot.get(val)
+                                    if flt is not None and tid not in flt:
+                                        dropped += 1
+                                        ok = False
+                                        break
                                     extras[val] = tid
                                 elif prev != tid:
                                     # Repeated variable must agree.
@@ -399,6 +581,8 @@ class Evaluator:
                         if ok:
                             append(row + tuple(extras))
                 stats.pattern_matches += matches
+                if dropped:
+                    stats.sip_filtered_rows += dropped
 
         return schema, step
 
@@ -432,11 +616,30 @@ class Evaluator:
         return append
 
     # ------------------------------------------------------------------
+    # Joins.  The build side (evaluated first) exports its join-key
+    # id-sets sideways into the probe side's BGP leaves (semi-join
+    # filters).  The probe of an inner Join inherits the enclosing scope
+    # too; the auxiliary side of LeftJoin/Minus/FilterExists sees *only*
+    # the operator's own exports — an enclosing join's filter is sound
+    # for rows that must ultimately join it, but pruning inside an
+    # OPTIONAL/MINUS/EXISTS auxiliary would flip match decisions (a
+    # pruned optional row turns into a null-padded one) rather than
+    # remove dead rows.
     def _eval_join(self, node: alg.Join, graph) -> SolutionTable:
         left = self.evaluate(node.left, graph)
         if not left.rows:
             return SolutionTable(left.variables)
-        right = self.evaluate(node.right, graph)
+        exports = self._sip_exports(left, node.right) \
+            if self._use_sip(node) else None
+        if exports:
+            outer = self._sip
+            self._sip = self._sip_merge(exports)
+            try:
+                right = self.evaluate(node.right, graph)
+            finally:
+                self._sip = outer
+        else:
+            right = self.evaluate(node.right, graph)
         if not right.rows:
             return SolutionTable(left.variables + tuple(
                 v for v in right.variables if v not in left.index))
@@ -447,7 +650,14 @@ class Evaluator:
         left = self.evaluate(node.left, graph)
         if not left.rows:
             return SolutionTable(left.variables)
-        right = self.evaluate(node.right, graph)
+        exports = self._sip_exports(left, node.right) \
+            if self._use_sip(node) else None
+        outer = self._sip
+        self._sip = exports or {}
+        try:
+            right = self.evaluate(node.right, graph)
+        finally:
+            self._sip = outer
         self.stats.joins += 1
         if node.condition is None:
             return table_left_join(left, right)
@@ -487,7 +697,19 @@ class Evaluator:
                 continue  # errors eliminate the solution
         return SolutionTable(table.variables, rows)
 
+    def _sip_without(self, var: str) -> Dict:
+        """The active scope minus one variable (Extend overwrites it, so a
+        leaf filter below would act on the wrong value)."""
+        return {v: s for v, s in self._sip.items() if v != var}
+
     def _eval_extend(self, node: alg.Extend, graph) -> SolutionTable:
+        if self._sip and node.var in self._sip:
+            outer = self._sip
+            self._sip = self._sip_without(node.var)
+            try:
+                return self._eval_extend(node, graph)
+            finally:
+                self._sip = outer
         table = self.evaluate(node.pattern, graph)
         index = table.index
         decode = self.dictionary.decode
@@ -641,7 +863,24 @@ class Evaluator:
             self.stats.groups_built += built
         return SolutionTable(out_vars, out_rows)
 
+    def _sip_for_group(self, node: alg.Group) -> Dict:
+        """Restrict the active scope to the Group's grouping variables.
+
+        Pruning a grouping key removes whole groups that could not join
+        anyway; pruning anything else would corrupt surviving groups'
+        aggregates, so other filters are suspended below a Group."""
+        return {v: s for v, s in self._sip.items() if v in node.group_vars}
+
     def _eval_group(self, node: alg.Group, graph) -> SolutionTable:
+        if self._sip:
+            allowed = self._sip_for_group(node)
+            if len(allowed) != len(self._sip):
+                outer = self._sip
+                self._sip = allowed
+                try:
+                    return self._eval_group(node, graph)
+                finally:
+                    self._sip = outer
         table = self.evaluate(node.pattern, graph)
         group_vars = node.group_vars
         index = table.index
@@ -745,15 +984,29 @@ class Evaluator:
         """Bounded sort, materialized mode: one heap pass instead of a
         full sort + slice.  ``heapq.nsmallest`` is documented equivalent to
         ``sorted(rows, key=key)[:n]``, so stability (ties keep input
-        order) matches :meth:`_eval_orderby` exactly."""
-        table = self.evaluate(node.pattern, graph)
+        order) matches :meth:`_eval_orderby` exactly.
+
+        Sideways filters are suspended below any row-bound operator: a
+        window selects *which* rows survive, so pruning its input would
+        change the selection, not just skip dead rows."""
+        outer = self._sip
+        self._sip = {}
+        try:
+            table = self.evaluate(node.pattern, graph)
+        finally:
+            self._sip = outer
         keep = node.offset + node.limit
         rows = heapq.nsmallest(keep, table.rows,
                                key=self._order_key(table.index, node.keys))
         return SolutionTable(table.variables, rows[node.offset:])
 
     def _eval_slice(self, node: alg.Slice, graph) -> SolutionTable:
-        table = self.evaluate(node.pattern, graph)
+        outer = self._sip
+        self._sip = {}  # same suspension rationale as _eval_topk
+        try:
+            table = self.evaluate(node.pattern, graph)
+        finally:
+            self._sip = outer
         start = node.offset
         end = None if node.limit is None else start + node.limit
         return SolutionTable(table.variables, table.rows[start:end])
@@ -774,7 +1027,17 @@ class Evaluator:
         left = self.evaluate(node.left, graph)
         if not left.rows:
             return SolutionTable(left.variables)
-        right = self.evaluate(node.right, graph)
+        # SIP into the right side: a right row whose key misses every left
+        # row's value for an everywhere-bound shared variable is
+        # incompatible with all of them, so it can exclude nothing.
+        exports = self._sip_exports(left, node.right) \
+            if self._use_sip(node) else None
+        outer = self._sip
+        self._sip = exports or {}
+        try:
+            right = self.evaluate(node.right, graph)
+        finally:
+            self._sip = outer
         return table_minus(left, right)
 
     def _eval_filterexists(self, node: alg.FilterExists, graph
@@ -782,7 +1045,18 @@ class Evaluator:
         table = self.evaluate(node.pattern, graph)
         if not table.rows:
             return table
-        inner = self.evaluate(node.group, graph)
+        # SIP into the existence group: a group row incompatible with
+        # every pattern row flips no exists-flag (sound for EXISTS and
+        # NOT EXISTS alike, because the exports reflect the actual
+        # pattern rows).
+        exports = self._sip_exports(table, node.group) \
+            if self._use_sip(node) else None
+        outer = self._sip
+        self._sip = exports or {}
+        try:
+            inner = self.evaluate(node.group, graph)
+        finally:
+            self._sip = outer
         shared = [(table.index[v], inner.index[v])
                   for v in inner.variables if v in table.index]
         rows = []
@@ -881,19 +1155,39 @@ class Evaluator:
 
     # -- producers -----------------------------------------------------
 
-    def _bgp_steps(self, patterns, graph):
+    def _bgp_steps(self, patterns, graph, intersect: bool = False):
         """Compile an ordered pattern list into per-level match steps.
 
         Returns ``(final_schema, per_level_schemas, steps)``; ``steps`` is
         ``None`` when some constant term is unknown (the BGP is empty, but
         the schema still names every variable, exactly like the
         materialized path's schema completion).
+
+        With ``intersect=True`` (the planner's ``'intersect'`` strategy,
+        or ``multiway=True``), the compiler binds a variable that occurs
+        in two or more remaining patterns through a k-way galloping
+        intersection of the graph's sorted runs instead of
+        expand-then-filter: patterns whose only free position is that
+        variable are satisfied by the intersection itself and drop out of
+        the plan.  Both executors drive the same steps, so the two
+        columnar planes keep one row order per strategy.
         """
         schema: List[str] = []
         schemas: List[List[str]] = []
         steps = []
         alive = True
-        for pattern in patterns:
+        remaining = list(patterns)
+        runs_ok = intersect and hasattr(graph, "objects_run")
+        while remaining:
+            if alive and runs_ok and len(remaining) > 1:
+                planned = self._intersection_plan(remaining, schema, graph)
+                if planned is not None:
+                    var, step, remaining = planned
+                    schema = schema + [var]
+                    steps.append(step)
+                    schemas.append(list(schema))
+                    continue
+            pattern = remaining.pop(0)
             schema, step = self._pattern_plan(pattern, schema, graph)
             if step is None:
                 alive = False
@@ -902,6 +1196,309 @@ class Evaluator:
             schemas.append(list(schema))
         return schema, schemas, steps if alive else None
 
+    def _intersection_plan(self, remaining, schema: List[str], graph):
+        """Try to bind the head pattern's next variable by intersection.
+
+        Examines each new variable of ``remaining[0]`` (subject position
+        first) and collects, per remaining pattern, the sorted run that
+        constrains it (:func:`~.optimizer.run_signature`): ``(s, p)``
+        object runs, ``(p, o)`` subject runs, and ``p`` subject-presence
+        runs.  With two or more *distinct* runs the variable's candidates
+        are their galloping intersection — the leapfrog step of
+        worst-case-optimal join evaluation — and every pattern the
+        intersection fully satisfies is dropped from the plan.  Returns
+        ``(var, step, remaining_patterns)`` or ``None`` when no variable
+        qualifies (the caller falls back to a nested-loop step).
+        """
+        pattern = remaining[0]
+        bound = set(schema)
+        candidates: List[str] = []
+        for term in (pattern[0], pattern[2]):
+            if isinstance(term, Variable) and term.name not in bound \
+                    and term.name not in candidates:
+                candidates.append(term.name)
+        if not candidates:
+            return None
+        lookup = self.dictionary.lookup
+        index = {v: i for i, v in enumerate(schema)}
+        # Under 'auto', each step must also pass the planner's statistics
+        # gate — a BGP annotated for one worthwhile step should not pay
+        # for covering intersections elsewhere.  ``multiway=True`` forces
+        # every structural opportunity (the differential suites use it).
+        gate_stats = self._graph_stats(graph) if self.multiway == "auto" \
+            else None
+        for var in candidates:
+            signatures = []
+            seen = set()
+            consumed = set()
+            any_consumed = False
+            for pos, q in enumerate(remaining):
+                sig, consumes = run_signature(q, var, bound)
+                if sig is None:
+                    continue
+                if sig not in seen:
+                    seen.add(sig)
+                    signatures.append(sig)
+                if consumes:
+                    consumed.add(pos)
+                    any_consumed = True
+            if len(signatures) < 2:
+                continue
+            if gate_stats is not None and not intersection_worthwhile(
+                    {sig: run_width(sig, gate_stats) for sig in signatures},
+                    any_consumed):
+                continue
+            # Resolve signatures into run sources; an unknown constant
+            # means the whole BGP is empty — let the nested-loop path
+            # discover that (schema completion included).
+            static_specs = []
+            row_specs = []
+            ok = True
+            for sig in signatures:
+                kind, predicate = sig[0], sig[1]
+                pid = lookup(predicate)
+                if pid is None:
+                    ok = False
+                    break
+                if kind == "psubjects":
+                    static_specs.append((kind, pid, None))
+                    continue
+                other = sig[2]
+                if isinstance(other, tuple):  # ("?", name): bound column
+                    row_specs.append((kind, pid, index[other[1]]))
+                else:
+                    oid = lookup(other)
+                    if oid is None:
+                        ok = False
+                        break
+                    static_specs.append((kind, pid, oid))
+            if not ok:
+                return None
+            step = self._intersection_step(var, static_specs, row_specs,
+                                           graph)
+            keep = [q for pos, q in enumerate(remaining)
+                    if pos not in consumed]
+            return var, step, keep
+        return None
+
+    def _intersection_step(self, var: str, static_specs, row_specs, graph):
+        """Build the executable step for one intersection binding.
+
+        Operand handling is leapfrog-style but asymmetric, which is what
+        makes it fast in CPython: the narrowest operand becomes the
+        sorted-run iteration seed and every other operand an O(1)
+        membership probe (the graph's native index sets), so the work is
+        ``O(min operand)`` with constant-time elimination — the same
+        candidates the galloping :func:`~repro.rdf.graph.intersect_runs`
+        would produce, at hash-probe instead of binary-search constants.
+        *Static* operands (constant-keyed and predicate-subject runs) are
+        merged once at compile time; *row-keyed* operands are re-seeded
+        per input row.  Because every seed is sorted, candidates always
+        emerge in ascending id order no matter which operand was
+        smallest, keeping row order deterministic across executors and
+        strategies.
+        """
+        stats = self.stats
+        objects_for = graph.objects_for
+        subjects_for = graph.subjects_for
+        objects_run = graph.objects_run
+        subjects_run = graph.subjects_run
+        psubjects_run = graph.predicate_subjects_run
+
+        def track(fetch, *args):
+            before = graph.sorted_runs_built
+            run = fetch(*args)
+            built = graph.sorted_runs_built - before
+            if built:
+                stats.sorted_runs_built += built
+            return run
+
+        def dead_step(rows, append):
+            # Some operand is statically empty: the step matches nothing,
+            # ever, but the schema still gains the variable.
+            return
+
+        static_runs: List[tuple] = []
+        static_members: List = []
+        for kind, pid, other in static_specs:
+            if kind == "psubjects":
+                run = track(psubjects_run, pid)
+                members = graph.predicate_subjects_set(pid)
+            elif kind == "subjects":
+                run = track(subjects_run, pid, other)
+                members = subjects_for(pid, other)
+            else:  # objects: constant subject `other`, predicate pid
+                run = track(objects_run, other, pid)
+                members = objects_for(other, pid)
+            if not run:
+                return dead_step
+            static_runs.append(run)
+            static_members.append(members)
+        static_candidates = None
+        static_set = None
+        if static_runs:
+            if len(static_runs) > 1:
+                # Merge the static operands once at compile time: iterate
+                # the narrowest sorted run, eliminate against the others'
+                # membership sets.  Every per-input-row execution then
+                # starts from the merged candidate list.
+                stats.intersect_steps += 1
+                seed_at = min(range(len(static_runs)),
+                              key=lambda i: len(static_runs[i]))
+                merged = static_runs[seed_at]
+                for i, members in enumerate(static_members):
+                    if i != seed_at:
+                        merged = [tid for tid in merged if tid in members]
+                if not merged:
+                    return dead_step
+                static_candidates = merged
+            else:
+                static_candidates = static_runs[0]
+
+        sip_filter = self._sip.get(var) if self._sip else None
+
+        if not row_specs:
+            # Every operand is static: the intersection is already done.
+            matched = static_candidates
+            dropped = 0
+            if sip_filter is not None:
+                kept = [tid for tid in matched if tid in sip_filter]
+                dropped = len(matched) - len(kept)
+                matched = kept
+
+            def static_step(rows, append):
+                n_rows = 0
+                for row in rows:
+                    n_rows += 1
+                    for tid in matched:
+                        append(row + (tid,))
+                # Count candidates before the SIP drop, exactly like the
+                # nested-loop shapes, so pattern_matches means the same
+                # thing under every strategy.
+                stats.pattern_matches += (len(matched) + dropped) * n_rows
+                stats.sip_filtered_rows += dropped * n_rows
+
+            return static_step
+
+        set_fetchers = []
+        run_fetchers = []
+        for kind, pid, col in row_specs:
+            if kind == "subjects":
+                set_fetchers.append(lambda row, _p=pid, _c=col:
+                                    subjects_for(_p, row[_c]))
+                run_fetchers.append(lambda row, _p=pid, _c=col:
+                                    track(subjects_run, _p, row[_c]))
+            else:  # objects keyed by a bound subject column
+                set_fetchers.append(lambda row, _p=pid, _c=col:
+                                    objects_for(row[_c], _p))
+                run_fetchers.append(lambda row, _p=pid, _c=col:
+                                    track(objects_run, row[_c], _p))
+        n_row = len(set_fetchers)
+
+        def finish(row, matched, append):
+            # pattern_matches counts pre-filter candidates (same meaning
+            # as the nested-loop shapes); SIP drops are tracked apart.
+            stats.pattern_matches += len(matched)
+            if sip_filter is not None:
+                kept = [tid for tid in matched if tid in sip_filter]
+                stats.sip_filtered_rows += len(matched) - len(kept)
+                matched = kept
+            for tid in matched:
+                append(row + (tid,))
+
+        if n_row == 1 and static_candidates is not None:
+            # One static operand list, one row-keyed operand: the
+            # dominant anchored shape (e.g. candidates ∩ (p, o_row)).
+            get0, run0 = set_fetchers[0], run_fetchers[0]
+            static_len = len(static_candidates)
+            if static_set is None:
+                static_set = frozenset(static_candidates)
+
+            def step(rows, append):
+                for row in rows:
+                    members = get0(row)
+                    if not members:
+                        continue
+                    stats.intersect_steps += 1
+                    if static_len <= len(members):
+                        matched = [tid for tid in static_candidates
+                                   if tid in members]
+                    else:
+                        matched = [tid for tid in run0(row)
+                                   if tid in static_set]
+                    finish(row, matched, append)
+
+            return step
+
+        if n_row == 2 and static_candidates is None:
+            # Two row-keyed operands: the cyclic-join shape.
+            get0, run0 = set_fetchers[0], run_fetchers[0]
+            get1, run1 = set_fetchers[1], run_fetchers[1]
+
+            def step(rows, append):
+                for row in rows:
+                    first = get0(row)
+                    if not first:
+                        continue
+                    second = get1(row)
+                    if not second:
+                        continue
+                    stats.intersect_steps += 1
+                    if len(first) <= len(second):
+                        matched = [tid for tid in run0(row)
+                                   if tid in second]
+                    else:
+                        matched = [tid for tid in run1(row)
+                                   if tid in first]
+                    finish(row, matched, append)
+
+            return step
+
+        if static_candidates is not None and static_set is None:
+            static_set = frozenset(static_candidates)
+
+        def step(rows, append):
+            for row in rows:
+                row_sets = []
+                dead = False
+                for get_set in set_fetchers:
+                    candidates = get_set(row)
+                    if not candidates:
+                        dead = True
+                        break
+                    row_sets.append(candidates)
+                if dead:
+                    continue
+                stats.intersect_steps += 1
+                if static_candidates is not None and len(static_candidates) \
+                        <= min(len(s) for s in row_sets):
+                    seed = static_candidates
+                    probes = row_sets
+                else:
+                    best = 0
+                    best_len = len(row_sets[0])
+                    for k in range(1, n_row):
+                        if len(row_sets[k]) < best_len:
+                            best = k
+                            best_len = len(row_sets[k])
+                    seed = run_fetchers[best](row)
+                    probes = row_sets[:best] + row_sets[best + 1:]
+                    if static_set is not None:
+                        probes.append(static_set)
+                if len(probes) == 1:
+                    p0 = probes[0]
+                    matched = [tid for tid in seed if tid in p0]
+                elif len(probes) == 2:
+                    p0, p1 = probes
+                    matched = [tid for tid in seed
+                               if tid in p0 and tid in p1]
+                else:
+                    matched = [tid for tid in seed
+                               if all(tid in p for p in probes)]
+                finish(row, matched, append)
+
+        return step
+
     def _stream_bgp(self, node: alg.BGP, graph,
                     hint: Optional[int]) -> TableStream:
         self.stats.bgp_count += 1
@@ -909,8 +1506,10 @@ class Evaluator:
         if not patterns:
             return TableStream((), self._meter(iter(([()],))))
         cap = self._cap(hint)
-        if self.cache_bgps:
-            cache_key = (id(graph),
+        intersect = self._bgp_intersect(node)
+        sip_active = self._sip_touches(patterns)
+        if self.cache_bgps and not sip_active:
+            cache_key = (id(graph), intersect,
                          tuple(sorted(patterns, key=lambda t: repr(t))))
             cached = self._bgp_cache.get(cache_key)
             if cached is not None:
@@ -920,9 +1519,12 @@ class Evaluator:
                 self.stats.bgp_cache_hits += 1
                 return TableStream(cached.variables,
                                    self._meter(batched(cached.rows, cap)))
-        if self.optimize and len(patterns) > 1:
-            patterns = order_patterns(patterns, self._graph_stats(graph))
-        schema, _schemas, steps = self._bgp_steps(patterns, graph)
+        if len(patterns) > 1:
+            if sip_active:
+                patterns = self._order_for_sip(patterns, graph)
+            elif self.optimize:
+                patterns = order_patterns(patterns, self._graph_stats(graph))
+        schema, _schemas, steps = self._bgp_steps(patterns, graph, intersect)
         if steps is None:
             return TableStream(schema, self._meter(iter(())))
         if hint is None:
@@ -1046,6 +1648,13 @@ class Evaluator:
 
     def _stream_extend(self, node: alg.Extend, graph,
                        hint: Optional[int]) -> TableStream:
+        if self._sip and node.var in self._sip:
+            scope = self._sip
+            self._sip = self._sip_without(node.var)
+            try:
+                return self._stream_extend(node, graph, hint)
+            finally:
+                self._sip = scope
         inner = self.stream(node.pattern, graph, hint)
         index = inner.index
         decode = self.dictionary.decode
@@ -1143,7 +1752,12 @@ class Evaluator:
         need = None if limit is None else start + limit
         child_hint = hint if need is None \
             else (need if hint is None else min(hint, need))
-        inner = self.stream(node.pattern, graph, child_hint)
+        scope = self._sip
+        self._sip = {}  # a window selects rows; pruning its input is unsound
+        try:
+            inner = self.stream(node.pattern, graph, child_hint)
+        finally:
+            self._sip = scope
         stats = self.stats
 
         def batches():
@@ -1195,6 +1809,15 @@ class Evaluator:
         group order is the first-seen order of the input stream and every
         finished cell is bit-identical to :meth:`_eval_group`'s.
         """
+        if self._sip:
+            allowed = self._sip_for_group(node)
+            if len(allowed) != len(self._sip):
+                scope = self._sip
+                self._sip = allowed
+                try:
+                    return self._stream_group(node, graph, hint)
+                finally:
+                    self._sip = scope
         fast = self._fast_group_count(node, graph)
         if fast is not None:
             batches = iter((fast.rows,)) if fast.rows else iter(())
@@ -1410,12 +2033,40 @@ class Evaluator:
 
     # -- joins: build side materialized, probe side streamed -----------
 
+    def _build_side(self, node: alg.AlgebraNode, graph) -> SolutionTable:
+        """Materialize a join build side.
+
+        Aggregate-bearing builds (the RDFFrames group-then-join shape)
+        run through the *streaming* operators and drain into a table, so
+        the build benefits from streaming hash aggregation and the
+        index-backed COUNT fast path — the grouped subquery no longer
+        materializes its pre-aggregation input just because it sits under
+        a join.  Anything else stays on the materialized evaluator, whose
+        row order for non-aggregate operators is the established oracle.
+        """
+        if _has_aggregate(node):
+            return self.stream(node, graph, None).to_table()
+        return self.evaluate(node, graph)
+
     def _stream_join(self, node: alg.Join, graph,
                      hint: Optional[int]) -> TableStream:
-        left = self.evaluate(node.left, graph)  # build side: breaker
+        left = self._build_side(node.left, graph)  # build side: breaker
         if not left.rows:
             return TableStream(left.variables, self._meter(iter(())))
-        right = self.stream(node.right, graph, None)
+        # SIP: the materialized build side exports its key sets into the
+        # probe pipeline.  Stream *construction* compiles the BGP steps,
+        # so the scope only needs to cover this call.
+        exports = self._sip_exports(left, node.right) \
+            if self._use_sip(node) else None
+        if exports:
+            outer = self._sip
+            self._sip = self._sip_merge(exports)
+            try:
+                right = self.stream(node.right, graph, None)
+            finally:
+                self._sip = outer
+        else:
+            right = self.stream(node.right, graph, None)
         self.stats.joins += 1
         out_vars, shared, right_only = _merge_plan(left, right)
         lkey = [lp for lp, _ in shared]
@@ -1461,7 +2112,17 @@ class Evaluator:
     def _stream_leftjoin(self, node: alg.LeftJoin, graph,
                          hint: Optional[int]) -> TableStream:
         left = self.stream(node.left, graph, hint)
-        right = self.evaluate(node.right, graph)  # build side: breaker
+        # The optional side is built before any preserved-side row exists,
+        # so this plane has no exports to thread into it; the enclosing
+        # scope is suspended (an outer join's filter inside an OPTIONAL
+        # would turn pruned extensions into null padding — wrong rows,
+        # not fewer rows).
+        outer = self._sip
+        self._sip = {}
+        try:
+            right = self._build_side(node.right, graph)  # build: breaker
+        finally:
+            self._sip = outer
         self.stats.joins += 1
         out_vars, shared, right_only = _merge_plan(left, right)
         condition = node.condition
@@ -1522,8 +2183,31 @@ class Evaluator:
 
     def _stream_filterexists(self, node: alg.FilterExists, graph,
                              hint: Optional[int]) -> TableStream:
-        outer = self.stream(node.pattern, graph, hint)
-        inner = self.evaluate(node.group, graph)  # probe table: breaker
+        # The existence group is a breaker either way; building it first
+        # lets EXISTS export its key sets into the streamed pattern side:
+        # a pattern row whose everywhere-bound shared variable misses the
+        # group's value set has no compatible witness, so for EXISTS
+        # (negated=False) it is sound to prune at the leaves.  NOT EXISTS
+        # keeps exactly those rows, so it exports nothing.  The group
+        # itself is evaluated under its own suspended scope, mirroring
+        # the materialized plane's auxiliary-side rule.
+        scope = self._sip
+        self._sip = {}
+        try:
+            inner = self._build_side(node.group, graph)  # breaker
+        finally:
+            self._sip = scope
+        exports = None
+        if not node.negated and self._use_sip(node):
+            exports = self._sip_exports(inner, node.pattern)
+        if exports:
+            self._sip = self._sip_merge(exports)
+            try:
+                outer = self.stream(node.pattern, graph, hint)
+            finally:
+                self._sip = scope
+        else:
+            outer = self.stream(node.pattern, graph, hint)
         shared = [(outer.index[v], inner.index[v])
                   for v in inner.variables if v in outer.index]
         inner_rows = inner.rows
@@ -1544,9 +2228,14 @@ class Evaluator:
     def _stream_topk(self, node: alg.TopK, graph,
                      hint: Optional[int]) -> TableStream:
         keep = node.offset + node.limit
-        if isinstance(node.pattern, alg.BGP) and node.pattern.triples:
-            return self._stream_topk_bgp(node, graph, keep)
-        inner = self.stream(node.pattern, graph, None)
+        scope = self._sip
+        self._sip = {}  # bounded sort: same suspension as _stream_slice
+        try:
+            if isinstance(node.pattern, alg.BGP) and node.pattern.triples:
+                return self._stream_topk_bgp(node, graph, keep)
+            inner = self.stream(node.pattern, graph, None)
+        finally:
+            self._sip = scope
         key = self._order_key(inner.index, node.keys)
         offset = node.offset
 
@@ -1602,7 +2291,11 @@ class Evaluator:
         patterns = node.pattern.triples
         if self.optimize and len(patterns) > 1:
             patterns = order_patterns(patterns, self._graph_stats(graph))
-        schema, schemas, steps = self._bgp_steps(patterns, graph)
+        # Compile with the same strategy the materialized plane would use:
+        # on a tie-heavy ORDER BY the window's k-subset depends on BGP
+        # production order, so the planes must drive identical steps.
+        schema, schemas, steps = self._bgp_steps(
+            patterns, graph, self._bgp_intersect(node.pattern))
         if steps is None:
             return TableStream(schema, self._meter(iter(())))
         # First pattern depth at which every sort variable is bound.
@@ -1675,9 +2368,94 @@ class Evaluator:
 # Helpers (shared with the reference evaluator)
 # ----------------------------------------------------------------------
 
+#: A sideways filter re-orders a probe BGP only when it keeps at most
+#: this fraction of the variable's values under the pattern's predicate.
+#: Weaker filters still prune at the leaves, but in the plan-time order —
+#: dragging a big scan to the front for a filter that keeps most of it
+#: costs more than it saves.
+SIP_REORDER_SELECTIVITY = 0.15
+
+#: Above this filter size the per-member occurrence refinement is skipped
+#: (the raw size ratio is used instead): probing huge sets would cost more
+#: than the ordering decision is worth.
+SIP_EFFECTIVE_PROBE_CAP = 512
+
+
+class _SipAwareStats:
+    """A :class:`GraphStatistics` view that discounts estimates for
+    patterns binding sideways-filtered variables.
+
+    A filter keeps at most its *effective* members of a variable's
+    distinct values under a predicate — members that never occur in the
+    pattern's position (e.g. Egyptian-born athletes against a
+    ``starring`` scan) cannot match, so small filters are probed against
+    the index to measure real selectivity.  A pattern whose filter keeps
+    at most :data:`SIP_REORDER_SELECTIVITY` of the predicate's values has
+    its estimate discounted accordingly; feeding these estimates to
+    :func:`order_patterns` moves the filtered leaf to the front of the
+    probe's join order.
+    """
+
+    def __init__(self, base: GraphStatistics, sip: Dict[str, set], graph):
+        self._base = base
+        self._sip = sip
+        self._graph = graph
+        self._effective: Dict[Tuple, int] = {}
+
+    def _effective_count(self, values: set, p, subject_side: bool) -> int:
+        """How many filter members actually occur under predicate ``p``
+        in the filtered position."""
+        key = (id(values), p, subject_side)
+        count = self._effective.get(key)
+        if count is None:
+            if len(values) > SIP_EFFECTIVE_PROBE_CAP:
+                count = len(values)
+            else:
+                graph = self._graph
+                pid = graph.dictionary.lookup(p) \
+                    if hasattr(graph, "dictionary") else None
+                if pid is None:
+                    count = len(values)
+                elif subject_side:
+                    count = sum(1 for v in values
+                                if graph.objects_for(v, pid))
+                else:
+                    count = sum(1 for v in values
+                                if graph.subjects_for(pid, v))
+            self._effective[key] = count
+        return count
+
+    def estimate(self, pattern, bound) -> float:
+        estimate = self._base.estimate(pattern, bound)
+        s, p, o = pattern
+        if isinstance(p, Variable):
+            return estimate
+        if isinstance(s, Variable) and s.name in self._sip \
+                and s.name not in bound:
+            universe = max(1, self._base.distinct_subjects(p))
+            kept = self._effective_count(self._sip[s.name], p, True)
+            if kept / universe <= SIP_REORDER_SELECTIVITY:
+                estimate *= kept / universe
+        if isinstance(o, Variable) and o.name in self._sip \
+                and o.name not in bound:
+            universe = max(1, self._base.distinct_objects(p))
+            kept = self._effective_count(self._sip[o.name], p, False)
+            if kept / universe <= SIP_REORDER_SELECTIVITY:
+                estimate *= kept / universe
+        return max(estimate, 0.001)
+
+
 def _common_vars(left: alg.AlgebraNode, right: alg.AlgebraNode) -> List[str]:
     left_vars = set(left.in_scope())
     return [v for v in right.in_scope() if v in left_vars]
+
+
+def _has_aggregate(node: alg.AlgebraNode) -> bool:
+    """True when the subtree contains a ``Group`` (mirrors the planner's
+    ``plan_has_aggregate`` without importing the plan layer)."""
+    if isinstance(node, alg.Group):
+        return True
+    return any(_has_aggregate(child) for child in node.children())
 
 
 #: Sentinel: the columnar aggregate fast path does not apply.

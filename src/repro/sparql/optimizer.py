@@ -7,11 +7,17 @@ dominates cost, so this module implements a greedy ordering: repeatedly pick
 the remaining pattern with the smallest estimated cardinality given the
 variables already bound, in the spirit of classic selectivity-based
 optimizers (and of what Virtuoso does for the paper's flat queries).
+
+It also hosts the statistics the planner's ``JoinStrategy`` pass consumes
+(per-predicate average fan-out) and :func:`run_signature`, the shared
+definition of which triple patterns can feed a sorted-run intersection step
+for a candidate variable — the planner uses it to decide *whether* a BGP
+should run multiway, the evaluator to decide *how*.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..rdf.terms import TriplePattern, Variable, is_concrete
 
@@ -25,21 +31,45 @@ class GraphStatistics:
     aggregation both provide it), so the optimizer never reaches into
     private index structures and never re-scans a predicate it has already
     profiled.
+
+    Statistics objects are scoped to a *single planning call* (one
+    ``optimize_plan`` pipeline, one evaluator instance): their memos are
+    cheap to rebuild and must not outlive the graph state they describe.
+    As a second line of defence, the fallback memo for graph-likes without
+    ``predicate_profile`` re-validates against the graph's size and drops
+    itself when the graph mutated underneath — earlier revisions served
+    stale triple counts forever.
     """
 
     def __init__(self, graph):
         self._graph = graph
         self._total = max(1, graph.count() if hasattr(graph, "count") else len(graph))
         # Local memo for graph-likes without predicate_profile (which is
-        # itself memoized); order_patterns calls estimate O(n^2) per BGP.
+        # itself memoized); order_patterns calls estimate O(n) per BGP.
         self._by_predicate: Dict = {}
+        # Size snapshot guarding the fallback memo: a mutation changes the
+        # triple count, which invalidates every cached scan.  (An
+        # equal-size replace slips through — acceptable for estimates, and
+        # planning-call scoping bounds the exposure to one plan.)
+        self._fallback_size: Optional[int] = None
+
+    def _graph_size(self) -> int:
+        graph = self._graph
+        if hasattr(graph, "count"):
+            return graph.count()
+        return len(graph)
 
     def _predicate_stats(self, predicate) -> Tuple[int, int, int]:
         """(triples, distinct subjects, distinct objects) for a predicate."""
         graph = self._graph
         if hasattr(graph, "predicate_profile"):
             return graph.predicate_profile(predicate)
-        # Graph-like object without the profile interface: one full scan.
+        # Graph-like object without the profile interface: one full scan,
+        # memoized until the graph's size changes.
+        size = self._graph_size()
+        if size != self._fallback_size:
+            self._by_predicate.clear()
+            self._fallback_size = size
         cached = self._by_predicate.get(predicate)
         if cached is not None:
             return cached
@@ -53,6 +83,34 @@ class GraphStatistics:
         stats = (triples, len(seen_s), len(seen_o))
         self._by_predicate[predicate] = stats
         return stats
+
+    def subject_fanout(self, predicate) -> float:
+        """Average objects per subject for a predicate: triples over
+        distinct subjects.  This is the multiplicity a forward expansion
+        ``(s bound, p) -> objects`` appends per input row — the quantity
+        sideways information passing and intersection steps try to prune
+        *before* it happens."""
+        triples, distinct_s, _ = self._predicate_stats(predicate)
+        return triples / max(1, distinct_s)
+
+    def object_fanout(self, predicate) -> float:
+        """Average subjects per object: the backward-expansion mirror of
+        :meth:`subject_fanout`."""
+        triples, _, distinct_o = self._predicate_stats(predicate)
+        return triples / max(1, distinct_o)
+
+    def predicate_cardinality(self, predicate) -> int:
+        """Total triples for a predicate (0 when absent)."""
+        return self._predicate_stats(predicate)[0]
+
+    def distinct_subjects(self, predicate) -> int:
+        """Distinct subjects carrying a predicate — the width of the
+        ``p -> subjects`` sorted run."""
+        return self._predicate_stats(predicate)[1]
+
+    def distinct_objects(self, predicate) -> int:
+        """Distinct objects of a predicate."""
+        return self._predicate_stats(predicate)[2]
 
     def estimate(self, pattern: TriplePattern, bound: Set[str]) -> float:
         """Estimated number of matches for ``pattern`` when the variables in
@@ -90,23 +148,49 @@ def order_patterns(patterns: Sequence[TriplePattern],
     and repeats.  Patterns sharing variables with already-chosen ones are
     strongly preferred (their estimates shrink once variables are bound),
     which avoids Cartesian products.
+
+    A pattern's estimate depends only on which of its subject/object slots
+    are fixed, so estimates are memoized per ``(pattern, fixedness)``
+    within one ordering call — the greedy loop re-examines every remaining
+    pattern each round, but each distinct estimate is computed once
+    instead of O(n²) times.  Cost ties are broken deterministically in
+    favour of the pattern that appears *first in the input* (the parser's
+    textual order), so the chosen order is a pure function of the query
+    and the statistics.
     """
-    remaining = list(patterns)
+    remaining = list(range(len(patterns)))
     ordered: List[TriplePattern] = []
     bound: Set[str] = set()
+    # (pattern index, s fixed?, o fixed?) -> base estimate.  Fixedness of
+    # a slot is the only way ``bound`` enters the estimate, so this key
+    # captures every distinct value ``stats.estimate`` can return for the
+    # pattern during this call.
+    memo: Dict[Tuple[int, bool, bool], float] = {}
+
+    def fixed(term) -> bool:
+        return is_concrete(term) or (isinstance(term, Variable)
+                                     and term.name in bound)
+
     while remaining:
-        best_index = 0
+        best_index = None
         best_cost = None
-        for index, pattern in enumerate(remaining):
-            cost = stats.estimate(pattern, bound)
+        for index in remaining:
+            pattern = patterns[index]
+            key = (index, fixed(pattern[0]), fixed(pattern[2]))
+            cost = memo.get(key)
+            if cost is None:
+                cost = stats.estimate(pattern, bound)
+                memo[key] = cost
             # Disconnected patterns (no shared variable) imply a Cartesian
             # product with everything so far; penalize them heavily.
             if ordered and not _shares_variable(pattern, bound):
                 cost *= 1e6
+            # Strict less-than keeps the earliest input index on ties.
             if best_cost is None or cost < best_cost:
                 best_cost = cost
                 best_index = index
-        chosen = remaining.pop(best_index)
+        remaining.remove(best_index)
+        chosen = patterns[best_index]
         ordered.append(chosen)
         for term in chosen:
             if isinstance(term, Variable):
@@ -116,3 +200,107 @@ def order_patterns(patterns: Sequence[TriplePattern],
 
 def _shares_variable(pattern: TriplePattern, bound: Set[str]) -> bool:
     return any(isinstance(t, Variable) and t.name in bound for t in pattern)
+
+
+# ----------------------------------------------------------------------
+# Sorted-run signatures (shared by the JoinStrategy pass and the
+# evaluator's multiway BGP compiler)
+# ----------------------------------------------------------------------
+
+def run_signature(pattern: TriplePattern, candidate: str,
+                  bound: Set[str]):
+    """Describe the sorted run that constrains variable ``candidate`` in
+    ``pattern``, given the already-bound variable names.
+
+    Returns ``(signature, consumed)``.  ``signature`` is a hashable key —
+    two patterns with equal signatures denote the *same* run and therefore
+    contribute only one operand to an intersection — or ``None`` when the
+    pattern cannot contribute (variable predicate, candidate absent or
+    repeated, or candidate in object position with a free subject, for
+    which no run index exists).  ``consumed`` is True when the run is
+    exactly the pattern's match set for the candidate (its only free
+    position), so an intersection step satisfies the pattern completely
+    and the pattern can be dropped from the plan.
+
+    Signature shapes::
+
+        ("subjects", p, term)        (p, o) -> subjects, o concrete
+        ("subjects", p, ("?", v))    (p, o) -> subjects, o bound per row
+        ("psubjects", p)             p -> subjects (candidate must *have* p)
+        ("objects", p, term)         (s, p) -> objects, s concrete
+        ("objects", p, ("?", v))     (s, p) -> objects, s bound per row
+    """
+    s, p, o = pattern
+    if not is_concrete(p):
+        return None, False
+    s_is_cand = isinstance(s, Variable) and s.name == candidate
+    o_is_cand = isinstance(o, Variable) and o.name == candidate
+    if s_is_cand == o_is_cand:  # absent, or repeated across positions
+        return None, False
+    if s_is_cand:
+        if is_concrete(o):
+            return ("subjects", p, o), True
+        if o.name in bound:
+            return ("subjects", p, ("?", o.name)), True
+        return ("psubjects", p), False
+    if is_concrete(s):
+        return ("objects", p, s), True
+    if s.name in bound:
+        return ("objects", p, ("?", s.name)), True
+    return None, False
+
+
+def run_width(signature, stats: GraphStatistics) -> float:
+    """Expected length of the sorted run a signature denotes.
+
+    ``psubjects`` runs span every subject of the predicate; the keyed runs
+    are estimated by the predicate's average fan-out toward the candidate
+    position.  The ``JoinStrategy`` pass compares these widths to decide
+    whether intersection beats expand-then-filter for a step.
+    """
+    kind, predicate = signature[0], signature[1]
+    if kind == "psubjects":
+        return float(stats.distinct_subjects(predicate))
+    if kind == "subjects":
+        return stats.object_fanout(predicate)
+    return stats.subject_fanout(predicate)
+
+
+#: Minimum width of the widest operand before intersection is worth the
+#: bookkeeping (skips micro graphs and unit-test fixtures).
+INTERSECT_MIN_WIDE_RUN = 8
+
+#: A predicate-subject run prunes a seed of width ``w`` only when it does
+#: not simply *cover* the seed's population; beyond this width ratio it is
+#: treated as covering (think ``psubj(starring)`` against "films of one
+#: actor": every film has a cast) and contributes nothing.
+PSUBJ_COVER_RATIO = 16
+
+
+def intersection_worthwhile(widths: Dict, any_consumed: bool) -> bool:
+    """The statistics gate one candidate intersection step must pass.
+
+    ``widths`` maps distinct run signatures to their estimated widths
+    (:func:`run_width`).  The evaluator iterates the narrowest operand
+    and probes the rest, so a step pays off when (a) some operand is
+    *consumed* — the intersection absorbs a whole pattern's
+    expand-then-check work; presence-only (``psubjects``) operand sets
+    tend to simply cover each other's populations — and (b) at least one
+    *probe* operand is genuinely selective against the seed: keyed runs
+    (constant- or row-bound) always are, a predicate-subject run only
+    when its width stays within :data:`PSUBJ_COVER_RATIO` of the seed's
+    (wider means it merely covers the seed's population).  The widest
+    operand must also clear :data:`INTERSECT_MIN_WIDE_RUN` (something to
+    prune).  Shared by the planner's ``JoinStrategy`` pass (to annotate)
+    and the evaluator's multiway compiler (to skip non-worthwhile steps
+    under ``multiway='auto'``).
+    """
+    if len(widths) < 2 or not any_consumed:
+        return False
+    by_width = sorted(widths.items(), key=lambda kv: kv[1])
+    seed_width = by_width[0][1]
+    if by_width[-1][1] < INTERSECT_MIN_WIDE_RUN:
+        return False
+    return any(sig[0] != "psubjects"
+               or width <= PSUBJ_COVER_RATIO * seed_width
+               for sig, width in by_width[1:])

@@ -36,10 +36,11 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from ..rdf.terms import Variable
+from ..rdf.terms import Variable, is_concrete
 from . import algebra as alg
 from .expressions import AndExpr, Expression
-from .optimizer import GraphStatistics, order_patterns
+from .optimizer import (GraphStatistics, intersection_worthwhile,
+                        order_patterns, run_signature, run_width)
 
 PassResult = Tuple[alg.AlgebraNode, int]
 PassFn = Callable[[alg.AlgebraNode], PassResult]
@@ -556,6 +557,137 @@ def make_join_ordering(graph, dataset=None) -> PassFn:
 
 
 # ----------------------------------------------------------------------
+# Pass 7: JoinStrategy (post-fixpoint annotation pass)
+# ----------------------------------------------------------------------
+
+#: Minimum triple count of a probe-side predicate before a join is marked
+#: SIP-eligible: filtering a handful of candidates costs more bookkeeping
+#: than it saves.
+SIP_MIN_PREDICATE_TRIPLES = 32
+
+def _bgp_wants_intersection(triples, stats: GraphStatistics) -> bool:
+    """Simulate the evaluator's binding order and report whether some step
+    has a *worthwhile* multiway intersection.
+
+    Mirrors :meth:`Evaluator._intersection_plan` structurally (via the
+    shared :func:`~.optimizer.run_signature`) and applies the shared
+    statistics gate (:func:`~.optimizer.intersection_worthwhile`).  One
+    winning step is enough: the annotation is per-BGP, and the evaluator
+    re-applies the same gate per step under ``multiway='auto'``, so a
+    BGP with one good and one useless opportunity intersects only where
+    it pays.
+    """
+    bound: Set[str] = set()
+    remaining = list(triples)
+    while remaining:
+        head = remaining[0]
+        for term in (head[0], head[2]):
+            if not isinstance(term, Variable) or term.name in bound:
+                continue
+            var = term.name
+            widths: Dict = {}
+            any_consumed = False
+            for q in remaining:
+                sig, consumes = run_signature(q, var, bound)
+                if sig is None:
+                    continue
+                if sig not in widths:
+                    widths[sig] = run_width(sig, stats)
+                any_consumed = any_consumed or consumes
+            if intersection_worthwhile(widths, any_consumed):
+                return True
+        remaining.pop(0)
+        for term in head:
+            if isinstance(term, Variable):
+                bound.add(term.name)
+    return False
+
+
+def _probe_prunable(probe: alg.AlgebraNode, shared: Set[str],
+                    stats: GraphStatistics) -> bool:
+    """True when the probe subtree contains a BGP pattern that binds a
+    shared variable under a constant predicate of non-trivial cardinality
+    — the leaf a sideways filter would actually prune."""
+    for bgp in alg.collect_bgps(probe):
+        for s, p, o in bgp.triples:
+            if not is_concrete(p):
+                continue
+            names = [t.name for t in (s, o) if isinstance(t, Variable)]
+            if not any(name in shared for name in names):
+                continue
+            if stats.predicate_cardinality(p) >= SIP_MIN_PREDICATE_TRIPLES:
+                return True
+    return False
+
+
+def make_join_strategy(graph, dataset=None) -> PassFn:
+    """Build the JoinStrategy annotation pass for a resolved default graph.
+
+    Unlike the rewrite passes, this one *annotates* nodes in place —
+    ``BGP.strategy = 'intersect'`` and ``sip_eligible = True`` on
+    Join/LeftJoin/Minus/FilterExists — and must therefore run after the
+    rewrite pipeline reaches fixpoint (rebuilding passes would drop the
+    attributes).  The engine's ``sip``/``multiway`` knobs consult the
+    annotations at execution time (``'auto'``), so one cached plan serves
+    every knob setting.
+    """
+    stats_cache: Dict[int, GraphStatistics] = {}
+
+    def stats_for(g) -> GraphStatistics:
+        key = id(g)
+        stats = stats_cache.get(key)
+        if stats is None:
+            stats = GraphStatistics(g)
+            stats_cache[key] = stats
+        return stats
+
+    def join_strategy(node: alg.AlgebraNode) -> PassResult:
+        changes = 0
+
+        def mark_sip(n, build, probe, g) -> None:
+            nonlocal changes
+            if g is None:
+                return
+            shared = set(build.in_scope()) & set(probe.in_scope())
+            if shared and _probe_prunable(probe, shared, stats_for(g)):
+                n.sip_eligible = True
+                changes += 1
+
+        def visit(n: alg.AlgebraNode, g) -> None:
+            nonlocal changes
+            if isinstance(n, alg.BGP):
+                if g is not None and len(n.triples) >= 2 \
+                        and _bgp_wants_intersection(n.triples, stats_for(g)):
+                    n.strategy = "intersect"
+                    changes += 1
+                return
+            if isinstance(n, alg.GraphPattern):
+                target = g
+                if dataset is not None and n.graph_uri in dataset:
+                    target = dataset.graph(n.graph_uri)
+                visit(n.pattern, target)
+                return
+            if isinstance(n, alg.Join):
+                mark_sip(n, n.left, n.right, g)
+            elif isinstance(n, (alg.LeftJoin, alg.Minus)):
+                mark_sip(n, n.left, n.right, g)
+            elif isinstance(n, alg.FilterExists):
+                # Exports flow pattern->group on the materialized plane
+                # and group->pattern (EXISTS only) on the streaming one;
+                # eligible when either direction has a prunable leaf.
+                mark_sip(n, n.pattern, n.group, g)
+                if not getattr(n, "sip_eligible", False) and not n.negated:
+                    mark_sip(n, n.group, n.pattern, g)
+            for child in n.children():
+                visit(child, g)
+
+        visit(node, graph)
+        return node, changes
+
+    return join_strategy
+
+
+# ----------------------------------------------------------------------
 # The pipeline
 # ----------------------------------------------------------------------
 
@@ -589,12 +721,18 @@ def optimize_plan(query: alg.Query, key: str = "", graph=None, dataset=None,
     pipeline = list(DEFAULT_PASSES if passes is None else passes)
     if not push_limits and passes is None:
         pipeline = [entry for entry in pipeline if entry[0] != "LimitPushdown"]
+    post: List[Tuple[str, PassFn]] = []
     if join_order and graph is not None:
         pipeline.append(("JoinOrdering", make_join_ordering(graph, dataset)))
+        # JoinStrategy only *annotates* (BGP strategy, per-join SIP
+        # eligibility); it runs once after the rewrite fixpoint so the
+        # rebuilding passes cannot drop its attributes.
+        post.append(("JoinStrategy", make_join_strategy(graph, dataset)))
 
     node = query.pattern
     totals: Dict[str, PassStats] = {
-        name: PassStats(name, 0, 0.0) for name, _ in pipeline}
+        name: PassStats(name, 0, 0.0)
+        for name, _ in list(pipeline) + post}
     for _ in range(MAX_PIPELINE_ROUNDS):
         round_changes = 0
         for name, pass_fn in pipeline:
@@ -605,9 +743,15 @@ def optimize_plan(query: alg.Query, key: str = "", graph=None, dataset=None,
             round_changes += changes
         if not round_changes:
             break
+    for name, pass_fn in post:
+        start = time.perf_counter()
+        node, changes = pass_fn(node)
+        totals[name].seconds += time.perf_counter() - start
+        totals[name].changes += changes
     optimized = alg.Query(node, from_graphs=list(query.from_graphs),
                           prefixes=dict(query.prefixes))
-    plan = Plan(optimized, key, [totals[name] for name, _ in pipeline],
+    plan = Plan(optimized, key,
+                [totals[name] for name, _ in list(pipeline) + post],
                 source=source)
     if not push_limits:
         # The materialize-everything baseline: no streaming annotation.

@@ -1,12 +1,16 @@
-"""The paper's workloads: 3 case studies + 15 synthetic queries."""
+"""The paper's workloads: 3 case studies + 15 synthetic queries, plus the
+join corpus (star/cyclic/chain/self-join shapes) the join subsystem is
+benchmarked and differential-tested on."""
 
 from .case_studies import (CASE_STUDIES, CaseStudy, get_case_study,
                            kg_embedding_frame, movie_genre_frame,
                            topic_modeling_frame)
+from .joins import JOIN_QUERIES, JoinQuery, get_join_query
 from .synthetic import SYNTHETIC_QUERIES, SyntheticQuery, get_query
 
 __all__ = [
     "CASE_STUDIES", "CaseStudy", "get_case_study",
     "movie_genre_frame", "topic_modeling_frame", "kg_embedding_frame",
     "SYNTHETIC_QUERIES", "SyntheticQuery", "get_query",
+    "JOIN_QUERIES", "JoinQuery", "get_join_query",
 ]

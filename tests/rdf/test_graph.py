@@ -153,3 +153,109 @@ def test_indexes_consistent_under_removal(triples, data):
         remaining = set(triples) - removed
         assert set(g.triples()) == remaining
         assert len(g) == len(remaining)
+
+
+# ----------------------------------------------------------------------
+# Sorted runs + galloping intersection (the multiway-join substrate)
+# ----------------------------------------------------------------------
+
+from repro.rdf import gallop, intersect_runs  # noqa: E402
+
+
+class TestSortedRuns:
+    def _graph(self):
+        g = Graph()
+        d = g.dictionary
+        p = d.encode(URIRef("urn:p"))
+        q = d.encode(URIRef("urn:q"))
+        for i in range(10):
+            g.add_ids(d.encode(URIRef("urn:s%d" % i)), p,
+                      d.encode(URIRef("urn:o%d" % (i % 3))))
+        for i in range(0, 10, 2):
+            g.add_ids(d.encode(URIRef("urn:s%d" % i)), q,
+                      d.encode(URIRef("urn:x")))
+        return g, d, p, q
+
+    def test_runs_sorted_and_match_index_sets(self):
+        g, d, p, q = self._graph()
+        s0 = d.encode(URIRef("urn:s0"))
+        o0 = d.encode(URIRef("urn:o0"))
+        run = g.objects_run(s0, p)
+        assert list(run) == sorted(run)
+        assert set(run) == set(g.objects_for(s0, p))
+        run = g.subjects_run(p, o0)
+        assert list(run) == sorted(run)
+        assert set(run) == set(g.subjects_for(p, o0))
+        psubj = g.predicate_subjects_run(q)
+        assert list(psubj) == sorted(psubj)
+        assert len(psubj) == 5
+        assert g.predicate_subjects_set(q) == frozenset(psubj)
+
+    def test_runs_memoized_and_counted(self):
+        g, d, p, q = self._graph()
+        s0 = d.encode(URIRef("urn:s0"))
+        before = g.sorted_runs_built
+        first = g.objects_run(s0, p)
+        assert g.sorted_runs_built == before + 1
+        assert g.objects_run(s0, p) is first  # cached, no rebuild
+        assert g.sorted_runs_built == before + 1
+
+    def test_missing_keys_return_empty_and_never_cache(self):
+        g, d, p, q = self._graph()
+        before = g.sorted_runs_built
+        assert g.objects_run(999999, p) == ()
+        assert g.subjects_run(p, 999999) == ()
+        assert g.predicate_subjects_run(999999) == ()
+        assert g.sorted_runs_built == before
+
+    def test_mutation_invalidates_exact_entries(self):
+        g, d, p, q = self._graph()
+        s0 = d.encode(URIRef("urn:s0"))
+        o0 = d.encode(URIRef("urn:o0"))
+        old_objects = g.objects_run(s0, p)
+        old_subjects = g.subjects_run(p, o0)
+        old_psubj = g.predicate_subjects_run(p)
+        fresh = d.encode(URIRef("urn:fresh"))
+        g.add_ids(s0, p, fresh)
+        assert fresh in g.objects_run(s0, p)
+        assert len(g.objects_run(s0, p)) == len(old_objects) + 1
+        # (p, o0) entry is untouched by an (s0, p, fresh) insert ...
+        assert g.subjects_run(p, o0) is old_subjects
+        # ... but the p-subjects entry is rebuilt (same members here).
+        assert g.predicate_subjects_run(p) is not old_psubj
+        g.remove(URIRef("urn:s0"), URIRef("urn:p"), URIRef("urn:fresh"))
+        assert tuple(g.objects_run(s0, p)) == tuple(old_objects)
+
+
+class TestGallopingIntersection:
+    def test_gallop_finds_first_not_less(self):
+        run = (2, 4, 8, 16, 32, 64)
+        assert gallop(run, 1) == 0
+        assert gallop(run, 2) == 0
+        assert gallop(run, 3) == 1
+        assert gallop(run, 33) == 5
+        assert gallop(run, 64) == 5
+        assert gallop(run, 65) == 6
+        assert gallop(run, 16, lo=3) == 3
+        assert gallop(run, 16, lo=4) == 4  # lo past the hit: stays put
+
+    def test_intersect_matches_set_semantics(self):
+        a = tuple(range(0, 100, 3))
+        b = tuple(range(0, 100, 5))
+        c = tuple(range(0, 100, 2))
+        got = intersect_runs([a, b, c])
+        assert got == sorted(set(a) & set(b) & set(c))
+        assert intersect_runs([a, ()]) == []
+        assert intersect_runs([]) == []
+        assert intersect_runs([a]) == list(a)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.sets(st.integers(min_value=0, max_value=200)),
+                min_size=1, max_size=4))
+def test_intersect_runs_property(sets):
+    runs = [tuple(sorted(s)) for s in sets]
+    expect = set(runs[0])
+    for run in runs[1:]:
+        expect &= set(run)
+    assert intersect_runs(runs) == sorted(expect)

@@ -98,3 +98,123 @@ class TestEndToEndEffect:
         a = Engine(skewed_graph, optimize=True).query(query).to_dataframe()
         b = Engine(skewed_graph, optimize=False).query(query).to_dataframe()
         assert a.equals_bag(b)
+
+
+# ----------------------------------------------------------------------
+# Satellite regressions: estimate memoization, deterministic ties,
+# fallback-memo invalidation, run signatures
+# ----------------------------------------------------------------------
+
+from repro.rdf import Graph as _Graph  # noqa: E402
+from repro.sparql.optimizer import run_signature  # noqa: E402
+
+
+class _CountingStats(GraphStatistics):
+    """GraphStatistics that counts estimate() calls."""
+
+    def __init__(self, graph):
+        super().__init__(graph)
+        self.calls = 0
+
+    def estimate(self, pattern, bound):
+        self.calls += 1
+        return super().estimate(pattern, bound)
+
+
+class TestOrderingSatellites:
+    def test_estimates_memoized_within_one_call(self, skewed_graph):
+        stats = _CountingStats(skewed_graph)
+        patterns = [(Variable("s"), uri("common"), Variable("o%d" % i))
+                    for i in range(6)]
+        order_patterns(patterns, stats)
+        # One estimate per (pattern, fixedness) combination: each pattern
+        # is seen unfixed once and subject-fixed once — not O(n^2).
+        assert stats.calls <= 2 * len(patterns)
+
+    def test_ties_keep_input_order(self, skewed_graph):
+        stats = GraphStatistics(skewed_graph)
+        # Identical estimates: the earliest input pattern must win every
+        # round, making the chosen order a pure function of the input.
+        patterns = [(Variable("s"), uri("common"), Variable("o1")),
+                    (Variable("s"), uri("common"), Variable("o2")),
+                    (Variable("s"), uri("common"), Variable("o3"))]
+        assert order_patterns(patterns, stats) == patterns
+        assert order_patterns(list(reversed(patterns)), stats) \
+            == list(reversed(patterns))
+
+    def test_pinned_order_on_skewed_graph(self, skewed_graph):
+        stats = GraphStatistics(skewed_graph)
+        common = (Variable("s"), uri("common"), Variable("o"))
+        rare = (Variable("s"), uri("rare"), Variable("r"))
+        bound_obj = (Variable("s"), uri("common"), uri("o0"))
+        # rare (2) < bound common (100) < free common (1000) — pinned.
+        assert order_patterns([common, rare, bound_obj], stats) \
+            == [rare, bound_obj, common]
+
+
+class _ProfileLessGraph:
+    """A graph-like without predicate_profile: the statistics fallback."""
+
+    def __init__(self):
+        self._graph = _Graph("urn:fallback-target")
+
+    def add(self, s, p, o):
+        self._graph.add(s, p, o)
+
+    def __len__(self):
+        return len(self._graph)
+
+    def count(self, *args):
+        return self._graph.count(*args)
+
+    def triples(self, s=None, p=None, o=None):
+        return self._graph.triples(s, p, o)
+
+
+class TestFallbackMemoInvalidation:
+    def test_mutation_refreshes_fallback_stats(self):
+        target = _ProfileLessGraph()
+        p = uri("p")
+        target.add(uri("s0"), p, uri("o0"))
+        stats = GraphStatistics(target)
+        pattern = (Variable("s"), p, Variable("o"))
+        assert stats.estimate(pattern, set()) == 1
+        for i in range(1, 5):
+            target.add(uri("s%d" % i), p, uri("o%d" % i))
+        # The memo must notice the graph changed underneath it.
+        assert stats.estimate(pattern, set()) == 5
+
+    def test_unchanged_graph_reuses_memo(self):
+        target = _ProfileLessGraph()
+        p = uri("p")
+        target.add(uri("s0"), p, uri("o0"))
+        stats = GraphStatistics(target)
+        pattern = (Variable("s"), p, Variable("o"))
+        stats.estimate(pattern, set())
+        scans = dict(stats._by_predicate)
+        stats.estimate(pattern, set())
+        assert stats._by_predicate == scans  # same memo, no rescan
+
+
+class TestRunSignatures:
+    def test_signature_shapes(self):
+        p = uri("p")
+        s, o, w = Variable("s"), Variable("o"), Variable("w")
+        # candidate at subject, object concrete: consumed subjects run
+        sig, consumed = run_signature((s, p, uri("k")), "s", set())
+        assert sig == ("subjects", p, uri("k")) and consumed
+        # candidate at subject, object bound per row
+        sig, consumed = run_signature((s, p, o), "s", {"o"})
+        assert sig == ("subjects", p, ("?", "o")) and consumed
+        # candidate at subject, object free: presence run, not consumed
+        sig, consumed = run_signature((s, p, o), "s", set())
+        assert sig == ("psubjects", p) and not consumed
+        # candidate at object with bound subject
+        sig, consumed = run_signature((s, p, o), "o", {"s"})
+        assert sig == ("objects", p, ("?", "s")) and consumed
+        # candidate at object with free subject: no run exists
+        assert run_signature((s, p, o), "o", set()) == (None, False)
+        # variable predicate or repeated candidate: no contribution
+        assert run_signature((s, Variable("p"), o), "s", set()) \
+            == (None, False)
+        assert run_signature((s, p, s), "s", set()) == (None, False)

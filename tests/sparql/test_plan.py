@@ -230,7 +230,8 @@ class TestOptimizePlan:
         plan = optimize_plan(query, graph=graph)
         names = [s.name for s in plan.pass_stats]
         assert names == ["FilterPushdown", "ProjectionPruning", "BGPMerge",
-                         "AggregatePushdown", "LimitPushdown", "JoinOrdering"]
+                         "AggregatePushdown", "LimitPushdown", "JoinOrdering",
+                         "JoinStrategy"]
         assert plan.total_changes >= 3  # push + prune + merge + order
         assert all(s.seconds >= 0 for s in plan.pass_stats)
 
