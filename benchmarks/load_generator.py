@@ -1,0 +1,318 @@
+"""Load generator for the concurrent serving tier.
+
+Drives mixed concurrent traffic at the :class:`~repro.sparql.QueryServer`
+and at the paginating :class:`~repro.client.HttpClient`, and reports what
+a serving tier is judged on:
+
+* **latency** — per-request p50/p95/p99 milliseconds (submit to result),
+* **throughput** — completed queries per second,
+* **shed rate** — requests refused by admission control
+  (:class:`~repro.sparql.ServerOverloaded`) as a fraction of submissions,
+* **retry counts** — transparent retries the HTTP client performed while
+  absorbing injected endpoint faults.
+
+Two scenarios run:
+
+1. ``server`` — N client threads submit a weighted query mix straight to
+   a :class:`QueryServer` (bounded queue, per-tenant caps, per-request
+   deadlines).  No faults: this is the clean-serving baseline.
+2. ``faulty_paging`` — N client threads each drive an
+   :class:`~repro.client.HttpClient` through one shared
+   :class:`~repro.sparql.FaultyEndpoint` injecting seeded transient
+   failures and corrupted pages; classified retries must absorb every
+   fault, so the scenario also hard-checks that each request returned
+   the same number of rows the undisturbed engine returns.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/load_generator.py [--smoke] [--out F]
+
+``--smoke`` shrinks everything for CI.  The ``serving`` section of
+``BENCH_engine.json`` is produced by :func:`run_serving` (invoked from
+``perf_report.py --section serving``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.client import ClientError, HttpClient
+from repro.data import build_dataset
+from repro.sparql import (Endpoint, Engine, FaultyEndpoint, PayloadCorruption,
+                          QueryServer, ServerOverloaded, TransientFaults)
+
+_PREFIXES = """
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX dbpp: <http://dbpedia.org/property/>
+PREFIX dbpo: <http://dbpedia.org/ontology/>
+"""
+
+#: The traffic mix: (weight, SPARQL).  Mostly cheap point lookups and
+#: scans, a few aggregations, and an unbounded self-join as the heavy
+#: tail — the shape that actually pressures a bounded queue.
+TRAFFIC_MIX = {
+    "bgp2_film_actor": (4, """
+        SELECT ?film ?actor FROM <http://dbpedia.org> WHERE {
+            ?film rdf:type dbpo:Film .
+            ?film dbpp:starring ?actor .
+        }"""),
+    "distinct_actors": (3, """
+        SELECT DISTINCT ?actor FROM <http://dbpedia.org> WHERE {
+            ?film dbpp:starring ?actor .
+        }"""),
+    "limit10_costar": (3, """
+        SELECT ?a ?b FROM <http://dbpedia.org> WHERE {
+            ?film dbpp:starring ?a .
+            ?film dbpp:starring ?b .
+        } LIMIT 10"""),
+    "group_count_films": (2, """
+        SELECT ?actor (COUNT(?film) AS ?n) FROM <http://dbpedia.org>
+        WHERE { ?film dbpp:starring ?actor . } GROUP BY ?actor"""),
+    "bgp3_actor_place": (2, """
+        SELECT ?film ?actor ?place FROM <http://dbpedia.org> WHERE {
+            ?film rdf:type dbpo:Film .
+            ?film dbpp:starring ?actor .
+            ?actor dbpp:birthPlace ?place .
+        }"""),
+    "heavy_costar_self_join": (1, """
+        SELECT ?a ?b FROM <http://dbpedia.org> WHERE {
+            ?film dbpp:starring ?a .
+            ?film dbpp:starring ?b .
+        }"""),
+}
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(q / 100.0 * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+def _latency_summary(latencies: List[float]) -> Dict[str, float]:
+    ordered = sorted(latencies)
+    return {
+        "requests_timed": len(ordered),
+        "latency_p50_ms": _percentile(ordered, 50) * 1000.0,
+        "latency_p95_ms": _percentile(ordered, 95) * 1000.0,
+        "latency_p99_ms": _percentile(ordered, 99) * 1000.0,
+    }
+
+
+def _build_schedule(total_requests: int, clients: int, seed: int):
+    """Per-client query schedules, drawn from the weighted mix."""
+    rng = random.Random(seed)
+    names = list(TRAFFIC_MIX)
+    weights = [TRAFFIC_MIX[name][0] for name in names]
+    schedules: List[List[str]] = [[] for _ in range(clients)]
+    for i in range(total_requests):
+        name = rng.choices(names, weights=weights)[0]
+        schedules[i % clients].append(name)
+    return schedules
+
+
+def run_server_scenario(engine: Engine, total_requests: int, clients: int,
+                        workers: int, queue_size: int,
+                        tenant_cap: Optional[int],
+                        request_timeout: float, seed: int) -> dict:
+    """Mixed concurrent traffic straight at the :class:`QueryServer`."""
+    schedules = _build_schedule(total_requests, clients, seed)
+    latencies: List[float] = []
+    shed = 0
+    failed = 0
+    lock = threading.Lock()
+    server = QueryServer(engine, workers=workers, queue_size=queue_size,
+                         max_inflight_per_tenant=tenant_cap,
+                         default_timeout=request_timeout)
+
+    def client_loop(client_id: int):
+        nonlocal shed, failed
+        tenant = "tenant-%d" % (client_id % 3)
+        for name in schedules[client_id]:
+            query = _PREFIXES + TRAFFIC_MIX[name][1]
+            start = time.perf_counter()
+            try:
+                ticket = server.submit(query, tenant=tenant)
+                ticket.result(timeout=60.0)
+            except ServerOverloaded:
+                with lock:
+                    shed += 1
+                continue
+            except Exception:
+                with lock:
+                    failed += 1
+                continue
+            elapsed = time.perf_counter() - start
+            with lock:
+                latencies.append(elapsed)
+
+    wall_start = time.perf_counter()
+    threads = [threading.Thread(target=client_loop, args=(c,))
+               for c in range(clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_start
+    stats = server.stats.as_dict()
+    server.shutdown()
+    completed = len(latencies)
+    cell = {
+        "total_requests": total_requests,
+        "clients": clients,
+        "workers": workers,
+        "queue_size": queue_size,
+        "tenant_cap": tenant_cap,
+        "wall_seconds": wall,
+        "qps": completed / wall if wall > 0 else 0.0,
+        "completed": completed,
+        "shed": shed,
+        "failed": failed,
+        "shed_rate": shed / total_requests if total_requests else 0.0,
+        "server_stats": stats,
+    }
+    cell.update(_latency_summary(latencies))
+    if completed + shed + failed != total_requests:
+        raise AssertionError("lost requests: %d completed + %d shed + %d "
+                             "failed != %d submitted"
+                             % (completed, shed, failed, total_requests))
+    return cell
+
+
+def run_faulty_scenario(engine: Engine, total_requests: int, clients: int,
+                        seed: int, max_rows: int = 200) -> dict:
+    """Concurrent paginating clients over one fault-injected endpoint."""
+    schedules = _build_schedule(total_requests, clients, seed + 1)
+    faulty = FaultyEndpoint(Endpoint(engine, max_rows=max_rows), [
+        TransientFaults(rate=0.2, seed=seed, max_consecutive=2),
+        PayloadCorruption(rate=0.2, seed=seed + 7, max_consecutive=2),
+    ])
+    expected_rows = {
+        name: len(engine.query(_PREFIXES + body))
+        for name, (_, body) in TRAFFIC_MIX.items()
+    }
+    latencies: List[float] = []
+    retries = 0
+    failed = 0
+    lock = threading.Lock()
+
+    def client_loop(client_id: int):
+        nonlocal retries, failed
+        client = HttpClient(faulty, max_retries=8, breaker_threshold=None)
+        for name in schedules[client_id]:
+            query = _PREFIXES + TRAFFIC_MIX[name][1]
+            start = time.perf_counter()
+            try:
+                df = client.execute(query)
+            except ClientError:
+                with lock:
+                    failed += 1
+                continue
+            elapsed = time.perf_counter() - start
+            if len(df) != expected_rows[name]:
+                raise AssertionError(
+                    "faulty paging truncated %r: got %d rows, engine "
+                    "returns %d" % (name, len(df), expected_rows[name]))
+            with lock:
+                latencies.append(elapsed)
+        with lock:
+            retries += client.retries_performed
+
+    wall_start = time.perf_counter()
+    threads = [threading.Thread(target=client_loop, args=(c,))
+               for c in range(clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_start
+    completed = len(latencies)
+    cell = {
+        "total_requests": total_requests,
+        "clients": clients,
+        "endpoint_max_rows": max_rows,
+        "wall_seconds": wall,
+        "qps": completed / wall if wall > 0 else 0.0,
+        "completed": completed,
+        "failed": failed,
+        "retries_performed": retries,
+        "faults_injected": faulty.faults_injected,
+        "endpoint_requests": faulty.requests_seen,
+        "all_results_complete": True,
+    }
+    cell.update(_latency_summary(latencies))
+    return cell
+
+
+def run_serving(scale: float, total_requests: int = 120, clients: int = 8,
+                workers: int = 4, queue_size: int = 32,
+                tenant_cap: Optional[int] = 16,
+                request_timeout: float = 30.0, seed: int = 0) -> dict:
+    """The ``serving`` BENCH section: both scenarios on one dataset."""
+    dataset = build_dataset(scale=scale)
+    engine = Engine(dataset)
+    print("== serving (scale %.3g, %d requests, %d clients, %d workers) =="
+          % (scale, total_requests, clients, workers))
+    section = {"scale": scale, "seed": seed}
+    section["server"] = run_server_scenario(
+        engine, total_requests, clients, workers, queue_size, tenant_cap,
+        request_timeout, seed)
+    s = section["server"]
+    print("  server        p50 %7.1fms  p95 %7.1fms  p99 %7.1fms  "
+          "%6.1f qps  shed %.1f%%  failed %d"
+          % (s["latency_p50_ms"], s["latency_p95_ms"], s["latency_p99_ms"],
+             s["qps"], 100.0 * s["shed_rate"], s["failed"]))
+    section["faulty_paging"] = run_faulty_scenario(
+        engine, total_requests, clients, seed)
+    f = section["faulty_paging"]
+    print("  faulty paging p50 %7.1fms  p95 %7.1fms  p99 %7.1fms  "
+          "%6.1f qps  retries %d  faults %r  failed %d"
+          % (f["latency_p50_ms"], f["latency_p95_ms"], f["latency_p99_ms"],
+             f["qps"], f["retries_performed"], f["faults_injected"],
+             f["failed"]))
+    return section
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="dataset scale (default 0.1)")
+    parser.add_argument("--requests", type=int, default=120,
+                        help="total requests per scenario")
+    parser.add_argument("--clients", type=int, default=8,
+                        help="concurrent client threads")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="server worker threads")
+    parser.add_argument("--queue-size", type=int, default=32,
+                        help="server queue bound")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="traffic-mix and fault-schedule seed")
+    parser.add_argument("--out", default=None,
+                        help="write the section as JSON to this path")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny CI configuration")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.scale = 0.02
+        args.requests = 40
+        args.clients = 4
+    section = run_serving(args.scale, total_requests=args.requests,
+                          clients=args.clients, workers=args.workers,
+                          queue_size=args.queue_size, seed=args.seed)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(section, handle, indent=2)
+        print("serving section -> %s" % args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -498,11 +498,13 @@ def run_plan_path(scale: float, iterations: int) -> dict:
 
 
 #: Every section the report can produce, in run order.
-SECTIONS = ("engine", "plan_path", "limit_topk", "aggregation", "joins")
+SECTIONS = ("engine", "plan_path", "limit_topk", "aggregation", "joins",
+            "serving")
 
 
 def run(scales, rounds: int, out_path: str,
-        plan_iterations: int = 5, sections=None) -> dict:
+        plan_iterations: int = 5, sections=None,
+        serving_requests: int = 120) -> dict:
     chosen = list(SECTIONS) if not sections else [s for s in SECTIONS
                                                  if s in sections]
     report = {
@@ -569,6 +571,13 @@ def run(scales, rounds: int, out_path: str,
         report["aggregation"] = run_aggregation(scales[-1], max(rounds, 3))
     if "joins" in chosen:
         report["joins"] = run_joins(scales[-1], max(rounds, 5))
+    if "serving" in chosen:
+        # The load generator lives next to this script; make it importable
+        # however the script was invoked.
+        sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+        from load_generator import run_serving
+        report["serving"] = run_serving(scales[-1],
+                                        total_requests=serving_requests)
     with open(out_path, "w") as handle:
         json.dump(report, handle, indent=2)
     print("sections %s -> %s" % (", ".join(chosen), out_path))
@@ -598,7 +607,7 @@ def main(argv=None) -> int:
         args.scales = [0.02]
         args.rounds = 1
         run(args.scales, args.rounds, args.out, plan_iterations=2,
-            sections=args.sections)
+            sections=args.sections, serving_requests=40)
     else:
         run(args.scales, args.rounds, args.out, sections=args.sections)
     return 0

@@ -21,6 +21,7 @@ from typing import Optional
 from ..dataframe import DataFrame
 from ..sparql.endpoint import Endpoint, EndpointError
 from ..sparql.engine import Engine
+from ..sparql.errors import CircuitBreaker, TransientError, is_retryable
 from ..sparql.results import ResultSet
 
 #: Return-format names mirroring the original library's HttpClientDataFormat.
@@ -131,22 +132,39 @@ class HttpClient:
     page_size:
         Requested rows per response; the endpoint may cap it lower.
     max_retries:
-        Transient endpoint errors are retried this many times per page.
+        *Retryable* endpoint errors (the taxonomy's ``TransientError``
+        family, including corrupted wire payloads) are retried this many
+        times per page.  Non-retryable classes — a malformed query, a
+        tripped row budget, load shedding — fail fast on the first
+        attempt, preserving the original failure as ``__cause__``.
     retry_delay:
         Base backoff in seconds: attempt ``k`` sleeps
         ``retry_delay * 2**k``, capped at ``max_retry_delay`` (0 disables
         sleeping, the default, which keeps tests instant).
+    breaker_threshold / breaker_cooldown:
+        Circuit breaker over endpoint health: after ``breaker_threshold``
+        *consecutive* transient/internal failures the circuit opens and
+        requests fail fast (no endpoint call, no backoff sleeps) until
+        ``breaker_cooldown`` seconds pass; then one half-open probe
+        decides.  ``breaker_threshold=None`` disables the breaker.
+        Deterministic failures (malformed query, row budget) are server
+        *answers*, not health signals — they reset the streak.
     """
 
     def __init__(self, endpoint: Endpoint, page_size: Optional[int] = None,
                  max_retries: int = 3, retry_delay: float = 0.0,
-                 max_retry_delay: float = 2.0):
+                 max_retry_delay: float = 2.0,
+                 breaker_threshold: Optional[int] = 8,
+                 breaker_cooldown: float = 1.0):
         self.endpoint = endpoint
         self.page_size = page_size
         self.max_retries = max_retries
         self.retry_delay = retry_delay
         self.max_retry_delay = max_retry_delay
         self.pages_fetched = 0
+        self.retries_performed = 0
+        self.breaker = None if breaker_threshold is None else CircuitBreaker(
+            failure_threshold=breaker_threshold, cooldown=breaker_cooldown)
         self._sleep = time.sleep  # injectable for tests
 
     def execute(self, query: str) -> DataFrame:
@@ -199,9 +217,12 @@ class HttpClient:
         try:
             return decode_results(response.payload)
         except (ValueError, KeyError, TypeError) as exc:
-            raise ClientError(
+            # A truncated/corrupt page is wire damage, not a server
+            # verdict: classified transient so the retry loop re-requests
+            # it instead of surfacing a silently damaged result.
+            raise TransientError(
                 "endpoint returned a malformed SPARQL-JSON payload "
-                "at offset %d: %s" % (offset, exc))
+                "at offset %d: %s" % (offset, exc)) from exc
 
     def _fetch_all(self, query: str) -> ResultSet:
         return self._fetch_window(query)
@@ -225,9 +246,8 @@ class HttpClient:
         while True:
             remaining = self.page_size if budget is None \
                 else budget - len(rows)
-            response = self._request_with_retry(query, cursor,
-                                                limit=remaining)
-            page = self._decode_page(response, cursor)
+            response, page = self._request_with_retry(query, cursor,
+                                                      limit=remaining)
             if variables is None:
                 variables = page.variables
             rows.extend(page.rows)
@@ -262,22 +282,60 @@ class HttpClient:
 
     def _request_with_retry(self, query: str, offset: int,
                             limit=_USE_PAGE_SIZE):
+        """One page, fetched *and decoded*, with classified retries.
+
+        Returns ``(response, decoded_page)``.  An attempt covers the
+        endpoint round trip plus the wire decode, so a corrupted payload
+        is retried exactly like a dropped connection.  Only retryable
+        error classes burn retry attempts; a non-retryable failure (a
+        malformed query, a tripped row budget, load shedding, an open
+        circuit) fails fast with the original exception chained.
+        """
         if limit is self._USE_PAGE_SIZE:
             limit = self.page_size
         last_error = None
         for attempt in range(self.max_retries + 1):
             try:
-                return self.endpoint.request(query, offset=offset,
-                                             limit=limit)
+                if self.breaker is not None:
+                    self.breaker.check()  # open -> fail fast, no request
+                response = self.endpoint.request(query, offset=offset,
+                                                 limit=limit)
+                page = self._decode_page(response, offset)
             except EndpointError as exc:
                 last_error = exc
+                self._record_breaker_outcome(exc)
+                if not is_retryable(exc):
+                    raise ClientError(
+                        "endpoint failed fetching the page at offset %d "
+                        "(%s, not retried): %s"
+                        % (offset, type(exc).__name__, exc)) from exc
                 if attempt < self.max_retries:
+                    self.retries_performed += 1
                     delay = self._backoff_delay(attempt)
                     if delay:
                         self._sleep(delay)
+            else:
+                if self.breaker is not None:
+                    self.breaker.record_success()
+                return response, page
         raise ClientError(
             "endpoint failed after %d retries fetching the page at "
-            "offset %d: %s" % (self.max_retries, offset, last_error))
+            "offset %d: %s" % (self.max_retries, offset,
+                               last_error)) from last_error
+
+    def _record_breaker_outcome(self, exc: EndpointError) -> None:
+        """Feed the breaker health signals only: transient and internal
+        failures count; deterministic per-query verdicts (malformed
+        query, row budget) prove the endpoint is alive and reset it."""
+        from ..sparql.errors import (CircuitOpenError, MalformedQuery,
+                                     QueryCancelled, ResourceExhausted)
+        if self.breaker is None or isinstance(exc, CircuitOpenError):
+            return
+        if isinstance(exc, (MalformedQuery, ResourceExhausted,
+                            QueryCancelled)):
+            self.breaker.record_success()
+        else:
+            self.breaker.record_failure()
 
     def __repr__(self):
         return "HttpClient(page_size=%r)" % self.page_size
@@ -285,7 +343,10 @@ class HttpClient:
 
 class FlakyEndpoint(Endpoint):
     """Test double: an endpoint that fails the first N requests of each
-    query (used to exercise the client's retry path)."""
+    page with a retryable :class:`TransientError` (exercises the client's
+    retry path).  For richer failure modes — seeded schedules, corrupted
+    payloads, mid-stream timeouts — use the generalized
+    :class:`~repro.sparql.faults.FaultyEndpoint` layer."""
 
     def __init__(self, engine: Engine, failures_per_query: int = 1, **kwargs):
         super().__init__(engine, **kwargs)
@@ -297,5 +358,5 @@ class FlakyEndpoint(Endpoint):
         count = self._failures.get(key, 0)
         if count < self.failures_per_query:
             self._failures[key] = count + 1
-            raise EndpointError("simulated transient failure (%d)" % count)
+            raise TransientError("simulated transient failure (%d)" % count)
         return super().request(query_text, offset=offset, limit=limit)

@@ -21,6 +21,7 @@ interning key, so id equality is exactly term equality.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from .terms import Node
@@ -29,20 +30,31 @@ from .terms import Node
 class TermDictionary:
     """A bijective term <-> dense-int-id mapping (insert-only)."""
 
-    __slots__ = ("_ids", "_terms")
+    __slots__ = ("_ids", "_terms", "_lock")
 
     def __init__(self):
         self._ids: Dict[Node, int] = {}
         self._terms: List[Node] = []
+        # Interning must be race-free under the concurrent serving tier
+        # (expression evaluation interns freshly computed literals): two
+        # threads encoding the same new term concurrently must agree on
+        # one id.  Double-checked locking keeps the hot already-interned
+        # path lock-free; only genuinely new terms take the lock.
+        self._lock = threading.Lock()
 
     # -- encode --------------------------------------------------------
     def encode(self, term: Node) -> int:
         """Intern ``term``, returning its id (assigning a fresh one if new)."""
         tid = self._ids.get(term)
         if tid is None:
-            tid = len(self._terms)
-            self._ids[term] = tid
-            self._terms.append(term)
+            with self._lock:
+                tid = self._ids.get(term)
+                if tid is None:
+                    tid = len(self._terms)
+                    # Append before publishing in _ids: a lock-free reader
+                    # that sees the id can always decode it.
+                    self._terms.append(term)
+                    self._ids[term] = tid
         return tid
 
     def encode_triple(self, subject: Node, predicate: Node,

@@ -4,28 +4,47 @@ Public surface:
 
 * :func:`parse` — SPARQL text to algebra,
 * :class:`Engine` — parse + optimize + evaluate to a :class:`ResultSet`,
-* :class:`Endpoint` — simulated SPARQL-protocol endpoint with pagination.
+* :class:`Endpoint` — simulated SPARQL-protocol endpoint with pagination,
+* :class:`QueryServer` — concurrent serving tier with admission control,
+* :mod:`~repro.sparql.errors` — the serving error taxonomy,
+* :mod:`~repro.sparql.faults` — deterministic fault injection for chaos
+  testing.
 """
 
 from .algebra import Query, count_nested_selects
 from .endpoint import Endpoint, EndpointError, EndpointResponse
 from .engine import Engine, QueryTimeout
-from .evaluator import EvaluationError, EvaluationStats, Evaluator
+from .errors import (CancelToken, CircuitBreaker, CircuitOpenError,
+                     MalformedQuery, QueryCancelled, QueryRejected,
+                     ResourceExhausted, ServerOverloaded, TransientError,
+                     classify_error, is_retryable)
+from .evaluator import (EvaluationError, EvaluationStats, Evaluator,
+                        RowBudgetExceeded)
 from .expressions import ExpressionError
+from .faults import (FaultInjector, FaultyEndpoint, LatencyFaults,
+                     MidStreamTimeouts, PayloadCorruption, TransientFaults)
 from .parser import ParseError, parse
 from .plan import Plan, PassStats, optimize_plan, plan_key
 from .reference import ReferenceEvaluator
 from .results import ResultSet, ResultStream, term_to_python
+from .server import QueryServer, QueryTicket, ServerStats
 from .solution import RowView, SolutionTable, TableStream, stream_distinct
 from .tokenizer import TokenizeError, tokenize
 
 __all__ = [
     "parse", "ParseError", "tokenize", "TokenizeError",
     "Engine", "QueryTimeout", "Evaluator", "EvaluationError",
-    "EvaluationStats", "ReferenceEvaluator",
+    "EvaluationStats", "ReferenceEvaluator", "RowBudgetExceeded",
     "Plan", "PassStats", "optimize_plan", "plan_key",
     "SolutionTable", "TableStream", "RowView", "stream_distinct",
     "ExpressionError", "ResultSet", "ResultStream", "term_to_python",
     "Endpoint", "EndpointError", "EndpointResponse",
+    "TransientError", "QueryRejected", "ServerOverloaded",
+    "MalformedQuery", "ResourceExhausted", "QueryCancelled",
+    "CircuitOpenError", "CircuitBreaker", "CancelToken",
+    "classify_error", "is_retryable",
+    "FaultInjector", "FaultyEndpoint", "TransientFaults", "LatencyFaults",
+    "PayloadCorruption", "MidStreamTimeouts",
+    "QueryServer", "QueryTicket", "ServerStats",
     "Query", "count_nested_selects",
 ]

@@ -10,20 +10,26 @@ pagination machinery is exercised for real: an :class:`Endpoint` caps every
 response at ``max_rows`` rows and reports whether more are available; the
 client re-requests with increasing offsets.  A per-query ``timeout``
 simulates endpoint time budgets.
+
+Failures cross the endpoint boundary *classified*: raw engine exceptions
+(parse errors, deadline trips, row-budget trips) are mapped onto the
+:mod:`~repro.sparql.errors` taxonomy — all :class:`EndpointError`
+subtypes — so clients can retry transient failures and fail fast on
+deterministic ones.  The original exception is chained as ``__cause__``.
 """
 
 from __future__ import annotations
 
 import hashlib
-import time
-from typing import Dict, Optional, Tuple
+import threading
+from collections import OrderedDict
+from typing import Optional, Tuple
 
-from .engine import Engine, QueryTimeout
+from .engine import Engine
+from .errors import EndpointError, classify_error
 from .results import ResultSet, ResultStream
 
-
-class EndpointError(RuntimeError):
-    """A protocol-level endpoint failure."""
+__all__ = ["Endpoint", "EndpointError", "EndpointResponse"]
 
 
 class EndpointResponse:
@@ -35,12 +41,11 @@ class EndpointResponse:
     should read ``payload`` and decode it, paying the real parse cost.
     """
 
-    def __init__(self, result: ResultSet, offset: int, total_available: bool,
-                 has_more: bool, payload: str = None):
+    def __init__(self, result: ResultSet, offset: int, has_more: bool,
+                 payload: Optional[str] = None):
         self.result = result
         self.offset = offset
         self.has_more = has_more
-        self.total_available = total_available
         self.payload = payload
 
     def __repr__(self):
@@ -58,55 +63,100 @@ class Endpoint:
     max_rows:
         The server-configured response cap (Virtuoso's ``ResultSetMaxRows``).
     timeout:
-        Per-query execution budget in seconds; exceeded -> :class:`QueryTimeout`.
+        Per-query execution budget in seconds; exceeded -> a
+        :class:`~repro.sparql.errors.TransientError` chained from the
+        underlying :class:`QueryTimeout`.
+    cursor_cache_size:
+        How many per-query lazy cursors are kept (LRU).  Cursors are keyed
+        on ``(query hash, dataset fingerprint)``, so a graph mutation
+        makes every pre-mutation cursor unreachable instead of serving
+        stale pages (mirroring the plan cache's invalidation).
     """
 
     def __init__(self, engine: Engine, max_rows: int = 10000,
-                 timeout: Optional[float] = None):
+                 timeout: Optional[float] = None,
+                 cursor_cache_size: int = 32):
         if max_rows <= 0:
             raise ValueError("max_rows must be positive")
+        if cursor_cache_size < 0:
+            raise ValueError("cursor_cache_size must be >= 0")
         self.engine = engine
         self.max_rows = max_rows
         self.timeout = timeout
+        self.cursor_cache_size = cursor_cache_size
         self.requests_served = 0
-        # A lazy cursor is kept per query text so pagination neither
-        # re-executes the query nor materializes rows no client asked for:
-        # serving the page at ``offset`` pulls at most ``offset + page``
-        # rows from the engine's streaming executor, and rows already
-        # pulled for earlier pages are served from the cursor's buffer
-        # (mirrors endpoint-side cursors/result caches).
-        self._cache: Dict[str, ResultStream] = {}
+        # A lazy cursor is kept per (query text, dataset state) so
+        # pagination neither re-executes the query nor materializes rows
+        # no client asked for: serving the page at ``offset`` pulls at
+        # most ``offset + page`` rows from the engine's streaming
+        # executor, and rows already pulled for earlier pages are served
+        # from the cursor's buffer (mirrors endpoint-side cursors/result
+        # caches).  Bounded LRU: unlike the unbounded per-query-text dict
+        # it replaces, it cannot grow without limit under one-off query
+        # texts, and the fingerprint in the key invalidates cursors that
+        # pre-date a graph mutation.
+        self._cache: "OrderedDict[Tuple[str, Tuple], ResultStream]" \
+            = OrderedDict()
+        self._lock = threading.Lock()
+
+    def _cursor_key(self, query_text: str) -> Tuple[str, Tuple]:
+        digest = hashlib.sha256(query_text.encode()).hexdigest()
+        return (digest, self.engine._fingerprint())
 
     def request(self, query_text: str, offset: int = 0,
                 limit: Optional[int] = None) -> EndpointResponse:
         """Serve one page of a query's results.
 
         ``limit`` can lower (never raise) the per-response row cap.
+        Failures surface as classified :class:`EndpointError` subtypes
+        with the raw engine exception chained as ``__cause__``.
         """
         self.requests_served += 1
-        key = hashlib.sha256(query_text.encode()).hexdigest()
-        cursor = self._cache.get(key)
-        if cursor is None:
-            cursor = self.engine.stream(query_text, timeout=self.timeout)
-            self._cache[key] = cursor
-        elif self.timeout is not None:
-            # Each request gets a fresh evaluation budget: the timeout
-            # bounds this page's pull, not the cursor's wall-clock
-            # lifetime (client think-time between pages is free).
-            cursor.arm_deadline(self.timeout)
-        page_size = self.max_rows if limit is None else min(limit, self.max_rows)
+        key = self._cursor_key(query_text)
         try:
-            page = cursor.page(offset, page_size)
-            has_more = cursor.has_more(offset + len(page))
-        except Exception:
-            # A failed pull (timeout, row budget) kills the underlying
-            # generator: drop the cursor so the next request re-executes
-            # instead of silently serving a truncated/empty result.
-            self._cache.pop(key, None)
-            raise
+            with self._lock:
+                cursor = self._cache.get(key)
+                if cursor is not None:
+                    self._cache.move_to_end(key)
+            if cursor is None:
+                cursor = self.engine.stream(query_text, timeout=self.timeout)
+                with self._lock:
+                    if self.cursor_cache_size > 0:
+                        self._cache[key] = cursor
+                        while len(self._cache) > self.cursor_cache_size:
+                            self._cache.popitem(last=False)
+            elif self.timeout is not None:
+                # Each request gets a fresh evaluation budget: the timeout
+                # bounds this page's pull, not the cursor's wall-clock
+                # lifetime (client think-time between pages is free).
+                cursor.arm_deadline(self.timeout)
+            page_size = self.max_rows if limit is None \
+                else min(limit, self.max_rows)
+            try:
+                page = cursor.page(offset, page_size)
+                has_more = cursor.has_more(offset + len(page))
+            except Exception:
+                # A failed pull (timeout, row budget, cancellation) kills
+                # the underlying generator: drop the cursor so the next
+                # request re-executes instead of silently serving a
+                # truncated/empty result.
+                with self._lock:
+                    self._cache.pop(key, None)
+                raise
+        except Exception as exc:
+            classified = classify_error(exc)
+            if classified is exc:
+                raise
+            raise classified from exc
         from .json_results import encode_results
         payload = encode_results(page)
-        return EndpointResponse(page, offset, True, has_more, payload=payload)
+        return EndpointResponse(page, offset, has_more, payload=payload)
 
     def clear_cache(self):
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()
+
+    @property
+    def cached_cursors(self) -> int:
+        """How many lazy cursors the endpoint currently holds."""
+        return len(self._cache)

@@ -214,9 +214,60 @@ class Engine:
             return plan.streaming
         return bool(self.streaming)
 
+    def evaluate_plan(self, plan: Plan,
+                      default_graph_uri: Optional[str] = None,
+                      timeout: Optional[float] = None,
+                      cancel=None, max_rows: Optional[int] = None
+                      ) -> Tuple[ResultSet, EvaluationStats, float]:
+        """Evaluate a plan without touching the engine's shared
+        ``last_*`` bookkeeping — the thread-confined execution core.
+
+        This is what the concurrent serving tier calls: every invocation
+        gets its own :class:`Evaluator` (per-request stats, deadline, row
+        budget, and cancel token), and nothing on the engine object is
+        mutated, so many threads can execute plans over the same
+        read-only dataset simultaneously.  ``max_rows`` overrides the
+        engine-level ``max_intermediate_rows`` valve for this request;
+        ``cancel`` is a :class:`~repro.sparql.errors.CancelToken` checked
+        at the evaluator's deadline checkpoints.  On failure the raised
+        exception carries the partial counters as ``evaluation_stats``.
+
+        Returns ``(result, stats, elapsed_seconds)``.
+        """
+        start = time.perf_counter()
+        deadline = None if timeout is None else start + timeout
+        # Join ordering already happened at plan time; the evaluator must
+        # not re-derive it per execution.
+        evaluator = Evaluator(self.dataset, optimize=False,
+                              cache_bgps=self.cache_bgps,
+                              max_rows=self.max_intermediate_rows
+                              if max_rows is None else max_rows,
+                              deadline=deadline, cancel=cancel,
+                              sip=self.sip, multiway=self.multiway)
+        try:
+            if self._use_streaming(plan):
+                solutions = evaluator.evaluate_query_stream(
+                    plan.query, default_graph_uri).to_table()
+            else:
+                solutions = evaluator.evaluate_query(plan.query,
+                                                     default_graph_uri)
+            elapsed = time.perf_counter() - start
+            if timeout is not None and elapsed > timeout:
+                raise QueryTimeout("query took %.3fs (budget %.3fs)"
+                                   % (elapsed, timeout))
+        except Exception as exc:
+            # Let the serving tier report per-request work done even for
+            # queries that were cancelled or tripped a valve.
+            exc.evaluation_stats = evaluator.stats
+            raise
+        result = ResultSet.from_table(solutions, evaluator.dictionary,
+                                      plan.output_variables)
+        return result, evaluator.stats, elapsed
+
     def execute_plan(self, plan: Plan,
                      default_graph_uri: Optional[str] = None,
-                     timeout: Optional[float] = None) -> ResultSet:
+                     timeout: Optional[float] = None,
+                     cancel=None) -> ResultSet:
         """Evaluate an optimized plan on the columnar data plane.
 
         Plans the planner marked streaming (a row bound or a ``Group`` in
@@ -233,35 +284,17 @@ class Engine:
         possibly different k-subset per plane, exactly as it already is
         between the columnar and reference planes.
         """
-        start = time.perf_counter()
-        deadline = None if timeout is None else start + timeout
-        # Join ordering already happened at plan time; the evaluator must
-        # not re-derive it per execution.
-        evaluator = Evaluator(self.dataset, optimize=False,
-                              cache_bgps=self.cache_bgps,
-                              max_rows=self.max_intermediate_rows,
-                              deadline=deadline,
-                              sip=self.sip, multiway=self.multiway)
-        if self._use_streaming(plan):
-            solutions = evaluator.evaluate_query_stream(
-                plan.query, default_graph_uri).to_table()
-        else:
-            solutions = evaluator.evaluate_query(plan.query,
-                                                 default_graph_uri)
-        elapsed = time.perf_counter() - start
-        if timeout is not None and elapsed > timeout:
-            raise QueryTimeout("query took %.3fs (budget %.3fs)"
-                               % (elapsed, timeout))
+        result, stats, elapsed = self.evaluate_plan(
+            plan, default_graph_uri, timeout, cancel=cancel)
         plan.executions += 1
         self.last_plan = plan
-        self.last_stats = evaluator.stats
+        self.last_stats = stats
         self.last_elapsed = elapsed
         self.queries_executed += 1
-        return ResultSet.from_table(solutions, evaluator.dictionary,
-                                    plan.output_variables)
+        return result
 
     def query(self, text: str, default_graph_uri: Optional[str] = None,
-              timeout: Optional[float] = None) -> ResultSet:
+              timeout: Optional[float] = None, cancel=None) -> ResultSet:
         """Execute a SPARQL SELECT query and return its result set.
 
         Example
@@ -278,12 +311,13 @@ class Engine:
         """
         if self.columnar:
             plan = self.plan(text, default_graph_uri)
-            return self.execute_plan(plan, default_graph_uri, timeout)
+            return self.execute_plan(plan, default_graph_uri, timeout,
+                                     cancel=cancel)
         return self._query_reference(parse(text), default_graph_uri, timeout)
 
     def stream(self, source, default_graph_uri: Optional[str] = None,
                timeout: Optional[float] = None,
-               batch_rows: int = 64) -> ResultStream:
+               batch_rows: int = 64, cancel=None) -> ResultStream:
         """Execute a query as a lazy cursor over decoded result rows.
 
         ``source`` is anything :meth:`plan` accepts.  The returned
@@ -337,7 +371,7 @@ class Engine:
         evaluator = Evaluator(self.dataset, optimize=False,
                               cache_bgps=self.cache_bgps,
                               max_rows=self.max_intermediate_rows,
-                              deadline=deadline,
+                              deadline=deadline, cancel=cancel,
                               sip=self.sip, multiway=self.multiway)
         table_stream = evaluator.evaluate_query_stream(
             plan.query, default_graph_uri, hint=batch_rows)

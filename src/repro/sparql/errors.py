@@ -1,0 +1,268 @@
+"""Error taxonomy, cancellation, and circuit breaking for the serving tier.
+
+Section 4.3 of the paper treats endpoints as unreliable partners: they cap
+responses, impose time budgets, and fail mid-pagination.  A client (or a
+server admitting queries on behalf of many clients) can only react sanely
+if failures are *classified* — retrying a malformed query burns the retry
+budget on an error that can never succeed, while failing fast on a
+momentary connection blip throws away recoverable work.
+
+Every protocol-level failure in this repo is an :class:`EndpointError`
+subtype carrying a class-level ``retryable`` flag:
+
+====================  =========  ==============================================
+class                 retryable  meaning
+====================  =========  ==============================================
+``TransientError``    yes        momentary failure (blip, endpoint time
+                                 budget, corrupted page) — a retry may succeed
+``QueryRejected``     no         admission control refused to run the query
+``ServerOverloaded``  no         load shedding: queue full or tenant over its
+                                 in-flight cap; fail fast, re-submit later
+``MalformedQuery``    no         the query text can never parse/evaluate
+``ResourceExhausted`` no         the query tripped a row/memory budget —
+                                 deterministic, a retry trips it again
+``QueryCancelled``    no         the client gave up; cooperative cancellation
+``CircuitOpenError``  no         the client's breaker is open; fail fast
+====================  =========  ==============================================
+
+:func:`classify_error` maps raw engine exceptions (parse errors, timeouts,
+row-budget trips) onto the taxonomy at the endpoint boundary, and
+:func:`is_retryable` is the single retry-policy predicate the HTTP client
+consults.  :class:`CancelToken` and :class:`CircuitBreaker` are the two
+small mechanisms the serving tier builds on: cooperative mid-query
+cancellation and fail-fast suppression of a persistently failing endpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+__all__ = [
+    "EndpointError", "TransientError", "QueryRejected", "ServerOverloaded",
+    "MalformedQuery", "ResourceExhausted", "QueryCancelled",
+    "CircuitOpenError", "classify_error", "is_retryable",
+    "CancelToken", "CircuitBreaker",
+]
+
+
+class EndpointError(RuntimeError):
+    """A protocol-level endpoint failure (base of the taxonomy).
+
+    The bare class is an *unclassified internal error* — not retryable,
+    because a deterministic server bug fails identically on every attempt.
+    """
+
+    retryable = False
+
+
+class TransientError(EndpointError):
+    """A momentary failure — connection blip, endpoint time budget,
+    truncated page.  Retrying (with backoff) may succeed."""
+
+    retryable = True
+
+
+class QueryRejected(EndpointError):
+    """The server refused to run the query (admission control)."""
+
+    retryable = False
+
+
+class ServerOverloaded(QueryRejected):
+    """Load shedding: the request queue is full or the tenant is over its
+    in-flight cap.  Fails fast by design — the caller decides whether to
+    re-submit later; blind immediate retries would amplify the overload."""
+
+
+class MalformedQuery(EndpointError):
+    """The query text can never succeed (parse error, unknown graph)."""
+
+    retryable = False
+
+
+class ResourceExhausted(EndpointError):
+    """The query tripped a server-side row/memory budget.  Deterministic:
+    a retry runs the same query into the same wall."""
+
+    retryable = False
+
+
+class QueryCancelled(EndpointError):
+    """The query was cooperatively cancelled mid-evaluation."""
+
+    retryable = False
+
+
+class CircuitOpenError(EndpointError):
+    """The client's circuit breaker is open: the endpoint failed too many
+    consecutive times and calls fail fast until the cooldown elapses."""
+
+    retryable = False
+
+
+def classify_error(exc: BaseException) -> EndpointError:
+    """Map a raw engine/endpoint exception onto the taxonomy.
+
+    Already-classified :class:`EndpointError` instances pass through
+    unchanged; everything else is wrapped (callers chain the original with
+    ``raise classified from exc``).
+
+    >>> from repro.sparql.errors import classify_error
+    >>> from repro.sparql.evaluator import QueryTimeout
+    >>> classify_error(QueryTimeout("page too slow")).retryable
+    True
+    """
+    if isinstance(exc, EndpointError):
+        return exc
+    # Imported here: errors.py sits below evaluator/parser in the layer
+    # order, and they import nothing from it at module load time anyway —
+    # but keeping the taxonomy import-free makes that order unbreakable.
+    from .evaluator import EvaluationError, QueryTimeout, RowBudgetExceeded
+    from .expressions import ExpressionError
+    from .parser import ParseError
+    from .tokenizer import TokenizeError
+    if isinstance(exc, QueryTimeout):
+        return TransientError("endpoint time budget exceeded: %s" % exc)
+    if isinstance(exc, (ParseError, TokenizeError, ExpressionError)):
+        return MalformedQuery("query cannot be evaluated: %s" % exc)
+    if isinstance(exc, RowBudgetExceeded):
+        return ResourceExhausted("server row budget exceeded: %s" % exc)
+    if isinstance(exc, EvaluationError):
+        return MalformedQuery("query cannot be evaluated: %s" % exc)
+    return EndpointError("internal endpoint error: %s" % exc)
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """The retry-policy predicate: should a client try this page again?"""
+    return bool(getattr(exc, "retryable", False))
+
+
+class CancelToken:
+    """Cooperative cancellation handle for one in-flight query.
+
+    The evaluator checks the token at its existing deadline checkpoints
+    (between operators, every ~1k rows of pattern production, per streamed
+    batch), so a cancelled query stops consuming evaluator time
+    mid-operator and surfaces as :class:`QueryCancelled`.
+
+    >>> token = CancelToken()
+    >>> token.cancelled
+    False
+    >>> token.cancel()
+    >>> token.cancelled
+    True
+    """
+
+    __slots__ = ("_event", "reason")
+
+    def __init__(self):
+        self._event = threading.Event()
+        self.reason: Optional[str] = None
+
+    def cancel(self, reason: Optional[str] = None) -> None:
+        """Request cancellation (idempotent; safe from any thread)."""
+        if reason is not None and self.reason is None:
+            self.reason = reason
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def raise_if_cancelled(self) -> None:
+        if self._event.is_set():
+            raise QueryCancelled("query cancelled%s"
+                                 % (": %s" % self.reason if self.reason
+                                    else ""))
+
+    def __repr__(self):
+        return "CancelToken(cancelled=%s)" % self.cancelled
+
+
+class CircuitBreaker:
+    """A classic three-state circuit breaker.
+
+    *Closed* (healthy): calls pass through; ``failure_threshold``
+    consecutive failures trip it *open*.  *Open*: calls fail fast with
+    :class:`CircuitOpenError` until ``cooldown`` seconds elapse.
+    *Half-open*: one probe call is allowed through — success closes the
+    circuit, failure re-opens it for another cooldown.
+
+    Thread-safe; the clock is injectable so tests never sleep.
+
+    >>> t = [0.0]
+    >>> breaker = CircuitBreaker(failure_threshold=2, cooldown=10.0,
+    ...                          clock=lambda: t[0])
+    >>> breaker.record_failure(); breaker.record_failure()
+    >>> breaker.allows_request()
+    False
+    >>> t[0] = 11.0           # cooldown elapsed -> half-open probe
+    >>> breaker.allows_request()
+    True
+    >>> breaker.record_success()
+    >>> breaker.state
+    'closed'
+    """
+
+    CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+
+    def __init__(self, failure_threshold: int = 5, cooldown: float = 30.0,
+                 clock=None):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        import time
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._clock = clock if clock is not None else time.monotonic
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self.trips = 0  # times the breaker went closed/half-open -> open
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if self._state == self.OPEN \
+                and self._clock() - self._opened_at >= self.cooldown:
+            self._state = self.HALF_OPEN
+        return self._state
+
+    def allows_request(self) -> bool:
+        """May a request be attempted right now?  (Half-open: yes — the
+        caller's next record_success/record_failure decides the state.)"""
+        with self._lock:
+            return self._state_locked() != self.OPEN
+
+    def check(self) -> None:
+        """Raise :class:`CircuitOpenError` when the circuit is open."""
+        if not self.allows_request():
+            raise CircuitOpenError(
+                "circuit breaker open after %d consecutive failures "
+                "(cooldown %.3gs)" % (self._consecutive_failures,
+                                      self.cooldown))
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._state = self.CLOSED
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            state = self._state_locked()
+            if state == self.HALF_OPEN \
+                    or (state == self.CLOSED
+                        and self._consecutive_failures
+                        >= self.failure_threshold):
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                self.trips += 1
+
+    def __repr__(self):
+        return "CircuitBreaker(state=%r, consecutive_failures=%d)" % (
+            self.state, self._consecutive_failures)

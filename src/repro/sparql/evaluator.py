@@ -72,6 +72,15 @@ class EvaluationError(RuntimeError):
     """Raised when a query cannot be evaluated (e.g. missing graph)."""
 
 
+class RowBudgetExceeded(EvaluationError):
+    """The ``max_rows`` safety valve tripped.
+
+    Distinguished from plain :class:`EvaluationError` so the serving tier
+    can classify it as ``ResourceExhausted`` (deterministic — a retry runs
+    the same query into the same wall) instead of a malformed query.
+    """
+
+
 class QueryTimeout(RuntimeError):
     """Raised when a query exceeds the engine's time budget.
 
@@ -158,13 +167,18 @@ class Evaluator:
                  max_rows: Optional[int] = None, cache_bgps: bool = True,
                  deadline: Optional[float] = None,
                  sip: Union[bool, str] = "auto",
-                 multiway: Union[bool, str] = "auto"):
+                 multiway: Union[bool, str] = "auto",
+                 cancel=None):
         self.dataset = dataset
         self.optimize = optimize
         self.max_rows = max_rows  # safety valve for runaway queries
         # Absolute time.perf_counter() deadline; checked between operators
         # and inside the pattern matcher's row production.
         self.deadline = deadline
+        # Cooperative cancellation: a CancelToken checked at the same
+        # checkpoints as the deadline, so a disconnecting client kills its
+        # query mid-operator instead of running it to completion.
+        self.cancel = cancel
         self.cache_bgps = cache_bgps
         # Sideways information passing and multiway intersection knobs.
         # ``'auto'`` follows the planner's JoinStrategy annotations
@@ -214,6 +228,8 @@ class Evaluator:
     # ------------------------------------------------------------------
     def evaluate(self, node: alg.AlgebraNode, graph,
                  top: bool = False) -> SolutionTable:
+        if self.cancel is not None:
+            self.cancel.raise_if_cancelled()
         if self.deadline is not None \
                 and time.perf_counter() > self.deadline:
             raise QueryTimeout("query exceeded its time budget at %r" % node)
@@ -225,7 +241,7 @@ class Evaluator:
         result = method(node, graph)
         self.stats.intermediate_rows += len(result.rows)
         if self.max_rows is not None and len(result.rows) > self.max_rows:
-            raise EvaluationError("intermediate result exceeds max_rows=%d"
+            raise RowBudgetExceeded("intermediate result exceeds max_rows=%d"
                                   % self.max_rows)
         return result
 
@@ -596,7 +612,8 @@ class Evaluator:
         """
         limit = self.max_rows
         deadline = self.deadline
-        if limit is None and deadline is None:
+        cancel = self.cancel
+        if limit is None and deadline is None and cancel is None:
             return out.append
         raw_append = out.append
 
@@ -604,14 +621,17 @@ class Evaluator:
             raw_append(row)
             n = len(out)
             if limit is not None and n > limit:
-                raise EvaluationError(
+                raise RowBudgetExceeded(
                     "intermediate result exceeds max_rows=%d "
                     "(tripped mid-pattern)" % limit)
-            if deadline is not None and not (n & 1023) \
-                    and time.perf_counter() > deadline:
-                raise QueryTimeout(
-                    "query exceeded its time budget after %d rows "
-                    "of a pattern match" % n)
+            if not (n & 1023):
+                if cancel is not None:
+                    cancel.raise_if_cancelled()
+                if deadline is not None \
+                        and time.perf_counter() > deadline:
+                    raise QueryTimeout(
+                        "query exceeded its time budget after %d rows "
+                        "of a pattern match" % n)
 
         return append
 
@@ -836,16 +856,20 @@ class Evaluator:
             count_ids: Dict[int, int] = {}  # count value -> term id
             max_rows = self.max_rows
             deadline = self.deadline
+            cancel = self.cancel
             for gid, count in group_counts:
                 built += 1
                 # Same safety valves as row production elsewhere: a graph
                 # with an enormous group count is abandoned mid-sweep, not
                 # after the result is built.
-                if deadline is not None and not (built & 1023) \
-                        and time.perf_counter() > deadline:
-                    raise QueryTimeout(
-                        "query exceeded its time budget after %d groups "
-                        "of an index-backed aggregation" % built)
+                if not (built & 1023):
+                    if cancel is not None:
+                        cancel.raise_if_cancelled()
+                    if deadline is not None \
+                            and time.perf_counter() > deadline:
+                        raise QueryTimeout(
+                            "query exceeded its time budget after %d "
+                            "groups of an index-backed aggregation" % built)
                 tid = count_ids.get(count)
                 if tid is None:
                     tid = encode(Literal(count))
@@ -857,7 +881,7 @@ class Evaluator:
                     continue
                 out_rows.append(out_row)
                 if max_rows is not None and len(out_rows) > max_rows:
-                    raise EvaluationError(
+                    raise RowBudgetExceeded(
                         "intermediate result exceeds max_rows=%d "
                         "(tripped mid-aggregation)" % max_rows)
             self.stats.groups_built += built
@@ -1105,6 +1129,8 @@ class Evaluator:
         than it so early exit is row-accurate.  It never changes results —
         only how much is in flight per pull.
         """
+        if self.cancel is not None:
+            self.cancel.raise_if_cancelled()
         if self.deadline is not None \
                 and time.perf_counter() > self.deadline:
             raise QueryTimeout("query exceeded its time budget at %r" % node)
@@ -1143,9 +1169,11 @@ class Evaluator:
             if n > stats.peak_batch_rows:
                 stats.peak_batch_rows = n
             if max_rows is not None and produced > max_rows:
-                raise EvaluationError(
+                raise RowBudgetExceeded(
                     "intermediate result exceeds max_rows=%d "
                     "(tripped while streaming)" % max_rows)
+            if self.cancel is not None:
+                self.cancel.raise_if_cancelled()
             if self.deadline is not None \
                     and time.perf_counter() > self.deadline:
                 raise QueryTimeout(

@@ -1,0 +1,246 @@
+"""Composable, deterministic fault injection for the endpoint tier.
+
+Section 4.3's premise is that endpoints fail for real: connections blip,
+pages arrive truncated, time budgets trip mid-pagination.  This module
+generalizes the old single-trick ``FlakyEndpoint`` test double into a
+layer that wraps *any* endpoint and injects faults by a deterministic
+seeded schedule, so a chaos run is exactly reproducible:
+
+* :class:`TransientFaults` — the request raises a
+  :class:`~repro.sparql.errors.TransientError` before reaching the inner
+  endpoint (a connection blip / 503).
+* :class:`LatencyFaults` — the request is delayed (per-page latency).
+* :class:`PayloadCorruption` — the response's SPARQL-JSON wire payload is
+  truncated or replaced with garbage (a corrupt page).
+* :class:`MidStreamTimeouts` — the inner endpoint is forced to evaluate
+  the page under a zero time budget, so its *own* deadline valve trips
+  mid-pull, its cursor is dropped, and the classified
+  ``TransientError`` takes the exact path a production timeout takes.
+
+Each injector draws from its own ``random.Random(seed)`` stream, so the
+fault schedule depends only on the seed and the request order — never on
+``PYTHONHASHSEED`` or wall-clock time.  ``max_consecutive`` bounds how
+many times the same (query, offset) page can fault *in a row*, which
+turns "retries probably absorb the faults" into a guarantee the chaos
+suite can assert: with ``max_retries > max_consecutive`` every page
+eventually succeeds, so results must be bag-identical to the undisturbed
+engine.
+
+>>> from repro.rdf import Graph, Literal, URIRef
+>>> from repro.sparql import Endpoint, Engine
+>>> from repro.sparql.faults import FaultyEndpoint, TransientFaults
+>>> g = Graph("http://g")
+>>> for i in range(5):
+...     _ = g.add(URIRef("http://x/s%d" % i), URIRef("http://x/p"),
+...               Literal(i))
+>>> flaky = FaultyEndpoint(Endpoint(Engine(g)),
+...                        [TransientFaults(rate=1.0, max_consecutive=1)])
+>>> flaky.request("SELECT ?s ?v WHERE { ?s <http://x/p> ?v }")
+Traceback (most recent call last):
+    ...
+repro.sparql.errors.TransientError: injected transient failure (request 1)
+>>> len(flaky.request("SELECT ?s ?v WHERE { ?s <http://x/p> ?v }").result)
+5
+>>> flaky.faults_injected
+{'transient': 1}
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from .endpoint import Endpoint, EndpointResponse
+from .errors import TransientError
+
+__all__ = ["FaultInjector", "TransientFaults", "LatencyFaults",
+           "PayloadCorruption", "MidStreamTimeouts", "FaultyEndpoint"]
+
+
+class FaultInjector:
+    """Base class: one kind of fault, fired by a seeded schedule.
+
+    ``rate`` is the per-request fault probability drawn from this
+    injector's private ``random.Random(seed)`` stream; ``max_consecutive``
+    (when set) caps how many times the same (query, offset) page faults
+    in a row — after that many consecutive faults the page is left alone
+    until it succeeds once, which resets the streak.
+    """
+
+    kind = "fault"
+
+    def __init__(self, rate: float = 0.1, seed: int = 0,
+                 max_consecutive: Optional[int] = None):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        self.rate = rate
+        self.max_consecutive = max_consecutive
+        self._rng = random.Random((seed, self.kind).__repr__())
+        self._streaks: Dict[Tuple[str, int], int] = {}
+        self.fired = 0
+
+    def should_fire(self, query: str, offset: int) -> bool:
+        """One schedule draw; honors the consecutive-fault cap per page."""
+        key = (query, offset)
+        fire = self._rng.random() < self.rate
+        if fire and self.max_consecutive is not None \
+                and self._streaks.get(key, 0) >= self.max_consecutive:
+            fire = False
+        if fire:
+            self._streaks[key] = self._streaks.get(key, 0) + 1
+            self.fired += 1
+        else:
+            self._streaks.pop(key, None)
+        return fire
+
+    # Hooks; subclasses override one (or both).
+    def before_request(self, endpoint: Endpoint, query: str, offset: int,
+                       limit: Optional[int]) -> None:
+        """Runs before the inner endpoint is called; may raise."""
+
+    def after_response(self, endpoint: Endpoint, query: str, offset: int,
+                       limit: Optional[int],
+                       response: EndpointResponse) -> EndpointResponse:
+        """Runs on the inner endpoint's response; may mutate or raise."""
+        return response
+
+
+class TransientFaults(FaultInjector):
+    """The wire blips: the request fails before reaching the endpoint."""
+
+    kind = "transient"
+
+    def before_request(self, endpoint, query, offset, limit):
+        if self.should_fire(query, offset):
+            raise TransientError("injected transient failure (request %d)"
+                                 % self.fired)
+
+
+class LatencyFaults(FaultInjector):
+    """Per-page latency: the request is delayed by up to ``delay``
+    seconds (uniform, drawn from the seeded stream)."""
+
+    kind = "latency"
+
+    def __init__(self, delay: float = 0.005, rate: float = 1.0,
+                 seed: int = 0, sleep: Callable[[float], None] = time.sleep):
+        super().__init__(rate=rate, seed=seed)
+        self.delay = delay
+        self.slept = 0.0
+        self._sleep = sleep  # injectable so tests never actually wait
+
+    def before_request(self, endpoint, query, offset, limit):
+        if self.should_fire(query, offset):
+            pause = self._rng.uniform(0.0, self.delay)
+            self.slept += pause
+            self._sleep(pause)
+
+
+class PayloadCorruption(FaultInjector):
+    """The page's wire payload arrives damaged.
+
+    Alternates (by schedule draw) between *truncation* — the JSON document
+    cut mid-way, exactly what a dropped connection leaves behind — and
+    *garbage* — a non-JSON body (an HTML error page, say).  Decoding must
+    fail loudly client-side; a truncated page silently accepted would be
+    a silently truncated result set.
+    """
+
+    kind = "corrupt"
+
+    def after_response(self, endpoint, query, offset, limit, response):
+        if self.should_fire(query, offset) and response.payload is not None:
+            if self._rng.random() < 0.5:
+                response.payload = response.payload[
+                    :max(1, len(response.payload) // 2)]
+            else:
+                response.payload = "<html>502 Bad Gateway</html>"
+        return response
+
+
+class MidStreamTimeouts(FaultInjector):
+    """The endpoint's own time budget trips mid-page.
+
+    Forces the inner endpoint to serve this page under a zero timeout, so
+    the engine's deadline valve raises *while rows are being pulled*, the
+    endpoint drops its (now dead) cursor, and the client sees the same
+    classified ``TransientError`` a genuinely slow page produces.  The
+    next attempt re-executes from a fresh cursor — the cursor-drop path
+    under test.
+    """
+
+    kind = "timeout"
+
+    def before_request(self, endpoint, query, offset, limit):
+        if self.should_fire(query, offset):
+            saved = endpoint.timeout
+            try:
+                endpoint.timeout = 0.0
+                # The inner request both arms the zero budget and trips
+                # it; restore before re-raising so only this page faults.
+                endpoint.request(query, offset=offset, limit=limit)
+            finally:
+                endpoint.timeout = saved
+            # A zero budget that somehow served the page (empty result,
+            # nothing to pull) still counts as an injected timeout.
+            raise TransientError(
+                "injected mid-stream timeout at offset %d" % offset)
+
+
+class FaultyEndpoint:
+    """Wraps any :class:`Endpoint`, injecting faults on the way through.
+
+    Duck-types the endpoint surface the clients use (``request``,
+    ``engine``, ``max_rows``, ``timeout``), so it drops in anywhere an
+    endpoint is expected, and composes: each request runs every
+    injector's ``before_request`` hook in order, then the inner request,
+    then every ``after_response`` hook in order.
+    """
+
+    def __init__(self, inner: Endpoint,
+                 faults: Sequence[FaultInjector] = ()):
+        self.inner = inner
+        self.faults = list(faults)
+        self.requests_seen = 0
+
+    def request(self, query_text: str, offset: int = 0,
+                limit: Optional[int] = None) -> EndpointResponse:
+        self.requests_seen += 1
+        for fault in self.faults:
+            fault.before_request(self.inner, query_text, offset, limit)
+        response = self.inner.request(query_text, offset=offset,
+                                      limit=limit)
+        for fault in self.faults:
+            response = fault.after_response(self.inner, query_text, offset,
+                                            limit, response)
+        return response
+
+    @property
+    def faults_injected(self) -> Dict[str, int]:
+        """Fired-fault counts by kind (kinds that never fired omitted)."""
+        counts: Dict[str, int] = {}
+        for fault in self.faults:
+            if fault.fired:
+                counts[fault.kind] = counts.get(fault.kind, 0) + fault.fired
+        return counts
+
+    # -- endpoint surface delegation -----------------------------------
+    @property
+    def engine(self):
+        return self.inner.engine
+
+    @property
+    def max_rows(self):
+        return self.inner.max_rows
+
+    @property
+    def timeout(self):
+        return self.inner.timeout
+
+    def clear_cache(self):
+        self.inner.clear_cache()
+
+    def __repr__(self):
+        return "FaultyEndpoint(%r, %d injectors, injected=%r)" % (
+            self.inner, len(self.faults), self.faults_injected)

@@ -8,6 +8,7 @@ Python values (URIs to strings, typed literals to int/float/bool/str).
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 from ..dataframe import DataFrame
@@ -135,6 +136,12 @@ class ResultStream:
         self.exhausted = False
         self._iter = row_iter
         self._arm_deadline = arm_deadline
+        # Concurrent pulls (the endpoint shares one cursor per query
+        # across server threads) must not re-enter the generator — a
+        # Python generator raises "already executing" — or interleave
+        # buffer appends.  All pulling serializes on this lock; reads of
+        # already-materialized rows stay lock-free.
+        self._pull_lock = threading.Lock()
 
     def arm_deadline(self, seconds) -> None:
         """Restart the evaluation-time budget covering subsequent pulls.
@@ -148,15 +155,19 @@ class ResultStream:
 
     def fetch_until(self, count: int) -> None:
         """Pull from the underlying iterator until ``count`` rows are
-        materialized (or the stream ends)."""
+        materialized (or the stream ends).  Safe under concurrent pulls:
+        one thread advances the iterator at a time."""
         rows = self.rows
-        append = rows.append
+        if len(rows) >= count or self.exhausted:
+            return
         it = self._iter
-        while len(rows) < count and not self.exhausted:
-            try:
-                append(next(it))
-            except StopIteration:
-                self.exhausted = True
+        with self._pull_lock:
+            append = rows.append
+            while len(rows) < count and not self.exhausted:
+                try:
+                    append(next(it))
+                except StopIteration:
+                    self.exhausted = True
 
     def page(self, offset: int, limit: int) -> ResultSet:
         """Materialize and return one page of the result."""

@@ -1,0 +1,346 @@
+"""A concurrent, fault-tolerant query-serving tier over a shared engine.
+
+The ROADMAP's "millions of users" axis: real endpoints multiplex many
+concurrent requests over shared read-only graphs, and survive overload by
+*admission control* — refusing work they cannot finish — rather than by
+wedging.  :class:`QueryServer` is that tier for this repo's engine:
+
+* **Worker pool.**  ``workers`` threads pull tickets from a *bounded*
+  queue.  Planning is serialized (the engine's plan cache is shared
+  state); execution runs concurrently, one thread-confined
+  :class:`~repro.sparql.evaluator.Evaluator` per request via
+  :meth:`Engine.evaluate_plan`.
+* **Admission control.**  A full queue or a tenant over its in-flight cap
+  sheds the request *at submit time* with
+  :class:`~repro.sparql.errors.ServerOverloaded` — fail fast, no queue
+  camping.  Per-request ``timeout`` and ``max_rows`` budgets wire
+  straight into the evaluator's existing deadline and row-budget valves.
+* **Cooperative cancellation.**  Every ticket carries a
+  :class:`~repro.sparql.errors.CancelToken` checked at the evaluator's
+  deadline checkpoints: a client that gives up kills its query
+  mid-operator, and the freed worker moves on.
+* **Classified failures.**  Whatever goes wrong, the ticket resolves to
+  an :class:`~repro.sparql.errors.EndpointError` subtype — never a
+  silently truncated result.
+
+>>> from repro.rdf import Graph, Literal, URIRef
+>>> from repro.sparql import Engine
+>>> from repro.sparql.server import QueryServer
+>>> g = Graph("http://g")
+>>> for i in range(6):
+...     _ = g.add(URIRef("http://x/s%d" % i), URIRef("http://x/p"),
+...               Literal(i))
+>>> with QueryServer(Engine(g), workers=2) as server:
+...     ticket = server.submit("SELECT ?s ?v WHERE { ?s <http://x/p> ?v }")
+...     len(ticket.result())
+6
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from typing import Dict, List, Optional
+
+from .engine import Engine
+from .errors import (CancelToken, QueryCancelled, ServerOverloaded,
+                     classify_error)
+from .evaluator import EvaluationStats
+from .results import ResultSet
+
+__all__ = ["QueryServer", "QueryTicket", "ServerStats"]
+
+#: Ticket lifecycle states.
+QUEUED, RUNNING, DONE, FAILED, CANCELLED = (
+    "queued", "running", "done", "failed", "cancelled")
+
+
+class QueryTicket:
+    """One admitted request: a future over the query's outcome.
+
+    ``result()`` blocks until the query resolves and either returns the
+    :class:`ResultSet` or raises the classified failure.  ``cancel()``
+    requests cooperative cancellation — a no-op once the query resolved.
+    """
+
+    def __init__(self, ticket_id: int, tenant: str, query: str):
+        self.id = ticket_id
+        self.tenant = tenant
+        self.query = query
+        self.state = QUEUED
+        self.cancel_token = CancelToken()
+        self.stats: Optional[EvaluationStats] = None
+        self.elapsed: Optional[float] = None  # evaluator seconds
+        self.waited: Optional[float] = None   # queue seconds before start
+        self._submitted = time.perf_counter()
+        self._done = threading.Event()
+        self._result: Optional[ResultSet] = None
+        self._error: Optional[BaseException] = None
+
+    # -- client side ---------------------------------------------------
+    def cancel(self, reason: Optional[str] = None) -> None:
+        """Request cancellation (cooperative; safe from any thread)."""
+        self.cancel_token.cancel(reason)
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> ResultSet:
+        """Block until resolved; return the result or raise the failure."""
+        if not self._done.wait(timeout):
+            raise TimeoutError("ticket %d not resolved within %.3gs"
+                               % (self.id, timeout))
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def error(self, timeout: Optional[float] = None
+              ) -> Optional[BaseException]:
+        """Block until resolved; the classified failure, or None."""
+        if not self._done.wait(timeout):
+            raise TimeoutError("ticket %d not resolved within %.3gs"
+                               % (self.id, timeout))
+        return self._error
+
+    # -- server side ---------------------------------------------------
+    def _resolve(self, state: str, result: Optional[ResultSet] = None,
+                 error: Optional[BaseException] = None) -> None:
+        self.state = state
+        self._result = result
+        self._error = error
+        self._done.set()
+
+    def __repr__(self):
+        return "QueryTicket(id=%d, tenant=%r, state=%r)" % (
+            self.id, self.tenant, self.state)
+
+
+class ServerStats:
+    """Thread-safe serving counters (all monotone)."""
+
+    FIELDS = ("submitted", "admitted", "shed", "completed", "failed",
+              "cancelled")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        for field in self.FIELDS:
+            setattr(self, field, 0)
+        self.errors_by_class: Dict[str, int] = {}
+        self.peak_in_flight = 0
+
+    def bump(self, field: str, by: int = 1) -> None:
+        with self._lock:
+            setattr(self, field, getattr(self, field) + by)
+
+    def record_error(self, exc: BaseException) -> None:
+        with self._lock:
+            name = type(exc).__name__
+            self.errors_by_class[name] = self.errors_by_class.get(name, 0) + 1
+
+    def record_in_flight(self, now: int) -> None:
+        with self._lock:
+            if now > self.peak_in_flight:
+                self.peak_in_flight = now
+
+    def as_dict(self) -> Dict[str, int]:
+        with self._lock:
+            out = {field: getattr(self, field) for field in self.FIELDS}
+            out["peak_in_flight"] = self.peak_in_flight
+            out["errors_by_class"] = dict(self.errors_by_class)
+            return out
+
+    def __repr__(self):
+        return "ServerStats(%r)" % self.as_dict()
+
+
+class QueryServer:
+    """A threaded query server multiplexing one shared read-only engine.
+
+    Parameters
+    ----------
+    engine:
+        The shared engine.  Its graphs are treated as read-only for the
+        server's lifetime; the term dictionary and lazy index structures
+        are safe under concurrent readers (build-then-publish + interning
+        lock).
+    workers:
+        Executor threads.
+    queue_size:
+        Bound on queued (admitted but not yet running) requests; a full
+        queue sheds with :class:`ServerOverloaded`.
+    max_inflight_per_tenant:
+        Per-tenant cap on queued+running requests — one noisy tenant
+        cannot occupy the whole queue.  ``None`` disables the cap.
+    default_timeout / default_max_rows:
+        Per-request budget defaults, overridable per ``submit`` call,
+        wired to the evaluator's deadline and row-budget valves.
+    default_graph_uri:
+        Passed through to plan/execute for every request.
+    """
+
+    def __init__(self, engine: Engine, workers: int = 4,
+                 queue_size: int = 16,
+                 max_inflight_per_tenant: Optional[int] = None,
+                 default_timeout: Optional[float] = None,
+                 default_max_rows: Optional[int] = None,
+                 default_graph_uri: Optional[str] = None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+        self.engine = engine
+        self.default_timeout = default_timeout
+        self.default_max_rows = default_max_rows
+        self.default_graph_uri = default_graph_uri
+        self.max_inflight_per_tenant = max_inflight_per_tenant
+        self.stats = ServerStats()
+        self._queue: "queue.Queue[Optional[tuple]]" = queue.Queue(
+            maxsize=queue_size)
+        # Planning mutates the engine's shared LRU plan cache; serialize
+        # it.  Execution (the expensive part) runs outside the lock.
+        self._plan_lock = threading.Lock()
+        self._admission_lock = threading.Lock()
+        self._inflight_by_tenant: Dict[str, int] = {}
+        self._ids = itertools.count(1)
+        self._closed = False
+        self._workers: List[threading.Thread] = []
+        for i in range(workers):
+            thread = threading.Thread(target=self._worker_loop,
+                                      name="query-server-%d" % i,
+                                      daemon=True)
+            thread.start()
+            self._workers.append(thread)
+
+    # -- submission ----------------------------------------------------
+    def submit(self, query: str, tenant: str = "anonymous",
+               timeout: Optional[float] = None,
+               max_rows: Optional[int] = None) -> QueryTicket:
+        """Admit a query, returning a :class:`QueryTicket` future.
+
+        Raises :class:`ServerOverloaded` immediately — never blocks —
+        when the request queue is full or the tenant is at its in-flight
+        cap; a shed request consumes no evaluator time at all.
+        """
+        if self._closed:
+            raise ServerOverloaded("server is shut down")
+        self.stats.bump("submitted")
+        with self._admission_lock:
+            inflight = self._inflight_by_tenant.get(tenant, 0)
+            cap = self.max_inflight_per_tenant
+            if cap is not None and inflight >= cap:
+                self.stats.bump("shed")
+                raise ServerOverloaded(
+                    "tenant %r already has %d requests in flight (cap %d)"
+                    % (tenant, inflight, cap))
+            self._inflight_by_tenant[tenant] = inflight + 1
+            self.stats.record_in_flight(
+                sum(self._inflight_by_tenant.values()))
+        ticket = QueryTicket(next(self._ids), tenant, query)
+        budget_timeout = self.default_timeout if timeout is None else timeout
+        budget_rows = self.default_max_rows if max_rows is None else max_rows
+        try:
+            self._queue.put_nowait((ticket, budget_timeout, budget_rows))
+        except queue.Full:
+            self._release_tenant(tenant)
+            self.stats.bump("shed")
+            raise ServerOverloaded(
+                "request queue full (%d queued)" % self._queue.maxsize) \
+                from None
+        self.stats.bump("admitted")
+        return ticket
+
+    def execute(self, query: str, tenant: str = "anonymous",
+                timeout: Optional[float] = None,
+                max_rows: Optional[int] = None) -> ResultSet:
+        """Synchronous convenience: submit and wait for the result."""
+        return self.submit(query, tenant=tenant, timeout=timeout,
+                           max_rows=max_rows).result()
+
+    def _release_tenant(self, tenant: str) -> None:
+        with self._admission_lock:
+            remaining = self._inflight_by_tenant.get(tenant, 1) - 1
+            if remaining <= 0:
+                self._inflight_by_tenant.pop(tenant, None)
+            else:
+                self._inflight_by_tenant[tenant] = remaining
+
+    @property
+    def in_flight(self) -> int:
+        """Currently admitted-and-unresolved requests across tenants."""
+        with self._admission_lock:
+            return sum(self._inflight_by_tenant.values())
+
+    # -- execution -----------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:  # shutdown sentinel
+                self._queue.task_done()
+                return
+            ticket, budget_timeout, budget_rows = item
+            try:
+                self._run_ticket(ticket, budget_timeout, budget_rows)
+            finally:
+                self._release_tenant(ticket.tenant)
+                self._queue.task_done()
+
+    def _run_ticket(self, ticket: QueryTicket,
+                    budget_timeout: Optional[float],
+                    budget_rows: Optional[int]) -> None:
+        ticket.waited = time.perf_counter() - ticket._submitted
+        if ticket.cancel_token.cancelled:
+            # Cancelled while queued: zero evaluator time spent.
+            ticket.stats = EvaluationStats()
+            self.stats.bump("cancelled")
+            ticket._resolve(CANCELLED, error=QueryCancelled(
+                "query cancelled while queued"))
+            return
+        ticket.state = RUNNING
+        try:
+            with self._plan_lock:
+                plan = self.engine.plan(ticket.query,
+                                        self.default_graph_uri)
+            result, stats, elapsed = self.engine.evaluate_plan(
+                plan, self.default_graph_uri, timeout=budget_timeout,
+                cancel=ticket.cancel_token, max_rows=budget_rows)
+        except Exception as exc:  # noqa: BLE001 — classified below
+            ticket.stats = getattr(exc, "evaluation_stats", None)
+            classified = classify_error(exc)
+            if classified is not exc:
+                classified.__cause__ = exc
+            self.stats.record_error(classified)
+            if isinstance(classified, QueryCancelled):
+                self.stats.bump("cancelled")
+                ticket._resolve(CANCELLED, error=classified)
+            else:
+                self.stats.bump("failed")
+                ticket._resolve(FAILED, error=classified)
+            return
+        ticket.stats = stats
+        ticket.elapsed = elapsed
+        self.stats.bump("completed")
+        ticket._resolve(DONE, result=result)
+
+    # -- lifecycle -----------------------------------------------------
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop admitting, then stop workers (after the queue drains)."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._workers:
+            self._queue.put(None)
+        if wait:
+            for thread in self._workers:
+                thread.join()
+
+    def __enter__(self) -> "QueryServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self):
+        return "QueryServer(workers=%d, in_flight=%d, %r)" % (
+            len(self._workers), self.in_flight, self.stats)

@@ -165,6 +165,127 @@ class TestRetries:
             client.execute(QUERY)
 
 
+class CountingFailures:
+    """Duck-typed endpoint stub: always raises ``error_factory()``."""
+
+    def __init__(self, error_factory):
+        self.error_factory = error_factory
+        self.calls = 0
+
+    def request(self, query_text, offset=0, limit=None):
+        self.calls += 1
+        raise self.error_factory()
+
+
+class TestRetryPolicy:
+    """Classified failures: retryable classes burn retries, deterministic
+    classes fail fast with the original chained as ``__cause__``."""
+
+    def test_malformed_query_fails_fast(self, engine):
+        from repro.sparql import MalformedQuery
+        endpoint = Endpoint(engine, max_rows=10)
+        client = HttpClient(endpoint, max_retries=3, retry_delay=0.1)
+        sleeps = []
+        client._sleep = sleeps.append
+        with pytest.raises(ClientError, match="not retried") as excinfo:
+            client.execute("SELECT WHERE {")
+        assert isinstance(excinfo.value.__cause__, MalformedQuery)
+        assert endpoint.requests_served == 1   # one attempt, no retries
+        assert client.retries_performed == 0
+        assert sleeps == []                    # and no backoff sleeps
+
+    def test_resource_exhausted_fails_fast(self, engine):
+        from repro.sparql import ResourceExhausted
+        stub = CountingFailures(lambda: ResourceExhausted("row budget"))
+        client = HttpClient(stub, max_retries=5)
+        with pytest.raises(ClientError, match="ResourceExhausted"):
+            client.execute(QUERY)
+        assert stub.calls == 1
+
+    def test_exhausted_retries_chain_the_last_error(self, engine):
+        from repro.sparql import TransientError
+        endpoint = FlakyEndpoint(engine, failures_per_query=99, max_rows=10)
+        client = HttpClient(endpoint, max_retries=2)
+        with pytest.raises(ClientError) as excinfo:
+            client.execute(QUERY)
+        assert isinstance(excinfo.value.__cause__, TransientError)
+
+    def test_retries_performed_counter(self, engine):
+        # 37 rows at max_rows=10 -> 4 pages, each failing twice first.
+        endpoint = FlakyEndpoint(engine, failures_per_query=2, max_rows=10)
+        client = HttpClient(endpoint, max_retries=3)
+        assert len(client.execute(QUERY)) == 37
+        assert client.retries_performed == 8
+
+    def test_corrupt_payload_retried_and_absorbed(self, engine):
+        class CorruptsFirstServe(Endpoint):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self._corrupted = set()
+
+            def request(self, query_text, offset=0, limit=None):
+                response = super().request(query_text, offset=offset,
+                                           limit=limit)
+                if offset not in self._corrupted:
+                    self._corrupted.add(offset)
+                    response.payload = response.payload[:7]
+                return response
+
+        endpoint = CorruptsFirstServe(engine, max_rows=10)
+        client = HttpClient(endpoint, max_retries=2)
+        df = client.execute(QUERY)
+        assert len(df) == 37                   # never silently truncated
+        assert client.retries_performed == 4   # one decode retry per page
+
+
+class TestCircuitBreaker:
+    def make_client(self, endpoint, threshold, **kwargs):
+        from repro.sparql import CircuitBreaker
+        client = HttpClient(endpoint, breaker_threshold=threshold, **kwargs)
+        self.clock = [0.0]
+        client.breaker = CircuitBreaker(failure_threshold=threshold,
+                                        cooldown=5.0,
+                                        clock=lambda: self.clock[0])
+        return client
+
+    def test_breaker_opens_and_fails_fast(self, engine):
+        from repro.sparql import CircuitOpenError, TransientError
+        stub = CountingFailures(lambda: TransientError("blip"))
+        client = self.make_client(stub, threshold=2, max_retries=5)
+        with pytest.raises(ClientError) as excinfo:
+            client.execute(QUERY)
+        # Two real attempts tripped the breaker; the third failed fast
+        # without touching the endpoint.
+        assert stub.calls == 2
+        assert isinstance(excinfo.value.__cause__, CircuitOpenError)
+        assert client.breaker.trips == 1
+
+    def test_half_open_probe_recovers(self, engine):
+        endpoint = FlakyEndpoint(engine, failures_per_query=1, max_rows=100)
+        client = self.make_client(endpoint, threshold=1, max_retries=3)
+        with pytest.raises(ClientError):
+            client.execute(QUERY)          # first failure opens the circuit
+        self.clock[0] = 6.0                # cooldown elapsed -> half-open
+        assert len(client.execute(QUERY)) == 37
+        assert client.breaker.state == client.breaker.CLOSED
+
+    def test_deterministic_verdicts_do_not_trip_breaker(self, engine):
+        from repro.sparql import MalformedQuery, TransientError
+        client = self.make_client(Endpoint(engine), threshold=2)
+        client._record_breaker_outcome(TransientError("blip"))
+        client._record_breaker_outcome(MalformedQuery("bad query"))
+        client._record_breaker_outcome(TransientError("blip"))
+        # The malformed-query verdict reset the streak in between.
+        assert client.breaker.state == client.breaker.CLOSED
+        assert client.breaker.trips == 0
+
+    def test_breaker_disabled(self, engine):
+        endpoint = FlakyEndpoint(engine, failures_per_query=3, max_rows=100)
+        client = HttpClient(endpoint, breaker_threshold=None, max_retries=3)
+        assert client.breaker is None
+        assert len(client.execute(QUERY)) == 37
+
+
 class TestFrameExecution:
     def test_frame_execute_via_http(self, engine):
         from repro.core import KnowledgeGraph
@@ -318,12 +439,14 @@ class TestStreamingPagination:
     def test_failed_request_does_not_poison_cursor_cache(self, big_engine):
         # A request that times out must not leave a dead cursor behind:
         # once the pressure clears, the same query re-executes fresh.
-        from repro.sparql import QueryTimeout
+        # (The endpoint boundary classifies the timeout as retryable.)
+        from repro.sparql import QueryTimeout, TransientError
         cross = ("PREFIX x: <http://x/>\n"
                  "SELECT * WHERE { ?a x:p ?v . ?b x:p ?w }")
         endpoint = Endpoint(big_engine, max_rows=10, timeout=0.0)
-        with pytest.raises(QueryTimeout):
+        with pytest.raises(TransientError) as excinfo:
             endpoint.request(cross)
+        assert isinstance(excinfo.value.__cause__, QueryTimeout)
         endpoint.timeout = None
         response = endpoint.request(cross)
         assert len(response.result) == 10

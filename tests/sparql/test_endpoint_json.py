@@ -63,13 +63,18 @@ class TestEndpointPagination:
         assert len(document["results"]["bindings"]) == 10
 
     def test_timeout_enforced(self):
+        # The endpoint boundary classifies the raw QueryTimeout as a
+        # retryable TransientError, chaining the original.
+        from repro.sparql import TransientError
         g = Graph("http://g")
         for i in range(200):
             g.add(uri("s%d" % i), uri("p"), uri("o%d" % i))
         strict = Endpoint(Engine(g), max_rows=10, timeout=0.0)
-        with pytest.raises(QueryTimeout):
+        with pytest.raises(TransientError) as excinfo:
             strict.request("PREFIX x: <http://x/>\n"
                            "SELECT * WHERE { ?a x:p ?b . ?c x:p ?d }")
+        assert isinstance(excinfo.value.__cause__, QueryTimeout)
+        assert excinfo.value.retryable
 
     def test_invalid_max_rows(self):
         with pytest.raises(ValueError):

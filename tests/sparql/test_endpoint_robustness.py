@@ -1,0 +1,140 @@
+"""Endpoint failure paths and cursor-cache hygiene.
+
+The cursor-drop-on-failure path, the bounded LRU cursor cache, and the
+dataset-fingerprint invalidation that keeps mutated graphs from serving
+stale pages.
+"""
+
+import pytest
+
+from repro.rdf import Graph, Literal, URIRef
+from repro.sparql import (Endpoint, Engine, QueryTimeout, ResourceExhausted,
+                          TransientError)
+
+
+def uri(name):
+    return URIRef("http://x/" + name)
+
+
+def make_graph(n=25):
+    g = Graph("http://g")
+    for i in range(n):
+        g.add(uri("s%d" % i), uri("p"), Literal(i))
+    return g
+
+
+QUERY = "SELECT ?s ?v WHERE { ?s <http://x/p> ?v }"
+CROSS = "SELECT * WHERE { ?a <http://x/p> ?b . ?c <http://x/p> ?d }"
+
+
+class TestCursorDropOnFailure:
+    def test_mid_page_timeout_then_clean_reexecute(self):
+        endpoint = Endpoint(Engine(make_graph(60)), max_rows=10,
+                            timeout=0.0)
+        with pytest.raises(TransientError) as excinfo:
+            endpoint.request(CROSS)
+        assert isinstance(excinfo.value.__cause__, QueryTimeout)
+        # The dead cursor was dropped, not cached.
+        assert endpoint.cached_cursors == 0
+        # With the budget restored the same query re-executes from
+        # scratch and pages correctly.
+        endpoint.timeout = None
+        page = endpoint.request(CROSS)
+        assert len(page.result) == 10
+        assert page.has_more
+        assert endpoint.cached_cursors == 1
+
+    def test_row_budget_trip_drops_cursor(self):
+        engine = Engine(make_graph(60), max_intermediate_rows=100)
+        endpoint = Endpoint(engine, max_rows=10)
+        # The streaming cursor pulls lazily, so the first pages stay under
+        # the row budget; a deep page forces enough pulling to trip it.
+        with pytest.raises(ResourceExhausted):
+            endpoint.request(CROSS, offset=3000)
+        assert endpoint.cached_cursors == 0
+
+    def test_healthy_cursor_survives_other_querys_failure(self):
+        endpoint = Endpoint(Engine(make_graph()), max_rows=10)
+        endpoint.request(QUERY)
+        assert endpoint.cached_cursors == 1
+        with pytest.raises(Exception):
+            endpoint.request("SELECT WHERE {")
+        # The parse failure neither cached a cursor nor evicted the
+        # healthy one.
+        assert endpoint.cached_cursors == 1
+        executed = endpoint.engine.queries_executed
+        endpoint.request(QUERY, offset=10)
+        assert endpoint.engine.queries_executed == executed
+
+
+class TestPageEdges:
+    def test_limit_zero_serves_empty_page(self):
+        endpoint = Endpoint(Engine(make_graph()), max_rows=10)
+        response = endpoint.request(QUERY, limit=0)
+        assert len(response.result) == 0
+        assert response.has_more
+        # The cursor stays usable for real pages afterwards.
+        assert len(endpoint.request(QUERY, limit=5).result) == 5
+
+    def test_offset_past_end(self):
+        endpoint = Endpoint(Engine(make_graph(7)), max_rows=10)
+        response = endpoint.request(QUERY, offset=100)
+        assert len(response.result) == 0
+        assert not response.has_more
+
+    def test_offset_exactly_at_end(self):
+        endpoint = Endpoint(Engine(make_graph(10)), max_rows=10)
+        first = endpoint.request(QUERY)
+        assert len(first.result) == 10
+        tail = endpoint.request(QUERY, offset=10)
+        assert len(tail.result) == 0
+        assert not tail.has_more
+
+
+class TestCursorCacheLRU:
+    @staticmethod
+    def query_for(i):
+        return "SELECT ?s WHERE { ?s <http://x/p> %d }" % i
+
+    def test_bounded_by_cursor_cache_size(self):
+        endpoint = Endpoint(Engine(make_graph()), max_rows=10,
+                            cursor_cache_size=3)
+        for i in range(8):
+            endpoint.request(self.query_for(i))
+        assert endpoint.cached_cursors == 3
+
+    def test_least_recently_used_is_evicted(self):
+        endpoint = Endpoint(Engine(make_graph()), max_rows=10,
+                            cursor_cache_size=2)
+        endpoint.request(self.query_for(0))
+        endpoint.request(self.query_for(1))
+        endpoint.request(self.query_for(0))  # refresh 0: 1 becomes LRU
+        endpoint.request(self.query_for(2))  # evicts 1
+        executed = endpoint.engine.queries_executed
+        endpoint.request(self.query_for(0))  # still cached
+        assert endpoint.engine.queries_executed == executed
+        endpoint.request(self.query_for(1))  # evicted -> re-executes
+        assert endpoint.engine.queries_executed == executed + 1
+
+    def test_cache_disabled_with_size_zero(self):
+        endpoint = Endpoint(Engine(make_graph()), max_rows=10,
+                            cursor_cache_size=0)
+        endpoint.request(QUERY)
+        endpoint.request(QUERY, offset=10)
+        assert endpoint.cached_cursors == 0
+        assert endpoint.engine.queries_executed == 2
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Endpoint(Engine(Graph()), cursor_cache_size=-1)
+
+    def test_graph_mutation_invalidates_cursors(self):
+        g = make_graph(5)
+        endpoint = Endpoint(Engine(g), max_rows=10)
+        before = endpoint.request(QUERY)
+        assert len(before.result) == 5
+        g.add(uri("s99"), uri("p"), Literal(99))
+        # The fingerprint in the cursor key changed: the stale cursor is
+        # unreachable and the fresh execution sees the new triple.
+        after = endpoint.request(QUERY)
+        assert len(after.result) == 6

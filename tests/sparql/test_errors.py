@@ -1,0 +1,156 @@
+"""The serving error taxonomy, cancellation token, and circuit breaker."""
+
+import pytest
+
+from repro.sparql import (CancelToken, CircuitBreaker, CircuitOpenError,
+                          EndpointError, MalformedQuery, QueryCancelled,
+                          QueryRejected, QueryTimeout, ResourceExhausted,
+                          RowBudgetExceeded, ServerOverloaded,
+                          TransientError, classify_error, is_retryable)
+from repro.sparql.evaluator import EvaluationError
+
+
+class TestTaxonomy:
+    def test_all_subtypes_are_endpoint_errors(self):
+        for cls in (TransientError, QueryRejected, ServerOverloaded,
+                    MalformedQuery, ResourceExhausted, QueryCancelled,
+                    CircuitOpenError):
+            assert issubclass(cls, EndpointError)
+
+    def test_server_overloaded_is_a_rejection(self):
+        assert issubclass(ServerOverloaded, QueryRejected)
+
+    def test_only_transient_is_retryable(self):
+        assert TransientError("x").retryable
+        for cls in (EndpointError, QueryRejected, ServerOverloaded,
+                    MalformedQuery, ResourceExhausted, QueryCancelled,
+                    CircuitOpenError):
+            assert not cls("x").retryable, cls
+
+    def test_is_retryable_predicate(self):
+        assert is_retryable(TransientError("x"))
+        assert not is_retryable(MalformedQuery("x"))
+        assert not is_retryable(ValueError("unclassified"))
+
+
+class TestClassification:
+    def test_timeout_is_transient(self):
+        classified = classify_error(QueryTimeout("too slow"))
+        assert isinstance(classified, TransientError)
+
+    def test_parse_error_is_malformed(self):
+        from repro.sparql import parse
+        try:
+            parse("SELECT WHERE {")
+        except Exception as exc:
+            assert isinstance(classify_error(exc), MalformedQuery)
+        else:
+            pytest.fail("expected a parse error")
+
+    def test_row_budget_is_resource_exhausted(self):
+        classified = classify_error(RowBudgetExceeded("max_rows=10"))
+        assert isinstance(classified, ResourceExhausted)
+
+    def test_other_evaluation_errors_are_malformed(self):
+        classified = classify_error(EvaluationError("unknown graph"))
+        assert isinstance(classified, MalformedQuery)
+
+    def test_already_classified_passes_through(self):
+        original = ServerOverloaded("queue full")
+        assert classify_error(original) is original
+
+    def test_unknown_exception_is_internal_and_final(self):
+        classified = classify_error(ZeroDivisionError("bug"))
+        assert type(classified) is EndpointError
+        assert not classified.retryable
+
+
+class TestCancelToken:
+    def test_initially_clear(self):
+        token = CancelToken()
+        assert not token.cancelled
+        token.raise_if_cancelled()  # no-op
+
+    def test_cancel_sets_and_raises(self):
+        token = CancelToken()
+        token.cancel("client went away")
+        assert token.cancelled
+        with pytest.raises(QueryCancelled, match="client went away"):
+            token.raise_if_cancelled()
+
+    def test_cancel_idempotent_first_reason_wins(self):
+        token = CancelToken()
+        token.cancel("first")
+        token.cancel("second")
+        assert token.reason == "first"
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestCircuitBreaker:
+    def make(self, threshold=3, cooldown=10.0):
+        clock = FakeClock()
+        return CircuitBreaker(failure_threshold=threshold,
+                              cooldown=cooldown, clock=clock), clock
+
+    def test_closed_until_threshold(self):
+        breaker, _ = self.make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.allows_request()
+        breaker.record_failure()
+        assert not breaker.allows_request()
+        assert breaker.trips == 1
+
+    def test_success_resets_the_streak(self):
+        breaker, _ = self.make(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.allows_request()
+
+    def test_open_fails_fast_via_check(self):
+        breaker, _ = self.make(threshold=1)
+        breaker.record_failure()
+        with pytest.raises(CircuitOpenError):
+            breaker.check()
+
+    def test_half_open_probe_after_cooldown(self):
+        breaker, clock = self.make(threshold=1, cooldown=5.0)
+        breaker.record_failure()
+        assert not breaker.allows_request()
+        clock.now = 5.0
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allows_request()
+
+    def test_half_open_success_closes(self):
+        breaker, clock = self.make(threshold=1, cooldown=5.0)
+        breaker.record_failure()
+        clock.now = 6.0
+        assert breaker.allows_request()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_failure_reopens_for_another_cooldown(self):
+        breaker, clock = self.make(threshold=3, cooldown=5.0)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now = 6.0
+        assert breaker.allows_request()  # half-open probe
+        breaker.record_failure()         # probe failed: straight back open
+        assert not breaker.allows_request()
+        assert breaker.trips == 2
+        clock.now = 10.9                 # cooldown restarted at t=6
+        assert not breaker.allows_request()
+        clock.now = 11.0
+        assert breaker.allows_request()
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)

@@ -1,0 +1,149 @@
+"""The deterministic fault-injection layer (chaos plumbing)."""
+
+import json
+
+import pytest
+
+from repro.rdf import Graph, Literal, URIRef
+from repro.sparql import (Endpoint, Engine, FaultInjector, FaultyEndpoint,
+                          LatencyFaults, MidStreamTimeouts, PayloadCorruption,
+                          TransientError, TransientFaults)
+
+
+def uri(name):
+    return URIRef("http://x/" + name)
+
+
+QUERY = "SELECT ?s ?v WHERE { ?s <http://x/p> ?v }"
+
+
+@pytest.fixture
+def endpoint():
+    g = Graph("http://g")
+    for i in range(25):
+        g.add(uri("s%d" % i), uri("p"), Literal(i))
+    return Endpoint(Engine(g), max_rows=10)
+
+
+class TestSchedule:
+    @staticmethod
+    def schedule(injector, n=50):
+        return [injector.should_fire(QUERY, i) for i in range(n)]
+
+    def test_same_seed_same_schedule(self):
+        draws_a = self.schedule(FaultInjector(rate=0.5, seed=7))
+        draws_b = self.schedule(FaultInjector(rate=0.5, seed=7))
+        assert draws_a == draws_b
+        assert any(draws_a) and not all(draws_a)
+
+    def test_different_seeds_differ(self):
+        draws_a = self.schedule(FaultInjector(rate=0.5, seed=1))
+        draws_b = self.schedule(FaultInjector(rate=0.5, seed=2))
+        assert draws_a != draws_b
+
+    def test_kinds_draw_independent_streams(self):
+        # Two injector kinds with the same seed must not fire in lockstep.
+        transient = self.schedule(TransientFaults(rate=0.5, seed=3))
+        corrupt = self.schedule(PayloadCorruption(rate=0.5, seed=3))
+        assert transient != corrupt
+
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError):
+            FaultInjector(rate=1.5)
+        assert not any(FaultInjector(rate=0.0).should_fire(QUERY, 0)
+                       for _ in range(20))
+
+    def test_max_consecutive_caps_per_page_streaks(self):
+        injector = FaultInjector(rate=1.0, max_consecutive=2)
+        page = [injector.should_fire(QUERY, 0) for _ in range(5)]
+        assert page == [True, True, False, True, True]
+        # A different page has its own streak.
+        assert injector.should_fire(QUERY, 10)
+
+    def test_success_resets_the_streak(self):
+        injector = FaultInjector(rate=1.0, max_consecutive=1)
+        assert injector.should_fire(QUERY, 0)
+        assert not injector.should_fire(QUERY, 0)   # capped -> page succeeds
+        assert injector.should_fire(QUERY, 0)       # streak was reset
+
+
+class TestTransientFaults:
+    def test_raises_before_inner_request(self, endpoint):
+        flaky = FaultyEndpoint(endpoint, [TransientFaults(rate=1.0,
+                                                          max_consecutive=1)])
+        with pytest.raises(TransientError) as excinfo:
+            flaky.request(QUERY)
+        assert excinfo.value.retryable
+        assert endpoint.requests_served == 0
+        # The cap guarantees the immediate retry goes through.
+        assert len(flaky.request(QUERY).result) == 10
+        assert flaky.faults_injected == {"transient": 1}
+
+
+class TestLatencyFaults:
+    def test_delays_without_failing(self, endpoint):
+        pauses = []
+        slow = FaultyEndpoint(endpoint, [LatencyFaults(delay=0.01,
+                                                       sleep=pauses.append)])
+        response = slow.request(QUERY)
+        assert len(response.result) == 10
+        assert len(pauses) == 1
+        assert 0.0 <= pauses[0] <= 0.01
+        assert slow.faults_injected == {"latency": 1}
+
+
+class TestPayloadCorruption:
+    def test_payload_no_longer_decodes(self, endpoint):
+        corrupting = FaultyEndpoint(endpoint,
+                                    [PayloadCorruption(rate=1.0)])
+        response = corrupting.request(QUERY)
+        with pytest.raises((ValueError, KeyError, TypeError)):
+            decoded = json.loads(response.payload)
+            if len(decoded["results"]["bindings"]) != 10:
+                raise ValueError("page silently truncated")
+
+    def test_result_rows_untouched(self, endpoint):
+        # Corruption damages the wire payload only; the in-memory result
+        # object (used by tests that bypass the wire) stays intact.
+        corrupting = FaultyEndpoint(endpoint,
+                                    [PayloadCorruption(rate=1.0)])
+        assert len(corrupting.request(QUERY).result) == 10
+
+
+class TestMidStreamTimeouts:
+    def test_trips_inner_budget_and_drops_cursor(self, endpoint):
+        flaky = FaultyEndpoint(endpoint, [MidStreamTimeouts(
+            rate=1.0, max_consecutive=1)])
+        # The zero budget trips the endpoint's own deadline valve, so the
+        # error takes the exact classified path a production timeout takes.
+        with pytest.raises(TransientError):
+            flaky.request(QUERY)
+        # The inner endpoint's timeout was restored...
+        assert endpoint.timeout is None
+        assert endpoint.cached_cursors == 0
+        # ...and the retry re-executes cleanly from a fresh cursor.
+        assert len(flaky.request(QUERY).result) == 10
+
+
+class TestComposition:
+    def test_injectors_compose_and_count_separately(self, endpoint):
+        transient = TransientFaults(rate=1.0, max_consecutive=1)
+        pauses = []
+        latency = LatencyFaults(delay=0.001, sleep=pauses.append)
+        flaky = FaultyEndpoint(endpoint, [transient, latency])
+        with pytest.raises(TransientError):
+            flaky.request(QUERY)
+        assert not pauses  # transient fired first; latency never reached
+        flaky.request(QUERY)
+        assert flaky.faults_injected == {"transient": 1, "latency": 1}
+        assert flaky.requests_seen == 2
+
+    def test_delegates_endpoint_surface(self, endpoint):
+        flaky = FaultyEndpoint(endpoint)
+        assert flaky.engine is endpoint.engine
+        assert flaky.max_rows == endpoint.max_rows
+        assert flaky.timeout is endpoint.timeout
+        flaky.request(QUERY)
+        assert endpoint.cached_cursors == 1
+        flaky.clear_cache()
+        assert endpoint.cached_cursors == 0

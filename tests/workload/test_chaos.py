@@ -1,0 +1,111 @@
+"""Chaos differential suite: case studies under injected endpoint faults.
+
+The acceptance bar for the serving tier: under transient failures,
+corrupted pages, and mid-stream timeouts, every case-study query must
+return results *bag-identical* to the undisturbed engine, or fail with a
+classified error — never a silently truncated result.  Fault schedules
+are seeded, so every run (under any ``PYTHONHASHSEED``) replays the same
+faults.
+"""
+
+import pytest
+
+from repro.client import ClientError, EngineClient, HttpClient
+from repro.sparql import (Endpoint, FaultyEndpoint, MidStreamTimeouts,
+                          PayloadCorruption, TransientError, TransientFaults)
+from repro.workload import CASE_STUDIES, get_case_study
+
+#: Per-page retry budget; generous relative to the injectors' streak caps
+#: so the seeded schedules below always converge.
+MAX_RETRIES = 10
+
+
+def chaos_layers(seed):
+    """The standard chaos mix: blips, damaged pages, tripped budgets."""
+    return [
+        TransientFaults(rate=0.3, seed=seed, max_consecutive=2),
+        PayloadCorruption(rate=0.3, seed=seed + 1, max_consecutive=2),
+        MidStreamTimeouts(rate=0.2, seed=seed + 2, max_consecutive=2),
+    ]
+
+
+def chaos_client(engine, seed, max_rows=50):
+    faulty = FaultyEndpoint(Endpoint(engine, max_rows=max_rows),
+                            chaos_layers(seed))
+    return HttpClient(faulty, max_retries=MAX_RETRIES,
+                      breaker_threshold=None), faulty
+
+
+@pytest.fixture(params=[cs.key for cs in CASE_STUDIES])
+def case_study(request):
+    return get_case_study(request.param)
+
+
+class TestBagIdenticalUnderFaults:
+    def test_expert_sparql_survives_chaos(self, case_study, engine, client):
+        undisturbed = client.execute(case_study.expert_sparql)
+        chaos, faulty = chaos_client(engine, seed=17)
+        survived = chaos.execute(case_study.expert_sparql)
+        assert survived.equals_bag(undisturbed)
+        # The run was not a free pass: faults actually fired and were
+        # absorbed by classified retries.
+        assert sum(faulty.faults_injected.values()) > 0
+        assert chaos.retries_performed > 0
+
+    def test_rdfframes_pipeline_survives_chaos(self, engine, client):
+        frame = get_case_study("movie_genre").frame()
+        undisturbed = frame.execute(client)
+        chaos, faulty = chaos_client(engine, seed=29)
+        survived = frame.execute(chaos)
+        assert survived.equals_bag(undisturbed)
+        assert sum(faulty.faults_injected.values()) > 0
+
+
+class TestChaosDeterminism:
+    def test_same_seed_replays_the_same_run(self, engine):
+        query = get_case_study("kg_embedding").expert_sparql
+        runs = []
+        for _ in range(2):
+            chaos, faulty = chaos_client(engine, seed=41)
+            result = chaos.execute(query)
+            runs.append((len(result), chaos.retries_performed,
+                         chaos.pages_fetched, faulty.faults_injected,
+                         faulty.requests_seen))
+        assert runs[0] == runs[1]
+
+
+class TestUnrecoverableFaults:
+    def test_hard_down_endpoint_fails_classified(self, engine, client):
+        query = get_case_study("topic_modeling").expert_sparql
+        # rate=1.0 with no streak cap: every attempt faults; retries
+        # cannot converge.  The failure must be classified, chained, and
+        # total — not a partial result.
+        faulty = FaultyEndpoint(Endpoint(engine, max_rows=50),
+                                [TransientFaults(rate=1.0, seed=5)])
+        chaos = HttpClient(faulty, max_retries=3, breaker_threshold=None)
+        with pytest.raises(ClientError) as excinfo:
+            chaos.execute(query)
+        assert isinstance(excinfo.value.__cause__, TransientError)
+
+    def test_all_pages_corrupted_never_truncates(self, engine, client):
+        # Every serve of every page is damaged: the client must keep
+        # refusing the pages, not accept a truncated decode.
+        query = get_case_study("kg_embedding").expert_sparql
+        faulty = FaultyEndpoint(Endpoint(engine, max_rows=50),
+                                [PayloadCorruption(rate=1.0, seed=5)])
+        chaos = HttpClient(faulty, max_retries=2, breaker_threshold=None)
+        with pytest.raises(ClientError) as excinfo:
+            chaos.execute(query)
+        assert isinstance(excinfo.value.__cause__, TransientError)
+
+    def test_capped_corruption_is_fully_absorbed(self, engine, client):
+        # With a streak cap of 1 every page succeeds by the second serve;
+        # results must be complete despite 100% first-serve corruption.
+        query = get_case_study("kg_embedding").expert_sparql
+        undisturbed = client.execute(query)
+        faulty = FaultyEndpoint(
+            Endpoint(engine, max_rows=50),
+            [PayloadCorruption(rate=1.0, seed=5, max_consecutive=1)])
+        chaos = HttpClient(faulty, max_retries=2, breaker_threshold=None)
+        assert chaos.execute(query).equals_bag(undisturbed)
+        assert chaos.retries_performed == chaos.pages_fetched
