@@ -68,7 +68,7 @@ import time
 
 from repro.client import EngineClient
 from repro.data import DBPEDIA_URI, build_dataset
-from repro.sparql import Engine
+from repro.sparql import Engine, Evaluator
 from repro.workload import CASE_STUDIES, JOIN_QUERIES
 
 _PREFIXES = """
@@ -411,6 +411,155 @@ def run_joins(scale: float, rounds: int) -> dict:
     return section
 
 
+#: The vectorized section's timing set: pure-id plans (every operator has
+#: a columnar form, so ``row_fallbacks`` must be 0) over BGP-heavy shapes.
+#: ``group_count_by_typed_actor`` uses a two-pattern BGP on purpose — the
+#: single-pattern COUNT collapses into index-backed counting on *both*
+#: planes and would measure nothing.
+VECTORIZED_QUERIES = {
+    "bgp2_film_actor": QUERIES["bgp2_film_actor"],
+    "bgp3_actor_place": QUERIES["bgp3_actor_place"],
+    "bgp4_film_star": QUERIES["bgp4_film_star"],
+    "bgp4_player_team": QUERIES["bgp4_player_team"],
+    "bgp_self_join_costar": QUERIES["bgp_self_join_costar"],
+    "distinct_actors": QUERIES["distinct_actors"],
+    "filter_country_us": """
+        SELECT ?film ?actor WHERE {
+            ?film dbpp:starring ?actor .
+            ?film dbpp:country ?country .
+            FILTER(?country = <http://dbpedia.org/resource/United_States>)
+        }""",
+    "group_count_by_typed_actor": """
+        SELECT ?actor (COUNT(?film) AS ?n) WHERE {
+            ?film rdf:type dbpo:Film .
+            ?film dbpp:starring ?actor .
+        } GROUP BY ?actor""",
+}
+
+
+def _drain(dataset, plan, vectorize: bool, rounds: int):
+    """Best-of-``rounds`` wall time to pull the plan's data plane dry.
+
+    Times batch production only — no term decode, no result-set build —
+    because decode cost is identical across planes and would dilute the
+    operator-level difference the section measures.  Multiway
+    intersection is pinned off so both planes execute the *same*
+    pipelined join steps (the intersect strategy has no columnar form;
+    the engine's ``vectorize='auto'`` routing excludes such plans, and
+    the joins section already measures that strategy on its own).
+    Returns ``(seconds, rows, stats)`` from the fastest round.
+    """
+    best = None
+    best_stats = None
+    total = 0
+    for _ in range(rounds):
+        evaluator = Evaluator(dataset, optimize=False, multiway=False,
+                              vectorize=vectorize)
+        start = time.perf_counter()
+        stream = evaluator.evaluate_query_stream(plan.query, DBPEDIA_URI)
+        rows = 0
+        for batch in stream.batches:
+            rows += len(batch)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+            best_stats = evaluator.stats
+            total = rows
+    return best, total, best_stats
+
+
+def run_vectorized(scale: float, rounds: int) -> dict:
+    """Time the columnar batch plane against the row-tuple streaming plane.
+
+    Both configurations drive the *same* compiled steps in the same order
+    through the same streaming operators; they differ only in the batch
+    representation (``ColumnBatch`` vs lists of row tuples).  The clock
+    covers the data-plane drain (see :func:`_drain`).  Every timing query
+    is a pure-id plan and must report ``row_fallbacks == 0`` and a
+    non-zero ``vector_batches`` on the columnar plane; the full decoded
+    result bag is verified identical across the vectorized, row-streaming,
+    materialized, and reference planes — on this query set, the paper's
+    case studies, and the join corpus.
+    """
+    dataset = build_dataset(scale=scale)
+    planner = Engine(dataset)
+    section = {"scale": scale, "rounds": rounds, "queries": []}
+    print("== vectorized (scale %.3g) ==" % scale)
+    speedups = []
+    for name in sorted(VECTORIZED_QUERIES):
+        query = _PREFIXES + VECTORIZED_QUERIES[name]
+        plan = planner.plan(query, DBPEDIA_URI)
+        vec_s, vec_rows, vec_stats = _drain(dataset, plan, True, rounds)
+        row_s, row_rows, _ = _drain(dataset, plan, False, rounds)
+        if vec_rows != row_rows:
+            raise AssertionError(
+                "vectorized plane produced %d rows on %r, row plane %d"
+                % (vec_rows, name, row_rows))
+        if vec_stats.row_fallbacks:
+            raise AssertionError(
+                "pure-id plan %r fell back to row view %d time(s)"
+                % (name, vec_stats.row_fallbacks))
+        if not vec_stats.vector_batches:
+            raise AssertionError(
+                "vectorized plane produced no ColumnBatch on %r" % name)
+        cell = {
+            "query": name,
+            "rows": vec_rows,
+            "identical_results": True,
+            "vectorized_seconds": vec_s,
+            "row_seconds": row_s,
+            "speedup": row_s / vec_s if vec_s > 0 else float("inf"),
+            "vector_batches": vec_stats.vector_batches,
+            "selection_vector_hits": vec_stats.selection_vector_hits,
+            "row_fallbacks": vec_stats.row_fallbacks,
+            "rows_pulled": vec_stats.rows_pulled,
+        }
+        speedups.append(cell["speedup"])
+        section["queries"].append(cell)
+        print("  %-28s row %8.4fs  vec %8.4fs  speedup %5.2fx  "
+              "vbatches %5d  selhits %3d  (%d rows)" % (
+                  name, row_s, vec_s, cell["speedup"],
+                  cell["vector_batches"], cell["selection_vector_hits"],
+                  vec_rows))
+    # Bag-identity sweep: decoded results across all four planes, over
+    # this section's queries plus the case studies and the join corpus.
+    engines = {
+        "vectorized": Engine(dataset, vectorize=True),
+        "streaming": Engine(dataset, vectorize=False),
+        "materialized": Engine(dataset, streaming=False, vectorize=False),
+        "reference": Engine(dataset, columnar=False),
+    }
+    sweep = [(name, _PREFIXES + body)
+             for name, body in sorted(VECTORIZED_QUERIES.items())]
+    sweep += [(case.key, case.frame().to_sparql()) for case in CASE_STUDIES]
+    sweep += [(q.key, q.sparql) for q in JOIN_QUERIES]
+    def named_key(result):
+        # ``SELECT *`` column order is plane-dependent; compare bags of
+        # name->value bindings rather than positional tuples.
+        return sorted(tuple(sorted((v, repr(val)) for v, val
+                                   in zip(result.variables, row)))
+                      for row in result.rows)
+
+    for name, query in sweep:
+        keys = {plane: named_key(engine.query(
+                    query, default_graph_uri=DBPEDIA_URI))
+                for plane, engine in engines.items()}
+        mismatched = [p for p in keys if keys[p] != keys["reference"]]
+        if mismatched:
+            raise AssertionError(
+                "planes %s disagree with reference on %r at scale %s"
+                % (mismatched, name, scale))
+    section["identity_sweep_queries"] = len(sweep)
+    section["geomean_speedup"] = _geomean(speedups)
+    section["min_speedup"] = min(speedups)
+    section["all_results_identical"] = True
+    print("vectorized geomean speedup %.2fx (min %.2fx; %d identity "
+          "queries across 4 planes)"
+          % (section["geomean_speedup"], section["min_speedup"],
+             len(sweep)))
+    return section
+
+
 def _geomean(values):
     product = 1.0
     for value in values:
@@ -499,7 +648,56 @@ def run_plan_path(scale: float, iterations: int) -> dict:
 
 #: Every section the report can produce, in run order.
 SECTIONS = ("engine", "plan_path", "limit_topk", "aggregation", "joins",
-            "serving")
+            "vectorized", "serving")
+
+
+def write_summary(report, out_path: str) -> str:
+    """Distill ``report`` into a compact ``BENCH_summary.json``.
+
+    One headline number (or a small dict of them) per section, written
+    next to ``out_path``.  If a summary file already exists there its
+    sections are preserved and the new ones merged in, so CI runs that
+    split sections across invocations accumulate into a single file.
+    """
+    summary_path = os.path.join(os.path.dirname(os.path.abspath(out_path)),
+                                "BENCH_summary.json")
+    sections = {}
+    if os.path.exists(summary_path):
+        try:
+            with open(summary_path) as handle:
+                sections = json.load(handle).get("sections", {})
+        except (OSError, ValueError):
+            sections = {}
+    if report.get("summary"):
+        sections["engine"] = {
+            "geomean_speedup": report["summary"]["geomean_speedup"]}
+    for name in ("plan_path", "aggregation", "joins", "vectorized"):
+        if name in report:
+            sections[name] = {
+                "geomean_speedup": report[name]["geomean_speedup"]}
+    if "vectorized" in report:
+        sections["vectorized"]["min_speedup"] = (
+            report["vectorized"]["min_speedup"])
+    if "limit_topk" in report:
+        sections["limit_topk"] = {
+            "topk_geomean_speedup":
+                report["limit_topk"]["topk_geomean_speedup"],
+            "limit_geomean_speedup":
+                report["limit_topk"]["limit_geomean_speedup"],
+        }
+    if "serving" in report:
+        server = report["serving"]["server"]
+        sections["serving"] = {
+            "latency_p50_ms": server["latency_p50_ms"],
+            "latency_p95_ms": server["latency_p95_ms"],
+            "latency_p99_ms": server["latency_p99_ms"],
+        }
+    with open(summary_path, "w") as handle:
+        json.dump({"schema": "repro-bench-summary/1",
+                   "updated_unix": time.time(),
+                   "sections": sections}, handle, indent=2)
+    print("summary -> %s" % summary_path)
+    return summary_path
 
 
 def run(scales, rounds: int, out_path: str,
@@ -571,6 +769,8 @@ def run(scales, rounds: int, out_path: str,
         report["aggregation"] = run_aggregation(scales[-1], max(rounds, 3))
     if "joins" in chosen:
         report["joins"] = run_joins(scales[-1], max(rounds, 5))
+    if "vectorized" in chosen:
+        report["vectorized"] = run_vectorized(scales[-1], max(rounds, 3))
     if "serving" in chosen:
         # The load generator lives next to this script; make it importable
         # however the script was invoked.
@@ -580,6 +780,7 @@ def run(scales, rounds: int, out_path: str,
                                         total_requests=serving_requests)
     with open(out_path, "w") as handle:
         json.dump(report, handle, indent=2)
+    write_summary(report, out_path)
     print("sections %s -> %s" % (", ".join(chosen), out_path))
     return report
 

@@ -151,6 +151,20 @@ class GraphUnion:
                     yield t
 
     # -- direct id-level accessors (same contract as Graph's) -----------
+    def spo_index(self):
+        """Single-member unions expose the member's raw index; real
+        unions return ``None`` and callers take the per-row path."""
+        graphs = self.graphs
+        return graphs[0].spo_index() if len(graphs) == 1 else None
+
+    def pos_index(self):
+        graphs = self.graphs
+        return graphs[0].pos_index() if len(graphs) == 1 else None
+
+    def forward_map(self, p):
+        graphs = self.graphs
+        return graphs[0].forward_map(p) if len(graphs) == 1 else None
+
     def objects_for(self, s, p):
         graphs = self.graphs
         if len(graphs) == 1:
@@ -194,6 +208,27 @@ class GraphUnion:
 
     def contains_ids(self, s, p, o) -> bool:
         return any(g.contains_ids(s, p, o) for g in self.graphs)
+
+    def so_pairs_list(self, p):
+        """Memoized pair list, same contract as :meth:`Graph.so_pairs_list`
+        (single member delegates; real unions memoize per view)."""
+        graphs = self.graphs
+        if len(graphs) == 1:
+            return graphs[0].so_pairs_list(p)
+        key = ("sop", p)
+        pairs = self._runs.get(key)
+        if pairs is None:
+            pairs = tuple(self.so_pairs(p))
+            if not pairs:
+                return ()
+            self._runs[key] = pairs
+        return pairs
+
+    def so_pair_columns(self, p):
+        graphs = self.graphs
+        if len(graphs) == 1:
+            return graphs[0].so_pair_columns(p)
+        return None  # multi-member unions build columns at compile time
 
     def so_pairs(self, p):
         graphs = self.graphs

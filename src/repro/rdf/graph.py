@@ -130,6 +130,9 @@ class Graph:
         self._subject_runs: Dict[Tuple[int, int], SortedRun] = {}
         self._predicate_subject_runs: Dict[int, SortedRun] = {}
         self._predicate_subject_sets: Dict[int, frozenset] = {}
+        self._so_pair_lists: Dict[int, list] = {}
+        self._so_pair_cols: Dict[int, tuple] = {}
+        self._forward_maps: Dict[int, dict] = {}
         self.sorted_runs_built = 0
 
     # ------------------------------------------------------------------
@@ -205,6 +208,12 @@ class Graph:
             self._predicate_subject_runs.pop(p, None)
         if self._predicate_subject_sets:
             self._predicate_subject_sets.pop(p, None)
+        if self._so_pair_lists:
+            self._so_pair_lists.pop(p, None)
+        if self._so_pair_cols:
+            self._so_pair_cols.pop(p, None)
+        if self._forward_maps:
+            self._forward_maps.pop(p, None)
 
     # ------------------------------------------------------------------
     # Lookup
@@ -279,6 +288,40 @@ class Graph:
     # These return internal index containers; callers must treat them as
     # read-only.  They exist so the BGP matcher's per-row probe is a dict
     # lookup instead of a generator instantiation.
+
+    def spo_index(self):
+        """The raw ``s -> {p -> objects}`` index (read-only contract).
+
+        The dict object is stable for the graph's lifetime (mutations
+        edit it in place); :meth:`forward_map` is the per-predicate view
+        the vectorized BGP steps compile against."""
+        return self._spo
+
+    def pos_index(self):
+        """The raw ``p -> {o -> subjects}`` index (read-only contract)."""
+        return self._pos
+
+    def forward_map(self, p: int) -> dict:
+        """Memoized ``s -> objects`` map for one predicate (read-only
+        contract, invalidated on mutation like the sorted runs).
+
+        A forward probe through :meth:`spo_index` costs two dict lookups
+        per row (subject, then predicate); hoisting the predicate level
+        into a dedicated map halves that on the vectorized BGP steps'
+        hottest line.  Values are the *live* object sets of the SPO
+        index, so the map costs one dict entry per distinct subject and
+        no set copies."""
+        m = self._forward_maps.get(p)
+        if m is None:
+            spo = self._spo
+            m = {}
+            for o, subjects in self._pos.get(p, {}).items():
+                for s in subjects:
+                    if s not in m:
+                        m[s] = spo[s][p]
+            if m:
+                self._forward_maps[p] = m
+        return m
 
     def objects_for(self, s: int, p: int):
         """The set of object ids for (subject id, predicate id), or ()."""
@@ -432,6 +475,34 @@ class Graph:
                 return members
             self._predicate_subject_sets[p] = members
         return members
+
+    def so_pairs_list(self, p: int) -> list:
+        """Memoized :meth:`so_pairs` materialization (read-only contract).
+
+        A constant-predicate scan step materializes the predicate's
+        pairs at compile time; caching here amortizes that across
+        queries the same way the sorted runs are amortized.  Empty
+        results are not cached so probing absent predicates cannot grow
+        the cache."""
+        pairs = self._so_pair_lists.get(p)
+        if pairs is None:
+            pairs = list(self.so_pairs(p))
+            if pairs:
+                self._so_pair_lists[p] = pairs
+        return pairs
+
+    def so_pair_columns(self, p: int) -> tuple:
+        """The predicate's pairs as two parallel id-list columns
+        (subjects, objects), memoized like :meth:`so_pairs_list` and in
+        the same order (read-only contract).  This is the compile-time
+        input of a vectorized constant-predicate scan step."""
+        cols = self._so_pair_cols.get(p)
+        if cols is None:
+            pairs = self.so_pairs_list(p)
+            cols = ([s for s, _ in pairs], [o for _, o in pairs])
+            if pairs:
+                self._so_pair_cols[p] = cols
+        return cols
 
     def so_pairs(self, p: int) -> Iterator[Tuple[int, int]]:
         """Iterate (subject id, object id) pairs for a predicate id."""

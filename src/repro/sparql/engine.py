@@ -90,6 +90,19 @@ class Engine:
         valid — k-subset.  With the knobs *fixed*, the streaming and
         materialized executors drive identical compiled steps and agree
         on BGP-spine row order exactly as before.
+    vectorize:
+        Columnar batch execution: eligible streaming plans exchange
+        :class:`~.solution.ColumnBatch` objects (one typed id array per
+        variable) between operators, with filters compiled to
+        selection-vector scans and BGP fan-out done by column
+        replication.  ``'auto'`` (default) routes plans the planner
+        annotated ``vectorized`` (pure-id operator trees over non-general
+        BGPs) when they would stream anyway; ``True`` forces the columnar
+        plane for every plan (cold operators transparently detour through
+        row view); ``False`` keeps the row-tuple plane — the baseline the
+        ``vectorized`` benchmark section measures against.  Row order is
+        preserved exactly, so toggling this knob never changes results —
+        not even ``LIMIT`` windows.
     plan_cache_size:
         Maximum number of optimized plans kept (LRU).  0 disables caching.
     """
@@ -101,7 +114,8 @@ class Engine:
                  streaming: Union[bool, str] = "auto",
                  limit_pushdown: bool = True,
                  sip: Union[bool, str] = "auto",
-                 multiway: Union[bool, str] = "auto"):
+                 multiway: Union[bool, str] = "auto",
+                 vectorize: Union[bool, str] = "auto"):
         if isinstance(source, Dataset):
             self.dataset = source
         else:
@@ -123,10 +137,13 @@ class Engine:
             raise ValueError("sip must be True, False, or 'auto'")
         if multiway not in (True, False, "auto"):
             raise ValueError("multiway must be True, False, or 'auto'")
+        if vectorize not in (True, False, "auto"):
+            raise ValueError("vectorize must be True, False, or 'auto'")
         self.streaming = streaming
         self.limit_pushdown = limit_pushdown
         self.sip = sip
         self.multiway = multiway
+        self.vectorize = vectorize
         self.plan_cache_size = plan_cache_size
         self._plan_cache: "OrderedDict[str, Plan]" = OrderedDict()
         self.plan_cache_hits = 0
@@ -214,6 +231,24 @@ class Engine:
             return plan.streaming
         return bool(self.streaming)
 
+    def _use_vectorize(self, plan: Plan) -> bool:
+        """Route a plan onto the columnar batch plane?
+
+        ``'auto'`` requires both the planner's structural eligibility
+        annotation (``plan.vectorized``) and a plan the streaming
+        executor would run anyway (row order is preserved exactly, so
+        vectorizing never changes which rows a window selects) — and
+        stands down when ``multiway=True`` forces intersection steps,
+        which have no columnar form.  ``True`` forces the columnar plane
+        (ineligible operators transparently detour through row view);
+        ``False`` keeps every batch in row form.
+        """
+        if self.vectorize == "auto":
+            return (getattr(plan, "vectorized", False) and plan.streaming
+                    and self._use_streaming(plan)
+                    and self.multiway is not True)
+        return bool(self.vectorize)
+
     def evaluate_plan(self, plan: Plan,
                       default_graph_uri: Optional[str] = None,
                       timeout: Optional[float] = None,
@@ -238,14 +273,18 @@ class Engine:
         deadline = None if timeout is None else start + timeout
         # Join ordering already happened at plan time; the evaluator must
         # not re-derive it per execution.
+        use_vector = self._use_vectorize(plan)
         evaluator = Evaluator(self.dataset, optimize=False,
                               cache_bgps=self.cache_bgps,
                               max_rows=self.max_intermediate_rows
                               if max_rows is None else max_rows,
                               deadline=deadline, cancel=cancel,
-                              sip=self.sip, multiway=self.multiway)
+                              sip=self.sip, multiway=self.multiway,
+                              vectorize=use_vector)
         try:
-            if self._use_streaming(plan):
+            # vectorize=True rides on the streaming executor — forcing
+            # the columnar plane forces streaming too.
+            if use_vector or self._use_streaming(plan):
                 solutions = evaluator.evaluate_query_stream(
                     plan.query, default_graph_uri).to_table()
             else:
@@ -372,7 +411,8 @@ class Engine:
                               cache_bgps=self.cache_bgps,
                               max_rows=self.max_intermediate_rows,
                               deadline=deadline, cancel=cancel,
-                              sip=self.sip, multiway=self.multiway)
+                              sip=self.sip, multiway=self.multiway,
+                              vectorize=self._use_vectorize(plan))
         table_stream = evaluator.evaluate_query_stream(
             plan.query, default_graph_uri, hint=batch_rows)
         variables = plan.output_variables

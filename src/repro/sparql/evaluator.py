@@ -47,6 +47,8 @@ from __future__ import annotations
 import heapq
 import itertools
 import time
+from collections import Counter
+from itertools import chain, repeat
 from decimal import Decimal
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -57,11 +59,12 @@ from . import algebra as alg
 from .expressions import ExpressionError, VarExpr, ebv
 from .optimizer import (GraphStatistics, intersection_worthwhile,
                         order_patterns, run_signature, run_width)
-from .solution import (RowView, SolutionTable, TableStream, _merge_plan,
-                       _merge_rows, _rows_compatible, batched,
+from .solution import (ColumnBatch, RowView, SolutionTable, TableStream,
+                       _merge_plan, _merge_rows, _rows_compatible, batched,
                        stream_distinct, table_distinct, table_join,
                        table_left_join, table_minus, table_project,
                        table_union)
+from .vector import compile_predicate, expand_columns, replicate
 
 #: Target rows per streamed batch.  Bounded consumers shrink it (a
 #: ``LIMIT 10`` pulls batches of ~10), so early exit is row-accurate.
@@ -129,19 +132,32 @@ class EvaluationStats:
         self.sip_filtered_rows = 0
         self.intersect_steps = 0
         self.sorted_runs_built = 0
+        # Vectorized-plane counters.  ``vector_batches`` counts
+        # ColumnBatch objects crossing the root stream boundary;
+        # ``selection_vector_hits`` counts batches filtered by a compiled
+        # id-predicate (no row view, no term decode);  ``row_fallbacks``
+        # counts transpositions back to row form forced by a cold
+        # operator — zero on a pure-id plan, where every batch stays
+        # columnar from the BGP to the stream boundary.
+        self.vector_batches = 0
+        self.selection_vector_hits = 0
+        self.row_fallbacks = 0
 
     def __repr__(self):
         return ("EvaluationStats(bgps=%d, cache_hits=%d, matches=%d, "
                 "rows=%d, subqueries=%d, joins=%d, pulled=%d, "
                 "early_exits=%d, peak_batch=%d, groups=%d, acc_rows=%d, "
-                "sip_filtered=%d, intersects=%d, runs_built=%d)" % (
+                "sip_filtered=%d, intersects=%d, runs_built=%d, "
+                "vector_batches=%d, sel_hits=%d, fallbacks=%d)" % (
                     self.bgp_count, self.bgp_cache_hits,
                     self.pattern_matches, self.intermediate_rows,
                     self.materialized_subqueries, self.joins,
                     self.rows_pulled, self.early_exits,
                     self.peak_batch_rows, self.groups_built,
                     self.accumulator_rows, self.sip_filtered_rows,
-                    self.intersect_steps, self.sorted_runs_built))
+                    self.intersect_steps, self.sorted_runs_built,
+                    self.vector_batches, self.selection_vector_hits,
+                    self.row_fallbacks))
 
     def as_dict(self) -> Dict[str, int]:
         return {"bgp_count": self.bgp_count,
@@ -157,7 +173,10 @@ class EvaluationStats:
                 "accumulator_rows": self.accumulator_rows,
                 "sip_filtered_rows": self.sip_filtered_rows,
                 "intersect_steps": self.intersect_steps,
-                "sorted_runs_built": self.sorted_runs_built}
+                "sorted_runs_built": self.sorted_runs_built,
+                "vector_batches": self.vector_batches,
+                "selection_vector_hits": self.selection_vector_hits,
+                "row_fallbacks": self.row_fallbacks}
 
 
 class Evaluator:
@@ -168,7 +187,7 @@ class Evaluator:
                  deadline: Optional[float] = None,
                  sip: Union[bool, str] = "auto",
                  multiway: Union[bool, str] = "auto",
-                 cancel=None):
+                 cancel=None, vectorize: bool = False):
         self.dataset = dataset
         self.optimize = optimize
         self.max_rows = max_rows  # safety valve for runaway queries
@@ -188,6 +207,14 @@ class Evaluator:
         # against.
         self.sip = sip
         self.multiway = multiway
+        # Columnar data plane: when True the streaming executor exchanges
+        # ColumnBatch objects between the operators that have a
+        # column-at-a-time form, transposing back to row tuples only where
+        # a cold operator (complex expression, OrderBy, Minus, joins'
+        # probe) needs row view.  Routing is the engine's job
+        # (``vectorize='auto'`` consults the plan annotation); the
+        # evaluator just obeys the flag.
+        self.vectorize = vectorize
         # Active sideways filters: variable name -> set of admissible term
         # ids, installed by join operators around their probe side and
         # consulted by the BGP pattern steps.  Always {} at quiescence.
@@ -445,6 +472,28 @@ class Evaluator:
                 return lambda row, v=val: v
             return lambda row, c=val: row[c]
 
+        def col_of(kind, val, cb, n):
+            # Columnar face of ``val_of``: an n-element iterable of the
+            # slot's per-row values (a shared column or a repeated const).
+            if kind == "c":
+                return repeat(val, n)
+            return cb.columns[val]
+
+        # Raw per-predicate maps for the hot columnar shapes (constant
+        # predicate, bound var in the probe slot): the per-row probe then
+        # runs inside a list comprehension with nothing but a single
+        # dict get — no method dispatch, no per-row extend.  ``None``
+        # (multi-graph union) keeps those shapes on the generic per-row
+        # csteps.  The maps are memoized on the graph, so compiling the
+        # same predicate twice is free.
+        pos_fn = getattr(graph, "pos_index", None)
+        pos = pos_fn() if pos_fn is not None else None
+        fwd = None
+        if p_kind == "c" and s_kind == "b":
+            fwd_fn = getattr(graph, "forward_map", None)
+            if fwd_fn is not None:
+                fwd = fwd_fn(p_val)
+
         if not p_free and not s_free and not o_free:
             # Fully bound: a containment probe per row.
             s_of, p_of, o_of = (val_of(s_kind, s_val), val_of(p_kind, p_val),
@@ -458,6 +507,43 @@ class Evaluator:
                         matches += 1
                         append(row)
                 stats.pattern_matches += matches
+
+            if fwd is not None and o_kind == "b":
+                def cstep(cb, _get=fwd.get, _e=()):
+                    flags = bytearray(
+                        o in _get(s, _e)
+                        for s, o in zip(cb.columns[s_val],
+                                        cb.columns[o_val]))
+                    kept = sum(flags)
+                    stats.pattern_matches += kept
+                    return cb.take_flags(flags, kept)
+            elif fwd is not None and o_kind == "c":
+                # Constant object (``?s rdf:type :Class`` shape): a
+                # membership scan of the subject column.
+                def cstep(cb, _get=fwd.get, _o=o_val, _e=()):
+                    flags = bytearray(
+                        _o in _get(s, _e)
+                        for s in cb.columns[s_val])
+                    kept = sum(flags)
+                    stats.pattern_matches += kept
+                    return cb.take_flags(flags, kept)
+            else:
+                def cstep(cb):
+                    n = len(cb)
+                    flags = bytearray(n)
+                    kept = 0
+                    i = 0
+                    for s, p, o in zip(col_of(s_kind, s_val, cb, n),
+                                       col_of(p_kind, p_val, cb, n),
+                                       col_of(o_kind, o_val, cb, n)):
+                        if contains(s, p, o):
+                            flags[i] = 1
+                            kept += 1
+                        i += 1
+                    stats.pattern_matches += kept
+                    return cb.take_flags(flags, kept)
+
+            step.columnar = cstep
         elif not p_free and not s_free and o_free:
             # Forward expansion: (s, p) -> objects.  The classic
             # index-nested-loop step of the paper's flat queries.
@@ -475,6 +561,35 @@ class Evaluator:
                             for o in objs:
                                 append(row + (o,))
                     stats.pattern_matches += matches
+
+                if fwd is not None:
+                    # Hot shape: probe is one dict get per row inside a
+                    # list comprehension; flatten and count in C.
+                    def cstep(cb, _get=fwd.get, _e=()):
+                        sets_ = [_get(s, _e)
+                                 for s in cb.columns[s_val]]
+                        new = []
+                        new.extend(chain.from_iterable(sets_))
+                        stats.pattern_matches += len(new)
+                        return expand_columns(cb, list(map(len, sets_)),
+                                              new)
+                else:
+                    def cstep(cb):
+                        n = len(cb)
+                        new = []
+                        counts = []
+                        add = counts.append
+                        matches = 0
+                        for s, p in zip(col_of(s_kind, s_val, cb, n),
+                                        col_of(p_kind, p_val, cb, n)):
+                            objs = objects_for(s, p)
+                            k = len(objs)
+                            add(k)
+                            if k:
+                                matches += k
+                                new.extend(objs)
+                        stats.pattern_matches += matches
+                        return expand_columns(cb, counts, new)
             else:
                 def step(rows, append):
                     matches = 0
@@ -490,6 +605,28 @@ class Evaluator:
                                     dropped += 1
                     stats.pattern_matches += matches
                     stats.sip_filtered_rows += dropped
+
+                def cstep(cb):
+                    n = len(cb)
+                    new = []
+                    counts = []
+                    add = counts.append
+                    matches = 0
+                    for s, p in zip(col_of(s_kind, s_val, cb, n),
+                                    col_of(p_kind, p_val, cb, n)):
+                        objs = objects_for(s, p)
+                        if objs:
+                            matches += len(objs)
+                            before = len(new)
+                            new.extend(o for o in objs if o in o_filter)
+                            add(len(new) - before)
+                        else:
+                            add(0)
+                    stats.pattern_matches += matches
+                    stats.sip_filtered_rows += matches - len(new)
+                    return expand_columns(cb, counts, new)
+
+            step.columnar = cstep
         elif not p_free and s_free and not o_free:
             # Backward expansion: (p, o) -> subjects.
             p_of, o_of = val_of(p_kind, p_val), val_of(o_kind, o_val)
@@ -506,6 +643,35 @@ class Evaluator:
                             for s in subs:
                                 append(row + (s,))
                     stats.pattern_matches += matches
+
+                if pos is not None and p_kind == "c" and o_kind == "b":
+                    # The predicate is fixed, so its whole {o: subjects}
+                    # map hoists out: one dict get per row.
+                    def cstep(cb, _by_obj_get=(pos.get(p_val) or {}).get):
+                        sets_ = [_by_obj_get(o, ())
+                                 for o in cb.columns[o_val]]
+                        new = []
+                        new.extend(chain.from_iterable(sets_))
+                        stats.pattern_matches += len(new)
+                        return expand_columns(cb, list(map(len, sets_)),
+                                              new)
+                else:
+                    def cstep(cb):
+                        n = len(cb)
+                        new = []
+                        counts = []
+                        add = counts.append
+                        matches = 0
+                        for p, o in zip(col_of(p_kind, p_val, cb, n),
+                                        col_of(o_kind, o_val, cb, n)):
+                            subs = subjects_for(p, o)
+                            k = len(subs)
+                            add(k)
+                            if k:
+                                matches += k
+                                new.extend(subs)
+                        stats.pattern_matches += matches
+                        return expand_columns(cb, counts, new)
             else:
                 def step(rows, append):
                     matches = 0
@@ -521,10 +687,35 @@ class Evaluator:
                                     dropped += 1
                     stats.pattern_matches += matches
                     stats.sip_filtered_rows += dropped
+
+                def cstep(cb):
+                    n = len(cb)
+                    new = []
+                    counts = []
+                    add = counts.append
+                    matches = 0
+                    for p, o in zip(col_of(p_kind, p_val, cb, n),
+                                    col_of(o_kind, o_val, cb, n)):
+                        subs = subjects_for(p, o)
+                        if subs:
+                            matches += len(subs)
+                            before = len(new)
+                            new.extend(s for s in subs if s in s_filter)
+                            add(len(new) - before)
+                        else:
+                            add(0)
+                    stats.pattern_matches += matches
+                    stats.sip_filtered_rows += matches - len(new)
+                    return expand_columns(cb, counts, new)
+
+            step.columnar = cstep
         elif not p_free and s_free and o_free and p_kind == "c":
             # Predicate scan with a constant predicate: materialize the
-            # (s, o) pairs once and reuse them for every input row.
-            pairs = list(graph.so_pairs(p_val))
+            # (s, o) pairs once and reuse them for every input row (the
+            # graph memoizes the materialization across queries).
+            so_list = getattr(graph, "so_pairs_list", None)
+            pairs = (so_list(p_val) if so_list is not None
+                     else list(graph.so_pairs(p_val)))
             if slots[0][1] == slots[2][1]:  # ?x p ?x — one new column
                 hits = [(s,) for s, o in pairs if s == o]
             else:
@@ -555,6 +746,36 @@ class Evaluator:
                 stats.pattern_matches += matches
                 if dropped_per_row:
                     stats.sip_filtered_rows += dropped_per_row * n_rows
+
+            # Constant fan-out: every input row gains the same ``hits``
+            # block, so the columnar step is pure replication — parents
+            # repeated k times each, hit columns tiled n times.  The hit
+            # columns are built only when this evaluator actually runs
+            # the columnar plane; the row plane uses ``hits`` as-is.
+            k_hits = len(hits)
+            if self.vectorize:
+                so_cols_fn = getattr(graph, "so_pair_columns", None)
+                cached = (so_cols_fn(p_val)
+                          if so_cols_fn is not None and hits is pairs
+                          else None)
+                if cached is not None:
+                    hit_cols = list(cached)
+                else:
+                    hit_cols = [[h[j] for h in hits]
+                                for j in range(len(hits[0]) if hits
+                                               else n_new)]
+
+                def cstep(cb):
+                    n = len(cb)
+                    stats.pattern_matches += len(pairs) * n
+                    if dropped_per_row:
+                        stats.sip_filtered_rows += dropped_per_row * n
+                    out = [replicate(col, repeat(k_hits, n))
+                           for col in cb.columns]
+                    out.extend(col * n for col in hit_cols)
+                    return ColumnBatch(out, None, k_hits * n)
+
+                step.columnar = cstep
         else:
             # General shape (variable predicate, or repeated fresh
             # variables across positions): slot-interpreting loop.
@@ -634,6 +855,29 @@ class Evaluator:
                         "of a pattern match" % n)
 
         return append
+
+    def _check_valves(self, produced: int):
+        """Batch-granular safety valves for the columnar plane.
+
+        Where the row plane guards every ``append`` (amortizing the clock
+        behind a 1024-row counter), a vectorized step produces a whole
+        ColumnBatch in C-level bulk operations with no per-row hook — so
+        the valves are checked once per batch instead, between steps.
+        ``self.deadline`` is read here (not captured at compile time) so
+        an armed/re-armed deadline takes effect at the next batch
+        boundary.
+        """
+        if self.max_rows is not None and produced > self.max_rows:
+            raise RowBudgetExceeded(
+                "intermediate result exceeds max_rows=%d "
+                "(tripped at a batch boundary)" % self.max_rows)
+        if self.cancel is not None:
+            self.cancel.raise_if_cancelled()
+        if self.deadline is not None \
+                and time.perf_counter() > self.deadline:
+            raise QueryTimeout(
+                "query exceeded its time budget after %d rows "
+                "of a vectorized pattern match" % produced)
 
     # ------------------------------------------------------------------
     # Joins.  The build side (evaluated first) exports its join-key
@@ -1166,6 +1410,8 @@ class Evaluator:
                 continue
             produced += n
             stats.rows_pulled += n
+            if type(batch) is ColumnBatch:
+                stats.vector_batches += 1
             if n > stats.peak_batch_rows:
                 stats.peak_batch_rows = n
             if max_rows is not None and produced > max_rows:
@@ -1180,6 +1426,20 @@ class Evaluator:
                     "query exceeded its time budget after %d streamed rows"
                     % produced)
             yield batch
+
+    def _rows(self, batch):
+        """Row view of a batch — the columnar plane's escape hatch.
+
+        A cold operator (complex expression, OrderBy, a join probe) calls
+        this on whatever its child produced: row batches pass through
+        untouched; a ColumnBatch is transposed back to row tuples, counted
+        as a ``row_fallback`` so the pure-id acceptance gate
+        (``row_fallbacks == 0``) can prove no hidden transpositions.
+        """
+        if type(batch) is ColumnBatch:
+            self.stats.row_fallbacks += 1
+            return batch.to_rows()
+        return batch
 
     # -- producers -----------------------------------------------------
 
@@ -1555,6 +1815,54 @@ class Evaluator:
         schema, _schemas, steps = self._bgp_steps(patterns, graph, intersect)
         if steps is None:
             return TableStream(schema, self._meter(iter(())))
+        if self.vectorize and hint is None:
+            # Columnar breadth-first expansion: same chunking discipline
+            # and lexicographic row order as the row-mode branch below,
+            # but each level's fan-out happens column-at-a-time (index
+            # probes feeding ``list.extend`` plus parent-column
+            # compression or replication) instead of building a tuple
+            # per row.  A step
+            # without a columnar form (an intersection step) detours
+            # through row view for that level and transposes back.
+            cap = STREAM_BATCH_ROWS
+            first, rest = steps[0], steps[1:]
+            n_rest = len(rest)
+            check = self._check_valves
+            widths = [len(s) for s in _schemas]
+            stats = self.stats
+
+            def run_step(index, step, cb):
+                cstep = getattr(step, "columnar", None)
+                if cstep is not None:
+                    return cstep(cb)
+                out: List[tuple] = []
+                step(cb.to_rows(), out.append)
+                stats.row_fallbacks += 1
+                return ColumnBatch.from_rows(out, widths[index])
+
+            def cexpand(cb, level):
+                if level == n_rest:
+                    n = len(cb)
+                    if n <= cap:
+                        yield cb
+                    else:
+                        for start in range(0, n, cap):
+                            yield cb[start:start + cap]
+                    return
+                step = rest[level]
+                for start in range(0, len(cb), cap):
+                    out = run_step(level + 1, step, cb[start:start + cap])
+                    check(len(out))
+                    if len(out):
+                        yield from cexpand(out, level + 1)
+
+            def cbatches():
+                seed = run_step(0, first, ColumnBatch([], None, 1))
+                check(len(seed))
+                if len(seed):
+                    yield from cexpand(seed, 0)
+
+            return TableStream(schema, self._meter(cbatches()))
         if hint is None:
             # No bound above: the consumer (a streaming Group, a join
             # build, a full drain) will pull everything, so per-row
@@ -1657,9 +1965,25 @@ class Evaluator:
         condition = node.condition
         index = inner.index
         decode = self.dictionary.decode
+        # On the vectorized plane, try compiling the condition into a
+        # selection-vector scan (id comparisons, IN over IRIs, BOUND —
+        # see :mod:`.vector`); conditions outside that subset keep
+        # ``compiled is None`` and columnar input falls back to row view.
+        compiled = compile_predicate(condition, index, self.dictionary) \
+            if self.vectorize else None
+        stats = self.stats
+        to_rows = self._rows
 
         def batches():
             for batch in inner.batches:
+                if type(batch) is ColumnBatch:
+                    if compiled is not None:
+                        flags, kept = compiled(batch)
+                        stats.selection_vector_hits += 1
+                        if kept:
+                            yield batch.take_flags(flags, kept)
+                        continue
+                    batch = to_rows(batch)
                 keep = []
                 append = keep.append
                 for row in batch:
@@ -1704,8 +2028,61 @@ class Evaluator:
             patched[target] = tid
             return tuple(patched)
 
+        def patch_column(cb, col, mask):
+            cols = list(cb.columns)
+            cols[target] = col
+            masks = cb.masks
+            if masks is not None or mask is not None:
+                masks = [None] * len(cols) if masks is None else list(masks)
+                masks[target] = mask
+                if not any(m is not None for m in masks):
+                    masks = None
+            return ColumnBatch(cols, masks, len(cb))
+
+        # Columnar forms for the two trivial expression shapes — a
+        # variable copy (ids are stable under decode/encode, so the column
+        # is shared outright) and a constant (one encode, tiled).  Any
+        # other expression transposes to row view per batch.
+        columnar = None
+        expr_t = type(expression)
+        if self.vectorize and expr_t is VarExpr:
+            src = index.get(expression.name)
+
+            def columnar(cb):
+                n = len(cb)
+                if src is None:
+                    if target is not None:
+                        return cb  # every row errors; rows keep old value
+                    return cb.append_column([-1] * n,
+                                            bytearray(b"\x01" * n))
+                col, mask = cb.columns[src], cb.mask(src)
+                if target is None:
+                    return cb.append_column(col, mask)
+                if mask is not None:
+                    # Null source rows keep the *old* target value on the
+                    # row plane — a per-row merge; use row view for it.
+                    return None
+                return patch_column(cb, col, None)
+        elif self.vectorize and expr_t is ConstExpr:
+            const_tid = encode(expression.term)
+
+            def columnar(cb):
+                col = [const_tid] * len(cb)
+                if target is None:
+                    return cb.append_column(col, None)
+                return patch_column(cb, col, None)
+
+        to_rows = self._rows
+
         def batches():
             for batch in inner.batches:
+                if type(batch) is ColumnBatch:
+                    if columnar is not None:
+                        out = columnar(batch)
+                        if out is not None:
+                            yield out
+                            continue
+                    batch = to_rows(batch)
                 yield [extend_row(row) for row in batch]
 
         return TableStream(variables, self._meter(batches()))
@@ -1724,16 +2101,27 @@ class Evaluator:
         positions = [inner.index.get(v) for v in variables]
 
         def batches():
+            # Columnar projection is a column *selection* — no per-row
+            # work at all, storage shared with the child batch.
             if None in positions:
                 for batch in inner.batches:
+                    if type(batch) is ColumnBatch:
+                        yield batch.take(positions)
+                        continue
                     yield [tuple([None if p is None else row[p]
                                   for p in positions]) for row in batch]
             elif len(positions) == 1:
                 p0 = positions[0]
                 for batch in inner.batches:
+                    if type(batch) is ColumnBatch:
+                        yield batch.take(positions)
+                        continue
                     yield [(row[p0],) for row in batch]
             else:
                 for batch in inner.batches:
+                    if type(batch) is ColumnBatch:
+                        yield batch.take(positions)
+                        continue
                     yield [tuple([row[p] for p in positions])
                            for row in batch]
 
@@ -1747,11 +2135,21 @@ class Evaluator:
                                           if v not in left.index)
         pad = (None,) * (len(out_vars) - len(left.variables))
         rmap = [right.index.get(v) for v in out_vars]
+        lmap = [left.index.get(v) for v in out_vars]
 
         def batches():
+            # Columnar branch alignment reuses ``take``: identity plus
+            # all-null pad columns on the left, a position remap (with
+            # null columns for left-only variables) on the right.
             for batch in left.batches:
+                if type(batch) is ColumnBatch:
+                    yield batch.take(lmap) if pad else batch
+                    continue
                 yield [row + pad for row in batch] if pad else batch
             for batch in right.batches:
+                if type(batch) is ColumnBatch:
+                    yield batch.take(rmap)
+                    continue
                 yield [tuple(None if p is None else row[p] for p in rmap)
                        for row in batch]
 
@@ -1889,6 +2287,69 @@ class Evaluator:
             def key_of(row):  # implicit single group
                 return ()
 
+        # Columnar fold for the scalar-key single-COUNT shapes: the
+        # accumulator loop walks the key column (and the counted column's
+        # null mask) directly — no row tuple is ever built.  State shapes
+        # are identical to the row folds', so mixed columnar/row input
+        # streams share one ``groups`` dict.
+        cfold = None
+        if self.vectorize and scalar is not None and len(specs) == 1 \
+                and node.aggregates[0].function == "count":
+            agg0 = node.aggregates[0]
+            expr0 = agg0.expression
+            new0_c = specs[0][0]
+            if expr0 is None and not agg0.distinct:
+                # Counting needs no per-row state transition: Counter
+                # tallies the key column in C and the Python loop runs
+                # once per *distinct* key.
+                def cfold(groups, get, cb):
+                    for key, k in Counter(cb.columns[scalar]).items():
+                        state = get(key)
+                        if state is None:
+                            groups[key] = state = new0_c()
+                        state[0] += k
+            elif type(expr0) is VarExpr and not agg0.distinct:
+                vpos = index.get(expr0.name)
+
+                def cfold(groups, get, cb):
+                    vmask = None if vpos is None else cb.mask(vpos)
+                    if vpos is not None and vmask is None:
+                        for key, k in Counter(cb.columns[scalar]).items():
+                            state = get(key)
+                            if state is None:
+                                groups[key] = state = new0_c()
+                            state[0] += k
+                        return
+                    for key, null in zip(cb.columns[scalar],
+                                         vmask if vmask is not None
+                                         else repeat(1, len(cb))):
+                        state = get(key)
+                        if state is None:
+                            groups[key] = state = new0_c()
+                        if not null:
+                            state[0] += 1
+            elif type(expr0) is VarExpr and agg0.distinct:
+                vpos = index.get(expr0.name)
+                if vpos is not None:
+                    def cfold(groups, get, cb):
+                        vmask = cb.mask(vpos)
+                        if vmask is None:
+                            for key, tid in zip(cb.columns[scalar],
+                                                cb.columns[vpos]):
+                                state = get(key)
+                                if state is None:
+                                    groups[key] = state = set()
+                                state.add(tid)
+                            return
+                        for key, tid, null in zip(cb.columns[scalar],
+                                                  cb.columns[vpos], vmask):
+                            state = get(key)
+                            if state is None:
+                                groups[key] = state = set()
+                            if not null:
+                                state.add(tid)
+        to_rows_fb = self._rows
+
         def batches():
             groups: Dict = {}  # key -> aggregate state(s)
             get = groups.get
@@ -1897,6 +2358,12 @@ class Evaluator:
                 new0, fold0, _ = specs[0]
                 for batch in inner.batches:
                     folded += len(batch)
+                    if type(batch) is ColumnBatch:
+                        if cfold is not None \
+                                and batch.mask(scalar) is None:
+                            cfold(groups, get, batch)
+                            continue
+                        batch = to_rows_fb(batch)
                     if scalar is not None:
                         for row in batch:
                             key = row[scalar]
@@ -1936,6 +2403,8 @@ class Evaluator:
                             i += 1
                 for batch in inner.batches:
                     folded += len(batch)
+                    if type(batch) is ColumnBatch:
+                        batch = to_rows_fb(batch)
                     for row in batch:
                         key = row[scalar] if scalar is not None \
                             else key_of(row)
@@ -2010,12 +2479,16 @@ class Evaluator:
             def member_of(row):
                 return tuple(row[p] for p in member_pos)
 
+        to_rows_fb = self._rows
+
         def batches():
             groups: Dict = {}  # key -> projected member tuples
             get = groups.get
             folded = 0
             for batch in inner.batches:
                 folded += len(batch)
+                if type(batch) is ColumnBatch:
+                    batch = to_rows_fb(batch)
                 if scalar is not None:
                     for row in batch:
                         key = row[scalar]
@@ -2109,8 +2582,12 @@ class Evaluator:
                 index.setdefault(key, []).append(lrow)
         left_rows = left.rows
 
+        to_rows_fb = self._rows
+
         def batches():
             for batch in right.batches:
+                if type(batch) is ColumnBatch:
+                    batch = to_rows_fb(batch)
                 out: List[tuple] = []
                 append = out.append
                 for rrow in batch:
@@ -2179,8 +2656,12 @@ class Evaluator:
                 index.setdefault(key, []).append(rrow)
         right_rows = right.rows
 
+        to_rows_fb = self._rows
+
         def batches():
             for batch in left.batches:
+                if type(batch) is ColumnBatch:
+                    batch = to_rows_fb(batch)
                 out: List[tuple] = []
                 append = out.append
                 for lrow in batch:
@@ -2241,8 +2722,12 @@ class Evaluator:
         inner_rows = inner.rows
         negated = node.negated
 
+        to_rows_fb = self._rows
+
         def batches():
             for batch in outer.batches:
+                if type(batch) is ColumnBatch:
+                    batch = to_rows_fb(batch)
                 keep = [row for row in batch
                         if any(_rows_compatible(row, other, shared)
                                for other in inner_rows) != negated]
@@ -2567,6 +3052,25 @@ def _apply_aggregate(aggregate: alg.Aggregate, members):
     return _finish_aggregate(aggregate.function, values, aggregate.separator)
 
 
+_COUNT_LITERALS: Dict[int, Literal] = {}
+
+
+def _count_literal(n: int) -> Literal:
+    """Memoized ``Literal(n)`` for aggregate counts.
+
+    COUNT-heavy groupings finish thousands of groups whose counts are
+    drawn from a few dozen distinct small ints; constructing (and later
+    re-hashing, when the dictionary interns it) a fresh Literal per group
+    is a measurable share of the drain.  Counts repeat across queries
+    too, so the cache is module-level; it is bounded by the number of
+    distinct counts ever produced, which grows like the log of the data.
+    """
+    lit = _COUNT_LITERALS.get(n)
+    if lit is None:
+        _COUNT_LITERALS[n] = lit = Literal(n)
+    return lit
+
+
 def _value_accumulator(function: str, separator: Optional[str]):
     """``(new_state, fold(state, term), finish(state))`` over term values.
 
@@ -2690,7 +3194,7 @@ def _compile_aggregate(aggregate: alg.Aggregate, index: Dict[str, int],
                 state.add(row)
 
             def finish(state):
-                return Literal(len(state))
+                return _count_literal(len(state))
         else:
             def new_state():
                 return [0]
@@ -2699,7 +3203,7 @@ def _compile_aggregate(aggregate: alg.Aggregate, index: Dict[str, int],
                 state[0] += 1
 
             def finish(state):
-                return Literal(state[0])
+                return _count_literal(state[0])
 
         return new_state, fold, finish
 
@@ -2719,7 +3223,7 @@ def _compile_aggregate(aggregate: alg.Aggregate, index: Dict[str, int],
                             state[0] += 1
 
                 def finish(state):
-                    return Literal(state[0])
+                    return _count_literal(state[0])
             else:
                 new_state = set
                 if pos is None:
@@ -2732,7 +3236,7 @@ def _compile_aggregate(aggregate: alg.Aggregate, index: Dict[str, int],
                             state.add(tid)
 
                 def finish(state):
-                    return Literal(len(state))
+                    return _count_literal(len(state))
             return new_state, fold, finish
 
         # Value aggregates over an id column fold each decoded value into
@@ -2804,7 +3308,7 @@ def _compile_aggregate(aggregate: alg.Aggregate, index: Dict[str, int],
                     pass
 
             def finish(state):
-                return Literal(len(state))
+                return _count_literal(len(state))
         else:
             def new_state():
                 return [0]
@@ -2817,7 +3321,7 @@ def _compile_aggregate(aggregate: alg.Aggregate, index: Dict[str, int],
                 state[0] += 1
 
             def finish(state):
-                return Literal(state[0])
+                return _count_literal(state[0])
         return new_state, fold, finish
 
     value_new, value_fold, value_finish = _value_accumulator(

@@ -92,6 +92,12 @@ class Plan:
         # hash aggregation over its child pipeline.
         self.streaming = (plan_is_bounded(query.pattern)
                           or plan_has_aggregate(query.pattern))
+        # Columnar-plane eligibility: True when every operator in the
+        # tree either has a column-at-a-time form or a cheap row detour,
+        # and at least one BGP exists to produce columnar batches.  The
+        # engine's ``vectorize='auto'`` routes streaming-eligible plans
+        # with this annotation onto the vectorized executor.
+        self.vectorized = plan_vectorizable(query.pattern)
 
     @property
     def total_changes(self) -> int:
@@ -148,6 +154,48 @@ def plan_has_aggregate(node: alg.AlgebraNode) -> bool:
     if isinstance(node, alg.Group):
         return True
     return any(plan_has_aggregate(child) for child in node.children())
+
+
+#: Operators with a column-at-a-time form or a bounded row detour on the
+#: vectorized plane.  OrderBy/TopK/Minus/FilterExists are absent: they are
+#: row-comparison heavy, so the columnar plane would transpose everything
+#: it produced and win nothing.
+_VECTOR_FRIENDLY = (alg.Join, alg.LeftJoin, alg.Filter, alg.Extend,
+                    alg.Project, alg.Distinct, alg.Slice, alg.Union,
+                    alg.Group, alg.GraphPattern, alg.InlineData)
+
+
+def plan_vectorizable(node: alg.AlgebraNode) -> bool:
+    """True when the plan is eligible for the columnar batch plane.
+
+    Eligibility is structural: every BGP must avoid the general
+    slot-interpreting matcher (no variable in predicate position) and the
+    multiway-intersection strategy (its steps have no columnar form), and
+    every operator above must be vector-friendly.  At least one non-empty
+    BGP must exist — otherwise there is no columnar producer and the
+    annotation would route a plan that gains nothing.
+    """
+    ok, has_bgp = _vector_walk(node)
+    return ok and has_bgp
+
+
+def _vector_walk(node: alg.AlgebraNode) -> Tuple[bool, bool]:
+    if isinstance(node, alg.BGP):
+        if not node.triples:
+            return True, False
+        if getattr(node, "strategy", None) == "intersect":
+            return False, True
+        ok = not any(isinstance(triple[1], Variable)
+                     for triple in node.triples)
+        return ok, True
+    if isinstance(node, _VECTOR_FRIENDLY):
+        ok, has_bgp = True, False
+        for child in node.children():
+            child_ok, child_bgp = _vector_walk(child)
+            ok = ok and child_ok
+            has_bgp = has_bgp or child_bgp
+        return ok, has_bgp
+    return False, False
 
 
 # ----------------------------------------------------------------------
@@ -754,8 +802,10 @@ def optimize_plan(query: alg.Query, key: str = "", graph=None, dataset=None,
                 [totals[name] for name, _ in list(pipeline) + post],
                 source=source)
     if not push_limits:
-        # The materialize-everything baseline: no streaming annotation.
+        # The materialize-everything baseline: no streaming annotation
+        # (and therefore no vectorized plane, which rides on streaming).
         plan.streaming = False
+        plan.vectorized = False
     return plan
 
 

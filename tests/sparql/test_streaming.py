@@ -22,7 +22,7 @@ from repro.data import DBPEDIA_URI, build_dataset
 from repro.rdf import Graph, Literal, URIRef
 from repro.sparql import Engine, ResultSet
 from repro.sparql.evaluator import STREAM_BATCH_ROWS
-from repro.sparql.solution import stream_distinct
+from repro.sparql.solution import batched, stream_distinct
 from repro.workload import CASE_STUDIES, get_case_study
 
 PFX = """
@@ -328,6 +328,24 @@ class TestEarlyExit:
         engine.query(COSTAR + " LIMIT 10", default_graph_uri=DBPEDIA_URI)
         assert engine.last_stats.rows_pulled == 0
         assert engine.last_stats.early_exits == 0
+
+
+class TestBatchedHelper:
+    def test_fitting_list_is_yielded_as_is(self):
+        # Re-chunking must not copy a table that already fits in one
+        # batch: the chunk is the row list *itself*, not a slice of it.
+        rows = [(i,) for i in range(10)]
+        chunks = list(batched(rows, STREAM_BATCH_ROWS))
+        assert len(chunks) == 1 and chunks[0] is rows
+
+    def test_oversized_list_is_rechunked_into_slices(self):
+        rows = [(i,) for i in range(STREAM_BATCH_ROWS + 5)]
+        chunks = list(batched(rows, STREAM_BATCH_ROWS))
+        assert [len(c) for c in chunks] == [STREAM_BATCH_ROWS, 5]
+        assert [r for c in chunks for r in c] == rows
+
+    def test_empty_list_yields_nothing(self):
+        assert list(batched([], STREAM_BATCH_ROWS)) == []
 
 
 class TestStreamDistinctHelper:
