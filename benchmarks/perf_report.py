@@ -47,6 +47,17 @@ both configurations *and* the reference plane, and the
 ``sip_filtered_rows``/``intersect_steps``/``sorted_runs_built`` counters
 are asserted wherever the planner chose the corresponding strategy.
 
+A sixth section, ``wcoj``, measures the generic-join (worst-case-optimal)
+executor on the cyclic corpus shapes (triangle, 4-cycle, diamond,
+5-clique): ``Engine()`` with the cost-based planner routing cyclic BGPs
+through per-variable sorted-run intersection versus the joins-section
+baseline ``Engine(sip=False, multiway=False)`` (nested loops) — with the
+intersect-plane ``Engine(wcoj=False)`` recorded as a secondary column.
+Row bags are verified identical across the wcoj, streaming, materialized,
+and reference planes, ``wcoj_steps > 0`` is asserted on every cyclic
+plan, and an aggregate-pushdown cell proves a grouped COUNT over the
+triangle folds inside the join (``accumulator_rows == 0``).
+
 Run it from the repo root::
 
     PYTHONPATH=src python benchmarks/perf_report.py [--out BENCH_engine.json]
@@ -381,6 +392,7 @@ def run_joins(scale: float, rounds: int) -> dict:
             "speedup": base_s / opt_s if opt_s > 0 else float("inf"),
             "sip_filtered_rows": opt_stats.sip_filtered_rows,
             "intersect_steps": opt_stats.intersect_steps,
+            "wcoj_steps": opt_stats.wcoj_steps,
             "baseline_intermediate_rows": base_stats.intermediate_rows,
             "optimized_intermediate_rows": opt_stats.intermediate_rows,
         }
@@ -391,6 +403,10 @@ def run_joins(scale: float, rounds: int) -> dict:
         if query.expect == "multiway" and cell["intersect_steps"] == 0:
             raise AssertionError(
                 "planner chose multiway for %r but no intersections ran"
+                % query.key)
+        if query.expect == "wcoj" and cell["wcoj_steps"] == 0:
+            raise AssertionError(
+                "planner chose generic join for %r but no wcoj steps ran"
                 % query.key)
         speedups.append(cell["speedup"])
         section["queries"].append(cell)
@@ -408,6 +424,145 @@ def run_joins(scale: float, rounds: int) -> dict:
     print("joins geomean speedup %.2fx (min %.2fx, %d sorted runs built)"
           % (section["geomean_speedup"], section["min_speedup"],
              section["sorted_runs_built"]))
+    return section
+
+
+def run_wcoj(scale: float, rounds: int) -> dict:
+    """Time the generic-join executor on the cyclic corpus shapes.
+
+    Three configurations over the four canonical cyclic shapes —
+    triangle, 4-cycle, diamond, and 5-clique over the heavy-tailed
+    collaborator graph (the costar cyclic queries stay in the ``joins``
+    section; their tiny fan-outs make them parity pins, not win cases):
+
+    * ``wcoj``      — ``Engine()``: the cost-based planner routes cyclic
+      BGPs through the generic-join executor,
+    * ``intersect`` — ``Engine(wcoj=False)``: the PR-5 plans (per-step
+      multiway intersection where worthwhile), recorded as a secondary
+      column,
+    * ``baseline``  — ``Engine(sip=False, multiway=False)``: the
+      joins-section baseline (pure nested loops), which the headline
+      speedup is measured against.
+
+    Plans are built once per engine and ``execute_plan`` is timed.  Row
+    bags must be identical across the wcoj engine (both executors), the
+    intersect plane, the baseline, and the dict-based reference; every
+    cyclic plan must prove ``wcoj_steps > 0``.  A final
+    ``aggregate_pushdown`` cell runs a grouped COUNT over the triangle
+    on the streaming plane and asserts the fold happened inside the join
+    (``accumulator_rows == 0``) while still matching the baseline's rows.
+    """
+    dataset = build_dataset(scale=scale)
+    wcoj_on = Engine(dataset)
+    wcoj_stream = Engine(dataset, streaming=True)
+    wcoj_mat = Engine(dataset, streaming=False)
+    intersect = Engine(dataset, wcoj=False)
+    baseline = Engine(dataset, sip=False, multiway=False)
+    reference = Engine(dataset, columnar=False)
+    section = {"scale": scale, "rounds": rounds, "queries": []}
+    print("== wcoj (scale %.3g) ==" % scale)
+    speedups = []
+    shapes = ("triangle_collaborators", "cycle4_collaborators",
+              "diamond_collaborators", "clique5_collaborators")
+    for query in [q for q in JOIN_QUERIES if q.key in shapes]:
+
+        def best_of(engine):
+            plan = engine.plan(query.sparql, DBPEDIA_URI)
+            best = None
+            result = None
+            for _ in range(rounds):
+                start = time.perf_counter()
+                result = engine.execute_plan(plan, DBPEDIA_URI)
+                elapsed = time.perf_counter() - start
+                if best is None or elapsed < best:
+                    best = elapsed
+            return best, result, engine.last_stats
+
+        on_s, on_result, on_stats = best_of(wcoj_on)
+        int_s, int_result, _ = best_of(intersect)
+        base_s, base_result, _ = best_of(baseline)
+        on_key = _result_key(on_result)
+        planes = {
+            "streaming": wcoj_stream.execute_plan(
+                wcoj_stream.plan(query.sparql, DBPEDIA_URI), DBPEDIA_URI),
+            "materialized": wcoj_mat.execute_plan(
+                wcoj_mat.plan(query.sparql, DBPEDIA_URI), DBPEDIA_URI),
+            "intersect": int_result,
+            "baseline": base_result,
+            "reference": reference.query(query.sparql,
+                                         default_graph_uri=DBPEDIA_URI),
+        }
+        for plane, result in planes.items():
+            if _result_key(result) != on_key:
+                raise AssertionError(
+                    "wcoj corpus query %r disagrees with the %s plane "
+                    "at scale %s" % (query.key, plane, scale))
+        if on_stats.wcoj_steps == 0:
+            raise AssertionError(
+                "cyclic corpus query %r ran no generic-join steps"
+                % query.key)
+        cell = {
+            "query": query.key,
+            "shape": query.shape,
+            "rows": len(on_result),
+            "identical_results": True,
+            "wcoj_seconds": on_s,
+            "intersect_seconds": int_s,
+            "baseline_seconds": base_s,
+            "speedup": base_s / on_s if on_s > 0 else float("inf"),
+            "speedup_vs_intersect": int_s / on_s if on_s > 0
+            else float("inf"),
+            "wcoj_steps": on_stats.wcoj_steps,
+            "intersect_steps": on_stats.intersect_steps,
+        }
+        speedups.append(cell["speedup"])
+        section["queries"].append(cell)
+        print("  %-30s base %8.4fs  isect %8.4fs  wcoj %8.4fs  "
+              "speedup %6.2fx  steps %6d  (%d rows)" % (
+                  query.key, base_s, int_s, on_s, cell["speedup"],
+                  cell["wcoj_steps"], cell["rows"]))
+
+    count_query = _PREFIXES + """
+        SELECT ?a (COUNT(*) AS ?n) WHERE {
+            ?a dbpp:collaborator ?b .
+            ?b dbpp:collaborator ?c .
+            ?a dbpp:collaborator ?c .
+        } GROUP BY ?a"""
+    push_engine = Engine(dataset, streaming=True)
+    fold_engine = Engine(dataset, streaming=True, wcoj=False)
+    push_s, push_result, push_stats = time_query(push_engine, count_query,
+                                                 rounds)
+    fold_s, fold_result, fold_stats = time_query(fold_engine, count_query,
+                                                 rounds)
+    if _result_key(push_result) != _result_key(fold_result):
+        raise AssertionError(
+            "aggregate pushdown changed the grouped COUNT result")
+    if push_stats.accumulator_rows != 0:
+        raise AssertionError(
+            "aggregate pushdown materialized %d join rows into "
+            "accumulators" % push_stats.accumulator_rows)
+    if push_stats.wcoj_steps == 0:
+        raise AssertionError("aggregate pushdown ran no generic-join steps")
+    section["aggregate_pushdown"] = {
+        "query": "triangle_count_by_collaborator",
+        "groups": len(push_result),
+        "identical_results": True,
+        "pushdown_seconds": push_s,
+        "general_seconds": fold_s,
+        "pushdown_accumulator_rows": push_stats.accumulator_rows,
+        "general_accumulator_rows": fold_stats.accumulator_rows,
+        "wcoj_steps": push_stats.wcoj_steps,
+    }
+    print("  aggregate pushdown: general %.4fs -> pushdown %.4fs "
+          "(%d accumulator rows -> %d)"
+          % (fold_s, push_s, fold_stats.accumulator_rows,
+             push_stats.accumulator_rows))
+    section["geomean_speedup"] = _geomean(speedups)
+    section["min_speedup"] = min(speedups)
+    section["all_results_identical"] = True
+    print("wcoj geomean speedup %.2fx over nested-loop baseline "
+          "(min %.2fx)" % (section["geomean_speedup"],
+                           section["min_speedup"]))
     return section
 
 
@@ -443,10 +598,10 @@ def _drain(dataset, plan, vectorize: bool, rounds: int):
     Times batch production only — no term decode, no result-set build —
     because decode cost is identical across planes and would dilute the
     operator-level difference the section measures.  Multiway
-    intersection is pinned off so both planes execute the *same*
-    pipelined join steps (the intersect strategy has no columnar form;
-    the engine's ``vectorize='auto'`` routing excludes such plans, and
-    the joins section already measures that strategy on its own).
+    intersection and generic join are pinned off so both planes execute
+    the *same* pipelined join steps (those strategies have no columnar
+    form; the engine's ``vectorize='auto'`` routing excludes such plans,
+    and the joins/wcoj sections already measure them on their own).
     Returns ``(seconds, rows, stats)`` from the fastest round.
     """
     best = None
@@ -454,7 +609,7 @@ def _drain(dataset, plan, vectorize: bool, rounds: int):
     total = 0
     for _ in range(rounds):
         evaluator = Evaluator(dataset, optimize=False, multiway=False,
-                              vectorize=vectorize)
+                              wcoj=False, vectorize=vectorize)
         start = time.perf_counter()
         stream = evaluator.evaluate_query_stream(plan.query, DBPEDIA_URI)
         rows = 0
@@ -648,7 +803,7 @@ def run_plan_path(scale: float, iterations: int) -> dict:
 
 #: Every section the report can produce, in run order.
 SECTIONS = ("engine", "plan_path", "limit_topk", "aggregation", "joins",
-            "vectorized", "serving")
+            "wcoj", "vectorized", "serving")
 
 
 def write_summary(report, out_path: str) -> str:
@@ -671,7 +826,7 @@ def write_summary(report, out_path: str) -> str:
     if report.get("summary"):
         sections["engine"] = {
             "geomean_speedup": report["summary"]["geomean_speedup"]}
-    for name in ("plan_path", "aggregation", "joins", "vectorized"):
+    for name in ("plan_path", "aggregation", "joins", "wcoj", "vectorized"):
         if name in report:
             sections[name] = {
                 "geomean_speedup": report[name]["geomean_speedup"]}
@@ -769,6 +924,8 @@ def run(scales, rounds: int, out_path: str,
         report["aggregation"] = run_aggregation(scales[-1], max(rounds, 3))
     if "joins" in chosen:
         report["joins"] = run_joins(scales[-1], max(rounds, 5))
+    if "wcoj" in chosen:
+        report["wcoj"] = run_wcoj(scales[-1], max(rounds, 3))
     if "vectorized" in chosen:
         report["vectorized"] = run_vectorized(scales[-1], max(rounds, 3))
     if "serving" in chosen:

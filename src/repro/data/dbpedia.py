@@ -11,6 +11,8 @@ Q1-Q15 synthetic workload touch:
   ``dbpp:director``, ``dbpp:producer`` (optional), ``dbpo:language``,
   ``dbpp:studio``, ``dbpo:runtime``, ``dbpo:story``,
 * actors with ``dbpp:birthPlace``, ``rdfs:label``, ``dbpo:birthDate``,
+  plus a symmetric ``dbpp:collaborator`` graph (planted dense ensembles
+  and a Zipf organic layer) for the clique-shaped join corpus,
 * basketball players/teams (Q1-Q3, Q6-Q7), athletes (Q10, Q12),
 * books and authors (Q15).
 
@@ -83,6 +85,9 @@ def generate_dbpedia(scale: float = 1.0, seed: int = 42) -> Graph:
     _generate_athletes(graph, rng, n_athletes, teams)
     authors = _generate_authors(graph, rng, n_authors)
     _generate_books(graph, rng, n_books, authors)
+    # A fresh stream keeps every draw above byte-identical to earlier
+    # versions of the generator: collaborations only append new triples.
+    _generate_collaborations(graph, Rng(seed + 101), actors)
     return graph
 
 
@@ -180,6 +185,41 @@ def _generate_athletes(graph: Graph, rng: Rng, count: int,
         graph.add(athlete, DBPP.birthPlace,
                   DBPR[COUNTRIES[rng.zipf_index(len(COUNTRIES))]])
         graph.add(athlete, DBPP.team, rng.zipf_choice(teams, exponent=0.8))
+
+
+def _generate_collaborations(graph: Graph, rng: Rng,
+                             actors: List[URIRef]) -> None:
+    """Symmetric ``dbpp:collaborator`` edges between actors.
+
+    Planted dense ensembles (every pair within a small group linked both
+    ways) guarantee the clique-shaped join corpus queries have matches at
+    any scale; the plants sit in the mid-tail of the actor range so they
+    stay disjoint from the organic hubs.  The organic layer pairs a
+    Zipf-popular *hub* with a uniform partner, giving the heavy-tailed
+    degree distribution of real co-author/co-star graphs: hub degrees
+    grow linearly with the actor count while typical degrees stay small.
+    That skew is what the cyclic join corpus measures — pattern-at-a-time
+    plans enumerate every two-hop wedge through a hub (quadratic in hub
+    degree) before the closing edge can reject, while a generic join's
+    per-level intersection is seeded from the *smallest* incident
+    adjacency run, so hubs cost it nothing.
+    """
+    ensemble_size = 6
+    n_ensembles = max(2, len(actors) // 150)
+    base = len(actors) // 3
+    for k in range(n_ensembles):
+        start = base + k * ensemble_size
+        members = actors[start:start + ensemble_size]
+        for i, a in enumerate(members):
+            for b in members[i + 1:]:
+                graph.add(a, DBPP.collaborator, b)
+                graph.add(b, DBPP.collaborator, a)
+    for _ in range(len(actors) * 4):
+        a = rng.zipf_choice(actors)
+        b = rng.choice(actors)
+        if a is not b:
+            graph.add(a, DBPP.collaborator, b)
+            graph.add(b, DBPP.collaborator, a)
 
 
 def _generate_authors(graph: Graph, rng: Rng, count: int) -> List[URIRef]:

@@ -85,9 +85,21 @@ class GraphUnion:
         # member's persistent (mutation-invalidated) run cache instead.
         self._runs: Dict[Tuple, Tuple[int, ...]] = {}
         self.sorted_runs_built = 0
+        self.synopses_built = 0
 
     def __len__(self) -> int:
         return sum(len(g) for g in self.graphs)
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter: the sum of member versions.
+
+        Any member mutation changes this — including an equal-size
+        replace, which leaves ``len()`` unchanged.  Statistics consumers
+        snapshot it to detect stale synopses (the :class:`GraphUnion`
+        fix: previously only a size change was observable).
+        """
+        return sum(g.version for g in self.graphs)
 
     # -- sorted runs (multiway intersection joins) ----------------------
     def _merged_run(self, key: Tuple, sets) -> Tuple[int, ...]:
@@ -287,6 +299,72 @@ class GraphUnion:
             distinct_s += s
             distinct_o += o
         return (triples, distinct_s, distinct_o)
+
+    def characteristic_sets(self):
+        """Member-wise merge of the per-graph characteristic sets.
+
+        Classes with the same predicate set are summed across members; a
+        subject split across members (or carrying different predicates in
+        each) lands in one class per member, so counts are an upper bound
+        exactly like :meth:`predicate_profile`.  Single-member unions
+        delegate to the member's mutation-invalidated synopsis; real
+        unions memoize per view (views are created per query resolution).
+        """
+        graphs = self.graphs
+        if len(graphs) == 1:
+            return graphs[0].characteristic_sets()
+        key = ("cs",)
+        sets = self._runs.get(key)
+        if sets is None:
+            sets = {}
+            for g in graphs:
+                for cls, (count, counts) in g.characteristic_sets().items():
+                    entry = sets.get(cls)
+                    if entry is None:
+                        sets[cls] = (count, dict(counts))
+                    else:
+                        merged = entry[1]
+                        for p, n in counts.items():
+                            merged[p] = merged.get(p, 0) + n
+                        sets[cls] = (entry[0] + count, merged)
+            self._runs[key] = sets
+            self.synopses_built += 1
+        return sets
+
+    def predicate_synopsis(self, pid):
+        """Member-wise merge of per-graph predicate synopses: exact
+        figures are summed (an upper bound when members overlap), the
+        sampled mean is weighted by each member's distinct objects, the
+        edge-biased fan-out moments by each member's triple count (edges),
+        and the sampled max is the max across members."""
+        graphs = self.graphs
+        if len(graphs) == 1:
+            return graphs[0].predicate_synopsis(pid)
+        key = ("syn", pid)
+        syn = self._runs.get(key)
+        if syn is None:
+            triples = distinct_s = distinct_o = worst = 0
+            weighted = 0.0
+            weighted_in = 0.0
+            weighted_out = 0.0
+            for g in graphs:
+                t, ds, do, mean, mx, b_in, b_out = g.predicate_synopsis(pid)
+                triples += t
+                distinct_s += ds
+                distinct_o += do
+                weighted += mean * do
+                weighted_in += b_in * t
+                weighted_out += b_out * t
+                if mx > worst:
+                    worst = mx
+            mean = weighted / distinct_o if distinct_o else 0.0
+            biased_in = weighted_in / triples if triples else 0.0
+            biased_out = weighted_out / triples if triples else 0.0
+            syn = (triples, distinct_s, distinct_o, mean, worst,
+                   biased_in, biased_out)
+            self._runs[key] = syn
+            self.synopses_built += 1
+        return syn
 
     def predicate_stats(self):
         stats = {}

@@ -38,6 +38,9 @@ IdTriple = Tuple[int, int, int]
 #: An immutable sorted run of term ids (strictly increasing).
 SortedRun = Tuple[int, ...]
 
+#: Objects sampled per predicate when building a predicate synopsis.
+SYNOPSIS_SAMPLE = 64
+
 
 def gallop(run: Sequence[int], value: int, lo: int = 0) -> int:
     """Index of the first element ``>= value`` in ``run[lo:]``.
@@ -134,6 +137,18 @@ class Graph:
         self._so_pair_cols: Dict[int, tuple] = {}
         self._forward_maps: Dict[int, dict] = {}
         self.sorted_runs_built = 0
+        # Statistics synopses for the cost-based planner: the
+        # characteristic-sets partition (subjects classed by their exact
+        # predicate set) and small per-predicate synopses with sampled
+        # object fan-outs.  Lazily built and invalidated on mutation like
+        # the sorted runs; ``synopses_built`` counts lazy builds and
+        # ``version`` is a monotone mutation counter that statistics
+        # consumers snapshot to detect staleness (an equal-size replace
+        # changes ``version`` even though ``len`` is unchanged).
+        self._char_sets: Optional[Dict[frozenset, Tuple[int, Dict[int, int]]]] = None
+        self._pred_synopses: Dict[int, tuple] = {}
+        self.synopses_built = 0
+        self.version = 0
 
     # ------------------------------------------------------------------
     # Mutation
@@ -152,6 +167,7 @@ class Graph:
         self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
         self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
         self._size += 1
+        self.version += 1
         if self._profiles:
             self._profiles.pop(p, None)
         self._invalidate_runs(s, p, o)
@@ -193,6 +209,7 @@ class Graph:
             if not self._osp[o]:
                 del self._osp[o]
         self._size -= 1
+        self.version += 1
         if self._profiles:
             self._profiles.pop(p, None)
         self._invalidate_runs(s, p, o)
@@ -214,6 +231,11 @@ class Graph:
             self._so_pair_cols.pop(p, None)
         if self._forward_maps:
             self._forward_maps.pop(p, None)
+        if self._pred_synopses:
+            self._pred_synopses.pop(p, None)
+        # The characteristic-set partition keys on whole predicate sets, so
+        # any mutation can move its subject between classes.
+        self._char_sets = None
 
     # ------------------------------------------------------------------
     # Lookup
@@ -615,6 +637,101 @@ class Graph:
             profile = (triples, len(subjects), len(by_obj))
             self._profiles[pid] = profile
         return profile
+
+    def characteristic_sets(self) -> Dict[frozenset, Tuple[int, Dict[int, int]]]:
+        """The characteristic-sets synopsis (read-only contract).
+
+        Partitions subjects by their exact predicate-id set and records,
+        per class, ``(subject_count, {pid: triples})`` — enough to answer
+        both star-shape counts (how many subjects carry *all* of a set of
+        predicates: sum counts over superset classes) and per-class mean
+        object fan-out (``triples[pid] / subject_count``).  The per-class
+        triple counts partition each predicate's totals exactly, so any
+        per-predicate figure derived from this synopsis equals the
+        corresponding :meth:`predicate_profile` figure.  Lazily built in
+        one SPO sweep, memoized, and invalidated by any mutation.
+        """
+        sets = self._char_sets
+        if sets is None:
+            sets = {}
+            for by_pred in self._spo.values():
+                key = frozenset(by_pred)
+                entry = sets.get(key)
+                if entry is None:
+                    entry = sets[key] = (0, {})
+                counts = entry[1]
+                for p, objs in by_pred.items():
+                    counts[p] = counts.get(p, 0) + len(objs)
+                sets[key] = (entry[0] + 1, counts)
+            self._char_sets = sets
+            self.synopses_built += 1
+        return sets
+
+    def predicate_synopsis(
+            self, pid: int) -> Tuple[int, int, int, float, int, float, float]:
+        """A small per-predicate synopsis for the cost-based planner.
+
+        Returns ``(triples, distinct_subjects, distinct_objects,
+        sampled_mean_subjects_per_object, sampled_max_subjects_per_object,
+        edge_biased_subjects_per_object, edge_biased_objects_per_subject)``.
+        The first three are exact (shared with :meth:`predicate_profile`);
+        the fan-out moments are measured over a bounded, deterministic
+        *systematic* sample of the POS index — every k-th object in
+        insertion order, with the stride chosen so the sample spans the
+        whole index — so building one stays O(distinct objects) after the
+        profile while regions inserted early (e.g. a generator's seeded
+        substructures) cannot dominate the sample.
+
+        The two *edge-biased* moments are the expected fan-out seen when
+        arriving at a node along a uniformly random triple — i.e.
+        ``E[deg^2]/E[deg]`` — which is the correct expansion factor for a
+        join that reaches the node through another pattern (high-degree
+        hubs are reached proportionally more often).  On heavy-tailed
+        graphs these are much larger than the plain means, and that gap
+        is exactly what makes pattern-at-a-time plans blow up on cyclic
+        queries.  Both are estimated by averaging the endpoint's degree
+        over a bounded sample of edges (edge sampling *is* the bias).
+        Memoized per predicate and invalidated when a triple with that
+        predicate mutates.  An absent predicate yields all zeros.
+        """
+        syn = self._pred_synopses.get(pid)
+        if syn is None:
+            triples, distinct_s, distinct_o = self._profile_id(pid)
+            if triples == 0:
+                return (0, 0, 0, 0.0, 0, 0.0, 0.0)
+            by_obj = self._pos.get(pid, {})
+            stride = max(1, len(by_obj) // SYNOPSIS_SAMPLE)
+            sampled = 0
+            total = 0
+            sq_total = 0
+            worst = 0
+            fwd_edges = 0
+            fwd_total = 0
+            spo = self._spo
+            for position, subs in enumerate(by_obj.values()):
+                if position % stride:
+                    continue
+                width = len(subs)
+                total += width
+                sq_total += width * width
+                if width > worst:
+                    worst = width
+                for s in subs:
+                    if fwd_edges >= SYNOPSIS_SAMPLE:
+                        break
+                    fwd_edges += 1
+                    fwd_total += len(spo[s][pid])
+                sampled += 1
+                if sampled >= SYNOPSIS_SAMPLE:
+                    break
+            mean = total / sampled if sampled else 0.0
+            biased_in = sq_total / total if total else 0.0
+            biased_out = fwd_total / fwd_edges if fwd_edges else 0.0
+            syn = (triples, distinct_s, distinct_o, mean, worst,
+                   biased_in, biased_out)
+            self._pred_synopses[pid] = syn
+            self.synopses_built += 1
+        return syn
 
     def predicate_stats(self) -> Dict[Node, int]:
         """Triple count per predicate."""

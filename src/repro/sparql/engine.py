@@ -22,7 +22,8 @@ from typing import List, Optional, Tuple, Union
 from ..rdf.dataset import Dataset
 from ..rdf.graph import Graph
 from . import algebra as alg
-from .evaluator import EvaluationStats, Evaluator, QueryTimeout
+from .evaluator import (EvaluationStats, Evaluator, QueryTimeout,
+                        _synopses_built)
 from .parser import parse
 from .plan import Plan, optimize_plan, output_variables, plan_key
 from .results import ResultSet, ResultStream
@@ -81,8 +82,20 @@ class Engine:
         candidates come from a k-way intersection of the graph's sorted
         runs instead of expand-then-filter.  Same
         ``'auto'``/``True``/``False`` contract as ``sip``.
+    wcoj:
+        Generic-join (worst-case-optimal) BGP evaluation: cyclic BGPs
+        the cost-based planner annotated ``strategy='wcoj'`` bind one
+        variable at a time along the plan's elimination order, each
+        level a k-way sorted-run intersection over every pattern that
+        constrains the variable.  ``'auto'`` (default) follows the
+        planner; ``True`` forces generic join for every multi-pattern
+        BGP it can cover (computing an order on the spot when the plan
+        carries none); ``False`` disables it — the baseline the ``wcoj``
+        benchmark section measures against.  ``multiway=False`` also
+        suppresses planner-driven generic join, so a fully knobs-off
+        engine runs pure nested loops.
 
-        Both knobs preserve result *bags* for un-windowed queries, but
+        These knobs preserve result *bags* for un-windowed queries, but
         not row order: a filtered or intersected BGP produces rows in a
         different (still deterministic) order, so toggling a knob may
         reorder results, and a ``LIMIT`` window without a total ``ORDER
@@ -115,6 +128,7 @@ class Engine:
                  limit_pushdown: bool = True,
                  sip: Union[bool, str] = "auto",
                  multiway: Union[bool, str] = "auto",
+                 wcoj: Union[bool, str] = "auto",
                  vectorize: Union[bool, str] = "auto"):
         if isinstance(source, Dataset):
             self.dataset = source
@@ -137,12 +151,15 @@ class Engine:
             raise ValueError("sip must be True, False, or 'auto'")
         if multiway not in (True, False, "auto"):
             raise ValueError("multiway must be True, False, or 'auto'")
+        if wcoj not in (True, False, "auto"):
+            raise ValueError("wcoj must be True, False, or 'auto'")
         if vectorize not in (True, False, "auto"):
             raise ValueError("vectorize must be True, False, or 'auto'")
         self.streaming = streaming
         self.limit_pushdown = limit_pushdown
         self.sip = sip
         self.multiway = multiway
+        self.wcoj = wcoj
         self.vectorize = vectorize
         self.plan_cache_size = plan_cache_size
         self._plan_cache: "OrderedDict[str, Plan]" = OrderedDict()
@@ -180,9 +197,15 @@ class Engine:
             return cached
 
         graph = self._planning_graph(query.from_graphs, default_graph_uri)
+        # Synopses (characteristic sets, per-predicate samples) are built
+        # lazily by the cost-based passes while planning; record the
+        # builds this plan triggered so the first execution's stats can
+        # attribute them (cache hits attribute zero, correctly).
+        before = _synopses_built(graph)
         plan = optimize_plan(query, key=key, graph=graph,
                              dataset=self.dataset, join_order=self.optimize,
                              source=kind, push_limits=self.limit_pushdown)
+        plan.synopsis_builds = _synopses_built(graph) - before
         self.plan_cache_misses += 1
         if self.plan_cache_size > 0:
             self._plan_cache[key] = plan
@@ -246,7 +269,8 @@ class Engine:
         if self.vectorize == "auto":
             return (getattr(plan, "vectorized", False) and plan.streaming
                     and self._use_streaming(plan)
-                    and self.multiway is not True)
+                    and self.multiway is not True
+                    and self.wcoj is not True)
         return bool(self.vectorize)
 
     def evaluate_plan(self, plan: Plan,
@@ -280,7 +304,7 @@ class Engine:
                               if max_rows is None else max_rows,
                               deadline=deadline, cancel=cancel,
                               sip=self.sip, multiway=self.multiway,
-                              vectorize=use_vector)
+                              wcoj=self.wcoj, vectorize=use_vector)
         try:
             # vectorize=True rides on the streaming executor — forcing
             # the columnar plane forces streaming too.
@@ -325,6 +349,10 @@ class Engine:
         """
         result, stats, elapsed = self.evaluate_plan(
             plan, default_graph_uri, timeout, cancel=cancel)
+        if plan.executions == 0:
+            # Planning-time synopsis builds belong to the query that
+            # triggered them; repeat executions report only their own.
+            stats.synopsis_builds += getattr(plan, "synopsis_builds", 0)
         plan.executions += 1
         self.last_plan = plan
         self.last_stats = stats
@@ -412,6 +440,7 @@ class Engine:
                               max_rows=self.max_intermediate_rows,
                               deadline=deadline, cancel=cancel,
                               sip=self.sip, multiway=self.multiway,
+                              wcoj=self.wcoj,
                               vectorize=self._use_vectorize(plan))
         table_stream = evaluator.evaluate_query_stream(
             plan.query, default_graph_uri, hint=batch_rows)

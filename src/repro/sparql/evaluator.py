@@ -57,8 +57,9 @@ from ..rdf.terms import (XSD_DECIMAL, XSD_DOUBLE, XSD_INTEGER, Literal,
                          Variable)
 from . import algebra as alg
 from .expressions import ExpressionError, VarExpr, ebv
-from .optimizer import (GraphStatistics, intersection_worthwhile,
-                        order_patterns, run_signature, run_width)
+from .optimizer import (GraphStatistics, generic_join_order,
+                        intersection_worthwhile, order_patterns,
+                        run_signature, run_width)
 from .solution import (ColumnBatch, RowView, SolutionTable, TableStream,
                        _merge_plan, _merge_rows, _rows_compatible, batched,
                        stream_distinct, table_distinct, table_join,
@@ -91,6 +92,15 @@ class QueryTimeout(RuntimeError):
     pattern matcher checks the clock while rows are being produced — so a
     runaway cross product is abandoned instead of run to completion.
     """
+
+
+def _synopses_built(graph) -> int:
+    """Total statistics synopses built on a graph, union views included
+    (a union's member builds land on the member counters)."""
+    total = getattr(graph, "synopses_built", 0)
+    for member in getattr(graph, "graphs", ()):
+        total += member.synopses_built
+    return total
 
 
 class EvaluationStats:
@@ -132,6 +142,16 @@ class EvaluationStats:
         self.sip_filtered_rows = 0
         self.intersect_steps = 0
         self.sorted_runs_built = 0
+        # Generic-join (WCOJ) counters.  ``wcoj_steps`` counts input rows
+        # processed by generic-join variable-binding levels (each level is
+        # a k-way sorted-run intersection; its internal probes also bump
+        # ``intersect_steps``); ``synopsis_builds`` counts statistics
+        # synopses (characteristic sets, per-predicate synopses) lazily
+        # built on the graphs this query touched during evaluation —
+        # synopses already built (at plan time or by earlier queries)
+        # count zero, like the sorted runs.
+        self.wcoj_steps = 0
+        self.synopsis_builds = 0
         # Vectorized-plane counters.  ``vector_batches`` counts
         # ColumnBatch objects crossing the root stream boundary;
         # ``selection_vector_hits`` counts batches filtered by a compiled
@@ -148,6 +168,7 @@ class EvaluationStats:
                 "rows=%d, subqueries=%d, joins=%d, pulled=%d, "
                 "early_exits=%d, peak_batch=%d, groups=%d, acc_rows=%d, "
                 "sip_filtered=%d, intersects=%d, runs_built=%d, "
+                "wcoj=%d, synopses=%d, "
                 "vector_batches=%d, sel_hits=%d, fallbacks=%d)" % (
                     self.bgp_count, self.bgp_cache_hits,
                     self.pattern_matches, self.intermediate_rows,
@@ -156,6 +177,7 @@ class EvaluationStats:
                     self.peak_batch_rows, self.groups_built,
                     self.accumulator_rows, self.sip_filtered_rows,
                     self.intersect_steps, self.sorted_runs_built,
+                    self.wcoj_steps, self.synopsis_builds,
                     self.vector_batches, self.selection_vector_hits,
                     self.row_fallbacks))
 
@@ -174,6 +196,8 @@ class EvaluationStats:
                 "sip_filtered_rows": self.sip_filtered_rows,
                 "intersect_steps": self.intersect_steps,
                 "sorted_runs_built": self.sorted_runs_built,
+                "wcoj_steps": self.wcoj_steps,
+                "synopsis_builds": self.synopsis_builds,
                 "vector_batches": self.vector_batches,
                 "selection_vector_hits": self.selection_vector_hits,
                 "row_fallbacks": self.row_fallbacks}
@@ -187,6 +211,7 @@ class Evaluator:
                  deadline: Optional[float] = None,
                  sip: Union[bool, str] = "auto",
                  multiway: Union[bool, str] = "auto",
+                 wcoj: Union[bool, str] = "auto",
                  cancel=None, vectorize: bool = False):
         self.dataset = dataset
         self.optimize = optimize
@@ -207,6 +232,13 @@ class Evaluator:
         # against.
         self.sip = sip
         self.multiway = multiway
+        # Generic-join (WCOJ) knob, same contract: ``'auto'`` runs a BGP
+        # the planner annotated ``strategy='wcoj'`` as a generic join
+        # (unless ``multiway=False`` — the all-intersections-off baseline
+        # keeps every run-intersection counter at zero); True forces
+        # generic join on any structurally eligible BGP; False falls back
+        # to the annotated intersect/nested-loop plan.
+        self.wcoj = wcoj
         # Columnar data plane: when True the streaming executor exchanges
         # ColumnBatch objects between the operators that have a
         # column-at-a-time form, transposing back to row tuples only where
@@ -234,7 +266,11 @@ class Evaluator:
                        ) -> SolutionTable:
         graph = self._resolve_graphs(query.from_graphs, default_graph_uri)
         self.dictionary = graph.dictionary
-        return self.evaluate(query.pattern, graph, top=True)
+        before = _synopses_built(graph)
+        try:
+            return self.evaluate(query.pattern, graph, top=True)
+        finally:
+            self.stats.synopsis_builds += _synopses_built(graph) - before
 
     def _resolve_graphs(self, from_graphs: List[str],
                         default_graph_uri: Optional[str]):
@@ -278,7 +314,7 @@ class Evaluator:
     def _graph_stats(self, graph) -> GraphStatistics:
         key = id(graph)
         stats = self._stats_cache.get(key)
-        if stats is None:
+        if stats is None or not stats.fresh():
             stats = GraphStatistics(graph)
             self._stats_cache[key] = stats
         return stats
@@ -286,12 +322,48 @@ class Evaluator:
     # -- strategy / SIP routing ----------------------------------------
 
     def _bgp_intersect(self, node: alg.BGP) -> bool:
-        """Should this BGP compile with multiway intersection steps?"""
+        """Should this BGP compile with multiway intersection steps?
+
+        A BGP the planner routed to generic join (``strategy='wcoj'``)
+        falls back to intersection when the ``wcoj`` knob is off *and*
+        the planner recorded that the multiway gate would also have
+        fired (``intersect_ok``) — so a ``wcoj=False`` engine keeps the
+        pre-WCOJ intersection plan rather than dropping to nested-loop.
+        """
         mode = self.multiway
         if mode is True:
             return True
-        return mode == "auto" and getattr(node, "strategy",
-                                          None) == "intersect"
+        if mode != "auto":
+            return False
+        strategy = getattr(node, "strategy", None)
+        if strategy == "intersect":
+            return True
+        return strategy == "wcoj" and getattr(node, "intersect_ok", False)
+
+    def _wcoj_order(self, node: alg.BGP, graph):
+        """The elimination order generic join should use for this BGP,
+        or ``None`` when the BGP runs on another strategy.
+
+        ``wcoj='auto'`` follows the planner's annotation (suppressed
+        under ``multiway=False``, the run-intersections-off baseline);
+        ``wcoj=True`` forces generic join on any structurally eligible
+        BGP, computing an order on the spot when the plan carries none.
+        """
+        if self.wcoj is False:
+            return None
+        if not hasattr(graph, "objects_run"):
+            return None
+        order = getattr(node, "eliminate", None)
+        if self.wcoj is True:
+            if order is None and len(node.triples) > 1:
+                order = generic_join_order(node.triples,
+                                           self._graph_stats(graph))
+            return tuple(order) if order else None
+        if self.multiway is False:
+            return None
+        if getattr(node, "strategy", None) == "wcoj" and order:
+            return tuple(order)
+        return None
 
     def _use_sip(self, node) -> bool:
         """Should this join export sideways filters to its probe side?"""
@@ -376,21 +448,23 @@ class Evaluator:
         if not patterns:
             return SolutionTable.unit()
         intersect = self._bgp_intersect(node)
+        eliminate = self._wcoj_order(node, graph)
         sip_active = self._sip_touches(patterns)
         cache_key = None
         if self.cache_bgps and not sip_active:
-            cache_key = (id(graph), intersect,
+            cache_key = (id(graph), intersect, eliminate,
                          tuple(sorted(patterns, key=lambda t: repr(t))))
             cached = self._bgp_cache.get(cache_key)
             if cached is not None:
                 self.stats.bgp_cache_hits += 1
                 return cached
-        if len(patterns) > 1:
+        if len(patterns) > 1 and not eliminate:
             if sip_active:
                 patterns = self._order_for_sip(patterns, graph)
             elif self.optimize:
                 patterns = order_patterns(patterns, self._graph_stats(graph))
-        schema, _schemas, steps = self._bgp_steps(patterns, graph, intersect)
+        schema, _schemas, steps = self._bgp_steps(patterns, graph, intersect,
+                                                  eliminate)
         rows: List[tuple] = []
         if steps is not None:
             rows = [()]
@@ -1131,6 +1205,109 @@ class Evaluator:
             self.stats.groups_built += built
         return SolutionTable(out_vars, out_rows)
 
+    def _wcoj_group_aggregate(self, node: alg.Group,
+                              graph) -> Optional[SolutionTable]:
+        """Aggregate pushdown through the generic-join decomposition.
+
+        ``Group`` over a wcoj-planned cyclic BGP folds aggregate states
+        *inside* the join's last elimination level: the compiled wcoj
+        steps run depth-first exactly as in :meth:`_eval_bgp`, but the
+        final step's ``append`` routes each completed binding straight
+        into its group's accumulator (the same compiled folds the
+        streaming hash aggregation uses, so every finished cell is
+        bit-identical) — no batch of join rows is ever built, and
+        ``accumulator_rows`` stays at zero.  Group order is the
+        first-seen order of the depth-first enumeration, which is the
+        row order every executor produces from the same steps, so the
+        emitted rows match the general path exactly.
+
+        Applies when no sideways-information-passing scope is active and
+        the (possibly ``Project``-wrapped) input is a BGP the engine's
+        wcoj gate accepts; returns ``None`` otherwise.
+        """
+        if self._sip:
+            return None
+        pattern = node.pattern
+        while isinstance(pattern, alg.Project):
+            pattern = pattern.pattern
+        if not isinstance(pattern, alg.BGP) or not pattern.triples:
+            return None
+        order = self._wcoj_order(pattern, graph)
+        if not order:
+            return None
+        schema, _schemas, steps = self._bgp_steps(
+            pattern.triples, graph, self._bgp_intersect(pattern), order)
+        index = {v: i for i, v in enumerate(schema)}
+        positions = []
+        for v in node.group_vars:
+            p = index.get(v)
+            if p is None:
+                return None  # key unbound by the BGP: general path
+            positions.append(p)
+        self.stats.bgp_count += 1
+        decode = self.dictionary.decode
+        encode = self.dictionary.encode
+        specs = [_compile_aggregate(a, index, decode)
+                 for a in node.aggregates]
+        groups: Dict = {}
+        if steps is not None:
+            get = groups.get
+            scalar = positions[0] if len(positions) == 1 else None
+            cancel = self.cancel
+            deadline = self.deadline
+            folded = [0]
+
+            def fold_leaf(row):
+                if scalar is not None:
+                    key = row[scalar]
+                else:
+                    key = tuple(row[p] for p in positions)
+                states = get(key)
+                if states is None:
+                    groups[key] = states = [new() for new, _, _ in specs]
+                for (_, fold, _), state in zip(specs, states):
+                    fold(state, row)
+                n = folded[0] = folded[0] + 1
+                if not (n & 1023):
+                    if cancel is not None:
+                        cancel.raise_if_cancelled()
+                    if deadline is not None \
+                            and time.perf_counter() > deadline:
+                        raise QueryTimeout(
+                            "query exceeded its time budget after %d "
+                            "bindings of an aggregated generic join" % n)
+
+            rows: List[tuple] = [()]
+            for step in steps[:-1]:
+                out: List[tuple] = []
+                step(rows, self._guarded_append(out))
+                rows = out
+                if not rows:
+                    break
+            if rows:
+                steps[-1](rows, fold_leaf)
+        if not node.group_vars and not groups:
+            # Implicit single group over empty input: COUNT is 0.
+            groups[()] = [new() for new, _, _ in specs]
+        self.stats.groups_built += len(groups)
+        out_vars = tuple(node.group_vars) + tuple(a.alias
+                                                  for a in node.aggregates)
+        out_index = {v: i for i, v in enumerate(out_vars)}
+        having = node.having
+        out_rows: List[tuple] = []
+        for key, states in groups.items():
+            cells = [key] if len(positions) == 1 else list(key)
+            for (_, _, finish), state in zip(specs, states):
+                value = finish(state)
+                cells.append(None if value is None else encode(value))
+            out_row = tuple(cells)
+            if having is not None \
+                    and not _passes_having(having, out_index,
+                                           out_row, decode):
+                continue
+            out_rows.append(out_row)
+        return SolutionTable(out_vars, out_rows)
+
     def _sip_for_group(self, node: alg.Group) -> Dict:
         """Restrict the active scope to the Group's grouping variables.
 
@@ -1362,7 +1539,14 @@ class Evaluator:
         """
         graph = self._resolve_graphs(query.from_graphs, default_graph_uri)
         self.dictionary = graph.dictionary
-        return self.stream(query.pattern, graph, hint)
+        # Stream operators compile eagerly (only row production defers),
+        # so synopsis builds they trigger are visible once the stream is
+        # constructed.
+        before = _synopses_built(graph)
+        try:
+            return self.stream(query.pattern, graph, hint)
+        finally:
+            self.stats.synopsis_builds += _synopses_built(graph) - before
 
     def stream(self, node: alg.AlgebraNode, graph,
                hint: Optional[int] = None) -> TableStream:
@@ -1443,7 +1627,8 @@ class Evaluator:
 
     # -- producers -----------------------------------------------------
 
-    def _bgp_steps(self, patterns, graph, intersect: bool = False):
+    def _bgp_steps(self, patterns, graph, intersect: bool = False,
+                   eliminate=None):
         """Compile an ordered pattern list into per-level match steps.
 
         Returns ``(final_schema, per_level_schemas, steps)``; ``steps`` is
@@ -1459,7 +1644,17 @@ class Evaluator:
         variable are satisfied by the intersection itself and drop out of
         the plan.  Both executors drive the same steps, so the two
         columnar planes keep one row order per strategy.
+
+        With ``eliminate`` (a variable elimination order from the
+        cost-based planner or a forced ``wcoj=True`` engine), the
+        generic-join compiler takes over entirely — one intersection
+        level per variable (:meth:`_wcoj_steps`); if it cannot cover the
+        BGP the normal compilers below apply.
         """
+        if eliminate:
+            planned = self._wcoj_steps(patterns, graph, eliminate)
+            if planned is not None:
+                return planned
         schema: List[str] = []
         schemas: List[List[str]] = []
         steps = []
@@ -1507,7 +1702,6 @@ class Evaluator:
                 candidates.append(term.name)
         if not candidates:
             return None
-        lookup = self.dictionary.lookup
         index = {v: i for i, v in enumerate(schema)}
         # Under 'auto', each step must also pass the planner's statistics
         # gate — a BGP annotated for one worthwhile step should not pay
@@ -1539,35 +1733,135 @@ class Evaluator:
             # Resolve signatures into run sources; an unknown constant
             # means the whole BGP is empty — let the nested-loop path
             # discover that (schema completion included).
-            static_specs = []
-            row_specs = []
-            ok = True
-            for sig in signatures:
-                kind, predicate = sig[0], sig[1]
-                pid = lookup(predicate)
-                if pid is None:
-                    ok = False
-                    break
-                if kind == "psubjects":
-                    static_specs.append((kind, pid, None))
-                    continue
-                other = sig[2]
-                if isinstance(other, tuple):  # ("?", name): bound column
-                    row_specs.append((kind, pid, index[other[1]]))
-                else:
-                    oid = lookup(other)
-                    if oid is None:
-                        ok = False
-                        break
-                    static_specs.append((kind, pid, oid))
-            if not ok:
+            resolved = self._resolve_run_signatures(signatures, index)
+            if resolved is None:
                 return None
+            static_specs, row_specs = resolved
             step = self._intersection_step(var, static_specs, row_specs,
                                            graph)
             keep = [q for pos, q in enumerate(remaining)
                     if pos not in consumed]
             return var, step, keep
         return None
+
+    def _resolve_run_signatures(self, signatures, index):
+        """Resolve :func:`~.optimizer.run_signature` tuples into operand
+        specs for :meth:`_intersection_step`: ``static_specs`` are
+        ``(kind, pid, oid|None)`` constant-keyed runs, ``row_specs`` are
+        ``(kind, pid, column)`` runs re-seeded from a bound row column.
+        Returns ``None`` when a constant term is unknown to the
+        dictionary — the caller falls back to the nested-loop compiler,
+        which discovers the empty result with schema completion.
+        """
+        lookup = self.dictionary.lookup
+        static_specs = []
+        row_specs = []
+        for sig in signatures:
+            kind, predicate = sig[0], sig[1]
+            pid = lookup(predicate)
+            if pid is None:
+                return None
+            if kind == "psubjects":
+                static_specs.append((kind, pid, None))
+                continue
+            other = sig[2]
+            if isinstance(other, tuple):  # ("?", name): bound column
+                row_specs.append((kind, pid, index[other[1]]))
+            else:
+                oid = lookup(other)
+                if oid is None:
+                    return None
+                static_specs.append((kind, pid, oid))
+        return static_specs, row_specs
+
+    def _wcoj_steps(self, patterns, graph, eliminate):
+        """Compile a generic-join (worst-case-optimal) plan.
+
+        One step per variable of the elimination order: the step binds
+        that variable for every input row through a k-way intersection of
+        all the sorted runs that constrain it across the *whole*
+        remaining BGP (:meth:`_intersection_step` — the leapfrog level),
+        instead of the pattern-at-a-time expand-then-filter of the
+        nested-loop plan.  On cyclic BGPs this caps each level's fan-out
+        at the narrowest constraining run, which is what yields the
+        AGM-style worst-case bound.  Patterns no level consumed become
+        fully-bound containment filters at the end.  Returns the usual
+        ``(schema, schemas, steps)`` triple, or ``None`` when the order
+        does not cover the BGP (a variable outside it, an unconstrained
+        level, an unknown constant) — the caller falls back to the
+        nested-loop compiler.
+
+        Candidates emerge from each level in ascending id order (see
+        :meth:`_intersection_step`), so row order is deterministic and
+        both executors produce identical batches from one compile.
+        """
+        stats = self.stats
+        schema: List[str] = []
+        schemas: List[List[str]] = []
+        steps = []
+        remaining = list(patterns)
+        bound: set = set()
+        for var in eliminate:
+            index = {v: i for i, v in enumerate(schema)}
+            signatures = []
+            seen = set()
+            consumed = set()
+            sig_source: Dict[tuple, int] = {}
+            for pos, q in enumerate(remaining):
+                sig, consumes = run_signature(q, var, bound)
+                if sig is None:
+                    continue
+                if sig not in seen:
+                    seen.add(sig)
+                    signatures.append(sig)
+                if consumes:
+                    consumed.add(pos)
+                    sig_source.setdefault(sig, pos)
+            if not signatures:
+                return None
+            if len(signatures) == 1 and signatures[0] in sig_source:
+                # Degenerate level: a single constraining run from a
+                # pattern whose only free position is the variable.
+                # An index probe on that pattern is the same candidate
+                # set without building (and memoizing) a sorted run per
+                # input row.
+                source = remaining[sig_source[signatures[0]]]
+                new_schema, inner = self._pattern_plan(source, schema,
+                                                       graph)
+                if inner is None:
+                    return None  # unknown constant: nested-loop reports
+            else:
+                resolved = self._resolve_run_signatures(signatures, index)
+                if resolved is None:
+                    return None
+                static_specs, row_specs = resolved
+                inner = self._intersection_step(var, static_specs,
+                                                row_specs, graph)
+                new_schema = schema + [var]
+
+            def step(rows, append, _inner=inner):
+                # One wcoj step per input row per level; the inner
+                # intersection probes keep bumping intersect_steps.
+                stats.wcoj_steps += len(rows)
+                _inner(rows, append)
+
+            steps.append(step)
+            schema = new_schema
+            schemas.append(list(schema))
+            bound.add(var)
+            remaining = [q for pos, q in enumerate(remaining)
+                         if pos not in consumed]
+        for q in remaining:
+            for term in q:
+                if isinstance(term, Variable) and term.name not in bound:
+                    return None  # partial order: fall back
+        for q in remaining:
+            schema, check = self._pattern_plan(q, schema, graph)
+            if check is None:
+                return None  # unknown constant: nested-loop path reports
+            steps.append(check)
+            schemas.append(list(schema))
+        return schema, schemas, steps
 
     def _intersection_step(self, var: str, static_specs, row_specs, graph):
         """Build the executable step for one intersection binding.
@@ -1686,6 +1980,9 @@ class Evaluator:
         def finish(row, matched, append):
             # pattern_matches counts pre-filter candidates (same meaning
             # as the nested-loop shapes); SIP drops are tracked apart.
+            # The specialized shapes below inline this and batch the
+            # counter updates per step call — keep their accounting in
+            # sync with any change here.
             stats.pattern_matches += len(matched)
             if sip_filter is not None:
                 kept = [tid for tid in matched if tid in sip_filter]
@@ -1703,18 +2000,28 @@ class Evaluator:
                 static_set = frozenset(static_candidates)
 
             def step(rows, append):
+                steps = 0
+                candidates = 0
                 for row in rows:
                     members = get0(row)
                     if not members:
                         continue
-                    stats.intersect_steps += 1
+                    steps += 1
                     if static_len <= len(members):
                         matched = [tid for tid in static_candidates
                                    if tid in members]
                     else:
                         matched = [tid for tid in run0(row)
                                    if tid in static_set]
-                    finish(row, matched, append)
+                    candidates += len(matched)
+                    if sip_filter is not None:
+                        kept = [tid for tid in matched if tid in sip_filter]
+                        stats.sip_filtered_rows += len(matched) - len(kept)
+                        matched = kept
+                    for tid in matched:
+                        append(row + (tid,))
+                stats.intersect_steps += steps
+                stats.pattern_matches += candidates
 
             return step
 
@@ -1724,6 +2031,8 @@ class Evaluator:
             get1, run1 = set_fetchers[1], run_fetchers[1]
 
             def step(rows, append):
+                steps = 0
+                candidates = 0
                 for row in rows:
                     first = get0(row)
                     if not first:
@@ -1731,14 +2040,22 @@ class Evaluator:
                     second = get1(row)
                     if not second:
                         continue
-                    stats.intersect_steps += 1
+                    steps += 1
                     if len(first) <= len(second):
                         matched = [tid for tid in run0(row)
                                    if tid in second]
                     else:
                         matched = [tid for tid in run1(row)
                                    if tid in first]
-                    finish(row, matched, append)
+                    candidates += len(matched)
+                    if sip_filter is not None:
+                        kept = [tid for tid in matched if tid in sip_filter]
+                        stats.sip_filtered_rows += len(matched) - len(kept)
+                        matched = kept
+                    for tid in matched:
+                        append(row + (tid,))
+                stats.intersect_steps += steps
+                stats.pattern_matches += candidates
 
             return step
 
@@ -1746,6 +2063,7 @@ class Evaluator:
             static_set = frozenset(static_candidates)
 
         def step(rows, append):
+            steps = 0
             for row in rows:
                 row_sets = []
                 dead = False
@@ -1757,7 +2075,7 @@ class Evaluator:
                     row_sets.append(candidates)
                 if dead:
                     continue
-                stats.intersect_steps += 1
+                steps += 1
                 if static_candidates is not None and len(static_candidates) \
                         <= min(len(s) for s in row_sets):
                     seed = static_candidates
@@ -1784,6 +2102,7 @@ class Evaluator:
                     matched = [tid for tid in seed
                                if all(tid in p for p in probes)]
                 finish(row, matched, append)
+            stats.intersect_steps += steps
 
         return step
 
@@ -1795,9 +2114,10 @@ class Evaluator:
             return TableStream((), self._meter(iter(([()],))))
         cap = self._cap(hint)
         intersect = self._bgp_intersect(node)
+        eliminate = self._wcoj_order(node, graph)
         sip_active = self._sip_touches(patterns)
         if self.cache_bgps and not sip_active:
-            cache_key = (id(graph), intersect,
+            cache_key = (id(graph), intersect, eliminate,
                          tuple(sorted(patterns, key=lambda t: repr(t))))
             cached = self._bgp_cache.get(cache_key)
             if cached is not None:
@@ -1807,12 +2127,13 @@ class Evaluator:
                 self.stats.bgp_cache_hits += 1
                 return TableStream(cached.variables,
                                    self._meter(batched(cached.rows, cap)))
-        if len(patterns) > 1:
+        if len(patterns) > 1 and not eliminate:
             if sip_active:
                 patterns = self._order_for_sip(patterns, graph)
             elif self.optimize:
                 patterns = order_patterns(patterns, self._graph_stats(graph))
-        schema, _schemas, steps = self._bgp_steps(patterns, graph, intersect)
+        schema, _schemas, steps = self._bgp_steps(patterns, graph, intersect,
+                                                  eliminate)
         if steps is None:
             return TableStream(schema, self._meter(iter(())))
         if self.vectorize and hint is None:
@@ -2244,6 +2565,10 @@ class Evaluator:
                     return self._stream_group(node, graph, hint)
                 finally:
                     self._sip = scope
+        pushed = self._wcoj_group_aggregate(node, graph)
+        if pushed is not None:
+            batches = iter((pushed.rows,)) if pushed.rows else iter(())
+            return TableStream(pushed.variables, self._meter(batches))
         fast = self._fast_group_count(node, graph)
         if fast is not None:
             batches = iter((fast.rows,)) if fast.rows else iter(())
@@ -2802,13 +3127,14 @@ class Evaluator:
 
         self.stats.bgp_count += 1
         patterns = node.pattern.triples
-        if self.optimize and len(patterns) > 1:
+        eliminate = self._wcoj_order(node.pattern, graph)
+        if self.optimize and len(patterns) > 1 and not eliminate:
             patterns = order_patterns(patterns, self._graph_stats(graph))
         # Compile with the same strategy the materialized plane would use:
         # on a tie-heavy ORDER BY the window's k-subset depends on BGP
         # production order, so the planes must drive identical steps.
         schema, schemas, steps = self._bgp_steps(
-            patterns, graph, self._bgp_intersect(node.pattern))
+            patterns, graph, self._bgp_intersect(node.pattern), eliminate)
         if steps is None:
             return TableStream(schema, self._meter(iter(())))
         # First pattern depth at which every sort variable is bound.

@@ -23,6 +23,13 @@ explicit pipeline of rewrite passes:
   :mod:`~repro.sparql.optimizer`, applied once at plan time instead of on
   every evaluation.
 
+After the rewrite fixpoint, the ``CostBasedJoinStrategy`` pass annotates
+the tree in place: per-BGP estimated cardinalities and the chosen join
+strategy (nested-loop / ``intersect`` / ``wcoj``, the last with a variable
+elimination order for cyclic BGPs detected via the join hypergraph), and
+per-join SIP eligibility.  The engine's execution knobs consult these
+annotations under their ``'auto'`` settings.
+
 Each pass is a pure ``node -> (node, changes)`` function (input trees are
 never mutated) and records per-pass statistics on the plan, so ablations
 and tests can see exactly what fired.  :class:`~repro.sparql.engine.Engine`
@@ -39,7 +46,10 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from ..rdf.terms import Variable, is_concrete
 from . import algebra as alg
 from .expressions import AndExpr, Expression
-from .optimizer import (GraphStatistics, intersection_worthwhile,
+from .optimizer import (GraphStatistics, WCOJ_COST_FACTOR, WCOJ_MIN_TRIPLES,
+                        bgp_is_cyclic,
+                        estimate_join, estimate_wcoj, generic_join_eligible,
+                        generic_join_order, intersection_worthwhile,
                         order_patterns, run_signature, run_width)
 
 PassResult = Tuple[alg.AlgebraNode, int]
@@ -85,6 +95,9 @@ class Plan:
         self.source = source  # 'text' | 'model' | 'algebra'
         self.output_variables = output_variables(query)
         self.executions = 0
+        # Statistics synopses lazily built while planning this query
+        # (set by the engine; folded into the first execution's stats).
+        self.synopsis_builds = 0
         # True when the tree carries a row bound (TopK, or Slice with a
         # limit) or an aggregation (Group): the engine then evaluates the
         # plan on the pipelined streaming executor, where a bound
@@ -104,11 +117,46 @@ class Plan:
         return sum(s.changes for s in self.pass_stats)
 
     def explain(self) -> str:
-        """Textual rendering of the optimized tree plus pass statistics."""
+        """Textual rendering of the optimized tree plus pass statistics.
+
+        Nodes annotated by the ``CostBasedJoinStrategy`` pass render
+        their chosen join strategy, estimated cardinality, and (for
+        ``wcoj``) the variable elimination order in a trailing
+        ``[...]`` block; SIP-eligible joins render ``[sip]``.
+
+        A triangle over a collaboration edge with a few high-degree hubs:
+        the nested-loop estimate blows up on the hubs' squared fan-out,
+        so the cost gate routes the BGP to generic join and annotates
+        the variable elimination order.
+
+        >>> from repro.rdf.graph import Graph
+        >>> from repro.rdf.terms import URIRef
+        >>> g = Graph("urn:ex")
+        >>> w = URIRef("urn:with")
+        >>> p = [URIRef("urn:p%02d" % i) for i in range(24)]
+        >>> for i in range(24):  # sparse ring of collaborations
+        ...     _ = g.add(p[i], w, p[(i + 1) % 24])
+        ...     _ = g.add(p[(i + 1) % 24], w, p[i])
+        >>> for h in range(8):   # eight hubs collaborate with everyone
+        ...     for i in range(24):
+        ...         if i != h:
+        ...             _ = g.add(p[h], w, p[i])
+        ...             _ = g.add(p[i], w, p[h])
+        >>> from repro.sparql.parser import parse
+        >>> plan = optimize_plan(parse(
+        ...     "SELECT ?a WHERE { ?a <urn:with> ?b . "
+        ...     "?b <urn:with> ?c . ?a <urn:with> ?c }"), graph=g)
+        >>> for line in plan.explain().splitlines():
+        ...     if not line.startswith("--"):
+        ...         print(line)
+        FROM []
+        Project(['a'])
+          BGP(3 triples) [strategy=wcoj, est_rows=2881, eliminate=?a->?b->?c]
+        """
         lines: List[str] = ["FROM %s" % self.query.from_graphs]
 
         def walk(node, depth):
-            lines.append("  " * depth + repr(node))
+            lines.append("  " * depth + repr(node) + _explain_notes(node))
             for child in node.children():
                 walk(child, depth + 1)
 
@@ -121,6 +169,26 @@ class Plan:
     def __repr__(self):
         return "Plan(source=%s, passes=%s)" % (
             self.source, [s.name for s in self.pass_stats])
+
+
+def _explain_notes(node: alg.AlgebraNode) -> str:
+    """The ``[...]`` annotation block :meth:`Plan.explain` appends to a
+    node line, or '' when the planner annotated nothing."""
+    notes: List[str] = []
+    strategy = getattr(node, "strategy", None)
+    if strategy is not None:
+        notes.append("strategy=%s" % strategy)
+    est_rows = getattr(node, "est_rows", None)
+    if est_rows is not None:
+        notes.append("est_rows=%d" % round(est_rows))
+    eliminate = getattr(node, "eliminate", None)
+    if eliminate:
+        notes.append("eliminate=%s" % "->".join("?" + v for v in eliminate))
+    if getattr(node, "sip_eligible", False):
+        notes.append("sip")
+    if not notes:
+        return ""
+    return " [%s]" % ", ".join(notes)
 
 
 def output_variables(query: alg.Query) -> Optional[List[str]]:
@@ -183,7 +251,7 @@ def _vector_walk(node: alg.AlgebraNode) -> Tuple[bool, bool]:
     if isinstance(node, alg.BGP):
         if not node.triples:
             return True, False
-        if getattr(node, "strategy", None) == "intersect":
+        if getattr(node, "strategy", None) in ("intersect", "wcoj"):
             return False, True
         ok = not any(isinstance(triple[1], Variable)
                      for triple in node.triples)
@@ -605,7 +673,7 @@ def make_join_ordering(graph, dataset=None) -> PassFn:
 
 
 # ----------------------------------------------------------------------
-# Pass 7: JoinStrategy (post-fixpoint annotation pass)
+# Pass 7: CostBasedJoinStrategy (post-fixpoint annotation pass)
 # ----------------------------------------------------------------------
 
 #: Minimum triple count of a probe-side predicate before a join is marked
@@ -668,23 +736,49 @@ def _probe_prunable(probe: alg.AlgebraNode, shared: Set[str],
     return False
 
 
-def make_join_strategy(graph, dataset=None) -> PassFn:
-    """Build the JoinStrategy annotation pass for a resolved default graph.
+def _wcoj_sized(triples, stats: GraphStatistics) -> bool:
+    """The generic-join size gate: total triples across the BGP's
+    distinct predicates must clear :data:`~.optimizer.WCOJ_MIN_TRIPLES`
+    (micro graphs and unit fixtures keep nested-loop)."""
+    predicates = {q[1] for q in triples if is_concrete(q[1])}
+    return sum(stats.predicate_cardinality(p)
+               for p in predicates) >= WCOJ_MIN_TRIPLES
 
-    Unlike the rewrite passes, this one *annotates* nodes in place —
-    ``BGP.strategy = 'intersect'`` and ``sip_eligible = True`` on
-    Join/LeftJoin/Minus/FilterExists — and must therefore run after the
-    rewrite pipeline reaches fixpoint (rebuilding passes would drop the
-    attributes).  The engine's ``sip``/``multiway`` knobs consult the
-    annotations at execution time (``'auto'``), so one cached plan serves
-    every knob setting.
+
+def make_cost_based_join_strategy(graph, dataset=None) -> PassFn:
+    """Build the CostBasedJoinStrategy annotation pass for a resolved
+    default graph.
+
+    Unlike the rewrite passes, this one *annotates* nodes in place and
+    must therefore run after the rewrite pipeline reaches fixpoint
+    (rebuilding passes would drop the attributes).  Per BGP it estimates
+    the output cardinality (``est_rows``, from the synopsis-backed
+    :class:`~.optimizer.GraphStatistics`) and chooses a join strategy:
+
+    * ``wcoj`` — the BGP's join hypergraph is cyclic
+      (:func:`~.optimizer.bgp_is_cyclic`), structurally eligible for
+      generic join, and large enough; a variable elimination order is
+      annotated as ``eliminate`` (GROUP BY keys above the BGP are
+      preferred to the front so aggregates can be pushed through the
+      decomposition) along with the estimated generic-join cost
+      (``est_cost``).  ``intersect_ok`` records whether the multiway
+      gate would also fire, so engines with ``wcoj=False`` keep the
+      intersection plan instead of falling all the way to nested-loop.
+    * ``intersect`` — some step passes the shared multiway gate
+      (:func:`~.optimizer.intersection_worthwhile`).
+    * nested-loop otherwise (no ``strategy`` annotation).
+
+    Joins additionally get ``sip_eligible`` marks, as before.  The
+    engine's ``sip``/``multiway``/``wcoj`` knobs consult the annotations
+    at execution time (``'auto'``), so one cached plan serves every knob
+    setting.
     """
     stats_cache: Dict[int, GraphStatistics] = {}
 
     def stats_for(g) -> GraphStatistics:
         key = id(g)
         stats = stats_cache.get(key)
-        if stats is None:
+        if stats is None or not stats.fresh():
             stats = GraphStatistics(g)
             stats_cache[key] = stats
         return stats
@@ -701,19 +795,52 @@ def make_join_strategy(graph, dataset=None) -> PassFn:
                 n.sip_eligible = True
                 changes += 1
 
-        def visit(n: alg.AlgebraNode, g) -> None:
+        def visit(n: alg.AlgebraNode, g, prefer=()) -> None:
             nonlocal changes
             if isinstance(n, alg.BGP):
-                if g is not None and len(n.triples) >= 2 \
-                        and _bgp_wants_intersection(n.triples, stats_for(g)):
+                if g is None or not n.triples:
+                    return
+                stats = stats_for(g)
+                cost_nl, est_rows = estimate_join(n.triples, stats)
+                n.est_rows = est_rows
+                if len(n.triples) < 2:
+                    return
+                wants_intersect = _bgp_wants_intersection(n.triples, stats)
+                if wants_intersect:
+                    n.intersect_ok = True
+                if len(n.triples) >= 3 \
+                        and generic_join_eligible(n.triples) \
+                        and bgp_is_cyclic(n.triples) \
+                        and _wcoj_sized(n.triples, stats):
+                    order = generic_join_order(n.triples, stats,
+                                               prefer=prefer)
+                    if order is not None:
+                        cost_wcoj = estimate_wcoj(n.triples, order, stats)
+                        if cost_wcoj * WCOJ_COST_FACTOR <= cost_nl:
+                            n.strategy = "wcoj"
+                            n.eliminate = tuple(order)
+                            n.est_cost = cost_wcoj
+                            changes += 1
+                            return
+                if wants_intersect:
                     n.strategy = "intersect"
+                    n.est_cost = cost_nl
                     changes += 1
                 return
             if isinstance(n, alg.GraphPattern):
                 target = g
                 if dataset is not None and n.graph_uri in dataset:
                     target = dataset.graph(n.graph_uri)
-                visit(n.pattern, target)
+                visit(n.pattern, target, prefer)
+                return
+            if isinstance(n, alg.Group):
+                # Grouping keys prefixed in the elimination order are
+                # what lets COUNT/SUM ride the decomposition without
+                # materializing the join.
+                visit(n.pattern, g, tuple(n.group_vars))
+                return
+            if isinstance(n, alg.Project):
+                visit(n.pattern, g, prefer)
                 return
             if isinstance(n, alg.Join):
                 mark_sip(n, n.left, n.right, g)
@@ -733,6 +860,10 @@ def make_join_strategy(graph, dataset=None) -> PassFn:
         return node, changes
 
     return join_strategy
+
+
+#: Backwards-compatible alias for the pre-cost-model pass constructor.
+make_join_strategy = make_cost_based_join_strategy
 
 
 # ----------------------------------------------------------------------
@@ -772,10 +903,12 @@ def optimize_plan(query: alg.Query, key: str = "", graph=None, dataset=None,
     post: List[Tuple[str, PassFn]] = []
     if join_order and graph is not None:
         pipeline.append(("JoinOrdering", make_join_ordering(graph, dataset)))
-        # JoinStrategy only *annotates* (BGP strategy, per-join SIP
-        # eligibility); it runs once after the rewrite fixpoint so the
-        # rebuilding passes cannot drop its attributes.
-        post.append(("JoinStrategy", make_join_strategy(graph, dataset)))
+        # CostBasedJoinStrategy only *annotates* (BGP strategy + estimates
+        # + elimination orders, per-join SIP eligibility); it runs once
+        # after the rewrite fixpoint so the rebuilding passes cannot drop
+        # its attributes.
+        post.append(("CostBasedJoinStrategy",
+                     make_cost_based_join_strategy(graph, dataset)))
 
     node = query.pattern
     totals: Dict[str, PassStats] = {

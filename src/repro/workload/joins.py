@@ -11,8 +11,10 @@ intersection) has a corpus to be measured and differential-tested on:
   partial coverage (``genre``/``producer`` are optional in the data), the
   shape where intersecting sorted runs prunes hubs before any fan-out is
   expanded;
-* **cyclic** — triangle and 4-cycle shapes whose last variable is doubly
-  constrained, the classic worst-case-optimal-join win case;
+* **cyclic** — triangle, 4-cycle, diamond, and 5-clique shapes whose
+  later variables are multiply constrained, the classic
+  worst-case-optimal-join win case (the cost-based planner routes these
+  through the generic-join executor);
 * **chain** — entity-to-entity hops through shared values, where the
   middle hop explodes under nested loops;
 * **self-join** — the costar shape: a parity guard, since its output *is*
@@ -22,10 +24,10 @@ intersection) has a corpus to be measured and differential-tested on:
   scans, where semi-join filters prune the probe's leaves.
 
 Each query records which mechanism is expected to engage
-(``expect='multiway' | 'sip' | 'parity'``); the benchmark and the
-differential suite assert the matching counters
-(``intersect_steps``/``sip_filtered_rows``) where the planner chose the
-strategy.
+(``expect='multiway' | 'wcoj' | 'sip' | 'parity'``); the benchmark and
+the differential suite assert the matching counters
+(``intersect_steps``/``wcoj_steps``/``sip_filtered_rows``) where the
+planner chose the strategy.
 """
 
 from __future__ import annotations
@@ -48,7 +50,7 @@ class JoinQuery:
                  description: str, body: str):
         self.key = key
         self.shape = shape            # 'star' | 'cyclic' | 'chain' | 'self'
-        self.expect = expect          # 'multiway' | 'sip' | 'parity'
+        self.expect = expect          # 'multiway' | 'wcoj' | 'sip' | 'parity'
         self.description = description
         self.sparql = _PREFIX_BLOCK + body
 
@@ -71,10 +73,12 @@ JOIN_QUERIES: List[JoinQuery] = [
             ?film dbpp:starring ?actor .
         }"""),
     JoinQuery(
-        "triangle_costar_country", "cyclic", "multiway",
+        "triangle_costar_country", "cyclic", "wcoj",
         "Triangle: films starring actors born in the film's country — "
         "the actor variable is constrained by both the film's cast run "
-        "and the country's birthplace run.",
+        "and the country's birthplace run.  Fan-outs here are tiny "
+        "(~2 actors per film), so this pins generic join's *parity* on "
+        "benign cyclic data, not its win.",
         """
         SELECT ?film ?actor ?country WHERE {
             ?film dbpp:country ?country .
@@ -82,18 +86,76 @@ JOIN_QUERIES: List[JoinQuery] = [
             ?actor dbpp:birthPlace ?country .
         }"""),
     JoinQuery(
-        "cycle4_costars_same_birthplace", "cyclic", "multiway",
-        "4-cycle: co-stars sharing a birthplace.  The second co-star is "
-        "doubly constrained (the film's cast run and the place's "
-        "birthplace run); the per-actor film step stays nested-loop "
-        "because its only extra operand is the covering cast-presence "
-        "run — the per-step gate prunes exactly that.",
+        "cycle4_costars_same_birthplace", "cyclic", "wcoj",
+        "4-cycle: co-stars sharing a birthplace.  Every variable after "
+        "the first is doubly constrained along the cycle, so the "
+        "generic-join executor binds each from the intersection of its "
+        "two incident runs instead of expanding either side's fan-out.",
         """
         SELECT ?a ?b ?place WHERE {
             ?film dbpp:starring ?a .
             ?a dbpp:birthPlace ?place .
             ?film dbpp:starring ?b .
             ?b dbpp:birthPlace ?place .
+        }"""),
+    JoinQuery(
+        "triangle_collaborators", "cyclic", "wcoj",
+        "Triangle over the heavy-tailed collaborator graph.  Nested "
+        "loops expand every two-hop wedge through the Zipf hubs "
+        "(quadratic in hub degree) and reject almost all of them at the "
+        "closing edge; generic join seeds the last level from the "
+        "smaller adjacency run, so hubs never drive the fan-out.",
+        """
+        SELECT ?a ?b ?c WHERE {
+            ?a dbpp:collaborator ?b .
+            ?b dbpp:collaborator ?c .
+            ?a dbpp:collaborator ?c .
+        }"""),
+    JoinQuery(
+        "cycle4_collaborators", "cyclic", "wcoj",
+        "4-cycle over the collaborator graph: wedge pairs around two "
+        "opposite corners.  The generic join binds both neighbors of "
+        "the first corner, then closes the cycle with one intersection "
+        "per wedge instead of expanding the third hop's full adjacency.",
+        """
+        SELECT ?a ?b ?c ?d WHERE {
+            ?a dbpp:collaborator ?b .
+            ?b dbpp:collaborator ?c .
+            ?c dbpp:collaborator ?d .
+            ?d dbpp:collaborator ?a .
+        }"""),
+    JoinQuery(
+        "diamond_collaborators", "cyclic", "wcoj",
+        "Diamond (4-cycle plus a chord): the chord pins the two hub "
+        "corners to actual edges, so generic join enumerates edges and "
+        "intersects twice per edge, while pattern-at-a-time plans still "
+        "pay the full wedge expansion before either cycle check.",
+        """
+        SELECT ?a ?b ?c ?d WHERE {
+            ?a dbpp:collaborator ?b .
+            ?b dbpp:collaborator ?c .
+            ?c dbpp:collaborator ?d .
+            ?d dbpp:collaborator ?a .
+            ?a dbpp:collaborator ?c .
+        }"""),
+    JoinQuery(
+        "clique5_collaborators", "cyclic", "wcoj",
+        "5-clique over the symmetric collaborator graph: ten pairwise "
+        "patterns; nested loops enumerate near-cliques and discard them "
+        "edge by edge, while generic join caps every level at the "
+        "narrowest incident adjacency run.",
+        """
+        SELECT ?a ?b ?c ?d ?e WHERE {
+            ?a dbpp:collaborator ?b .
+            ?a dbpp:collaborator ?c .
+            ?a dbpp:collaborator ?d .
+            ?a dbpp:collaborator ?e .
+            ?b dbpp:collaborator ?c .
+            ?b dbpp:collaborator ?d .
+            ?b dbpp:collaborator ?e .
+            ?c dbpp:collaborator ?d .
+            ?c dbpp:collaborator ?e .
+            ?d dbpp:collaborator ?e .
         }"""),
     JoinQuery(
         "chain_japan_costar_place_player", "chain", "multiway",

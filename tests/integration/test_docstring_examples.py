@@ -14,12 +14,14 @@ import repro.client.clients
 import repro.core.knowledge_graph
 import repro.core.rdfframe
 import repro.sparql.engine
+import repro.sparql.plan
 
 MODULES = [
     repro.client.clients,
     repro.core.knowledge_graph,
     repro.core.rdfframe,
     repro.sparql.engine,
+    repro.sparql.plan,
 ]
 
 

@@ -143,8 +143,9 @@ class TestCounterProofs:
             < off.last_stats.intermediate_rows
 
     def test_planner_annotates_the_corpus(self, dataset):
-        """JoinStrategy marks what the corpus expects: sip queries get an
-        eligible join, multiway queries an intersect-strategy BGP."""
+        """CostBasedJoinStrategy marks what the corpus expects: sip queries
+        get an eligible join, multiway queries an intersect-strategy BGP,
+        cyclic queries a wcoj-strategy BGP with an elimination order."""
         from repro.sparql import algebra as alg
         engine = Engine(dataset)
 
@@ -163,6 +164,15 @@ class TestCounterProofs:
                 assert any(getattr(n, "strategy", None) == "intersect"
                            for n in nodes
                            if isinstance(n, alg.BGP)), query.key
+            if query.expect == "wcoj":
+                tagged = [n for n in nodes if isinstance(n, alg.BGP)
+                          and getattr(n, "strategy", None) == "wcoj"]
+                assert tagged, query.key
+                for n in tagged:
+                    order = n.eliminate
+                    assert len(order) == len(
+                        {v.name for t in n.triples for v in t
+                         if hasattr(v, "name")}), query.key
 
 
 class TestSipSoundnessEdges:

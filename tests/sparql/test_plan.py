@@ -231,7 +231,7 @@ class TestOptimizePlan:
         names = [s.name for s in plan.pass_stats]
         assert names == ["FilterPushdown", "ProjectionPruning", "BGPMerge",
                          "AggregatePushdown", "LimitPushdown", "JoinOrdering",
-                         "JoinStrategy"]
+                         "CostBasedJoinStrategy"]
         assert plan.total_changes >= 3  # push + prune + merge + order
         assert all(s.seconds >= 0 for s in plan.pass_stats)
 
