@@ -803,7 +803,7 @@ def run_plan_path(scale: float, iterations: int) -> dict:
 
 #: Every section the report can produce, in run order.
 SECTIONS = ("engine", "plan_path", "limit_topk", "aggregation", "joins",
-            "wcoj", "vectorized", "serving")
+            "wcoj", "vectorized", "serving", "serving_cache")
 
 
 def write_summary(report, out_path: str) -> str:
@@ -846,6 +846,14 @@ def write_summary(report, out_path: str) -> str:
             "latency_p50_ms": server["latency_p50_ms"],
             "latency_p95_ms": server["latency_p95_ms"],
             "latency_p99_ms": server["latency_p99_ms"],
+        }
+    if "serving_cache" in report:
+        zipfian = report["serving_cache"]["zipfian"]
+        sections["serving_cache"] = {
+            "hit_rate": zipfian["hit_rate"],
+            "hit_p50_ms": zipfian["hit_p50_ms"],
+            "miss_p50_ms": zipfian["miss_p50_ms"],
+            "speedup_p50": zipfian["speedup_p50"],
         }
     with open(summary_path, "w") as handle:
         json.dump({"schema": "repro-bench-summary/1",
@@ -935,6 +943,11 @@ def run(scales, rounds: int, out_path: str,
         from load_generator import run_serving
         report["serving"] = run_serving(scales[-1],
                                         total_requests=serving_requests)
+    if "serving_cache" in chosen:
+        sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+        from load_generator import run_serving_cache
+        report["serving_cache"] = run_serving_cache(
+            scales[-1], total_requests=max(serving_requests, 64))
     with open(out_path, "w") as handle:
         json.dump(report, handle, indent=2)
     write_summary(report, out_path)

@@ -12,6 +12,7 @@ Public surface:
 """
 
 from .algebra import Query, count_nested_selects
+from .cache import CacheStats, ResultCache, approximate_result_bytes
 from .endpoint import Endpoint, EndpointError, EndpointResponse
 from .engine import Engine, QueryTimeout
 from .errors import (CancelToken, CircuitBreaker, CircuitOpenError,
@@ -49,5 +50,6 @@ __all__ = [
     "FaultInjector", "FaultyEndpoint", "TransientFaults", "LatencyFaults",
     "PayloadCorruption", "MidStreamTimeouts",
     "QueryServer", "QueryTicket", "ServerStats",
+    "ResultCache", "CacheStats", "approximate_result_bytes",
     "Query", "count_nested_selects",
 ]

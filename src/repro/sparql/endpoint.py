@@ -71,11 +71,21 @@ class Endpoint:
         on ``(query hash, dataset fingerprint)``, so a graph mutation
         makes every pre-mutation cursor unreachable instead of serving
         stale pages (mirroring the plan cache's invalidation).
+    result_cache:
+        An optional shared :class:`~repro.sparql.cache.ResultCache` —
+        typically the same instance a :class:`~repro.sparql.server
+        .QueryServer` over this engine uses, so HTTP-style paging and
+        in-process submissions see one coherent store.  Complete results
+        (an exhausted cursor) are inserted under the engine's normalized
+        plan key; later requests for any page of the same query are
+        sliced from the cached result without touching the evaluator.
+        Failed pulls are never inserted (the cursor is dropped instead).
     """
 
     def __init__(self, engine: Engine, max_rows: int = 10000,
                  timeout: Optional[float] = None,
-                 cursor_cache_size: int = 32):
+                 cursor_cache_size: int = 32,
+                 result_cache=None, cache_tenant: str = "endpoint"):
         if max_rows <= 0:
             raise ValueError("max_rows must be positive")
         if cursor_cache_size < 0:
@@ -84,6 +94,8 @@ class Endpoint:
         self.max_rows = max_rows
         self.timeout = timeout
         self.cursor_cache_size = cursor_cache_size
+        self.result_cache = result_cache
+        self.cache_tenant = cache_tenant
         self.requests_served = 0
         # A lazy cursor is kept per (query text, dataset state) so
         # pagination neither re-executes the query nor materializes rows
@@ -112,6 +124,30 @@ class Endpoint:
         with the raw engine exception chained as ``__cause__``.
         """
         self.requests_served += 1
+        page_size = self.max_rows if limit is None \
+            else min(limit, self.max_rows)
+        result_cache = self.result_cache
+        plan_key = None
+        if result_cache is not None:
+            # One coherent store with the in-process serving tier: the
+            # key is the engine's normalized plan key (structure +
+            # default graph + dataset fingerprint), so a hit here serves
+            # pages the QueryServer populated, and vice versa.
+            try:
+                plan_key = self.engine.plan(query_text).key
+            except Exception as exc:
+                classified = classify_error(exc)
+                if classified is exc:
+                    raise
+                raise classified from exc
+            cached = result_cache.get(plan_key)
+            if cached is not None:
+                full = cached[0]
+                page = full.slice(offset, page_size)
+                from .json_results import encode_results
+                return EndpointResponse(
+                    page, offset, offset + len(page) < len(full),
+                    payload=encode_results(page))
         key = self._cursor_key(query_text)
         try:
             with self._lock:
@@ -130,8 +166,6 @@ class Endpoint:
                 # bounds this page's pull, not the cursor's wall-clock
                 # lifetime (client think-time between pages is free).
                 cursor.arm_deadline(self.timeout)
-            page_size = self.max_rows if limit is None \
-                else min(limit, self.max_rows)
             try:
                 page = cursor.page(offset, page_size)
                 has_more = cursor.has_more(offset + len(page))
@@ -148,6 +182,13 @@ class Endpoint:
             if classified is exc:
                 raise
             raise classified from exc
+        if result_cache is not None and cursor.exhausted:
+            # The cursor drained without a failed pull: its buffer is the
+            # complete result, safe to share.  Partial cursors are never
+            # inserted, and failed pulls dropped the cursor above.
+            result_cache.put(
+                plan_key, ResultSet(cursor.variables, list(cursor.rows)),
+                tenant=self.cache_tenant)
         from .json_results import encode_results
         payload = encode_results(page)
         return EndpointResponse(page, offset, has_more, payload=payload)

@@ -240,8 +240,21 @@ class Engine:
 
     def _fingerprint(self) -> Tuple:
         """Cheap dataset-state fingerprint tied into every plan key, so
-        graph mutations invalidate cached join orders."""
-        return tuple(sorted((g.uri, len(g)) for g in self.dataset))
+        graph mutations invalidate cached join orders — and, since the
+        serving tier's result cache reuses the same key, cached *rows*.
+        The per-graph mutation counter (``Graph.version``) is included so
+        a remove+add netting an unchanged triple count still changes the
+        fingerprint; length alone would serve stale results."""
+        return tuple(sorted((g.uri, len(g), g.version)
+                            for g in self.dataset))
+
+    def result_key(self, source, default_graph_uri: Optional[str] = None
+                   ) -> str:
+        """The normalized cache key for ``source``'s *results* under the
+        dataset's current state: the plan key, which already folds in the
+        query structure, the default graph, and :meth:`_fingerprint`.
+        Cheap before execution — repeated calls hit the plan cache."""
+        return self.plan(source, default_graph_uri).key
 
     def clear_plan_cache(self) -> None:
         self._plan_cache.clear()

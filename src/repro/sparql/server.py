@@ -44,6 +44,7 @@ import threading
 import time
 from typing import Dict, List, Optional
 
+from .cache import ResultCache
 from .engine import Engine
 from .errors import (CancelToken, QueryCancelled, ServerOverloaded,
                      classify_error)
@@ -74,8 +75,15 @@ class QueryTicket:
         self.stats: Optional[EvaluationStats] = None
         self.elapsed: Optional[float] = None  # evaluator seconds
         self.waited: Optional[float] = None   # queue seconds before start
+        #: How the result cache treated this request: ``"hit"`` (served
+        #: from cache), ``"miss"`` (executed and inserted), ``"coalesced"``
+        #: (shared a concurrent leader's execution), ``"bypass"``
+        #: (``cache=False`` or no cache configured), or ``None`` while
+        #: unresolved.
+        self.cache_state: Optional[str] = None
         self._submitted = time.perf_counter()
         self._done = threading.Event()
+        self._running = threading.Event()
         self._result: Optional[ResultSet] = None
         self._error: Optional[BaseException] = None
 
@@ -86,6 +94,12 @@ class QueryTicket:
 
     def done(self) -> bool:
         return self._done.is_set()
+
+    def wait_running(self, timeout: Optional[float] = None) -> bool:
+        """Block until a worker picked this ticket up (or it resolved
+        without ever running, e.g. cancelled while queued).  An event,
+        not a poll — tests use it instead of wall-clock sleeps."""
+        return self._running.wait(timeout)
 
     def result(self, timeout: Optional[float] = None) -> ResultSet:
         """Block until resolved; return the result or raise the failure."""
@@ -110,6 +124,7 @@ class QueryTicket:
         self.state = state
         self._result = result
         self._error = error
+        self._running.set()  # resolved tickets never leave waiters parked
         self._done.set()
 
     def __repr__(self):
@@ -121,7 +136,8 @@ class ServerStats:
     """Thread-safe serving counters (all monotone)."""
 
     FIELDS = ("submitted", "admitted", "shed", "completed", "failed",
-              "cancelled")
+              "cancelled", "cache_hits", "cache_misses", "coalesced",
+              "cache_evictions")
 
     def __init__(self):
         self._lock = threading.Lock()
@@ -178,6 +194,13 @@ class QueryServer:
         wired to the evaluator's deadline and row-budget valves.
     default_graph_uri:
         Passed through to plan/execute for every request.
+    result_cache:
+        An optional :class:`~repro.sparql.cache.ResultCache` shared by
+        every request (and, if desired, by an :class:`Endpoint` over the
+        same engine).  When present, ``submit``'s ``cache`` knob decides
+        per request whether the cache is consulted; hits skip the
+        evaluator entirely and concurrent identical submissions coalesce
+        onto a single execution.
     """
 
     def __init__(self, engine: Engine, workers: int = 4,
@@ -185,7 +208,8 @@ class QueryServer:
                  max_inflight_per_tenant: Optional[int] = None,
                  default_timeout: Optional[float] = None,
                  default_max_rows: Optional[int] = None,
-                 default_graph_uri: Optional[str] = None):
+                 default_graph_uri: Optional[str] = None,
+                 result_cache: Optional[ResultCache] = None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if queue_size < 1:
@@ -195,6 +219,7 @@ class QueryServer:
         self.default_max_rows = default_max_rows
         self.default_graph_uri = default_graph_uri
         self.max_inflight_per_tenant = max_inflight_per_tenant
+        self.result_cache = result_cache
         self.stats = ServerStats()
         self._queue: "queue.Queue[Optional[tuple]]" = queue.Queue(
             maxsize=queue_size)
@@ -202,6 +227,7 @@ class QueryServer:
         # it.  Execution (the expensive part) runs outside the lock.
         self._plan_lock = threading.Lock()
         self._admission_lock = threading.Lock()
+        self._idle = threading.Condition(self._admission_lock)
         self._inflight_by_tenant: Dict[str, int] = {}
         self._ids = itertools.count(1)
         self._closed = False
@@ -216,13 +242,28 @@ class QueryServer:
     # -- submission ----------------------------------------------------
     def submit(self, query: str, tenant: str = "anonymous",
                timeout: Optional[float] = None,
-               max_rows: Optional[int] = None) -> QueryTicket:
+               max_rows: Optional[int] = None,
+               cache: object = "auto") -> QueryTicket:
         """Admit a query, returning a :class:`QueryTicket` future.
 
         Raises :class:`ServerOverloaded` immediately — never blocks —
         when the request queue is full or the tenant is at its in-flight
         cap; a shed request consumes no evaluator time at all.
+
+        ``cache`` controls the result cache for *this* request (a no-op
+        when the server has none): ``'auto'`` consults it and inserts
+        results subject to the cache's size policy; ``True`` additionally
+        forces insertion past the per-entry byte cap; ``False`` bypasses
+        the cache entirely — the request always executes and its result
+        is never stored.  Cached and coalesced replies share the
+        producing execution's result and stats; a request that needs
+        strict per-request ``max_rows`` enforcement is served from cache
+        only when the cached result fits its budget (otherwise it
+        executes and trips the valve exactly as an uncached one would).
         """
+        if cache not in (True, False, "auto"):
+            raise ValueError("cache must be True, False or 'auto', got %r"
+                             % (cache,))
         if self._closed:
             raise ServerOverloaded("server is shut down")
         self.stats.bump("submitted")
@@ -241,7 +282,8 @@ class QueryServer:
         budget_timeout = self.default_timeout if timeout is None else timeout
         budget_rows = self.default_max_rows if max_rows is None else max_rows
         try:
-            self._queue.put_nowait((ticket, budget_timeout, budget_rows))
+            self._queue.put_nowait(
+                (ticket, budget_timeout, budget_rows, cache))
         except queue.Full:
             self._release_tenant(tenant)
             self.stats.bump("shed")
@@ -253,10 +295,11 @@ class QueryServer:
 
     def execute(self, query: str, tenant: str = "anonymous",
                 timeout: Optional[float] = None,
-                max_rows: Optional[int] = None) -> ResultSet:
+                max_rows: Optional[int] = None,
+                cache: object = "auto") -> ResultSet:
         """Synchronous convenience: submit and wait for the result."""
         return self.submit(query, tenant=tenant, timeout=timeout,
-                           max_rows=max_rows).result()
+                           max_rows=max_rows, cache=cache).result()
 
     def _release_tenant(self, tenant: str) -> None:
         with self._admission_lock:
@@ -265,12 +308,23 @@ class QueryServer:
                 self._inflight_by_tenant.pop(tenant, None)
             else:
                 self._inflight_by_tenant[tenant] = remaining
+            self._idle.notify_all()
 
     @property
     def in_flight(self) -> int:
         """Currently admitted-and-unresolved requests across tenants."""
         with self._admission_lock:
             return sum(self._inflight_by_tenant.values())
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until no request is admitted-and-unresolved.
+
+        Event-driven (a condition notified as tenants drain), so tests
+        and drain logic need no wall-clock polling loops.  Returns
+        ``False`` on timeout."""
+        with self._idle:
+            return self._idle.wait_for(
+                lambda: not self._inflight_by_tenant, timeout)
 
     # -- execution -----------------------------------------------------
     def _worker_loop(self) -> None:
@@ -279,16 +333,18 @@ class QueryServer:
             if item is None:  # shutdown sentinel
                 self._queue.task_done()
                 return
-            ticket, budget_timeout, budget_rows = item
+            ticket, budget_timeout, budget_rows, cache_mode = item
             try:
-                self._run_ticket(ticket, budget_timeout, budget_rows)
+                self._run_ticket(ticket, budget_timeout, budget_rows,
+                                 cache_mode)
             finally:
                 self._release_tenant(ticket.tenant)
                 self._queue.task_done()
 
     def _run_ticket(self, ticket: QueryTicket,
                     budget_timeout: Optional[float],
-                    budget_rows: Optional[int]) -> None:
+                    budget_rows: Optional[int],
+                    cache_mode: object = "auto") -> None:
         ticket.waited = time.perf_counter() - ticket._submitted
         if ticket.cancel_token.cancelled:
             # Cancelled while queued: zero evaluator time spent.
@@ -298,30 +354,127 @@ class QueryServer:
                 "query cancelled while queued"))
             return
         ticket.state = RUNNING
+        ticket._running.set()
         try:
             with self._plan_lock:
                 plan = self.engine.plan(ticket.query,
                                         self.default_graph_uri)
+        except Exception as exc:  # noqa: BLE001 — classified below
+            self._fail(ticket, exc)
+            return
+        cache = self.result_cache
+        if cache is None or cache_mode is False:
+            ticket.cache_state = "bypass"
+            self._execute_plain(ticket, plan, budget_timeout, budget_rows)
+            return
+        key = plan.key
+        while True:
+            cached = cache.get(key)
+            if cached is not None:
+                result, stats = cached
+                if budget_rows is not None and len(result) > budget_rows:
+                    # The cached result would never have fit this
+                    # request's row budget: execute so the valve trips
+                    # exactly as it would uncached.
+                    ticket.cache_state = "bypass"
+                    self._execute_plain(ticket, plan, budget_timeout,
+                                        budget_rows)
+                    return
+                ticket.cache_state = "hit"
+                ticket.stats = stats
+                ticket.elapsed = 0.0
+                self.stats.bump("cache_hits")
+                self.stats.bump("completed")
+                ticket._resolve(DONE, result=result)
+                return
+            is_leader, flight = cache.join_flight(key)
+            if is_leader:
+                self._lead_flight(ticket, plan, key, flight,
+                                  budget_timeout, budget_rows, cache_mode)
+                return
+            # Follower: park until the leader resolves or aborts.  The
+            # flight only exists while a leader worker is executing, so
+            # someone is always making progress — no deadlock.
+            flight.wait()
+            if ticket.cancel_token.cancelled:
+                err = QueryCancelled("query cancelled while coalesced")
+                self.stats.record_error(err)
+                self.stats.bump("cancelled")
+                ticket._resolve(CANCELLED, error=err)
+                return
+            if flight.ok and (budget_rows is None
+                              or len(flight.result) <= budget_rows):
+                ticket.cache_state = "coalesced"
+                ticket.stats = flight.stats
+                ticket.elapsed = 0.0
+                self.stats.bump("coalesced")
+                self.stats.bump("completed")
+                ticket._resolve(DONE, result=flight.result)
+                return
+            # Leader aborted (cancelled/failed) or the shared result
+            # busts this follower's row budget: loop — serve from cache,
+            # coalesce behind a new leader, or become one ourselves.
+
+    def _lead_flight(self, ticket: QueryTicket, plan, key: str, flight,
+                     budget_timeout: Optional[float],
+                     budget_rows: Optional[int],
+                     cache_mode: object) -> None:
+        """Execute as the single-flight leader; share or abort."""
+        cache = self.result_cache
+        self.stats.bump("cache_misses")
+        resolved = False
+        try:
+            try:
+                result, stats, elapsed = self.engine.evaluate_plan(
+                    plan, self.default_graph_uri, timeout=budget_timeout,
+                    cancel=ticket.cancel_token, max_rows=budget_rows)
+            except Exception as exc:  # noqa: BLE001 — classified below
+                # A failed execution is never inserted into the cache.
+                self._fail(ticket, exc)
+                return
+            ticket.cache_state = "miss"
+            evicted = cache.put(key, result, stats, tenant=ticket.tenant,
+                                force=(cache_mode is True))
+            if evicted:
+                self.stats.bump("cache_evictions", evicted)
+            cache.resolve_flight(key, flight, result, stats)
+            resolved = True
+            ticket.stats = stats
+            ticket.elapsed = elapsed
+            self.stats.bump("completed")
+            ticket._resolve(DONE, result=result)
+        finally:
+            if not resolved:
+                cache.abort_flight(key, flight)
+
+    def _execute_plain(self, ticket: QueryTicket, plan,
+                       budget_timeout: Optional[float],
+                       budget_rows: Optional[int]) -> None:
+        try:
             result, stats, elapsed = self.engine.evaluate_plan(
                 plan, self.default_graph_uri, timeout=budget_timeout,
                 cancel=ticket.cancel_token, max_rows=budget_rows)
         except Exception as exc:  # noqa: BLE001 — classified below
-            ticket.stats = getattr(exc, "evaluation_stats", None)
-            classified = classify_error(exc)
-            if classified is not exc:
-                classified.__cause__ = exc
-            self.stats.record_error(classified)
-            if isinstance(classified, QueryCancelled):
-                self.stats.bump("cancelled")
-                ticket._resolve(CANCELLED, error=classified)
-            else:
-                self.stats.bump("failed")
-                ticket._resolve(FAILED, error=classified)
+            self._fail(ticket, exc)
             return
         ticket.stats = stats
         ticket.elapsed = elapsed
         self.stats.bump("completed")
         ticket._resolve(DONE, result=result)
+
+    def _fail(self, ticket: QueryTicket, exc: BaseException) -> None:
+        """Classify and resolve a failed execution."""
+        ticket.stats = getattr(exc, "evaluation_stats", None)
+        classified = classify_error(exc)
+        if classified is not exc:
+            classified.__cause__ = exc
+        self.stats.record_error(classified)
+        if isinstance(classified, QueryCancelled):
+            self.stats.bump("cancelled")
+            ticket._resolve(CANCELLED, error=classified)
+        else:
+            self.stats.bump("failed")
+            ticket._resolve(FAILED, error=classified)
 
     # -- lifecycle -----------------------------------------------------
     def shutdown(self, wait: bool = True) -> None:

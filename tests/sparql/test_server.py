@@ -1,7 +1,6 @@
 """The concurrent serving tier: admission control, budgets, cancellation."""
 
 import threading
-import time
 
 import pytest
 
@@ -57,9 +56,10 @@ class TestBasicServing:
         tickets = [server.submit(QUERY) for _ in range(4)]
         for ticket in tickets:
             ticket.result(timeout=10.0)
-        deadline = time.perf_counter() + 5.0
-        while server.in_flight and time.perf_counter() < deadline:
-            time.sleep(0.001)
+        # Event-driven drain: resolved tickets release their in-flight
+        # slots just after resolving; wait on the idle condition instead
+        # of polling wall-clock.
+        assert server.wait_idle(timeout=5.0)
         assert server.in_flight == 0
 
     def test_matches_direct_engine(self, server):
@@ -129,10 +129,10 @@ class TestAdmissionControl:
         with QueryServer(engine, workers=1, queue_size=1) as server:
             with server._plan_lock:
                 running = server.submit(QUERY)   # occupies the worker
-                deadline = time.perf_counter() + 5.0
-                while server._queue.qsize() and \
-                        time.perf_counter() < deadline:
-                    time.sleep(0.001)            # worker picked it up
+                # The running event fires once the worker dequeued the
+                # ticket (just before it blocks on the held plan lock),
+                # guaranteeing the queue slot is free — no polling.
+                assert running.wait_running(timeout=5.0)
                 queued = server.submit(QUERY)    # fills the queue
                 with pytest.raises(ServerOverloaded, match="queue full"):
                     server.submit(QUERY)
@@ -217,10 +217,10 @@ class TestCancellation:
         engine = Engine(small_graph(300))
         with QueryServer(engine, workers=1) as server:
             ticket = server.submit(CROSS, max_rows=10_000_000)
-            deadline = time.perf_counter() + 10.0
-            while ticket.state == "queued" and \
-                    time.perf_counter() < deadline:
-                time.sleep(0.0005)
+            # Cancel as soon as a worker owns the ticket (event-driven):
+            # the token lands before or during evaluation, and the
+            # evaluator's checkpoints stop the cross product mid-stream.
+            assert ticket.wait_running(timeout=10.0)
             ticket.cancel("impatient test")
             error = ticket.error(timeout=30.0)
             assert isinstance(error, QueryCancelled)

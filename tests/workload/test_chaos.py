@@ -12,7 +12,8 @@ import pytest
 
 from repro.client import ClientError, EngineClient, HttpClient
 from repro.sparql import (Endpoint, FaultyEndpoint, MidStreamTimeouts,
-                          PayloadCorruption, TransientError, TransientFaults)
+                          PayloadCorruption, ResultCache, TransientError,
+                          TransientFaults)
 from repro.workload import CASE_STUDIES, get_case_study
 
 #: Per-page retry budget; generous relative to the injectors' streak caps
@@ -109,3 +110,56 @@ class TestUnrecoverableFaults:
         chaos = HttpClient(faulty, max_retries=2, breaker_threshold=None)
         assert chaos.execute(query).equals_bag(undisturbed)
         assert chaos.retries_performed == chaos.pages_fetched
+
+
+class TestCacheChaosInterplay:
+    def test_cache_chaos_stays_bag_identical(self, engine, client):
+        """The full chaos mix over a result-cached endpoint: both the
+        cold pass (cache filling under faults) and the warm pass (pages
+        sliced from the cache, faults still firing on the wire) must be
+        bag-identical to the undisturbed engine."""
+        query = get_case_study("movie_genre").expert_sparql
+        undisturbed = client.execute(query)
+        cache = ResultCache()
+        faulty = FaultyEndpoint(
+            Endpoint(engine, max_rows=50, result_cache=cache),
+            chaos_layers(seed=61))
+        chaos = HttpClient(faulty, max_retries=MAX_RETRIES,
+                           breaker_threshold=None)
+        cold = chaos.execute(query)
+        assert cold.equals_bag(undisturbed)
+        assert sum(faulty.faults_injected.values()) > 0
+        warm = chaos.execute(query)
+        assert warm.equals_bag(undisturbed)
+        # The warm pass really was served out of the shared cache.
+        assert cache.stats.hits > 0
+
+    def test_every_case_study_bag_identical_with_cache_under_chaos(
+            self, case_study, engine, client):
+        """Cache-enabled chaos runs across the whole case-study corpus."""
+        undisturbed = client.execute(case_study.expert_sparql)
+        cache = ResultCache()
+        faulty = FaultyEndpoint(
+            Endpoint(engine, max_rows=50, result_cache=cache),
+            chaos_layers(seed=37))
+        chaos = HttpClient(faulty, max_retries=MAX_RETRIES,
+                           breaker_threshold=None)
+        assert chaos.execute(case_study.expert_sparql) \
+            .equals_bag(undisturbed)
+        assert chaos.execute(case_study.expert_sparql) \
+            .equals_bag(undisturbed)
+
+    def test_failed_execution_is_never_inserted_into_cache(self, engine):
+        """Every request trips a mid-stream timeout: the run fails
+        classified, and none of the partial pulls may leak into the
+        result cache."""
+        query = get_case_study("kg_embedding").expert_sparql
+        cache = ResultCache()
+        faulty = FaultyEndpoint(
+            Endpoint(engine, max_rows=50, result_cache=cache),
+            [MidStreamTimeouts(rate=1.0, seed=7)])
+        chaos = HttpClient(faulty, max_retries=2, breaker_threshold=None)
+        with pytest.raises(ClientError):
+            chaos.execute(query)
+        assert len(cache) == 0
+        assert cache.stats.inserts == 0
