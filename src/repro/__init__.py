@@ -3,6 +3,7 @@
 Subpackages
 -----------
 - ``repro.rdf``        RDF data model, indexed graphs, N-Triples I/O
+- ``repro.storage``    crash-safe persistence: snapshots + write-ahead log
 - ``repro.sparql``     a from-scratch SPARQL engine + simulated endpoint
 - ``repro.dataframe``  a small columnar dataframe (pandas stand-in)
 - ``repro.core``       the RDFFrames API, query model, generators, translator
@@ -21,11 +22,12 @@ from .core import (KnowledgeGraph, RDFFrame, GroupedRDFFrame, OPTIONAL,
 from .client import EngineClient, HttpClient
 from .dataframe import DataFrame
 from .sparql import Engine, Endpoint
+from .storage import GraphStore
 
 __all__ = [
     "KnowledgeGraph", "RDFFrame", "GroupedRDFFrame",
     "OPTIONAL", "INCOMING", "OUTGOING",
     "InnerJoin", "OuterJoin", "LeftOuterJoin", "RightOuterJoin",
     "EngineClient", "HttpClient", "DataFrame", "Engine", "Endpoint",
-    "__version__",
+    "GraphStore", "__version__",
 ]

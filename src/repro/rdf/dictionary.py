@@ -61,6 +61,28 @@ class TermDictionary:
                       obj: Node) -> Tuple[int, int, int]:
         return (self.encode(subject), self.encode(predicate), self.encode(obj))
 
+    def encode_many(self, terms: Iterable[Node]) -> List[int]:
+        """Intern a batch of terms under one lock acquisition.
+
+        The bulk-load path (snapshot recovery interns an entire string
+        table at once): semantics are exactly ``[self.encode(t) for t in
+        terms]`` minus the per-call locking and attribute traffic.
+        """
+        with self._lock:
+            ids = self._ids
+            terms_list = self._terms
+            get = ids.get
+            append = terms_list.append
+            out = []
+            for term in terms:
+                tid = get(term)
+                if tid is None:
+                    tid = len(terms_list)
+                    append(term)
+                    ids[term] = tid
+                out.append(tid)
+        return out
+
     def lookup(self, term: Node) -> Optional[int]:
         """The id of ``term`` if already interned, else ``None``.
 

@@ -149,6 +149,31 @@ class Graph:
         self._pred_synopses: Dict[int, tuple] = {}
         self.synopses_built = 0
         self.version = 0
+        # Attached durable store (see repro.storage): when set, every
+        # mutation is teed into its write-ahead log *before* the indexes
+        # change, so a failed append leaves memory and disk agreeing.
+        self._store = None
+
+    @classmethod
+    def from_indexes(cls, uri: str, dictionary: TermDictionary,
+                     spo: Dict[int, Dict[int, Set[int]]],
+                     pos: Dict[int, Dict[int, Set[int]]],
+                     osp: Dict[int, Dict[int, Set[int]]],
+                     size: int, version: int = 0) -> "Graph":
+        """Adopt pre-built nested indexes wholesale (trusted constructor).
+
+        This is the snapshot loader's bulk-restore path: the three
+        indexes are taken by reference, not copied, and must describe the
+        same triple set with ids valid in ``dictionary``.  ``version`` is
+        restored too, so cache fingerprints survive a reopen.
+        """
+        graph = cls(uri, dictionary=dictionary)
+        graph._spo = spo
+        graph._pos = pos
+        graph._osp = osp
+        graph._size = size
+        graph.version = version
+        return graph
 
     # ------------------------------------------------------------------
     # Mutation
@@ -160,9 +185,18 @@ class Graph:
 
     def add_ids(self, s: int, p: int, o: int) -> bool:
         """Add a triple given already-encoded ids; returns True if new."""
-        objs = self._spo.setdefault(s, {}).setdefault(p, set())
-        if o in objs:
+        by_pred = self._spo.get(s)
+        objs = by_pred.get(p) if by_pred is not None else None
+        if objs is not None and o in objs:
             return False
+        if self._store is not None:
+            # Log before mutating: if the append raises, no index has
+            # changed and memory still agrees with the durable log.
+            self._store._record_add(self, s, p, o, self.version + 1)
+        if objs is None:
+            if by_pred is None:
+                by_pred = self._spo[s] = {}
+            objs = by_pred[p] = set()
         objs.add(o)
         self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
         self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
@@ -191,9 +225,15 @@ class Graph:
         if s is None or p is None or o is None:
             return False
         try:
-            self._spo[s][p].remove(o)
+            objs = self._spo[s][p]
         except KeyError:
             return False
+        if o not in objs:
+            return False
+        if self._store is not None:
+            # Same log-before-mutate ordering as add_ids.
+            self._store._record_remove(self, s, p, o, self.version + 1)
+        objs.remove(o)
         if not self._spo[s][p]:
             del self._spo[s][p]
             if not self._spo[s]:

@@ -16,8 +16,9 @@ from .cache import CacheStats, ResultCache, approximate_result_bytes
 from .endpoint import Endpoint, EndpointError, EndpointResponse
 from .engine import Engine, QueryTimeout
 from .errors import (CancelToken, CircuitBreaker, CircuitOpenError,
-                     MalformedQuery, QueryCancelled, QueryRejected,
-                     ResourceExhausted, ServerOverloaded, TransientError,
+                     CorruptSnapshotError, MalformedQuery, QueryCancelled,
+                     QueryRejected, ResourceExhausted, ServerOverloaded,
+                     StorageError, TransientError, WalTruncatedError,
                      classify_error, is_retryable)
 from .evaluator import (EvaluationError, EvaluationStats, Evaluator,
                         RowBudgetExceeded)
@@ -46,6 +47,7 @@ __all__ = [
     "TransientError", "QueryRejected", "ServerOverloaded",
     "MalformedQuery", "ResourceExhausted", "QueryCancelled",
     "CircuitOpenError", "CircuitBreaker", "CancelToken",
+    "StorageError", "CorruptSnapshotError", "WalTruncatedError",
     "classify_error", "is_retryable",
     "FaultInjector", "FaultyEndpoint", "TransientFaults", "LatencyFaults",
     "PayloadCorruption", "MidStreamTimeouts",

@@ -23,7 +23,18 @@ class                 retryable  meaning
                                  deterministic, a retry trips it again
 ``QueryCancelled``    no         the client gave up; cooperative cancellation
 ``CircuitOpenError``  no         the client's breaker is open; fail fast
+``StorageError``      no         the durable store failed (I/O error,
+                                 fail-stopped WAL); retrying re-hits the disk
 ====================  =========  ==============================================
+
+:class:`StorageError` has two recovery-time subtypes:
+:class:`CorruptSnapshotError` (a snapshot failed its checksums — the
+store falls back to an older generation, so surfacing one means *no*
+generation was loadable) and :class:`WalTruncatedError` (committed WAL
+records were provably lost mid-log; carries ``recovered_seqno``, the last
+sequence number recovery could still vouch for).  All three are
+``retryable=False``: storage failures are deterministic with respect to
+the bytes on disk.
 
 :func:`classify_error` maps raw engine exceptions (parse errors, timeouts,
 row-budget trips) onto the taxonomy at the endpoint boundary, and
@@ -41,7 +52,8 @@ from typing import Optional
 __all__ = [
     "EndpointError", "TransientError", "QueryRejected", "ServerOverloaded",
     "MalformedQuery", "ResourceExhausted", "QueryCancelled",
-    "CircuitOpenError", "classify_error", "is_retryable",
+    "CircuitOpenError", "StorageError", "CorruptSnapshotError",
+    "WalTruncatedError", "classify_error", "is_retryable",
     "CancelToken", "CircuitBreaker",
 ]
 
@@ -101,6 +113,35 @@ class CircuitOpenError(EndpointError):
     retryable = False
 
 
+class StorageError(EndpointError):
+    """The durable store failed: an I/O error while logging a mutation,
+    a fail-stopped write-ahead log, an unreadable storage directory.
+    Not retryable — the same bytes are still on (or missing from) the
+    disk on the next attempt; the serving tier sheds the request with a
+    classified error instead of a raw :class:`OSError`."""
+
+    retryable = False
+
+
+class CorruptSnapshotError(StorageError):
+    """A snapshot file failed its magic/version/checksum validation.
+    Recovery retries older generations on its own; *surfacing* this
+    error means no snapshot generation was loadable."""
+
+
+class WalTruncatedError(StorageError):
+    """Committed write-ahead-log records were lost *mid-log* — a later
+    valid record proves data existed past the damage, so replaying
+    around the hole would produce a silently-wrong graph.  A torn tail
+    (the log simply stops) is NOT this error; that is recovered
+    silently.  ``recovered_seqno`` is the last sequence number recovery
+    could still vouch for."""
+
+    def __init__(self, message: str, recovered_seqno: int = 0):
+        super().__init__(message)
+        self.recovered_seqno = recovered_seqno
+
+
 def classify_error(exc: BaseException) -> EndpointError:
     """Map a raw engine/endpoint exception onto the taxonomy.
 
@@ -130,6 +171,8 @@ def classify_error(exc: BaseException) -> EndpointError:
         return ResourceExhausted("server row budget exceeded: %s" % exc)
     if isinstance(exc, EvaluationError):
         return MalformedQuery("query cannot be evaluated: %s" % exc)
+    if isinstance(exc, OSError):
+        return StorageError("storage I/O failure: %s" % exc)
     return EndpointError("internal endpoint error: %s" % exc)
 
 

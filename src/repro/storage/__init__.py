@@ -1,0 +1,46 @@
+"""Crash-safe persistent storage for the RDF graph substrate.
+
+Everything above this package treats a :class:`~repro.rdf.graph.Graph` as
+an in-memory structure rebuilt per process.  This package makes that
+structure *durable*: a :class:`GraphStore` owns a directory holding
+
+* checksummed binary **snapshots** — the term dictionary as a
+  length-prefixed string table and each graph's triples as delta-encoded
+  sorted runs, every section framed with a CRC32
+  (:mod:`~repro.storage.snapshot`),
+* an append-only **write-ahead log** of add/remove records with
+  per-record checksums and monotone sequence numbers
+  (:mod:`~repro.storage.wal`), teed into by ``Graph.add``/``remove``
+  while a store is attached, and
+* **recovery**: ``open()`` loads the newest valid snapshot, replays the
+  WAL tail, truncates at a torn final record, and degrades gracefully —
+  a corrupt snapshot falls back to the previous generation, an
+  unreadable record *between* intact ones surfaces a classified
+  :class:`~repro.sparql.errors.WalTruncatedError` instead of a partial,
+  silently-wrong graph (:mod:`~repro.storage.store`).
+
+The package is proven against the crash-injection plane in
+:mod:`~repro.storage.fileio`: every byte boundary of every write the
+store performs can be turned into a simulated crash, and the crash-matrix
+suite holds recovery to the "pre- or post-mutation state, never in
+between" invariant.
+"""
+
+from .fileio import (CrashPoint, CrashingIO, SimulatedCrash, StorageIO,
+                     bit_flip_points, corrupt_bytes, flip_bit,
+                     truncate_file)
+from .format import (FormatError, decode_varint, decode_varint_stream,
+                     encode_varint)
+from .snapshot import list_snapshots, load_snapshot, write_snapshot
+from .store import GraphStore, RecoveryReport
+from .wal import WalRecord, WriteAheadLog, replay_wal
+
+__all__ = [
+    "GraphStore", "RecoveryReport",
+    "WriteAheadLog", "WalRecord", "replay_wal",
+    "write_snapshot", "load_snapshot", "list_snapshots",
+    "StorageIO", "CrashingIO", "CrashPoint", "SimulatedCrash",
+    "flip_bit", "corrupt_bytes", "truncate_file", "bit_flip_points",
+    "FormatError", "encode_varint", "decode_varint",
+    "decode_varint_stream",
+]

@@ -1,0 +1,354 @@
+"""The store's binary vocabulary: varints, framed sections, term codecs.
+
+Three building blocks shared by the snapshot and WAL layers:
+
+* **varints** — unsigned LEB128 (7 data bits per byte, high bit =
+  continuation).  :func:`decode_varint_stream` decodes a whole payload
+  in one pass over the raw bytes (no per-value function calls).
+* **framed sections** — ``tag(1) | length(4, LE) | payload | crc32(4,
+  LE)``.  The CRC covers the payload; a frame that does not check out
+  raises :class:`FormatError` with the offending offset, and a frame cut
+  off by EOF reports ``torn=True`` so callers can distinguish bit rot
+  from an interrupted write.
+* **term and triple codecs** — RDF terms as kind-tagged length-prefixed
+  UTF-8 strings (the dictionary string table), and sorted id-triple runs
+  as packed columnar arrays: the sort column delta-encoded, each column
+  at the narrowest fixed width that fits, bulk-decoded with
+  ``numpy.frombuffer`` + ``cumsum`` (see :func:`encode_sorted_triples`).
+"""
+
+from __future__ import annotations
+
+import zlib
+from struct import Struct
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..rdf.terms import BlankNode, Literal, Node, URIRef
+
+__all__ = [
+    "FormatError", "encode_varint", "decode_varint",
+    "decode_varint_stream", "encode_varstr", "decode_varstr",
+    "frame_section", "read_section", "iter_sections",
+    "encode_term", "decode_term",
+    "encode_sorted_triples", "decode_sorted_triples",
+    "crc32",
+]
+
+_U32 = Struct("<I")
+
+#: Framing overhead around a section payload: tag + length + crc32.
+SECTION_OVERHEAD = 1 + 4 + 4
+
+
+class FormatError(ValueError):
+    """A malformed frame, varint, or term record.
+
+    ``offset`` is the file/byte offset the failure was detected at;
+    ``torn`` is True when the data simply *ends* mid-structure (the
+    signature of an interrupted write) as opposed to failing a checksum
+    or carrying an impossible value (the signature of corruption).
+    """
+
+    def __init__(self, message: str, offset: int = 0, torn: bool = False):
+        super().__init__("%s (at byte %d)" % (message, offset))
+        self.offset = offset
+        self.torn = torn
+
+
+def crc32(payload: bytes) -> int:
+    return zlib.crc32(payload) & 0xFFFFFFFF
+
+
+# ----------------------------------------------------------------------
+# Varints
+# ----------------------------------------------------------------------
+def encode_varint(value: int) -> bytes:
+    """Unsigned LEB128."""
+    if value < 0:
+        raise ValueError("varints are unsigned, got %d" % value)
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def write_varint(out: bytearray, value: int) -> None:
+    """Append a varint to a bytearray (the hot encode path)."""
+    while value > 0x7F:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def decode_varint(data: bytes, pos: int = 0) -> Tuple[int, int]:
+    """Decode one varint; returns ``(value, next_pos)``."""
+    value = 0
+    shift = 0
+    n = len(data)
+    while True:
+        if pos >= n:
+            raise FormatError("varint runs past end of data", pos,
+                              torn=True)
+        byte = data[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+        if shift > 63:
+            raise FormatError("varint wider than 64 bits", pos)
+
+
+def decode_varint_stream(data: bytes, expect: Optional[int] = None
+                         ) -> List[int]:
+    """Decode every varint in ``data`` in one tight pass.
+
+    This is the snapshot loader's inner loop: iterating a ``bytes``
+    object yields ints at C speed, so the whole triple section decodes
+    with one Python-level loop over bytes and no per-value call
+    overhead.  ``expect`` (when given) validates the count.
+    """
+    out: List[int] = []
+    append = out.append
+    acc = 0
+    shift = 0
+    for byte in data:
+        if byte & 0x80:
+            acc |= (byte & 0x7F) << shift
+            shift += 7
+            if shift > 63:
+                raise FormatError("varint wider than 64 bits", 0)
+        else:
+            append(acc | (byte << shift))
+            acc = 0
+            shift = 0
+    if shift:
+        raise FormatError("payload ends mid-varint", len(data), torn=True)
+    if expect is not None and len(out) != expect:
+        raise FormatError("expected %d varints, decoded %d"
+                          % (expect, len(out)), len(data))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Length-prefixed strings
+# ----------------------------------------------------------------------
+def encode_varstr(text: str) -> bytes:
+    raw = text.encode("utf-8")
+    return encode_varint(len(raw)) + raw
+
+
+def write_varstr(out: bytearray, text: str) -> None:
+    raw = text.encode("utf-8")
+    write_varint(out, len(raw))
+    out += raw
+
+
+def decode_varstr(data: bytes, pos: int = 0) -> Tuple[str, int]:
+    length, pos = decode_varint(data, pos)
+    end = pos + length
+    if end > len(data):
+        raise FormatError("string runs past end of data", pos, torn=True)
+    try:
+        return data[pos:end].decode("utf-8"), end
+    except UnicodeDecodeError:
+        raise FormatError("string is not valid UTF-8", pos)
+
+
+# ----------------------------------------------------------------------
+# Framed sections
+# ----------------------------------------------------------------------
+def frame_section(tag: bytes, payload: bytes) -> bytes:
+    """``tag(1) | length(4 LE) | payload | crc32(payload)(4 LE)``."""
+    if len(tag) != 1:
+        raise ValueError("section tag must be one byte")
+    return (tag + _U32.pack(len(payload)) + payload
+            + _U32.pack(crc32(payload)))
+
+
+def read_section(data: bytes, pos: int) -> Tuple[bytes, bytes, int]:
+    """Read one framed section; returns ``(tag, payload, next_pos)``.
+
+    Raises :class:`FormatError` — ``torn=True`` when the data ends
+    inside the frame, ``torn=False`` on a checksum mismatch.
+    """
+    n = len(data)
+    if pos + 5 > n:
+        raise FormatError("section header runs past end of data", pos,
+                          torn=True)
+    tag = data[pos:pos + 1]
+    (length,) = _U32.unpack_from(data, pos + 1)
+    start = pos + 5
+    end = start + length
+    if end + 4 > n:
+        raise FormatError("section payload runs past end of data", pos,
+                          torn=True)
+    payload = data[start:end]
+    (stored,) = _U32.unpack_from(data, end)
+    if crc32(payload) != stored:
+        raise FormatError("section %r checksum mismatch" % tag, pos)
+    return tag, payload, end + 4
+
+
+def iter_sections(data: bytes, pos: int = 0
+                  ) -> Iterator[Tuple[bytes, bytes]]:
+    """Yield ``(tag, payload)`` for every section until end of data."""
+    n = len(data)
+    while pos < n:
+        tag, payload, pos = read_section(data, pos)
+        yield tag, payload
+
+
+# ----------------------------------------------------------------------
+# Term codec (the dictionary string table entries)
+# ----------------------------------------------------------------------
+_KIND_URI = 0x55       # 'U'
+_KIND_BNODE = 0x42     # 'B'
+_KIND_PLAIN = 0x4C     # 'L'  plain literal
+_KIND_TYPED = 0x54     # 'T'  literal with datatype
+_KIND_LANG = 0x47      # 'G'  literal with language tag
+
+
+def encode_term(out: bytearray, term: Node) -> None:
+    """Append one kind-tagged term record to ``out``."""
+    if isinstance(term, URIRef):
+        out.append(_KIND_URI)
+        write_varstr(out, term.value)
+    elif isinstance(term, Literal):
+        if term.language is not None:
+            out.append(_KIND_LANG)
+            write_varstr(out, term.lexical)
+            write_varstr(out, term.language)
+        elif term.datatype is not None:
+            out.append(_KIND_TYPED)
+            write_varstr(out, term.lexical)
+            write_varstr(out, term.datatype)
+        else:
+            out.append(_KIND_PLAIN)
+            write_varstr(out, term.lexical)
+    elif isinstance(term, BlankNode):
+        out.append(_KIND_BNODE)
+        write_varstr(out, term.label)
+    else:
+        raise ValueError("cannot persist term %r" % (term,))
+
+
+def decode_term(data: bytes, pos: int) -> Tuple[Node, int]:
+    if pos >= len(data):
+        raise FormatError("term record runs past end of data", pos,
+                          torn=True)
+    kind = data[pos]
+    pos += 1
+    if kind == _KIND_URI:
+        value, pos = decode_varstr(data, pos)
+        return URIRef(value), pos
+    if kind == _KIND_BNODE:
+        label, pos = decode_varstr(data, pos)
+        return BlankNode(label), pos
+    if kind == _KIND_PLAIN:
+        lexical, pos = decode_varstr(data, pos)
+        return Literal(lexical), pos
+    if kind == _KIND_TYPED:
+        lexical, pos = decode_varstr(data, pos)
+        datatype, pos = decode_varstr(data, pos)
+        return Literal(lexical, datatype=datatype), pos
+    if kind == _KIND_LANG:
+        lexical, pos = decode_varstr(data, pos)
+        language, pos = decode_varstr(data, pos)
+        return Literal(lexical, language=language), pos
+    raise FormatError("unknown term kind 0x%02X" % kind, pos - 1)
+
+
+# ----------------------------------------------------------------------
+# Delta-encoded sorted triple runs (columnar, fixed-width)
+# ----------------------------------------------------------------------
+_COLUMN_DTYPES = {1: np.dtype("<u1"), 2: np.dtype("<u2"),
+                  4: np.dtype("<u4"), 8: np.dtype("<u8")}
+
+
+def _column_width(max_value: int) -> int:
+    if max_value <= 0xFF:
+        return 1
+    if max_value <= 0xFFFF:
+        return 2
+    if max_value <= 0xFFFFFFFF:
+        return 4
+    return 8
+
+
+def encode_sorted_triples(a: Sequence[int], b: Sequence[int],
+                          c: Sequence[int]) -> bytes:
+    """Encode one sorted ordering of id triples as three packed columns.
+
+    ``a`` is the sort column and must be non-decreasing; it is stored as
+    first-order deltas.  ``b`` and ``c`` are stored absolute.  Each
+    column is packed at the narrowest of 1/2/4/8 bytes per value
+    (little-endian) that fits its maximum, recorded in a three-byte
+    width header — so a dense run costs a handful of bytes per triple
+    while the loader reconstructs whole columns with bulk ``frombuffer``
+    + ``cumsum`` instead of a per-value decode loop.  That bulk decode
+    is what keeps reopen-from-snapshot an order of magnitude cheaper
+    than re-parsing N-Triples text.
+    """
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    c = np.asarray(c, dtype=np.int64)
+    if not (a.size == b.size == c.size):
+        raise ValueError("column lengths differ")
+    if a.size == 0:
+        return b"\x01\x01\x01"
+    da = np.diff(a, prepend=np.int64(0))
+    if int(da.min()) < 0:
+        raise ValueError("run is not sorted on its first column")
+    if int(b.min()) < 0 or int(c.min()) < 0:
+        raise ValueError("term ids cannot be negative")
+    columns = []
+    widths = bytearray()
+    for column in (da, b, c):
+        width = _column_width(int(column.max()))
+        widths.append(width)
+        columns.append(column.astype(_COLUMN_DTYPES[width]).tobytes())
+    return bytes(widths) + b"".join(columns)
+
+
+def decode_sorted_triples(payload: bytes, count: int
+                          ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Inverse of :func:`encode_sorted_triples`.
+
+    Returns the three reconstructed columns ``(a, b, c)`` with ``a``
+    non-decreasing ``int64`` (the delta ``cumsum`` accumulates in 64
+    bits); ``b`` and ``c`` come back as zero-copy views at their
+    stored width — ``tolist``/comparison/indexing consumers never need
+    the widening, and skipping it saves two full-column copies on the
+    recovery path.  The whole run decodes with three ``frombuffer``
+    calls and one ``cumsum`` — no per-triple work.
+    """
+    if len(payload) < 3:
+        raise FormatError("triple run header runs past end of data",
+                          len(payload), torn=True)
+    widths = payload[:3]
+    for width in widths:
+        if width not in _COLUMN_DTYPES:
+            raise FormatError("impossible column width %d" % width)
+    expected = 3 + count * (widths[0] + widths[1] + widths[2])
+    if len(payload) != expected:
+        raise FormatError(
+            "triple run is %d bytes, %d triples need %d"
+            % (len(payload), count, expected), len(payload),
+            torn=len(payload) < expected)
+    pos = 3
+    columns = []
+    for width in widths:
+        end = pos + count * width
+        columns.append(np.frombuffer(payload[pos:end],
+                                     dtype=_COLUMN_DTYPES[width]))
+        pos = end
+    a = np.cumsum(columns[0], dtype=np.int64)
+    return a, columns[1], columns[2]

@@ -1,0 +1,385 @@
+"""Append-only write-ahead log of graph mutations.
+
+A WAL segment file is::
+
+    magic "RPRWAL01"
+    record*   each:  varint(payload_len) | payload | crc32(payload, 4 LE)
+
+with a record payload of::
+
+    varint seqno | op byte ('A' add / 'R' remove) | varint version_after
+    | varstr graph_uri | varstr N-Triples line
+
+The triple itself travels as one N-Triples line produced by
+:func:`repro.rdf.ntriples.serialize_triple` and replayed through
+:func:`~repro.rdf.ntriples.parse_line` — the same codec the bulk loader
+uses, so the round-trip property tests cover the WAL's text encoding for
+free.
+
+Segments are named ``wal-<16-digit start seqno>.log``; a checkpoint
+starts a fresh segment at ``last_seqno + 1`` and older segments are
+pruned once no retained snapshot needs them.  Sequence numbers are
+assigned by the single writer and increase by exactly one per record,
+which is what lets recovery tell a *torn tail* (data simply stops; safe
+to truncate) from a *mid-log hole* (a later record proves committed data
+existed past the damage; surfaced as
+:class:`~repro.sparql.errors.WalTruncatedError`, never replayed around).
+
+``fsync`` batching (``sync_every``) bounds how many acknowledged records
+a real power cut can lose; the crash matrix instead runs under the
+"written bytes are durable" model of :mod:`~repro.storage.fileio`, where
+batching is purely a throughput knob.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from struct import Struct
+from typing import List, NamedTuple, Optional, Tuple
+
+from ..sparql.errors import StorageError, WalTruncatedError
+from .fileio import FileHandle, StorageIO
+from .format import (FormatError, crc32, decode_varint, decode_varstr,
+                     write_varint, write_varstr)
+
+__all__ = ["WAL_MAGIC", "WalRecord", "WriteAheadLog", "ReplayResult",
+           "replay_wal", "list_wal_segments", "wal_segment_path",
+           "OP_ADD", "OP_REMOVE"]
+
+WAL_MAGIC = b"RPRWAL01"
+OP_ADD = "A"
+OP_REMOVE = "R"
+
+#: A record length decoded from garbage bytes is rejected past this.
+MAX_RECORD_BYTES = 1 << 26
+#: How far past a damaged record recovery scans for the next valid one.
+RESYNC_WINDOW = 1 << 16
+
+_U32 = Struct("<I")
+_NAME = re.compile(r"^wal-(\d{16})\.log$")
+
+
+def wal_segment_path(directory: str, start_seqno: int) -> str:
+    return os.path.join(directory, "wal-%016d.log" % start_seqno)
+
+
+def list_wal_segments(directory: str) -> List[Tuple[int, str]]:
+    """``(start_seqno, path)`` for every segment, oldest first."""
+    found = []
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return []
+    for name in names:
+        match = _NAME.match(name)
+        if match:
+            found.append((int(match.group(1)),
+                          os.path.join(directory, name)))
+    found.sort()
+    return found
+
+
+class WalRecord(NamedTuple):
+    """One logged mutation."""
+
+    seqno: int
+    op: str                 # OP_ADD or OP_REMOVE
+    graph_uri: str
+    triple_line: str        # one N-Triples line, no newline
+    version: int            # graph.version *after* applying this record
+
+    def encode(self) -> bytes:
+        payload = bytearray()
+        write_varint(payload, self.seqno)
+        payload.append(ord(self.op))
+        write_varint(payload, self.version)
+        write_varstr(payload, self.graph_uri)
+        write_varstr(payload, self.triple_line)
+        out = bytearray()
+        write_varint(out, len(payload))
+        out += payload
+        out += _U32.pack(crc32(bytes(payload)))
+        return bytes(out)
+
+
+def _read_record(data: bytes, pos: int) -> Tuple[WalRecord, int]:
+    """Decode one framed record at ``pos``; raises :class:`FormatError`
+    (``torn=True`` when the data ends inside the frame)."""
+    length, body = decode_varint(data, pos)
+    if length > MAX_RECORD_BYTES:
+        raise FormatError("record length %d implausible" % length, pos)
+    end = body + length
+    if end + 4 > len(data):
+        raise FormatError("record runs past end of data", pos, torn=True)
+    payload = data[body:end]
+    (stored,) = _U32.unpack_from(data, end)
+    if crc32(payload) != stored:
+        raise FormatError("record checksum mismatch", pos)
+    cursor = 0
+    seqno, cursor = decode_varint(payload, cursor)
+    if cursor >= len(payload):
+        raise FormatError("record payload truncated", pos)
+    op = chr(payload[cursor])
+    cursor += 1
+    if op not in (OP_ADD, OP_REMOVE):
+        raise FormatError("unknown wal op %r" % op, pos)
+    version, cursor = decode_varint(payload, cursor)
+    graph_uri, cursor = decode_varstr(payload, cursor)
+    triple_line, cursor = decode_varstr(payload, cursor)
+    if cursor != len(payload):
+        raise FormatError("%d trailing bytes in wal record"
+                          % (len(payload) - cursor), pos)
+    return WalRecord(seqno, op, graph_uri, triple_line, version), end + 4
+
+
+# ----------------------------------------------------------------------
+# Writing
+# ----------------------------------------------------------------------
+class WriteAheadLog:
+    """The single-writer append side of the log.
+
+    ``append`` assigns the next sequence number, frames the record, and
+    fsyncs every ``sync_every`` records (``sync_every=1`` = synchronous,
+    ``0`` = only on :meth:`flush`/:meth:`close`).  The log is
+    **fail-stop**: once any append raises, every later append raises
+    :class:`~repro.sparql.errors.StorageError` — a writer that lost track
+    of what reached the disk must not keep acknowledging mutations.
+    """
+
+    def __init__(self, io: StorageIO, directory: str, start_seqno: int,
+                 sync_every: int = 64):
+        self._io = io
+        self._directory = directory
+        self._sync_every = sync_every
+        self._last_seqno = start_seqno - 1
+        self._pending = 0
+        self._failed: Optional[str] = None
+        self.path = wal_segment_path(directory, start_seqno)
+        self.fsyncs = 0
+        self.records = 0
+        self.bytes_written = 0
+        self._handle: Optional[FileHandle] = io.open_write(self.path)
+        try:
+            self._handle.write(WAL_MAGIC)
+            self._handle.fsync()
+            self.fsyncs += 1
+            io.fsync_dir(directory)
+        except BaseException:
+            self._fail("segment header write failed")
+            raise
+
+    @property
+    def last_seqno(self) -> int:
+        return self._last_seqno
+
+    def _fail(self, why: str) -> None:
+        self._failed = why
+        handle, self._handle = self._handle, None
+        if handle is not None:
+            try:
+                handle.close()
+            except Exception:
+                pass
+
+    def append(self, op: str, graph_uri: str, triple_line: str,
+               version: int) -> int:
+        """Durably queue one mutation; returns its sequence number."""
+        if self._failed is not None:
+            raise StorageError("write-ahead log is fail-stopped (%s)"
+                               % self._failed)
+        if self._handle is None:
+            raise StorageError("write-ahead log is closed")
+        seqno = self._last_seqno + 1
+        frame = WalRecord(seqno, op, graph_uri, triple_line,
+                          version).encode()
+        try:
+            self._handle.write(frame)
+            self._pending += 1
+            if self._sync_every and self._pending >= self._sync_every:
+                self._handle.fsync()
+                self.fsyncs += 1
+                self._pending = 0
+        except BaseException:
+            self._fail("append of seqno %d failed" % seqno)
+            raise
+        self._last_seqno = seqno
+        self.records += 1
+        self.bytes_written += len(frame)
+        return seqno
+
+    def flush(self) -> None:
+        """fsync everything appended so far."""
+        if self._failed is not None or self._handle is None:
+            return
+        if self._pending:
+            try:
+                self._handle.fsync()
+                self.fsyncs += 1
+                self._pending = 0
+            except BaseException:
+                self._fail("flush failed")
+                raise
+
+    def close(self) -> None:
+        if self._handle is None:
+            return
+        try:
+            self.flush()
+        finally:
+            handle, self._handle = self._handle, None
+            if handle is not None:
+                handle.close()
+
+
+# ----------------------------------------------------------------------
+# Replay
+# ----------------------------------------------------------------------
+class ReplayResult:
+    """What came back from scanning the log past a snapshot.
+
+    ``records`` hold every replayable mutation with ``seqno >
+    from_seqno``; ``last_seqno`` is the highest sequence recovered
+    (``from_seqno`` when the log added nothing).  ``truncated_bytes``
+    counts tail bytes dropped from the final segment (torn writes);
+    ``resynced_bytes`` counts mid-log garbage skipped *without* losing
+    any sequence number.  ``error`` is a
+    :class:`~repro.sparql.errors.WalTruncatedError` when committed
+    records were provably lost mid-log — the store raises it rather than
+    serve a silently-wrong graph.
+    """
+
+    def __init__(self, from_seqno: int):
+        self.records: List[WalRecord] = []
+        self.last_seqno = from_seqno
+        self.truncated_bytes = 0
+        self.resynced_bytes = 0
+        self.segments_read = 0
+        self.error: Optional[WalTruncatedError] = None
+
+
+def _resync(data: bytes, start: int
+            ) -> Optional[Tuple[WalRecord, int]]:
+    """Scan forward (bounded) for the next decodable record; returns
+    ``(record, offset)`` or None."""
+    end = min(len(data), start + RESYNC_WINDOW)
+    for off in range(start + 1, end):
+        try:
+            record, _ = _read_record(data, off)
+        except FormatError:
+            continue
+        return record, off
+    return None
+
+
+def replay_wal(directory: str, from_seqno: int,
+               io: Optional[StorageIO] = None,
+               truncate_torn: bool = True) -> ReplayResult:
+    """Scan every WAL segment and recover the records past ``from_seqno``.
+
+    Damage handling, in decreasing order of good news:
+
+    * a valid record follows the damage carrying exactly the next
+      expected sequence number — benign garbage, skip and resume;
+    * no further record exists in the **final** segment — a torn tail:
+      drop it (and physically truncate the file when ``truncate_torn``),
+      reporting the byte count so the store can de-cohere caches;
+    * a later record proves a sequence number was lost — fill in
+      ``result.error`` with the last recoverable sequence number and stop
+      replaying (the caller raises; a hole is never replayed around).
+    """
+    if io is None:
+        io = StorageIO()
+    result = ReplayResult(from_seqno)
+    segments = list_wal_segments(directory)
+    prev_seqno: Optional[int] = None
+
+    for index, (start, path) in enumerate(segments):
+        is_final = index == len(segments) - 1
+        if not is_final and segments[index + 1][0] <= from_seqno + 1:
+            continue        # every record here is inside the snapshot
+        try:
+            with open(path, "rb") as fobj:
+                data = fobj.read()
+        except OSError as exc:
+            raise StorageError("cannot read wal segment %s: %s"
+                               % (path, exc)) from exc
+        result.segments_read += 1
+        # A segment *name* is a durability claim: records up to
+        # ``start - 1`` existed when it was created.  If neither the
+        # snapshot nor the records read so far vouch for them, data is
+        # missing even when no damaged record is ever seen (e.g. every
+        # earlier segment was lost but this one is empty).
+        if start > from_seqno + 1 \
+                and (prev_seqno is None or start > prev_seqno + 1):
+            result.error = WalTruncatedError(
+                "wal segment %s begins at seqno %d but records up to %d "
+                "are unaccounted for"
+                % (path, start, start - 1),
+                recovered_seqno=result.last_seqno)
+            break
+        n = len(data)
+        if not n:
+            continue        # empty placeholder from an earlier recovery
+        if data[:len(WAL_MAGIC)] != WAL_MAGIC:
+            if is_final and WAL_MAGIC.startswith(data):
+                # crash while the segment header itself was being
+                # written; no record can have committed here
+                result.truncated_bytes += n
+                if truncate_torn:
+                    io.truncate(path, 0)
+                continue
+            result.error = WalTruncatedError(
+                "wal segment %s has a corrupt header" % path,
+                recovered_seqno=result.last_seqno)
+            break
+
+        pos = valid_end = len(WAL_MAGIC)
+        while pos < n:
+            try:
+                record, nxt = _read_record(data, pos)
+            except FormatError:
+                found = _resync(data, pos)
+                if found is None:
+                    tail = n - valid_end
+                    if is_final:
+                        result.truncated_bytes += tail
+                        if truncate_torn and tail:
+                            io.truncate(path, valid_end)
+                    else:
+                        # let the next segment's first seqno decide
+                        # whether anything was actually lost
+                        result.resynced_bytes += tail
+                    break
+                record, off = found
+                floor = prev_seqno if prev_seqno is not None else from_seqno
+                if record.seqno > max(floor, from_seqno) + 1:
+                    result.error = WalTruncatedError(
+                        "wal damaged in %s before seqno %d"
+                        % (path, record.seqno),
+                        recovered_seqno=result.last_seqno)
+                    break
+                result.resynced_bytes += off - pos
+                pos = off
+                continue
+            floor = prev_seqno if prev_seqno is not None else from_seqno
+            if record.seqno > max(floor, from_seqno) + 1:
+                result.error = WalTruncatedError(
+                    "wal sequence gap in %s: expected %d, found %d"
+                    % (path, floor + 1, record.seqno),
+                    recovered_seqno=result.last_seqno)
+                break
+            if prev_seqno is not None and record.seqno <= prev_seqno:
+                result.error = WalTruncatedError(
+                    "wal sequence regressed in %s: %d after %d"
+                    % (path, record.seqno, prev_seqno),
+                    recovered_seqno=result.last_seqno)
+                break
+            prev_seqno = record.seqno
+            if record.seqno > from_seqno:
+                result.records.append(record)
+                result.last_seqno = record.seqno
+            pos = valid_end = nxt
+        if result.error is not None:
+            break
+    return result

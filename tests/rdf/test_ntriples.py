@@ -1,5 +1,6 @@
 """Unit and property tests for the N-Triples parser/serializer."""
 
+import gzip
 import io
 
 import pytest
@@ -127,3 +128,132 @@ def test_integer_literal_round_trip(value):
     triple = (URIRef("http://x/s"), URIRef("http://x/p"), Literal(value))
     parsed = parse_line(ntriples.serialize_triple(triple))
     assert parsed[2].value == value
+
+
+# Full-unicode round trips: anything a literal can hold must survive
+# serialize -> parse, including the characters the escape table handles
+# (quotes, backslashes, \n \r \t) and everything it passes through raw.
+_any_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)),  # no surrogates
+    max_size=60)
+
+
+@settings(max_examples=150, deadline=None)
+@given(_any_text)
+def test_full_unicode_literal_round_trip(text):
+    triple = (URIRef("http://x/s"), URIRef("http://x/p"), Literal(text))
+    parsed = parse_line(ntriples.serialize_triple(triple))
+    assert parsed[2].lexical == text
+
+
+@settings(max_examples=60, deadline=None)
+@given(_any_text)
+def test_typed_unicode_literal_round_trip(text):
+    lit = Literal(text, datatype="http://example.org/dt")
+    triple = (URIRef("http://x/s"), URIRef("http://x/p"), lit)
+    parsed = parse_line(ntriples.serialize_triple(triple))
+    assert parsed[2] == lit
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=12),
+       st.integers(min_value=0, max_value=6),
+       st.sampled_from(["", "x", "\n", '"']))
+def test_backslash_and_quote_runs_round_trip(slashes, quotes, filler):
+    # pathological escape pile-ups: \\\\\\"""\n... in every interleaving
+    text = "\\" * slashes + '"' * quotes + filler + "\\" * (slashes % 3)
+    triple = (URIRef("http://x/s"), URIRef("http://x/p"), Literal(text))
+    parsed = parse_line(ntriples.serialize_triple(triple))
+    assert parsed[2].lexical == text
+
+
+def test_long_literal_round_trip():
+    text = ('long "quoted" \\segment\\ with\ttabs\nand lines ' * 250)
+    assert len(text) > 10_000
+    triple = (URIRef("http://x/s"), URIRef("http://x/p"), Literal(text))
+    parsed = parse_line(ntriples.serialize_triple(triple))
+    assert parsed[2].lexical == text
+
+
+def test_document_round_trip_preserves_unicode():
+    g = Graph()
+    g.add(URIRef("http://x/s"), URIRef("http://x/p"),
+          Literal('emoji \U0001f600, combining é, quote " end'))
+    g.add(URIRef("http://x/s"), URIRef("http://x/p"),
+          Literal("tab\there", language="en"))
+    g2 = Graph()
+    ntriples.parse_into_graph(ntriples.serialize(g.triples()), g2)
+    assert set(g2.triples()) == set(g.triples())
+
+
+class TestEscapeParsing:
+    def test_u_escape(self):
+        _, _, o = parse_line(r'<http://x/a> <http://x/p> "é" .')
+        assert o.lexical == "é"
+
+    def test_wide_u_escape(self):
+        _, _, o = parse_line(r'<http://x/a> <http://x/p> "\U0001F600" .')
+        assert o.lexical == "\U0001F600"
+
+    def test_mixed_escapes(self):
+        _, _, o = parse_line(
+            r'<http://x/a> <http://x/p> "a\tb\\\"c" .')
+        assert o.lexical == 'a\tb\\"c'
+
+
+class TestBulkLoad:
+    DOC = ('<http://x/a> <http://x/p> <http://x/b> .\n'
+           '# comment line\n'
+           '<http://x/a> <http://x/q> "café" .\n')
+
+    def expected(self):
+        g = Graph()
+        ntriples.parse_into_graph(self.DOC, g)
+        return set(g.triples())
+
+    def test_load_from_file_path(self, tmp_path):
+        path = tmp_path / "dump.nt"
+        path.write_text(self.DOC, encoding="utf-8")
+        g = Graph()
+        added = ntriples.parse_into_graph(str(path), g)
+        assert added == 2
+        assert set(g.triples()) == self.expected()
+
+    def test_load_from_gzip_path(self, tmp_path):
+        # gzip is sniffed from magic bytes, not the file name
+        path = tmp_path / "dump.nt.bin"
+        with gzip.open(str(path), "wt", encoding="utf-8") as fobj:
+            fobj.write(self.DOC)
+        g = Graph()
+        added = ntriples.parse_into_graph(str(path), g)
+        assert added == 2
+        assert set(g.triples()) == self.expected()
+
+    def test_lenient_mode_counts_skipped_lines(self, tmp_path):
+        path = tmp_path / "dirty.nt"
+        path.write_text(self.DOC + "garbage line\n<http://x/a> .\n",
+                        encoding="utf-8")
+        g = Graph()
+        added, skipped = ntriples.parse_into_graph(str(path), g,
+                                                   strict=False)
+        assert (added, skipped) == (2, 2)
+        assert set(g.triples()) == self.expected()
+
+    def test_strict_mode_still_raises(self, tmp_path):
+        path = tmp_path / "dirty.nt"
+        path.write_text("garbage\n", encoding="utf-8")
+        with pytest.raises(NTriplesError):
+            ntriples.parse_into_graph(str(path), Graph())
+
+    def test_lenient_mode_on_stream(self):
+        stream = io.StringIO(self.DOC + "broken\n")
+        g = Graph()
+        assert ntriples.parse_into_graph(stream, g, strict=False) == (2, 1)
+
+    def test_document_text_is_never_treated_as_path(self):
+        # single-line document text parses as text even if a file of
+        # that exact name were to exist somewhere on disk
+        g = Graph()
+        added = ntriples.parse_into_graph(
+            '<http://x/a> <http://x/p> <http://x/b> .', g)
+        assert added == 1

@@ -1,0 +1,225 @@
+"""Snapshot write/load round trips, corruption detection, fallback fuel."""
+
+import os
+
+import pytest
+
+from repro.rdf.dictionary import TermDictionary
+from repro.rdf.graph import Graph
+from repro.rdf.terms import BlankNode, Literal, URIRef
+from repro.sparql.errors import CorruptSnapshotError
+from repro.storage.fileio import StorageIO, bit_flip_points, flip_bit, \
+    truncate_file
+from repro.storage.snapshot import (SNAPSHOT_MAGIC, list_snapshots,
+                                    load_snapshot, snapshot_path,
+                                    write_snapshot)
+
+
+def build_graphs(dictionary):
+    g1 = Graph("urn:g1", dictionary=dictionary)
+    for i in range(40):
+        g1.add(URIRef("http://x/s%d" % (i % 7)),
+               URIRef("http://x/p%d" % (i % 3)),
+               Literal("value %d with \"quotes\" and \\slashes\\ \n" % i))
+    g1.add(BlankNode("b1"), URIRef("http://x/p0"),
+           Literal("typed", datatype="http://x/dt"))
+    g1.add(BlankNode("b1"), URIRef("http://x/p0"),
+           Literal("tagged", language="en"))
+    g2 = Graph("urn:g2", dictionary=dictionary)
+    g2.add(URIRef("http://x/a"), URIRef("http://x/b"), URIRef("http://x/c"))
+    g1.version = 123
+    g2.version = 7
+    return [g1, g2]
+
+
+def write(tmp_path, graphs, dictionary, generation=1, last_seqno=55):
+    return write_snapshot(StorageIO(), str(tmp_path), generation, graphs,
+                          dictionary, last_seqno)
+
+
+class TestRoundTrip:
+    def test_fresh_dictionary(self, tmp_path):
+        dictionary = TermDictionary()
+        graphs = build_graphs(dictionary)
+        path = write(tmp_path, graphs, dictionary)
+        assert os.path.basename(path) == "snapshot-000001.snap"
+
+        target = TermDictionary()
+        loaded = load_snapshot(path, target)
+        assert loaded.generation == 1
+        assert loaded.last_seqno == 55
+        assert sorted(g.uri for g in loaded.graphs) == ["urn:g1", "urn:g2"]
+        by_uri = {g.uri: g for g in loaded.graphs}
+        for original in graphs:
+            recovered = by_uri[original.uri]
+            assert len(recovered) == len(original)
+            assert recovered.version == original.version
+            assert set(recovered.triples()) == set(original.triples())
+
+    def test_load_into_populated_dictionary_remaps(self, tmp_path):
+        dictionary = TermDictionary()
+        graphs = build_graphs(dictionary)
+        path = write(tmp_path, graphs, dictionary)
+
+        target = TermDictionary()
+        # Pre-intern unrelated terms so snapshot ids cannot be identity.
+        for i in range(17):
+            target.encode(URIRef("http://elsewhere/%d" % i))
+        loaded = load_snapshot(path, target)
+        by_uri = {g.uri: g for g in loaded.graphs}
+        for original in graphs:
+            assert set(by_uri[original.uri].triples()) \
+                == set(original.triples())
+
+    def test_recovered_indexes_answer_patterns(self, tmp_path):
+        dictionary = TermDictionary()
+        graphs = build_graphs(dictionary)
+        path = write(tmp_path, graphs, dictionary)
+        target = TermDictionary()
+        loaded = load_snapshot(path, target)
+        g1 = {g.uri: g for g in loaded.graphs}["urn:g1"]
+        s = URIRef("http://x/s1")
+        p = URIRef("http://x/p1")
+        original = {g.uri: g for g in graphs}["urn:g1"]
+        assert set(g1.triples(s, None, None)) \
+            == set(original.triples(s, None, None))
+        assert set(g1.triples(None, p, None)) \
+            == set(original.triples(None, p, None))
+        assert g1.count(None, p, None) == original.count(None, p, None)
+
+    def test_load_into_overlapping_dictionary_resorts(self, tmp_path):
+        # A remap that is NOT order-preserving: pre-intern some of the
+        # snapshot's own terms in a scrambled order, so the remapped id
+        # columns would be unsorted without the loader's re-sort.
+        dictionary = TermDictionary()
+        graphs = build_graphs(dictionary)
+        path = write(tmp_path, graphs, dictionary)
+
+        target = TermDictionary()
+        for tid in reversed(range(0, len(dictionary), 3)):
+            target.encode(dictionary.decode(tid))
+        loaded = load_snapshot(path, target)
+        by_uri = {g.uri: g for g in loaded.graphs}
+        for original in graphs:
+            recovered = by_uri[original.uri]
+            assert set(recovered.triples()) == set(original.triples())
+            assert len(recovered) == len(original)
+
+    def test_empty_store_snapshot(self, tmp_path):
+        dictionary = TermDictionary()
+        path = write(tmp_path, [], dictionary, last_seqno=0)
+        loaded = load_snapshot(path, TermDictionary())
+        assert loaded.graphs == []
+
+
+class TestDeferredMaterialization:
+    """Snapshot graphs build their nested indexes on first touch."""
+
+    def load_g1(self, tmp_path):
+        dictionary = TermDictionary()
+        graphs = build_graphs(dictionary)
+        path = write(tmp_path, graphs, dictionary)
+        loaded = load_snapshot(path, TermDictionary())
+        original = {g.uri: g for g in graphs}["urn:g1"]
+        recovered = {g.uri: g for g in loaded.graphs}["urn:g1"]
+        return original, recovered
+
+    def test_load_builds_no_index(self, tmp_path):
+        _, recovered = self.load_g1(tmp_path)
+        assert recovered.indexes_materialized == 0
+        for name in ("_spo", "_pos", "_osp"):
+            assert name not in recovered.__dict__
+        # len comes from the stored size — still nothing built.
+        assert len(recovered) == 42
+        assert recovered.indexes_materialized == 0
+
+    def test_query_builds_only_the_index_it_probes(self, tmp_path):
+        original, recovered = self.load_g1(tmp_path)
+        p = URIRef("http://x/p1")
+        assert recovered.count(None, p, None) == original.count(None, p, None)
+        assert recovered.indexes_materialized == 1
+        assert "_pos" in recovered.__dict__
+        assert "_spo" not in recovered.__dict__
+        # Touching the rest completes the set, exactly once each.
+        assert set(recovered.triples()) == set(original.triples())
+        assert set(recovered.triples(None, None,
+                                     Literal("tagged", language="en"))) \
+            == set(original.triples(None, None,
+                                    Literal("tagged", language="en")))
+        assert recovered.indexes_materialized == 3
+
+    def test_mutation_materializes_and_stays_consistent(self, tmp_path):
+        original, recovered = self.load_g1(tmp_path)
+        s, p, o = (URIRef("http://new/s"), URIRef("http://new/p"),
+                   URIRef("http://new/o"))
+        assert recovered.add(s, p, o)
+        assert recovered.indexes_materialized == 3
+        assert (s, p, o) in recovered
+        assert recovered.remove(s, p, o)
+        assert set(recovered.triples()) == set(original.triples())
+
+
+class TestListing:
+    def test_ordering_and_ignoring_noise(self, tmp_path):
+        dictionary = TermDictionary()
+        write(tmp_path, [], dictionary, generation=3)
+        write(tmp_path, [], dictionary, generation=1)
+        (tmp_path / "snapshot-000002.snap.corrupt").write_bytes(b"x")
+        (tmp_path / "notes.txt").write_bytes(b"x")
+        generations = [g for g, _ in list_snapshots(str(tmp_path))]
+        assert generations == [1, 3]
+
+
+class TestCorruption:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CorruptSnapshotError):
+            load_snapshot(str(tmp_path / "nope.snap"), TermDictionary())
+
+    def test_bad_magic(self, tmp_path):
+        dictionary = TermDictionary()
+        path = write(tmp_path, build_graphs(dictionary), dictionary)
+        flip_bit(path, 0)
+        with pytest.raises(CorruptSnapshotError):
+            load_snapshot(path, TermDictionary())
+
+    def test_bit_flip_sweep_never_loads_wrong_data(self, tmp_path):
+        dictionary = TermDictionary()
+        graphs = build_graphs(dictionary)
+        path = write(tmp_path, graphs, dictionary)
+        pristine = open(path, "rb").read()
+        expected = {g.uri: set(g.triples()) for g in graphs}
+        for byte_index, bit in bit_flip_points(len(pristine), 200, seed=1):
+            with open(path, "wb") as fobj:
+                fobj.write(pristine)
+            flip_bit(path, byte_index, bit)
+            try:
+                loaded = load_snapshot(path, TermDictionary())
+            except CorruptSnapshotError:
+                continue
+            # A flip that survives validation must be semantically inert
+            # (it can only live in dead bytes — there are none framed).
+            for g in loaded.graphs:
+                assert set(g.triples()) == expected[g.uri], \
+                    (byte_index, bit)
+
+    def test_every_truncation_is_rejected(self, tmp_path):
+        dictionary = TermDictionary()
+        path = write(tmp_path, build_graphs(dictionary), dictionary)
+        pristine = open(path, "rb").read()
+        for cut in range(0, len(pristine), 7):
+            with open(path, "wb") as fobj:
+                fobj.write(pristine[:cut])
+            with pytest.raises(CorruptSnapshotError):
+                load_snapshot(path, TermDictionary())
+
+    def test_truncated_tail_is_rejected(self, tmp_path):
+        dictionary = TermDictionary()
+        path = write(tmp_path, build_graphs(dictionary), dictionary)
+        truncate_file(path, os.path.getsize(path) - 1)
+        with pytest.raises(CorruptSnapshotError):
+            load_snapshot(path, TermDictionary())
+
+    def test_snapshot_path_format(self, tmp_path):
+        assert snapshot_path(str(tmp_path), 42).endswith(
+            "snapshot-000042.snap")
+        assert SNAPSHOT_MAGIC == b"RPRSNAP1"
